@@ -1,0 +1,63 @@
+// Ablation for the spanning-forest strategy underlying the interval
+// labeling — the paper's Section-8 future-work question about "optimal
+// (e.g. shallow) spanning forests". Compares the DFS forest (the paper's
+// construction) against a BFS (shallow) forest: forest depth, label
+// counts, labeling build time and end-to-end 3DReach query time.
+
+#include <string>
+
+#include "bench/bench_support.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "core/three_d_reach.h"
+#include "datagen/workload.h"
+#include "labeling/interval_labeling.h"
+
+int main(int argc, char** argv) {
+  using namespace gsr;        // NOLINT
+  using namespace gsr::bench;  // NOLINT
+
+  const BenchOptions options = BenchOptions::Parse(argc, argv);
+  const auto bundles = LoadDatasets(options);
+
+  TablePrinter table(
+      "Forest-strategy ablation (labeling + 3DReach, extent 5%, deg 50-99)",
+      {"dataset", "strategy", "forest depth", "compressed labels",
+       "build [s]", "avg query [us]"});
+
+  for (const DatasetBundle& bundle : bundles) {
+    WorkloadGenerator workload(bundle.network.get(), 20250706);
+    QuerySpec spec;
+    spec.count = options.queries;
+    const auto queries = workload.Generate(spec);
+
+    for (const ForestStrategy strategy :
+         {ForestStrategy::kDfs, ForestStrategy::kBfs}) {
+      Stopwatch watch;
+      const IntervalLabeling labeling = IntervalLabeling::Build(
+          bundle.cn->dag(),
+          IntervalLabeling::Options{.forest_strategy = strategy});
+      const double label_seconds = watch.ElapsedSeconds();
+
+      const ThreeDReach method(
+          bundle.cn.get(),
+          ThreeDReach::Options{.forest_strategy = strategy});
+      const QueryStats stats = MeasureQueries(method, queries);
+
+      table.AddRow({
+          bundle.name(),
+          ForestStrategyName(strategy),
+          std::to_string(labeling.forest().MaxDepth()),
+          std::to_string(labeling.stats().compressed_labels),
+          TablePrinter::FormatNumber(label_seconds),
+          Micros(stats.avg_micros),
+      });
+    }
+  }
+
+  table.Print();
+  if (EnsureDir(options.out_dir)) {
+    (void)table.WriteCsv(options.out_dir + "/ablation_forest.csv");
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation for the GeoReach SPA-graph construction parameters (the design
+// choices of Section 2.2.2): sweeps the grid depth and MAX_REACH_GRIDS and
+// reports SPA-graph size, build time, the B/R/G class mix and the average
+// query time at the default workload. Finer grids and larger ReachGrid
+// budgets buy pruning power with index size.
+
+#include <string>
+
+#include "bench/bench_support.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "core/geo_reach.h"
+#include "datagen/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace gsr;        // NOLINT
+  using namespace gsr::bench;  // NOLINT
+
+  BenchOptions options = BenchOptions::Parse(argc, argv);
+  const auto bundles = LoadDatasets(options);
+
+  for (const DatasetBundle& bundle : bundles) {
+    TablePrinter table(
+        "GeoReach ablation / " + bundle.name() +
+            " (extent 5%, degree 50-99)",
+        {"grid depth", "max grids", "size [MB]", "build [s]", "B-false",
+         "B-true", "R", "G", "avg query [us]"});
+
+    WorkloadGenerator workload(bundle.network.get(), 20250706);
+    QuerySpec spec;
+    spec.count = options.queries;
+    const auto queries = workload.Generate(spec);
+
+    for (const int depth : {4, 6, 8}) {
+      for (const uint32_t max_grids : {8u, 64u, 512u}) {
+        GeoReachMethod::Options geo_options;
+        geo_options.grid_depth = depth;
+        geo_options.max_reach_grids = max_grids;
+        Stopwatch watch;
+        const GeoReachMethod geo(bundle.cn.get(), geo_options);
+        const double build_seconds = watch.ElapsedSeconds();
+        const auto counts = geo.CountClasses();
+        const QueryStats stats = MeasureQueries(geo, queries);
+        table.AddRow({
+            std::to_string(depth),
+            std::to_string(max_grids),
+            Mb(geo.IndexSizeBytes()),
+            TablePrinter::FormatNumber(build_seconds),
+            std::to_string(counts.b_false),
+            std::to_string(counts.b_true),
+            std::to_string(counts.r),
+            std::to_string(counts.g),
+            Micros(stats.avg_micros),
+        });
+      }
+    }
+    table.Print();
+    if (EnsureDir(options.out_dir)) {
+      (void)table.WriteCsv(options.out_dir + "/ablation_georeach_" +
+                           bundle.name() + ".csv");
+    }
+  }
+  return 0;
+}

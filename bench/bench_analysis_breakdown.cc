@@ -1,0 +1,79 @@
+// Cost-breakdown analysis (beyond the paper's figures, quantifying the
+// Section 6.4 narrative): for each dataset and region extent, report the
+// per-query work drivers of every method — SRange candidates and GReach
+// probes for SpaReach-BFL, SPA-graph vertices visited for GeoReach,
+// materialized descendants for SocReach, and 3-D range queries issued for
+// 3DReach. These counters explain *why* the timing curves of Figure 7
+// bend the way they do.
+
+#include <string>
+
+#include "bench/bench_support.h"
+#include "common/table_printer.h"
+#include "core/geo_reach.h"
+#include "core/soc_reach.h"
+#include "core/spa_reach.h"
+#include "core/three_d_reach.h"
+#include "datagen/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace gsr;        // NOLINT
+  using namespace gsr::bench;  // NOLINT
+
+  const BenchOptions options = BenchOptions::Parse(argc, argv);
+  const auto bundles = LoadDatasets(options);
+
+  for (const DatasetBundle& bundle : bundles) {
+    const CondensedNetwork* cn = bundle.cn.get();
+    const SpaReachBfl spa(cn);
+    const GeoReachMethod geo(cn);
+    const SocReach soc(cn);
+    const ThreeDReach threed(cn);
+
+    TablePrinter table(
+        "Per-query cost drivers / " + bundle.name() + " (degree 50-99)",
+        {"extent %", "SpaReach candidates", "SpaReach GReach calls",
+         "GeoReach visits", "GeoReach pruned", "SocReach |D(v)|",
+         "SocReach tests", "3DReach 3D queries"});
+
+    WorkloadGenerator workload(bundle.network.get(), 20250706);
+    for (const double extent : PaperExtents()) {
+      QuerySpec spec;
+      spec.count = options.queries;
+      spec.extent_percent = extent;
+      const auto queries = workload.Generate(spec);
+
+      spa.ResetCounters();
+      geo.ResetCounters();
+      soc.ResetCounters();
+      threed.ResetCounters();
+      for (const RangeReachQuery& query : queries) {
+        spa.EvaluateQuery(query);
+        geo.EvaluateQuery(query);
+        soc.EvaluateQuery(query);
+        threed.EvaluateQuery(query);
+      }
+
+      const double q = static_cast<double>(queries.size());
+      auto avg = [q](uint64_t total) {
+        return TablePrinter::FormatNumber(static_cast<double>(total) / q);
+      };
+      table.AddRow({
+          TablePrinter::FormatNumber(extent, 2),
+          avg(spa.counters().candidates),
+          avg(spa.counters().greach_calls),
+          avg(geo.counters().vertices_visited),
+          avg(geo.counters().pruned),
+          avg(soc.counters().descendants),
+          avg(soc.counters().containment_tests),
+          avg(threed.counters().range_queries),
+      });
+    }
+    table.Print();
+    if (EnsureDir(options.out_dir)) {
+      (void)table.WriteCsv(options.out_dir + "/analysis_breakdown_" +
+                           bundle.name() + ".csv");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Regenerates Figure 6: determining the best spatial-first method —
+// SpaReach-BFL vs SpaReach-INT — varying the region extent, the query
+// vertex degree and the spatial selectivity. Expected shape: SpaReach-BFL
+// wins nearly everywhere because BFL answers the per-candidate GReach
+// queries faster than interval labels; the gap grows with the number of
+// spatial vertices in the region (more reachability probes per query).
+
+#include "bench/bench_support.h"
+#include "core/spa_reach.h"
+
+int main(int argc, char** argv) {
+  using namespace gsr;        // NOLINT
+  using namespace gsr::bench;  // NOLINT
+
+  const BenchOptions options = BenchOptions::Parse(argc, argv);
+  const auto bundles = LoadDatasets(options);
+
+  for (const DatasetBundle& bundle : bundles) {
+    const CondensedNetwork* cn = bundle.cn.get();
+    const SpaReachBfl bfl(cn);
+    const SpaReachInt interval(cn);
+    // Beyond the paper's Figure 6: the two reachability backends of the
+    // original GeoReach paper (Section 2.2), for a complete spatial-first
+    // spectrum.
+    const SpaReachPll pll(cn);
+    const SpaReachFeline feline(cn);
+    const std::vector<FigureSeries> series = {
+        {"SpaReach-BFL", &bfl},
+        {"SpaReach-INT", &interval},
+        {"SpaReach-PLL", &pll},
+        {"SpaReach-Feline", &feline},
+    };
+    RunQuerySweeps(options, "fig6", bundle, series,
+                   /*include_selectivity=*/true);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Regenerates Figure 7: the final comparison of all evaluation methods —
+// the best spatial-first (SpaReach-BFL), the GeoReach state of the art,
+// and the paper's SocReach, 3DReach and 3DReach-REV — varying the region
+// extent, the query vertex degree and the spatial selectivity.
+//
+// Expected shape (Section 6.4): the 3DReach methods are the fastest
+// overall, often by orders of magnitude; 3DReach usually edges out
+// 3DReach-REV (points index faster than segments); SocReach is not
+// competitive except against GeoReach on the smaller networks; GeoReach
+// and SpaReach-BFL degrade on negative queries and with growing regions.
+
+#include "bench/bench_support.h"
+#include "core/geo_reach.h"
+#include "core/soc_reach.h"
+#include "core/spa_reach.h"
+#include "core/three_d_reach.h"
+
+int main(int argc, char** argv) {
+  using namespace gsr;        // NOLINT
+  using namespace gsr::bench;  // NOLINT
+
+  const BenchOptions options = BenchOptions::Parse(argc, argv);
+  const auto bundles = LoadDatasets(options);
+
+  for (const DatasetBundle& bundle : bundles) {
+    const CondensedNetwork* cn = bundle.cn.get();
+    const SpaReachBfl spa_bfl(cn);
+    const GeoReachMethod geo(cn);
+    const SocReach soc(cn);
+    const ThreeDReach threed(cn);
+    const ThreeDReachRev threed_rev(cn);
+
+    const std::vector<FigureSeries> series = {
+        {"SpaReach-BFL", &spa_bfl}, {"GeoReach", &geo},
+        {"SocReach", &soc},         {"3DReach", &threed},
+        {"3DReach-REV", &threed_rev},
+    };
+    RunQuerySweeps(options, "fig7", bundle, series,
+                   /*include_selectivity=*/true);
+  }
+  return 0;
+}

@@ -1,0 +1,228 @@
+#include "bench/bench_support.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+
+namespace gsr::bench {
+
+namespace {
+
+std::vector<std::string> SplitCommas(const std::string& value) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= value.size()) {
+    const size_t comma = value.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(value.substr(start));
+      break;
+    }
+    out.push_back(value.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--scale f] [--queries n] [--out dir] "
+               "[--datasets a,b,...]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+BenchOptions BenchOptions::Parse(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--scale") {
+      options.scale = std::atof(next());
+      if (options.scale <= 0.0 || options.scale > 1.0) Usage(argv[0]);
+    } else if (arg == "--queries") {
+      options.queries = static_cast<uint32_t>(std::atoi(next()));
+      if (options.queries == 0) Usage(argv[0]);
+    } else if (arg == "--out") {
+      options.out_dir = next();
+    } else if (arg == "--datasets") {
+      options.datasets = SplitCommas(next());
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  return options;
+}
+
+std::vector<DatasetBundle> LoadDatasets(const BenchOptions& options) {
+  std::vector<DatasetBundle> bundles;
+  for (const std::string& name : options.datasets) {
+    DatasetBundle bundle;
+    bundle.config = BenchmarkDatasetConfig(name, options.scale);
+    Stopwatch watch;
+    bundle.network = std::make_unique<GeoSocialNetwork>(
+        GenerateGeoSocialNetwork(bundle.config));
+    bundle.cn = std::make_unique<CondensedNetwork>(bundle.network.get());
+    std::fprintf(stderr,
+                 "[datagen] %-10s |V|=%u |E|=%llu |P|=%llu #SCC=%u (%.2fs)\n",
+                 name.c_str(), bundle.network->num_vertices(),
+                 static_cast<unsigned long long>(bundle.network->num_edges()),
+                 static_cast<unsigned long long>(
+                     bundle.network->num_spatial_vertices()),
+                 bundle.cn->num_components(), watch.ElapsedSeconds());
+    bundles.push_back(std::move(bundle));
+  }
+  return bundles;
+}
+
+TimedMethod BuildTimed(const CondensedNetwork* cn,
+                       const MethodConfig& config) {
+  TimedMethod out;
+  Stopwatch watch;
+  out.method = CreateMethod(cn, config);
+  out.build_seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+QueryStats MeasureQueries(const RangeReachMethod& method,
+                          const std::vector<RangeReachQuery>& queries) {
+  QueryStats stats;
+  if (queries.empty()) return stats;
+  Stopwatch watch;
+  for (const RangeReachQuery& query : queries) {
+    if (method.EvaluateQuery(query)) ++stats.true_answers;
+  }
+  stats.avg_micros = watch.ElapsedMicros() / static_cast<double>(queries.size());
+  return stats;
+}
+
+namespace {
+
+/// Measures every series on one query batch and appends a table row:
+/// x-label, then "avg_us" per series, then the batch's TRUE ratio.
+void SweepRow(TablePrinter& table, const std::string& x_label,
+              const std::vector<FigureSeries>& series,
+              const std::vector<RangeReachQuery>& queries) {
+  std::vector<std::string> cells = {x_label};
+  uint32_t true_answers = 0;
+  for (const FigureSeries& s : series) {
+    const QueryStats stats = MeasureQueries(*s.method, queries);
+    cells.push_back(Micros(stats.avg_micros));
+    true_answers = stats.true_answers;  // Identical across series.
+  }
+  cells.push_back(TablePrinter::FormatNumber(
+      queries.empty() ? 0.0
+                      : 100.0 * true_answers /
+                            static_cast<double>(queries.size()),
+      2));
+  table.AddRow(std::move(cells));
+}
+
+std::vector<std::string> SweepHeaders(const std::string& x_name,
+                                      const std::vector<FigureSeries>& series) {
+  std::vector<std::string> headers = {x_name};
+  for (const FigureSeries& s : series) headers.push_back(s.label + " [us]");
+  headers.push_back("TRUE %");
+  return headers;
+}
+
+}  // namespace
+
+void RunQuerySweeps(const BenchOptions& options, const std::string& file_tag,
+                    const DatasetBundle& bundle,
+                    const std::vector<FigureSeries>& series,
+                    bool include_selectivity) {
+  const bool csv = EnsureDir(options.out_dir);
+  WorkloadGenerator workload(bundle.network.get(), /*seed=*/20250706);
+
+  // Sweep 1: region extent, default degree bucket.
+  {
+    TablePrinter table(
+        file_tag + " / " + bundle.name() +
+            ": avg query time vs region extent (degree 50-99)",
+        SweepHeaders("extent %", series));
+    for (const double extent : PaperExtents()) {
+      QuerySpec spec;
+      spec.count = options.queries;
+      spec.extent_percent = extent;
+      SweepRow(table, TablePrinter::FormatNumber(extent, 2), series,
+               workload.Generate(spec));
+    }
+    table.Print();
+    if (csv) {
+      (void)table.WriteCsv(options.out_dir + "/" + file_tag + "_" +
+                           bundle.name() + "_extent.csv");
+    }
+  }
+
+  // Sweep 2: query-vertex out-degree bucket, default extent.
+  {
+    TablePrinter table(
+        file_tag + " / " + bundle.name() +
+            ": avg query time vs query vertex degree (extent 5%)",
+        SweepHeaders("degree", series));
+    for (const DegreeBucket& bucket : PaperDegreeBuckets()) {
+      QuerySpec spec;
+      spec.count = options.queries;
+      spec.min_out_degree = bucket.lo;
+      spec.max_out_degree = bucket.hi;
+      SweepRow(table, bucket.label, series, workload.Generate(spec));
+    }
+    table.Print();
+    if (csv) {
+      (void)table.WriteCsv(options.out_dir + "/" + file_tag + "_" +
+                           bundle.name() + "_degree.csv");
+    }
+  }
+
+  if (!include_selectivity) return;
+
+  // Sweep 3: spatial selectivity, default degree bucket.
+  {
+    TablePrinter table(
+        file_tag + " / " + bundle.name() +
+            ": avg query time vs spatial selectivity (degree 50-99)",
+        SweepHeaders("selectivity %", series));
+    for (const double selectivity : PaperSelectivities()) {
+      QuerySpec spec;
+      spec.count = options.queries;
+      spec.selectivity_percent = selectivity;
+      SweepRow(table, TablePrinter::FormatNumber(selectivity, 3), series,
+               workload.Generate(spec));
+    }
+    table.Print();
+    if (csv) {
+      (void)table.WriteCsv(options.out_dir + "/" + file_tag + "_" +
+                           bundle.name() + "_selectivity.csv");
+    }
+  }
+}
+
+bool EnsureDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "warning: cannot create %s: %s (skipping CSVs)\n",
+                 dir.c_str(), ec.message().c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string Mb(size_t bytes) {
+  return TablePrinter::FormatNumber(static_cast<double>(bytes) / 1048576.0);
+}
+
+std::string Micros(double micros) {
+  return TablePrinter::FormatNumber(micros);
+}
+
+}  // namespace gsr::bench

@@ -1,0 +1,42 @@
+// Regenerates Table 3: characteristics of the (synthetic stand-ins for
+// the) four geosocial networks. The paper's regimes must show: Gowalla and
+// WeePlaces with all users in one SCC (#SCCs = #venues + 1), Foursquare
+// and Yelp fragmented into many SCCs with a large-but-partial core.
+
+#include <string>
+
+#include "bench/bench_support.h"
+#include "common/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace gsr;        // NOLINT
+  using namespace gsr::bench;  // NOLINT
+
+  const BenchOptions options = BenchOptions::Parse(argc, argv);
+  const auto bundles = LoadDatasets(options);
+
+  TablePrinter table(
+      "Table 3: Characteristics of the datasets (synthetic stand-ins, scale " +
+          std::to_string(options.scale) + ")",
+      {"dataset", "# users", "# venues", "|V|", "|E|", "|P|", "# SCCs",
+       "# vertices in largest SCC"});
+
+  for (const DatasetBundle& bundle : bundles) {
+    table.AddRow({
+        bundle.name(),
+        std::to_string(bundle.config.num_users),
+        std::to_string(bundle.config.num_venues),
+        std::to_string(bundle.network->num_vertices()),
+        std::to_string(bundle.network->num_edges()),
+        std::to_string(bundle.network->num_spatial_vertices()),
+        std::to_string(bundle.cn->num_components()),
+        std::to_string(bundle.cn->scc().LargestComponentSize()),
+    });
+  }
+
+  table.Print();
+  if (EnsureDir(options.out_dir)) {
+    (void)table.WriteCsv(options.out_dir + "/table3_datasets.csv");
+  }
+  return 0;
+}

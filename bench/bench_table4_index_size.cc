@@ -1,0 +1,67 @@
+// Regenerates Table 4: index size in MBs per evaluation method. For the
+// methods with spatial indexing, the MBR-based SCC variant of Section 5 is
+// reported in parentheses, as in the paper. Expected shape: SpaReach-BFL
+// largest (BFL keeps two Bloom filters per vertex), SocReach smallest
+// (labels only), 3DReach close to the spatial-first methods and smaller
+// than 3DReach-REV (points vs one segment per reversed label), and the
+// MBR variants never smaller than the replicate ones.
+
+#include <string>
+
+#include "bench/bench_support.h"
+#include "common/table_printer.h"
+
+namespace {
+
+using gsr::MethodConfig;
+using gsr::MethodKind;
+using gsr::SccSpatialMode;
+
+std::string SizeCell(const gsr::CondensedNetwork* cn, MethodKind kind,
+                     bool with_mbr_variant) {
+  MethodConfig config;
+  config.kind = kind;
+  config.scc_mode = SccSpatialMode::kReplicate;
+  const auto replicate = gsr::bench::BuildTimed(cn, config);
+  std::string cell = gsr::bench::Mb(replicate.method->IndexSizeBytes());
+  if (with_mbr_variant) {
+    config.scc_mode = SccSpatialMode::kMbr;
+    const auto mbr = gsr::bench::BuildTimed(cn, config);
+    cell += " (" + gsr::bench::Mb(mbr.method->IndexSizeBytes()) + ")";
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gsr;        // NOLINT
+  using namespace gsr::bench;  // NOLINT
+
+  const BenchOptions options = BenchOptions::Parse(argc, argv);
+  const auto bundles = LoadDatasets(options);
+
+  TablePrinter table(
+      "Table 4: Index size [MBs]; in parentheses, the MBR-based variant",
+      {"dataset", "SpaReach-BFL", "SpaReach-INT", "GeoReach", "SocReach",
+       "3DReach", "3DReach-REV"});
+
+  for (const DatasetBundle& bundle : bundles) {
+    const CondensedNetwork* cn = bundle.cn.get();
+    table.AddRow({
+        bundle.name(),
+        SizeCell(cn, MethodKind::kSpaReachBfl, /*with_mbr_variant=*/true),
+        SizeCell(cn, MethodKind::kSpaReachInt, true),
+        SizeCell(cn, MethodKind::kGeoReach, false),
+        SizeCell(cn, MethodKind::kSocReach, false),
+        SizeCell(cn, MethodKind::kThreeDReach, true),
+        SizeCell(cn, MethodKind::kThreeDReachRev, true),
+    });
+  }
+
+  table.Print();
+  if (EnsureDir(options.out_dir)) {
+    (void)table.WriteCsv(options.out_dir + "/table4_index_size.csv");
+  }
+  return 0;
+}

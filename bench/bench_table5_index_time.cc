@@ -1,0 +1,66 @@
+// Regenerates Table 5: indexing time in seconds per evaluation method
+// (MBR-based SCC variant in parentheses). Expected shape: the SPA-graph of
+// GeoReach is by far the most expensive to build on fragmented networks;
+// the interval-labeling-based indexes stay close to SpaReach-BFL; the MBR
+// variants add little on top of the replicate ones.
+
+#include <string>
+
+#include "bench/bench_support.h"
+#include "common/table_printer.h"
+
+namespace {
+
+using gsr::MethodConfig;
+using gsr::MethodKind;
+using gsr::SccSpatialMode;
+using gsr::TablePrinter;
+
+std::string TimeCell(const gsr::CondensedNetwork* cn, MethodKind kind,
+                     bool with_mbr_variant) {
+  MethodConfig config;
+  config.kind = kind;
+  config.scc_mode = SccSpatialMode::kReplicate;
+  const auto replicate = gsr::bench::BuildTimed(cn, config);
+  std::string cell = TablePrinter::FormatNumber(replicate.build_seconds);
+  if (with_mbr_variant) {
+    config.scc_mode = SccSpatialMode::kMbr;
+    const auto mbr = gsr::bench::BuildTimed(cn, config);
+    cell += " (" + TablePrinter::FormatNumber(mbr.build_seconds) + ")";
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gsr;        // NOLINT
+  using namespace gsr::bench;  // NOLINT
+
+  const BenchOptions options = BenchOptions::Parse(argc, argv);
+  const auto bundles = LoadDatasets(options);
+
+  TablePrinter table(
+      "Table 5: Indexing time [secs]; in parentheses, the MBR-based variant",
+      {"dataset", "SpaReach-BFL", "SpaReach-INT", "GeoReach", "SocReach",
+       "3DReach", "3DReach-REV"});
+
+  for (const DatasetBundle& bundle : bundles) {
+    const CondensedNetwork* cn = bundle.cn.get();
+    table.AddRow({
+        bundle.name(),
+        TimeCell(cn, MethodKind::kSpaReachBfl, /*with_mbr_variant=*/true),
+        TimeCell(cn, MethodKind::kSpaReachInt, true),
+        TimeCell(cn, MethodKind::kGeoReach, false),
+        TimeCell(cn, MethodKind::kSocReach, false),
+        TimeCell(cn, MethodKind::kThreeDReach, true),
+        TimeCell(cn, MethodKind::kThreeDReachRev, true),
+    });
+  }
+
+  table.Print();
+  if (EnsureDir(options.out_dir)) {
+    (void)table.WriteCsv(options.out_dir + "/table5_index_time.csv");
+  }
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Converter for real geosocial datasets in SNAP layout into this
+// library's format, completing the drop-in path for the paper's original
+// inputs (e.g. SNAP's loc-gowalla_edges.txt + loc-gowalla_totalCheckins).
+//
+// Input:
+//   <edges>     one "user user" friendship per line (made directed both
+//               ways unless --directed);
+//   <checkins>  one "user timestamp lat lon venue" per line (timestamp is
+//               ignored; venue ids are strings and get fresh vertex ids).
+// Output: <prefix>.edges / <prefix>.points, loadable with
+//   gsr::LoadGeoSocialNetwork(prefix).
+//
+// Run:  ./build/examples/convert_snap edges.txt checkins.txt out_prefix
+//       [--directed]
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/geosocial_network.h"
+#include "datagen/io.h"
+#include "graph/digraph.h"
+
+namespace {
+
+using gsr::DiGraph;
+using gsr::Point2D;
+using gsr::VertexId;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "convert_snap: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s <edges.txt> <checkins.txt> <out_prefix> "
+                 "[--directed]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string edges_path = argv[1];
+  const std::string checkins_path = argv[2];
+  const std::string out_prefix = argv[3];
+  const bool directed = argc > 4 && std::strcmp(argv[4], "--directed") == 0;
+
+  std::vector<std::pair<uint64_t, uint64_t>> friendships;
+  std::vector<std::pair<uint64_t, VertexId>> checkins;  // (user, venue idx)
+  uint64_t max_user = 0;
+
+  // Friendships. SNAP friendship lists are undirected; emit both
+  // directions by default (follow-style directed graphs pass --directed).
+  {
+    std::ifstream in(edges_path);
+    if (!in) return Fail("cannot open " + edges_path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream tokens(line);
+      uint64_t a = 0;
+      uint64_t b = 0;
+      if (!(tokens >> a >> b)) return Fail("bad edge line: " + line);
+      friendships.emplace_back(a, b);
+      max_user = std::max({max_user, a, b});
+    }
+    std::fprintf(stderr, "read %zu friendship lines\n", friendships.size());
+  }
+
+  // Check-ins: venue strings map to dense indices; the venue keeps the
+  // coordinates of its first check-in.
+  std::unordered_map<std::string, VertexId> venue_ids;
+  std::vector<Point2D> venue_points;
+  {
+    std::ifstream in(checkins_path);
+    if (!in) return Fail("cannot open " + checkins_path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream tokens(line);
+      uint64_t user = 0;
+      std::string timestamp;
+      double lat = 0.0;
+      double lon = 0.0;
+      std::string venue;
+      if (!(tokens >> user >> timestamp >> lat >> lon >> venue)) {
+        return Fail("bad check-in line: " + line);
+      }
+      max_user = std::max(max_user, user);
+      auto [it, inserted] = venue_ids.try_emplace(
+          venue, static_cast<VertexId>(venue_points.size()));
+      if (inserted) venue_points.push_back(Point2D{lon, lat});
+      checkins.emplace_back(user, it->second);
+    }
+    std::fprintf(stderr, "read %zu check-ins over %zu distinct venues\n",
+                 checkins.size(), venue_points.size());
+  }
+
+  // Final id space: users keep their ids, venues follow densely above.
+  const VertexId venue_base = static_cast<VertexId>(max_user + 1);
+  const VertexId num_vertices =
+      venue_base + static_cast<VertexId>(venue_points.size());
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(friendships.size() * (directed ? 1 : 2) + checkins.size());
+  for (const auto& [a, b] : friendships) {
+    edges.emplace_back(static_cast<VertexId>(a), static_cast<VertexId>(b));
+    if (!directed) {
+      edges.emplace_back(static_cast<VertexId>(b), static_cast<VertexId>(a));
+    }
+  }
+  for (const auto& [user, venue] : checkins) {
+    edges.emplace_back(static_cast<VertexId>(user), venue_base + venue);
+  }
+
+  auto graph = DiGraph::FromEdges(num_vertices, std::move(edges));
+  if (!graph.ok()) return Fail(graph.status().ToString());
+
+  std::vector<std::optional<Point2D>> points(num_vertices);
+  for (size_t i = 0; i < venue_points.size(); ++i) {
+    points[venue_base + i] = venue_points[i];
+  }
+  auto network =
+      gsr::GeoSocialNetwork::Create(std::move(graph).value(), points);
+  if (!network.ok()) return Fail(network.status().ToString());
+
+  const gsr::Status save = SaveGeoSocialNetwork(*network, out_prefix);
+  if (!save.ok()) return Fail(save.ToString());
+  std::printf("wrote %s.edges / %s.points: %u vertices, %llu edges, "
+              "%llu venues\n",
+              out_prefix.c_str(), out_prefix.c_str(),
+              network->num_vertices(),
+              static_cast<unsigned long long>(network->num_edges()),
+              static_cast<unsigned long long>(
+                  network->num_spatial_vertices()));
+  return 0;
+}

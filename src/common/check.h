@@ -1,0 +1,36 @@
+#ifndef GSR_COMMON_CHECK_H_
+#define GSR_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gsr::internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "GSR_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace gsr::internal_check
+
+/// Aborts the process when `cond` is false. Used for programmer-error
+/// invariants that must hold in release builds too (index corruption would
+/// otherwise silently return wrong query answers).
+#define GSR_CHECK(cond)                                                \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::gsr::internal_check::CheckFailed(__FILE__, __LINE__, #cond);   \
+    }                                                                  \
+  } while (false)
+
+/// Debug-only invariant check; compiled out in release builds.
+#ifndef NDEBUG
+#define GSR_DCHECK(cond) GSR_CHECK(cond)
+#else
+#define GSR_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#endif
+
+#endif  // GSR_COMMON_CHECK_H_

@@ -1,0 +1,96 @@
+#ifndef GSR_COMMON_RNG_H_
+#define GSR_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace gsr {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256**).
+///
+/// Used everywhere instead of std::mt19937 so dataset and workload
+/// generation is reproducible across standard-library implementations.
+class Rng {
+ public:
+  /// Seeds the generator; two Rng instances with equal seeds produce
+  /// identical streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9E3779B97F4A7C15ULL;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t NextBounded(uint64_t bound) {
+    GSR_DCHECK(bound > 0);
+    // Lemire's nearly-divisionless method would be overkill; modulo bias is
+    // negligible for our bounds (<< 2^32) but we reject to stay exact.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      const uint64_t r = NextUint64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    GSR_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDoubleInRange(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal variate (Box-Muller, one value per call).
+  double NextGaussian() {
+    // Avoid log(0) by nudging u1 away from zero.
+    double u1 = NextDouble();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return r * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Returns true with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace gsr
+
+#endif  // GSR_COMMON_RNG_H_

@@ -1,0 +1,113 @@
+#ifndef GSR_COMMON_STATUS_H_
+#define GSR_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gsr {
+
+/// Error categories used across the library. The library never throws;
+/// fallible operations return Status (or Result<T> for value-producing ones).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kIoError = 6,
+  kInternal = 7,
+};
+
+/// Returns a short human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value in the style of Arrow/RocksDB.
+///
+/// The OK state carries no allocation; error states carry a code and a
+/// message describing what went wrong.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Inspect with ok(); access
+/// the value with value()/operator* only when ok() is true.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` and `return status;` both work.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status; OK if this holds a value.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates an error Status out of the current function.
+#define GSR_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::gsr::Status gsr_status__ = (expr);         \
+    if (!gsr_status__.ok()) return gsr_status__; \
+  } while (false)
+
+}  // namespace gsr
+
+#endif  // GSR_COMMON_STATUS_H_

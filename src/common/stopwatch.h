@@ -1,0 +1,48 @@
+#ifndef GSR_COMMON_STOPWATCH_H_
+#define GSR_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gsr {
+
+/// Wall-clock stopwatch used by the benchmark harnesses and index builders.
+///
+/// Starts running on construction; Restart() resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the stopwatch origin to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) / 1e3;
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gsr
+
+#endif  // GSR_COMMON_STOPWATCH_H_

@@ -1,0 +1,99 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace gsr {
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  GSR_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::FormatNumber(double value, int significant_digits) {
+  if (std::isnan(value)) return "n/a";
+  char buf[64];
+  if (value != 0.0) {
+    const double abs = std::fabs(value);
+    const int magnitude = static_cast<int>(std::floor(std::log10(abs)));
+    const int decimals = std::max(0, significant_digits - magnitude - 1);
+    // Integers >= 10^sig_digits print without a decimal point, like the paper.
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "0");
+  }
+  return buf;
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_sep = [&] {
+    std::fputc('+', stdout);
+    for (size_t w : widths) {
+      for (size_t i = 0; i < w + 2; ++i) std::fputc('-', stdout);
+      std::fputc('+', stdout);
+    }
+    std::fputc('\n', stdout);
+  };
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::fputc('|', stdout);
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::fprintf(stdout, " %-*s |", static_cast<int>(widths[c]),
+                   cells[c].c_str());
+    }
+    std::fputc('\n', stdout);
+  };
+
+  std::fprintf(stdout, "\n%s\n", title_.c_str());
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+  std::fflush(stdout);
+}
+
+Status TablePrinter::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+
+  auto write_row = [&out](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << ',';
+      // Quote cells that contain separators.
+      if (cells[c].find_first_of(",\"\n") != std::string::npos) {
+        out << '"';
+        for (char ch : cells[c]) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << cells[c];
+      }
+    }
+    out << '\n';
+  };
+
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+  if (!out) return Status::IoError("failed while writing " + path);
+  return Status::Ok();
+}
+
+}  // namespace gsr

@@ -1,0 +1,42 @@
+#ifndef GSR_COMMON_TABLE_PRINTER_H_
+#define GSR_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gsr {
+
+/// Collects rows of strings and renders them as an aligned text table
+/// (paper-style) and/or a CSV file. Used by every bench harness so the
+/// regenerated tables/figures are easy to diff against the paper.
+class TablePrinter {
+ public:
+  /// Creates a table titled `title` with the given column headers.
+  TablePrinter(std::string title, std::vector<std::string> headers);
+
+  /// Appends one row; the row must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `precision` significant digits the
+  /// way the paper prints numbers (e.g. "7.88", "160", "1636").
+  static std::string FormatNumber(double value, int significant_digits = 3);
+
+  /// Renders the aligned table to stdout.
+  void Print() const;
+
+  /// Writes the table as CSV. Parent directories must already exist.
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gsr
+
+#endif  // GSR_COMMON_TABLE_PRINTER_H_

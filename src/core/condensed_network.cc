@@ -1,0 +1,57 @@
+#include "core/condensed_network.h"
+
+namespace gsr {
+
+const char* SccSpatialModeName(SccSpatialMode mode) {
+  return mode == SccSpatialMode::kReplicate ? "replicate" : "mbr";
+}
+
+CondensedNetwork::CondensedNetwork(const GeoSocialNetwork* network)
+    : network_(network) {
+  const DiGraph& graph = network->graph();
+  scc_ = ComputeScc(graph);
+  dag_ = BuildCondensationGraph(graph, scc_);
+  members_ = GroupByComponent(scc_);
+
+  // Group spatial members by component (counting sort, like members_).
+  const uint32_t num_components = scc_.num_components;
+  spatial_offsets_.assign(num_components + 1, 0);
+  for (const VertexId v : network->spatial_vertices()) {
+    spatial_offsets_[scc_.component_of[v] + 1]++;
+  }
+  for (uint32_t c = 0; c < num_components; ++c) {
+    spatial_offsets_[c + 1] += spatial_offsets_[c];
+  }
+  spatial_members_.resize(network->spatial_vertices().size());
+  std::vector<uint64_t> cursor(spatial_offsets_.begin(),
+                               spatial_offsets_.end() - 1);
+  for (const VertexId v : network->spatial_vertices()) {
+    spatial_members_[cursor[scc_.component_of[v]]++] = v;
+  }
+
+  mbr_.assign(num_components, Rect());
+  for (const VertexId v : network->spatial_vertices()) {
+    mbr_[scc_.component_of[v]].Expand(network->PointOf(v));
+  }
+}
+
+bool CondensedNetwork::AnyMemberPointIn(ComponentId c,
+                                        const Rect& region) const {
+  if (!region.Intersects(mbr_[c])) return false;
+  for (const VertexId v : SpatialMembersOf(c)) {
+    if (region.Contains(network_->PointOf(v))) return true;
+  }
+  return false;
+}
+
+size_t CondensedNetwork::SizeBytes() const {
+  return sizeof(*this) + scc_.component_of.size() * sizeof(ComponentId) +
+         scc_.size_of.size() * sizeof(uint32_t) + dag_.SizeBytes() +
+         members_.offsets.size() * sizeof(uint64_t) +
+         members_.members.size() * sizeof(VertexId) +
+         spatial_offsets_.size() * sizeof(uint64_t) +
+         spatial_members_.size() * sizeof(VertexId) +
+         mbr_.size() * sizeof(Rect);
+}
+
+}  // namespace gsr

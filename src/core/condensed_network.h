@@ -1,0 +1,88 @@
+#ifndef GSR_CORE_CONDENSED_NETWORK_H_
+#define GSR_CORE_CONDENSED_NETWORK_H_
+
+#include <span>
+#include <vector>
+
+#include "core/geosocial_network.h"
+#include "geometry/geometry.h"
+#include "graph/scc.h"
+
+namespace gsr {
+
+/// How the spatial extent of a strongly connected component is modelled
+/// when its vertices are collapsed into a super-vertex (Section 5).
+enum class SccSpatialMode {
+  /// Replace the super-vertex by its spatial members: every member point is
+  /// indexed individually and inherits the super-vertex's reachability
+  /// information. The paper's winning (non-MBR) variant.
+  kReplicate,
+  /// Index the super-vertex once, with the MBR enclosing all member points.
+  kMbr,
+};
+
+/// Returns "replicate" or "mbr".
+const char* SccSpatialModeName(SccSpatialMode mode);
+
+/// The DAG view of a geosocial network: Tarjan SCC decomposition, the
+/// condensation graph, and the spatial information of every component.
+/// Built once per network and shared by all RangeReach methods — collapsing
+/// SCCs is the standard preprocessing every reachability index requires.
+///
+/// Component ids follow ComputeScc's guarantee: an edge c1 -> c2 in the
+/// condensation implies c1 > c2, so ascending id order is reverse
+/// topological order.
+class CondensedNetwork {
+ public:
+  /// Builds the condensation of `network`, which must outlive this object.
+  explicit CondensedNetwork(const GeoSocialNetwork* network);
+
+  const GeoSocialNetwork& network() const { return *network_; }
+  const SccDecomposition& scc() const { return scc_; }
+
+  /// The condensation DAG (one vertex per component).
+  const DiGraph& dag() const { return dag_; }
+
+  uint32_t num_components() const { return scc_.num_components; }
+
+  /// The component containing original vertex `v`.
+  ComponentId ComponentOf(VertexId v) const { return scc_.component_of[v]; }
+
+  /// All original vertices in component `c`.
+  std::span<const VertexId> MembersOf(ComponentId c) const {
+    return members_.MembersOf(c);
+  }
+
+  /// The spatial vertices in component `c` (ids into the original network).
+  std::span<const VertexId> SpatialMembersOf(ComponentId c) const {
+    return {spatial_members_.data() + spatial_offsets_[c],
+            spatial_members_.data() + spatial_offsets_[c + 1]};
+  }
+
+  bool HasSpatialMember(ComponentId c) const {
+    return spatial_offsets_[c + 1] > spatial_offsets_[c];
+  }
+
+  /// MBR of the member points of `c`; the empty rectangle when `c` has no
+  /// spatial member. This is the v_c.point of the MBR variant.
+  const Rect& MbrOf(ComponentId c) const { return mbr_[c]; }
+
+  /// True when at least one point of component `c` lies inside `region`.
+  bool AnyMemberPointIn(ComponentId c, const Rect& region) const;
+
+  /// Main-memory footprint in bytes (excluding the underlying network).
+  size_t SizeBytes() const;
+
+ private:
+  const GeoSocialNetwork* network_;
+  SccDecomposition scc_;
+  DiGraph dag_;
+  ComponentMembers members_;
+  std::vector<uint64_t> spatial_offsets_;
+  std::vector<VertexId> spatial_members_;
+  std::vector<Rect> mbr_;
+};
+
+}  // namespace gsr
+
+#endif  // GSR_CORE_CONDENSED_NETWORK_H_

@@ -1,0 +1,93 @@
+#ifndef GSR_CORE_CONDENSED_SPATIAL_INDEX_H_
+#define GSR_CORE_CONDENSED_SPATIAL_INDEX_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/condensed_network.h"
+#include "spatial/rtree.h"
+
+namespace gsr {
+
+/// The 2-D R-tree over the spatial information of a condensed geosocial
+/// network, shared by the spatial-first methods. Supports both Section-5
+/// variants:
+///
+///  - kReplicate: one *point* entry per spatial vertex, tagged with its
+///    component. An entry intersecting the query region is already a
+///    *verified* hit, and the R-tree stores genuine points (2 doubles).
+///  - kMbr: one *rectangle* entry per component that has spatial members.
+///    An intersecting entry is verified only when the whole MBR lies in
+///    the region; otherwise the caller must test member points. Entries
+///    occupy full rectangles, which is why this variant's index is larger
+///    and slower (Section 6.2).
+class CondensedSpatialIndex {
+ public:
+  CondensedSpatialIndex(const CondensedNetwork* cn, SccSpatialMode mode)
+      : mode_(mode) {
+    if (mode == SccSpatialMode::kReplicate) {
+      const GeoSocialNetwork& network = cn->network();
+      std::vector<std::pair<Point2D, uint64_t>> entries;
+      entries.reserve(network.spatial_vertices().size());
+      for (const VertexId v : network.spatial_vertices()) {
+        entries.emplace_back(network.PointOf(v), cn->ComponentOf(v));
+      }
+      points_.BulkLoad(std::move(entries));
+    } else {
+      std::vector<std::pair<Rect, uint64_t>> entries;
+      for (ComponentId c = 0; c < cn->num_components(); ++c) {
+        if (cn->HasSpatialMember(c)) entries.emplace_back(cn->MbrOf(c), c);
+      }
+      boxes_.BulkLoad(std::move(entries));
+    }
+  }
+
+  SccSpatialMode mode() const { return mode_; }
+
+  /// Calls `fn(component, verified)` for every candidate component whose
+  /// spatial entry intersects `region`, until `fn` returns false. When
+  /// `verified` is true, the component certainly has a point in `region`;
+  /// otherwise the caller must run CondensedNetwork::AnyMemberPointIn.
+  /// Returns true when stopped early.
+  template <typename Fn>
+  bool ForEachCandidate(const Rect& region, Fn&& fn) const {
+    if (mode_ == SccSpatialMode::kReplicate) {
+      return points_.ForEachIntersecting(
+          region, [&fn](const Point2D&, uint64_t id) {
+            return fn(static_cast<ComponentId>(id), /*verified=*/true);
+          });
+    }
+    return boxes_.ForEachIntersecting(
+        region, [&fn, &region](const Rect& box, uint64_t id) {
+          return fn(static_cast<ComponentId>(id), region.Contains(box));
+        });
+  }
+
+  /// Materializes every candidate into `out` (cleared first) — the SRange
+  /// step of the SpaReach algorithm, which computes the full spatial range
+  /// result *before* any reachability test (Section 2.2.1). Each candidate
+  /// carries the `verified` flag described at ForEachCandidate.
+  void CollectCandidates(
+      const Rect& region,
+      std::vector<std::pair<ComponentId, bool>>& out) const {
+    out.clear();
+    ForEachCandidate(region, [&out](ComponentId c, bool verified) {
+      out.emplace_back(c, verified);
+      return true;
+    });
+  }
+
+  size_t SizeBytes() const {
+    return mode_ == SccSpatialMode::kReplicate ? points_.SizeBytes()
+                                               : boxes_.SizeBytes();
+  }
+
+ private:
+  SccSpatialMode mode_;
+  RTreePoints2D points_;  // kReplicate
+  RTree2D boxes_;         // kMbr
+};
+
+}  // namespace gsr
+
+#endif  // GSR_CORE_CONDENSED_SPATIAL_INDEX_H_

@@ -1,0 +1,158 @@
+#include "core/dynamic_range_reach.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+#include "graph/digraph.h"
+
+namespace gsr {
+
+DynamicRangeReach::DynamicRangeReach(GeoSocialNetwork network) {
+  RebuildFrom(std::move(network));
+}
+
+void DynamicRangeReach::RebuildFrom(GeoSocialNetwork network) {
+  network_ = std::make_unique<GeoSocialNetwork>(std::move(network));
+  cn_ = std::make_unique<CondensedNetwork>(network_.get());
+  index_ = std::make_unique<ThreeDReach>(cn_.get());
+  base_vertices_ = network_->num_vertices();
+  added_vertices_.clear();
+  delta_edges_.clear();
+  delta_nodes_.clear();
+}
+
+VertexId DynamicRangeReach::AddVertex(std::optional<Point2D> point) {
+  added_vertices_.push_back(AddedVertex{point});
+  return base_vertices_ + static_cast<VertexId>(added_vertices_.size()) - 1;
+}
+
+Status DynamicRangeReach::AddEdge(VertexId from, VertexId to) {
+  if (from >= num_vertices() || to >= num_vertices()) {
+    return Status::InvalidArgument(
+        "edge (" + std::to_string(from) + ", " + std::to_string(to) +
+        ") references a vertex >= " + std::to_string(num_vertices()));
+  }
+  if (from == to) return Status::Ok();  // Self-loops carry no information.
+  delta_edges_.emplace_back(from, to);
+  // Keep the distinct-endpoint list sorted for the query-time search.
+  for (const VertexId endpoint : {from, to}) {
+    const auto it =
+        std::lower_bound(delta_nodes_.begin(), delta_nodes_.end(), endpoint);
+    if (it == delta_nodes_.end() || *it != endpoint) {
+      delta_nodes_.insert(it, endpoint);
+    }
+  }
+  return Status::Ok();
+}
+
+bool DynamicRangeReach::Evaluate(VertexId vertex, const Rect& region) const {
+  GSR_CHECK(vertex < num_vertices());
+
+  // Pure-base answer (also covers a spatial query vertex itself).
+  if (IsBaseVertex(vertex)) {
+    if (BaseRangeReach(vertex, region)) return true;
+  } else {
+    const AddedVertex& added = added_vertices_[vertex - base_vertices_];
+    if (added.point.has_value() && region.Contains(*added.point)) return true;
+  }
+  if (delta_edges_.empty()) return false;
+
+  // Delta search: BFS over the stitch points (distinct delta-edge
+  // endpoints). Edges of this mini-graph are (a) the delta edges
+  // themselves and (b) base reachability between base stitch points.
+  const size_t k = delta_nodes_.size();
+  node_visited_.assign(k, 0);
+  std::vector<uint32_t> queue;
+  queue.reserve(k);
+
+  auto node_index = [this](VertexId v) {
+    const auto it =
+        std::lower_bound(delta_nodes_.begin(), delta_nodes_.end(), v);
+    GSR_DCHECK(it != delta_nodes_.end() && *it == v);
+    return static_cast<size_t>(it - delta_nodes_.begin());
+  };
+  auto try_visit = [&](size_t idx) {
+    if (!node_visited_[idx]) {
+      node_visited_[idx] = 1;
+      queue.push_back(static_cast<uint32_t>(idx));
+    }
+  };
+
+  // Seeds: stitch points reachable from the query vertex without using
+  // any delta edge.
+  for (size_t i = 0; i < k; ++i) {
+    const VertexId node = delta_nodes_[i];
+    if (node == vertex ||
+        (IsBaseVertex(vertex) && IsBaseVertex(node) &&
+         BaseReach(vertex, node))) {
+      try_visit(i);
+    }
+  }
+
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const VertexId a = delta_nodes_[queue[head]];
+
+    // Answer check below this stitch point.
+    if (IsBaseVertex(a)) {
+      if (BaseRangeReach(a, region)) return true;
+    } else {
+      const AddedVertex& added = added_vertices_[a - base_vertices_];
+      if (added.point.has_value() && region.Contains(*added.point)) {
+        return true;
+      }
+    }
+
+    // Expand through delta edges leaving a.
+    for (const auto& [from, to] : delta_edges_) {
+      if (from == a) try_visit(node_index(to));
+    }
+    // Expand through base segments from a to other base stitch points.
+    if (IsBaseVertex(a)) {
+      for (size_t i = 0; i < k; ++i) {
+        if (!node_visited_[i] && IsBaseVertex(delta_nodes_[i]) &&
+            BaseReach(a, delta_nodes_[i])) {
+          try_visit(i);
+        }
+      }
+    }
+  }
+  return false;
+}
+
+void DynamicRangeReach::Rebuild() {
+  if (pending_updates() == 0) return;
+
+  // Materialize the merged network: base edges + delta edges; base points
+  // + added points.
+  GraphBuilder builder;
+  builder.ReserveVertices(num_vertices());
+  const DiGraph& base = network_->graph();
+  for (VertexId v = 0; v < base.num_vertices(); ++v) {
+    for (const VertexId w : base.OutNeighbors(v)) builder.AddEdge(v, w);
+  }
+  for (const auto& [from, to] : delta_edges_) builder.AddEdge(from, to);
+
+  std::vector<std::optional<Point2D>> points(num_vertices());
+  for (const VertexId v : network_->spatial_vertices()) {
+    points[v] = network_->PointOf(v);
+  }
+  for (size_t i = 0; i < added_vertices_.size(); ++i) {
+    points[base_vertices_ + i] = added_vertices_[i].point;
+  }
+
+  auto graph = builder.Build();
+  GSR_CHECK(graph.ok());
+  auto merged = GeoSocialNetwork::Create(std::move(graph).value(), points);
+  GSR_CHECK(merged.ok());
+  RebuildFrom(std::move(merged).value());
+}
+
+size_t DynamicRangeReach::IndexSizeBytes() const {
+  return index_->IndexSizeBytes() +
+         added_vertices_.size() * sizeof(AddedVertex) +
+         delta_edges_.size() * sizeof(std::pair<VertexId, VertexId>) +
+         delta_nodes_.size() * sizeof(VertexId);
+}
+
+}  // namespace gsr

@@ -1,0 +1,109 @@
+#ifndef GSR_CORE_DYNAMIC_RANGE_REACH_H_
+#define GSR_CORE_DYNAMIC_RANGE_REACH_H_
+
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/condensed_network.h"
+#include "core/geosocial_network.h"
+#include "core/three_d_reach.h"
+
+namespace gsr {
+
+/// Incrementally updatable RangeReach evaluation — the paper's Section-8
+/// future-work item ("how our approach can efficiently handle updates in
+/// the network"), realized with the classic base + delta design used by
+/// production index systems:
+///
+///  - a *base* snapshot of the network carries a full 3DReach index;
+///  - updates (new vertices with optional points, new edges) accumulate in
+///    a small *delta* overlay that is consulted at query time;
+///  - Rebuild() folds the delta into a fresh base when it grows too large
+///    (callers pick the policy; pending_updates() exposes the size).
+///
+/// Queries remain exact at all times: RangeReach(G', v, R) over the
+/// *updated* network G' is answered by combining base-index probes with a
+/// search over the (tiny) delta graph. A path in G' decomposes into base
+/// segments stitched together by delta edges; the delta search enumerates
+/// the reachable stitch points and asks the base index below each.
+///
+/// Not thread-safe (shares scratch with the underlying methods).
+class DynamicRangeReach {
+ public:
+  /// Takes ownership of the initial network snapshot and builds the base
+  /// index over it.
+  explicit DynamicRangeReach(GeoSocialNetwork network);
+
+  /// Total vertices (base + added).
+  VertexId num_vertices() const {
+    return base_vertices_ +
+           static_cast<VertexId>(added_vertices_.size());
+  }
+
+  /// Adds a new vertex, optionally spatial; returns its id. Typical use:
+  /// a new venue appearing in the network. Edges to/from it are added
+  /// separately with AddEdge.
+  VertexId AddVertex(std::optional<Point2D> point);
+
+  /// Adds a directed edge; both endpoints must exist (base or added).
+  Status AddEdge(VertexId from, VertexId to);
+
+  /// Number of updates applied since the last Rebuild().
+  size_t pending_updates() const {
+    return added_vertices_.size() + delta_edges_.size();
+  }
+
+  /// Answers RangeReach over the updated network. Exact.
+  bool Evaluate(VertexId vertex, const Rect& region) const;
+
+  /// Folds every pending update into a fresh base network + index.
+  /// O(rebuild); afterwards pending_updates() == 0 and queries run at
+  /// pure base-index speed again.
+  void Rebuild();
+
+  /// The current base network snapshot (updates since the last Rebuild
+  /// are not reflected here).
+  const GeoSocialNetwork& base_network() const { return *network_; }
+
+  /// Index footprint: base index + delta overlay.
+  size_t IndexSizeBytes() const;
+
+ private:
+  struct AddedVertex {
+    std::optional<Point2D> point;
+  };
+
+  bool IsBaseVertex(VertexId v) const { return v < base_vertices_; }
+
+  /// Base-index reachability between two *base* vertices.
+  bool BaseReach(VertexId from, VertexId to) const {
+    return index_->labeling().CanReach(cn_->ComponentOf(from),
+                                       cn_->ComponentOf(to));
+  }
+
+  /// RangeReach over the base network only.
+  bool BaseRangeReach(VertexId from, const Rect& region) const {
+    return index_->Evaluate(from, region);
+  }
+
+  void RebuildFrom(GeoSocialNetwork network);
+
+  VertexId base_vertices_ = 0;
+  std::unique_ptr<GeoSocialNetwork> network_;
+  std::unique_ptr<CondensedNetwork> cn_;
+  std::unique_ptr<ThreeDReach> index_;
+
+  std::vector<AddedVertex> added_vertices_;  // Ids base_vertices_ + i.
+  std::vector<std::pair<VertexId, VertexId>> delta_edges_;
+
+  // Scratch for the delta search (single-threaded queries).
+  mutable std::vector<VertexId> delta_nodes_;   // Distinct delta endpoints.
+  mutable std::vector<uint8_t> node_visited_;
+};
+
+}  // namespace gsr
+
+#endif  // GSR_CORE_DYNAMIC_RANGE_REACH_H_

@@ -1,0 +1,110 @@
+#ifndef GSR_CORE_GEO_REACH_H_
+#define GSR_CORE_GEO_REACH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/condensed_network.h"
+#include "core/range_reach.h"
+#include "spatial/hierarchical_grid.h"
+
+namespace gsr {
+
+/// GeoReach (Sarwat & Sun [47]), the state-of-the-art RangeReach method
+/// the paper compares against. It augments every vertex of the (condensed)
+/// network with precomputed spatial reachability information — the
+/// SPA-Graph — and answers queries with a pruned BFS:
+///
+///  - G-vertices carry ReachGrid(v): the hierarchical-grid cells containing
+///    every spatial vertex reachable from v;
+///  - R-vertices carry RMBR(v): the MBR of those points (used when the
+///    ReachGrid would exceed MAX_REACH_GRIDS cells);
+///  - B-vertices carry only GeoB(v), whether v reaches any spatial vertex
+///    at all (used when the RMBR would exceed MAX_RMBR).
+///
+/// MERGE_COUNT controls merging quad-sibling cells into their parent cell.
+/// GeoReach deliberately uses no graph reachability index; the traversal
+/// is what the paper's 3DReach methods beat.
+class GeoReachMethod : public RangeReachMethod {
+ public:
+  struct Options {
+    /// Finest grid level splits the space into 2^grid_depth cells per axis.
+    int grid_depth = 7;
+    /// MAX_RMBR: a vertex whose RMBR area exceeds this fraction of the
+    /// whole SPACE is downgraded to a B-vertex.
+    double max_rmbr_ratio = 0.8;
+    /// MAX_REACH_GRIDS: a vertex with more ReachGrid cells than this is
+    /// downgraded to an R-vertex.
+    uint32_t max_reach_grids = 64;
+    /// MERGE_COUNT: more than this many quad-sibling cells merge into
+    /// their parent cell.
+    int merge_count = 3;
+  };
+
+  /// Classification of a vertex in the SPA-Graph.
+  enum class SpaClass : uint8_t {
+    kBFalse,  // B-vertex, GeoB = false: reaches no spatial vertex.
+    kBTrue,   // B-vertex, GeoB = true.
+    kR,       // R-vertex: carries RMBR.
+    kG,       // G-vertex: carries ReachGrid.
+  };
+
+  /// Builds the SPA-Graph over the condensation of `cn`'s network.
+  GeoReachMethod(const CondensedNetwork* cn, const Options& options);
+  explicit GeoReachMethod(const CondensedNetwork* cn)
+      : GeoReachMethod(cn, Options{}) {}
+
+  bool Evaluate(VertexId vertex, const Rect& region) const override;
+
+  std::string name() const override { return "GeoReach"; }
+
+  size_t IndexSizeBytes() const override;
+
+  /// Introspection for tests/benchmarks.
+  SpaClass ClassOf(ComponentId c) const { return class_[c]; }
+  const Rect& RmbrOf(ComponentId c) const { return rmbr_[c]; }
+  const std::vector<GridCell>& ReachGridOf(ComponentId c) const {
+    return reach_grid_[c];
+  }
+  const HierarchicalGrid& grid() const { return grid_; }
+
+  struct ClassCounts {
+    uint64_t b_false = 0;
+    uint64_t b_true = 0;
+    uint64_t r = 0;
+    uint64_t g = 0;
+  };
+  ClassCounts CountClasses() const;
+
+  /// Per-query traversal counters: GeoReach's cost is the SPA-graph BFS.
+  struct Counters {
+    uint64_t queries = 0;
+    uint64_t vertices_visited = 0;  // Components popped by the BFS.
+    uint64_t pruned = 0;            // Visits answered kPrune.
+  };
+  const Counters& counters() const { return counters_; }
+  void ResetCounters() const { counters_ = Counters{}; }
+
+ private:
+  /// Visit outcome for one component during the query BFS.
+  enum class VisitAction { kPrune, kExpand, kAnswerTrue };
+  VisitAction Visit(ComponentId c, const Rect& region) const;
+
+  const CondensedNetwork* cn_;
+  Options options_;
+  HierarchicalGrid grid_;
+  std::vector<SpaClass> class_;
+  std::vector<Rect> rmbr_;                       // R-vertices (and G, exact)
+  std::vector<std::vector<GridCell>> reach_grid_;  // G-vertices
+
+  // BFS scratch, epoch-stamped (queries are single-threaded).
+  mutable std::vector<uint32_t> mark_;
+  mutable std::vector<ComponentId> queue_;
+  mutable uint32_t epoch_ = 0;
+  mutable Counters counters_;
+};
+
+}  // namespace gsr
+
+#endif  // GSR_CORE_GEO_REACH_H_

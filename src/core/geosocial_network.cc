@@ -1,0 +1,31 @@
+#include "core/geosocial_network.h"
+
+#include <string>
+
+namespace gsr {
+
+Result<GeoSocialNetwork> GeoSocialNetwork::Create(
+    DiGraph graph, const std::vector<std::optional<Point2D>>& points) {
+  if (points.size() != graph.num_vertices()) {
+    return Status::InvalidArgument(
+        "points vector has " + std::to_string(points.size()) +
+        " entries for a graph with " + std::to_string(graph.num_vertices()) +
+        " vertices");
+  }
+  GeoSocialNetwork network;
+  network.graph_ = std::move(graph);
+  const VertexId n = network.graph_.num_vertices();
+  network.points_.assign(n, Point2D{});
+  network.has_point_.assign(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (!points[v].has_value()) continue;
+    network.points_[v] = *points[v];
+    network.has_point_[v] = 1;
+    network.spatial_vertices_.push_back(v);
+    network.space_.Expand(*points[v]);
+    ++network.num_spatial_;
+  }
+  return network;
+}
+
+}  // namespace gsr

@@ -1,0 +1,75 @@
+#ifndef GSR_CORE_GEOSOCIAL_NETWORK_H_
+#define GSR_CORE_GEOSOCIAL_NETWORK_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/geometry.h"
+#include "graph/digraph.h"
+
+namespace gsr {
+
+/// A geosocial network G = (V, E, P): a directed graph whose vertices may
+/// carry a point in the two-dimensional space (Section 2.1). Vertices with
+/// a point are called *spatial vertices* (venues, check-in locations);
+/// vertices without one are social (users).
+///
+/// The graph may contain cycles; index structures operate on its SCC
+/// condensation (see CondensedNetwork).
+class GeoSocialNetwork {
+ public:
+  /// Creates the empty network (0 vertices); assign a Create() result to
+  /// populate it.
+  GeoSocialNetwork() = default;
+
+  /// Builds a network from a graph and per-vertex optional points. The
+  /// `points` vector must have exactly graph.num_vertices() entries.
+  static Result<GeoSocialNetwork> Create(
+      DiGraph graph, const std::vector<std::optional<Point2D>>& points);
+
+  const DiGraph& graph() const { return graph_; }
+  VertexId num_vertices() const { return graph_.num_vertices(); }
+  uint64_t num_edges() const { return graph_.num_edges(); }
+
+  /// Number of spatial vertices |P|.
+  uint64_t num_spatial_vertices() const { return num_spatial_; }
+
+  /// True when `v` carries a point.
+  bool IsSpatial(VertexId v) const { return has_point_[v] != 0; }
+
+  /// The point of spatial vertex `v`; `v` must be spatial.
+  const Point2D& PointOf(VertexId v) const {
+    GSR_DCHECK(IsSpatial(v));
+    return points_[v];
+  }
+
+  /// MBR of all points in the network (the SPACE of the paper). Empty when
+  /// the network has no spatial vertex.
+  const Rect& SpaceBounds() const { return space_; }
+
+  /// All spatial vertex ids, ascending.
+  const std::vector<VertexId>& spatial_vertices() const {
+    return spatial_vertices_;
+  }
+
+  /// Main-memory footprint in bytes.
+  size_t SizeBytes() const {
+    return sizeof(*this) + graph_.SizeBytes() +
+           points_.size() * sizeof(Point2D) + has_point_.size() +
+           spatial_vertices_.size() * sizeof(VertexId);
+  }
+
+ private:
+  DiGraph graph_;
+  std::vector<Point2D> points_;     // Valid only where has_point_ is set.
+  std::vector<uint8_t> has_point_;  // 0/1 per vertex.
+  std::vector<VertexId> spatial_vertices_;
+  uint64_t num_spatial_ = 0;
+  Rect space_;
+};
+
+}  // namespace gsr
+
+#endif  // GSR_CORE_GEOSOCIAL_NETWORK_H_

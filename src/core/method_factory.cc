@@ -1,0 +1,73 @@
+#include "core/method_factory.h"
+
+#include "core/naive_bfs.h"
+#include "core/soc_reach.h"
+#include "core/spa_reach.h"
+#include "core/three_d_reach.h"
+
+namespace gsr {
+
+const char* MethodKindName(MethodKind kind) {
+  switch (kind) {
+    case MethodKind::kNaiveBfs:
+      return "NaiveBFS";
+    case MethodKind::kSpaReachBfl:
+      return "SpaReach-BFL";
+    case MethodKind::kSpaReachInt:
+      return "SpaReach-INT";
+    case MethodKind::kSpaReachPll:
+      return "SpaReach-PLL";
+    case MethodKind::kSpaReachFeline:
+      return "SpaReach-Feline";
+    case MethodKind::kGeoReach:
+      return "GeoReach";
+    case MethodKind::kSocReach:
+      return "SocReach";
+    case MethodKind::kThreeDReach:
+      return "3DReach";
+    case MethodKind::kThreeDReachRev:
+      return "3DReach-REV";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<RangeReachMethod> CreateMethod(const CondensedNetwork* cn,
+                                               const MethodConfig& config) {
+  switch (config.kind) {
+    case MethodKind::kNaiveBfs:
+      return std::make_unique<NaiveBfsMethod>(&cn->network());
+    case MethodKind::kSpaReachBfl:
+      return std::make_unique<SpaReachBfl>(cn, config.scc_mode, config.bfl);
+    case MethodKind::kSpaReachInt:
+      return std::make_unique<SpaReachInt>(cn, config.scc_mode);
+    case MethodKind::kSpaReachPll:
+      return std::make_unique<SpaReachPll>(cn, config.scc_mode);
+    case MethodKind::kSpaReachFeline:
+      return std::make_unique<SpaReachFeline>(cn, config.scc_mode);
+    case MethodKind::kGeoReach:
+      return std::make_unique<GeoReachMethod>(cn, config.geo_reach);
+    case MethodKind::kSocReach:
+      return std::make_unique<SocReach>(cn);
+    case MethodKind::kThreeDReach:
+      return std::make_unique<ThreeDReach>(
+          cn, ThreeDReach::Options{.scc_mode = config.scc_mode});
+    case MethodKind::kThreeDReachRev:
+      return std::make_unique<ThreeDReachRev>(
+          cn, ThreeDReachRev::Options{.scc_mode = config.scc_mode});
+  }
+  return nullptr;
+}
+
+std::vector<MethodConfig> Figure7MethodConfigs() {
+  std::vector<MethodConfig> configs;
+  for (const MethodKind kind :
+       {MethodKind::kSpaReachBfl, MethodKind::kGeoReach, MethodKind::kSocReach,
+        MethodKind::kThreeDReach, MethodKind::kThreeDReachRev}) {
+    MethodConfig config;
+    config.kind = kind;
+    configs.push_back(config);
+  }
+  return configs;
+}
+
+}  // namespace gsr

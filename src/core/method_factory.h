@@ -1,0 +1,52 @@
+#ifndef GSR_CORE_METHOD_FACTORY_H_
+#define GSR_CORE_METHOD_FACTORY_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/condensed_network.h"
+#include "core/geo_reach.h"
+#include "core/range_reach.h"
+#include "labeling/bfl.h"
+
+namespace gsr {
+
+/// The RangeReach evaluation methods of the experimental analysis
+/// (Section 6.1), plus the index-free ground truth.
+enum class MethodKind {
+  kNaiveBfs,
+  kSpaReachBfl,
+  kSpaReachInt,
+  kSpaReachPll,
+  kSpaReachFeline,
+  kGeoReach,
+  kSocReach,
+  kThreeDReach,
+  kThreeDReachRev,
+};
+
+/// Returns e.g. "SpaReach-BFL".
+const char* MethodKindName(MethodKind kind);
+
+/// Everything needed to instantiate one method.
+struct MethodConfig {
+  MethodKind kind = MethodKind::kThreeDReach;
+  /// SCC spatial handling (Section 5); ignored by methods without spatial
+  /// indexing (SocReach, GeoReach, NaiveBFS).
+  SccSpatialMode scc_mode = SccSpatialMode::kReplicate;
+  GeoReachMethod::Options geo_reach;
+  BflIndex::Options bfl;
+};
+
+/// Instantiates a method over a prebuilt condensation. Building the index
+/// happens inside this call, so wrapping it in a stopwatch measures the
+/// per-method indexing time of Table 5.
+std::unique_ptr<RangeReachMethod> CreateMethod(const CondensedNetwork* cn,
+                                               const MethodConfig& config);
+
+/// The five contenders of the final comparison (Figure 7), replicate mode.
+std::vector<MethodConfig> Figure7MethodConfigs();
+
+}  // namespace gsr
+
+#endif  // GSR_CORE_METHOD_FACTORY_H_

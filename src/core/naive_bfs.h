@@ -1,0 +1,45 @@
+#ifndef GSR_CORE_NAIVE_BFS_H_
+#define GSR_CORE_NAIVE_BFS_H_
+
+#include <string>
+
+#include "core/geosocial_network.h"
+#include "core/range_reach.h"
+#include "graph/traversal.h"
+
+namespace gsr {
+
+/// Index-free RangeReach evaluation: a plain BFS over the *original*
+/// network from the query vertex, testing every visited spatial vertex
+/// against the region. O(|V| + |E|) per query and trivially correct — the
+/// ground truth every indexed method is validated against in the tests.
+class NaiveBfsMethod : public RangeReachMethod {
+ public:
+  /// Binds to `network`, which must outlive this object.
+  explicit NaiveBfsMethod(const GeoSocialNetwork* network)
+      : network_(network), bfs_(&network->graph()) {}
+
+  bool Evaluate(VertexId vertex, const Rect& region) const override {
+    bool found = false;
+    bfs_.ForEachReachable(vertex, [&](VertexId v) {
+      if (network_->IsSpatial(v) && region.Contains(network_->PointOf(v))) {
+        found = true;
+        return false;
+      }
+      return true;
+    });
+    return found;
+  }
+
+  std::string name() const override { return "NaiveBFS"; }
+
+  size_t IndexSizeBytes() const override { return 0; }  // No index at all.
+
+ private:
+  const GeoSocialNetwork* network_;
+  mutable BfsTraversal bfs_;  // Reused scratch; queries are single-threaded.
+};
+
+}  // namespace gsr
+
+#endif  // GSR_CORE_NAIVE_BFS_H_

@@ -1,0 +1,46 @@
+#ifndef GSR_CORE_RANGE_REACH_H_
+#define GSR_CORE_RANGE_REACH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geometry/geometry.h"
+#include "graph/digraph.h"
+
+namespace gsr {
+
+/// One RangeReach(G, v, R) query: does vertex `vertex` reach any spatial
+/// vertex whose point lies inside `region`? (Problem 1 of the paper.)
+struct RangeReachQuery {
+  VertexId vertex = 0;
+  Rect region;
+};
+
+/// Common interface of all RangeReach evaluation methods. Implementations
+/// build their index structures in their constructor; Evaluate() answers
+/// one query. Evaluate() is conceptually const but implementations may use
+/// internal scratch buffers, so methods are not thread-safe.
+class RangeReachMethod {
+ public:
+  virtual ~RangeReachMethod() = default;
+
+  /// Answers RangeReach(G, vertex, region).
+  virtual bool Evaluate(VertexId vertex, const Rect& region) const = 0;
+
+  /// Convenience form (non-overload so derived overrides don't hide it).
+  bool EvaluateQuery(const RangeReachQuery& query) const {
+    return Evaluate(query.vertex, query.region);
+  }
+
+  /// Display name, e.g. "3DReach" or "SpaReach-BFL (mbr)".
+  virtual std::string name() const = 0;
+
+  /// Main-memory footprint of the method's index structures, in bytes.
+  /// Matches what Table 4 reports per method (labeling schemes, R-trees,
+  /// SPA-graph), excluding the shared network/condensation.
+  virtual size_t IndexSizeBytes() const = 0;
+};
+
+}  // namespace gsr
+
+#endif  // GSR_CORE_RANGE_REACH_H_

@@ -1,0 +1,76 @@
+#ifndef GSR_CORE_SOC_REACH_H_
+#define GSR_CORE_SOC_REACH_H_
+
+#include <string>
+
+#include "core/condensed_network.h"
+#include "core/range_reach.h"
+#include "labeling/interval_labeling.h"
+
+namespace gsr {
+
+/// SocReach (Section 4.1): the social-first approach. The interval-based
+/// labeling enumerates the descendants D(v) of the query vertex — every
+/// label [l,h] of v is a relational range scan over the post-order-number
+/// domain — and each descendant's points are tested against the region
+/// until one hits. No spatial index is involved, by design.
+class SocReach : public RangeReachMethod {
+ public:
+  /// Builds the labeling over the condensation of `cn`'s network.
+  explicit SocReach(const CondensedNetwork* cn)
+      : cn_(cn), labeling_(IntervalLabeling::Build(cn->dag())) {}
+
+  /// Per-query cost counters: SocReach's cost is dominated by the size of
+  /// the materialized descendant sets.
+  struct Counters {
+    uint64_t queries = 0;
+    uint64_t descendants = 0;        // |D(v)| summed over queries.
+    uint64_t containment_tests = 0;  // Spatial tests until the first hit.
+  };
+
+  bool Evaluate(VertexId vertex, const Rect& region) const override {
+    ++counters_.queries;
+    // Step 1: compute the full descendant set D(v), as Section 4.1
+    // prescribes — the labels of v are relational range scans over the
+    // post-order domain. This step is what keeps SocReach from being
+    // competitive on vertices with many descendants.
+    const ComponentId source = cn_->ComponentOf(vertex);
+    descendants_.clear();
+    labeling_.ForEachDescendant(source, [this](VertexId descendant) {
+      descendants_.push_back(descendant);
+      return true;
+    });
+    counters_.descendants += descendants_.size();
+    // Step 2: spatial containment tests, stopping at the first hit ("on
+    // average, not all spatial tests will be conducted for queries with a
+    // positive answer").
+    for (const VertexId descendant : descendants_) {
+      ++counters_.containment_tests;
+      if (cn_->AnyMemberPointIn(static_cast<ComponentId>(descendant),
+                                region)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const Counters& counters() const { return counters_; }
+  void ResetCounters() const { counters_ = Counters{}; }
+
+  std::string name() const override { return "SocReach"; }
+
+  size_t IndexSizeBytes() const override { return labeling_.SizeBytes(); }
+
+  const IntervalLabeling& labeling() const { return labeling_; }
+
+ private:
+  const CondensedNetwork* cn_;
+  IntervalLabeling labeling_;
+  // Reused D(v) buffer; queries are single-threaded.
+  mutable std::vector<VertexId> descendants_;
+  mutable Counters counters_;
+};
+
+}  // namespace gsr
+
+#endif  // GSR_CORE_SOC_REACH_H_

@@ -1,0 +1,191 @@
+#ifndef GSR_CORE_SPA_REACH_H_
+#define GSR_CORE_SPA_REACH_H_
+
+#include <string>
+
+#include "core/condensed_network.h"
+#include "core/condensed_spatial_index.h"
+#include "core/range_reach.h"
+#include "labeling/bfl.h"
+#include "labeling/feline.h"
+#include "labeling/interval_labeling.h"
+#include "labeling/pll.h"
+
+namespace gsr {
+
+/// The spatial-first approach of Section 2.2.1: a 2-D R-tree first
+/// identifies every spatial vertex inside the query region, then a graph
+/// reachability index answers one GReach query per candidate, terminating
+/// on the first positive answer. Shared by both concrete methods; the
+/// reachability backend is injected by the subclass.
+class SpaReachBase : public RangeReachMethod {
+ public:
+  /// Per-query cost counters (accumulated across Evaluate calls; reset
+  /// with ResetCounters). Explains the method's sensitivity to the
+  /// spatial selectivity: every candidate inside the region may cost one
+  /// GReach probe.
+  struct Counters {
+    uint64_t queries = 0;
+    uint64_t candidates = 0;    // SRange results materialized.
+    uint64_t greach_calls = 0;  // Reachability probes issued.
+  };
+
+  bool Evaluate(VertexId vertex, const Rect& region) const override {
+    ++counters_.queries;
+    // Step 1 (SRange): materialize every spatial vertex inside the region,
+    // as the SpaReach algorithm prescribes. This is what makes the method
+    // sensitive to the spatial selectivity of the query.
+    spatial_index_.CollectCandidates(region, candidates_);
+    // Step 2: one GReach query per candidate, stopping at the first
+    // positive answer.
+    counters_.candidates += candidates_.size();
+    const ComponentId source = cn_->ComponentOf(vertex);
+    for (const auto& [candidate, verified] : candidates_) {
+      ++counters_.greach_calls;
+      if (!CanReachComponent(source, candidate)) continue;
+      if (verified || cn_->AnyMemberPointIn(candidate, region)) return true;
+    }
+    return false;
+  }
+
+  const Counters& counters() const { return counters_; }
+  void ResetCounters() const { counters_ = Counters{}; }
+
+  std::string name() const override {
+    std::string out = base_name_;
+    if (spatial_index_.mode() == SccSpatialMode::kMbr) out += " (mbr)";
+    return out;
+  }
+
+ protected:
+  SpaReachBase(const CondensedNetwork* cn, SccSpatialMode mode,
+               std::string base_name)
+      : cn_(cn), spatial_index_(cn, mode), base_name_(std::move(base_name)) {}
+
+  /// GReach over the condensation DAG.
+  virtual bool CanReachComponent(ComponentId from, ComponentId to) const = 0;
+
+  const CondensedNetwork* cn_;
+  CondensedSpatialIndex spatial_index_;
+
+ private:
+  // Reused SRange result buffer; queries are single-threaded.
+  mutable std::vector<std::pair<ComponentId, bool>> candidates_;
+  mutable Counters counters_;
+  std::string base_name_;
+};
+
+/// SpaReach-BFL: spatial-first with the BFL reachability scheme — the best
+/// spatial-first method in the paper's evaluation (Section 6.3).
+class SpaReachBfl : public SpaReachBase {
+ public:
+  SpaReachBfl(const CondensedNetwork* cn, SccSpatialMode mode,
+              const BflIndex::Options& options)
+      : SpaReachBase(cn, mode, "SpaReach-BFL"),
+        bfl_(BflIndex::Build(&cn->dag(), options)) {}
+
+  SpaReachBfl(const CondensedNetwork* cn, SccSpatialMode mode)
+      : SpaReachBfl(cn, mode, BflIndex::Options{}) {}
+
+  explicit SpaReachBfl(const CondensedNetwork* cn)
+      : SpaReachBfl(cn, SccSpatialMode::kReplicate) {}
+
+  size_t IndexSizeBytes() const override {
+    return spatial_index_.SizeBytes() + bfl_.SizeBytes();
+  }
+
+  const BflIndex& bfl() const { return bfl_; }
+
+ protected:
+  bool CanReachComponent(ComponentId from, ComponentId to) const override {
+    return bfl_.CanReach(from, to);
+  }
+
+ private:
+  BflIndex bfl_;
+};
+
+/// SpaReach-INT: spatial-first with the interval-based labeling answering
+/// the GReach queries. The paper uses it to confirm that the advantage of
+/// its proposals does not come from merely plugging interval labels into
+/// the spatial-first scheme (it loses to SpaReach-BFL, Figure 6).
+class SpaReachInt : public SpaReachBase {
+ public:
+  SpaReachInt(const CondensedNetwork* cn, SccSpatialMode mode)
+      : SpaReachBase(cn, mode, "SpaReach-INT"),
+        labeling_(IntervalLabeling::Build(cn->dag())) {}
+
+  explicit SpaReachInt(const CondensedNetwork* cn)
+      : SpaReachInt(cn, SccSpatialMode::kReplicate) {}
+
+  size_t IndexSizeBytes() const override {
+    return spatial_index_.SizeBytes() + labeling_.SizeBytes();
+  }
+
+  const IntervalLabeling& labeling() const { return labeling_; }
+
+ protected:
+  bool CanReachComponent(ComponentId from, ComponentId to) const override {
+    return labeling_.CanReach(from, to);
+  }
+
+ private:
+  IntervalLabeling labeling_;
+};
+
+/// SpaReach-PLL: spatial-first with a pruned 2-hop labeling answering the
+/// GReach queries — the first of the two baseline configurations of the
+/// original GeoReach paper (Section 2.2 mentions SpaReach-PLL).
+class SpaReachPll : public SpaReachBase {
+ public:
+  SpaReachPll(const CondensedNetwork* cn, SccSpatialMode mode)
+      : SpaReachBase(cn, mode, "SpaReach-PLL"),
+        pll_(PllIndex::Build(cn->dag())) {}
+
+  explicit SpaReachPll(const CondensedNetwork* cn)
+      : SpaReachPll(cn, SccSpatialMode::kReplicate) {}
+
+  size_t IndexSizeBytes() const override {
+    return spatial_index_.SizeBytes() + pll_.SizeBytes();
+  }
+
+  const PllIndex& pll() const { return pll_; }
+
+ protected:
+  bool CanReachComponent(ComponentId from, ComponentId to) const override {
+    return pll_.CanReach(from, to);
+  }
+
+ private:
+  PllIndex pll_;
+};
+
+/// SpaReach-Feline: spatial-first with the Feline reachability index —
+/// the second baseline configuration of the original GeoReach paper.
+class SpaReachFeline : public SpaReachBase {
+ public:
+  SpaReachFeline(const CondensedNetwork* cn, SccSpatialMode mode)
+      : SpaReachBase(cn, mode, "SpaReach-Feline"),
+        feline_(FelineIndex::Build(&cn->dag())) {}
+
+  explicit SpaReachFeline(const CondensedNetwork* cn)
+      : SpaReachFeline(cn, SccSpatialMode::kReplicate) {}
+
+  size_t IndexSizeBytes() const override {
+    return spatial_index_.SizeBytes() + feline_.SizeBytes();
+  }
+
+  const FelineIndex& feline() const { return feline_; }
+
+ protected:
+  bool CanReachComponent(ComponentId from, ComponentId to) const override {
+    return feline_.CanReach(from, to);
+  }
+
+ private:
+  FelineIndex feline_;
+};
+
+}  // namespace gsr
+
+#endif  // GSR_CORE_SPA_REACH_H_

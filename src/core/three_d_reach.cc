@@ -1,0 +1,147 @@
+#include "core/three_d_reach.h"
+
+#include <utility>
+#include <vector>
+
+namespace gsr {
+
+ThreeDReach::ThreeDReach(const CondensedNetwork* cn, const Options& options)
+    : cn_(cn),
+      options_(options),
+      labeling_(IntervalLabeling::Build(
+          cn->dag(),
+          IntervalLabeling::Options{.forest_strategy =
+                                        options.forest_strategy})) {
+  const GeoSocialNetwork& network = cn->network();
+  if (options.scc_mode == SccSpatialMode::kReplicate) {
+    // One genuine 3-D point (u.point, post(u)) per spatial vertex; the
+    // entry id is the component so verification can reach member points.
+    std::vector<std::pair<Point3D, uint64_t>> entries;
+    entries.reserve(network.spatial_vertices().size());
+    for (const VertexId v : network.spatial_vertices()) {
+      const ComponentId c = cn->ComponentOf(v);
+      const Point2D& p = network.PointOf(v);
+      entries.emplace_back(
+          Point3D{p.x, p.y, static_cast<double>(labeling_.post(c))}, c);
+    }
+    points_.BulkLoad(std::move(entries));
+  } else {
+    // One flat box (MBR(c) x post(c)) per component with spatial members.
+    std::vector<std::pair<Box3D, uint64_t>> entries;
+    for (ComponentId c = 0; c < cn->num_components(); ++c) {
+      if (!cn->HasSpatialMember(c)) continue;
+      const double z = static_cast<double>(labeling_.post(c));
+      entries.emplace_back(
+          Box3D::FromRectAndInterval(cn->MbrOf(c), z, z), c);
+    }
+    boxes_.BulkLoad(std::move(entries));
+  }
+}
+
+bool ThreeDReach::Evaluate(VertexId vertex, const Rect& region) const {
+  ++counters_.queries;
+  const ComponentId source = cn_->ComponentOf(vertex);
+  const bool replicate = options_.scc_mode == SccSpatialMode::kReplicate;
+  // One 3-D existence query per label of the query vertex. With the
+  // replicate variant, any point inside a cuboid answers TRUE immediately;
+  // with the MBR variant a partially-overlapping box needs verification
+  // (the z-dimension is always exact: boxes are flat in z).
+  for (const Interval& label : labeling_.Labels(source).intervals()) {
+    ++counters_.range_queries;
+    const Box3D cuboid = Box3D::FromRectAndInterval(
+        region, static_cast<double>(label.lo), static_cast<double>(label.hi));
+    if (replicate) {
+      if (points_.AnyIntersecting(cuboid)) return true;
+      continue;
+    }
+    bool found = false;
+    boxes_.ForEachIntersecting(cuboid, [&](const Box3D& box, uint64_t id) {
+      if (cuboid.Contains(box) ||
+          cn_->AnyMemberPointIn(static_cast<ComponentId>(id), region)) {
+        found = true;
+        return false;
+      }
+      return true;
+    });
+    if (found) return true;
+  }
+  return false;
+}
+
+std::string ThreeDReach::name() const {
+  std::string out = "3DReach";
+  if (options_.scc_mode == SccSpatialMode::kMbr) out += " (mbr)";
+  return out;
+}
+
+ThreeDReachRev::ThreeDReachRev(const CondensedNetwork* cn,
+                               const Options& options)
+    : cn_(cn),
+      options_(options),
+      reversed_dag_(ReverseGraph(cn->dag())),
+      labeling_(IntervalLabeling::Build(reversed_dag_)) {
+  // One vertical segment per (spatial entry, reversed label): the segment
+  // of u spans the reversed-post numbers of u's ancestors. The MBR variant
+  // stores boxes MBR(c) x [l,h] instead; both shapes occupy a full box.
+  std::vector<std::pair<Box3D, uint64_t>> entries;
+  const GeoSocialNetwork& network = cn->network();
+  if (options.scc_mode == SccSpatialMode::kReplicate) {
+    for (const VertexId v : network.spatial_vertices()) {
+      const ComponentId c = cn->ComponentOf(v);
+      const Point2D& p = network.PointOf(v);
+      for (const Interval& label : labeling_.Labels(c).intervals()) {
+        entries.emplace_back(
+            Box3D::VerticalSegment(p.x, p.y, static_cast<double>(label.lo),
+                                   static_cast<double>(label.hi)),
+            c);
+      }
+    }
+  } else {
+    for (ComponentId c = 0; c < cn->num_components(); ++c) {
+      if (!cn->HasSpatialMember(c)) continue;
+      const Rect& mbr = cn->MbrOf(c);
+      for (const Interval& label : labeling_.Labels(c).intervals()) {
+        entries.emplace_back(
+            Box3D::FromRectAndInterval(mbr, static_cast<double>(label.lo),
+                                       static_cast<double>(label.hi)),
+            c);
+      }
+    }
+  }
+  rtree_.BulkLoad(std::move(entries));
+}
+
+bool ThreeDReachRev::Evaluate(VertexId vertex, const Rect& region) const {
+  const ComponentId source = cn_->ComponentOf(vertex);
+  // A single 3-D query: the plane R x post(v). It cuts the segment of a
+  // spatial vertex u iff u.point is in R and v is an ancestor of u.
+  const double z = static_cast<double>(labeling_.post(source));
+  const Box3D plane = Box3D::FromRectAndInterval(region, z, z);
+  if (options_.scc_mode == SccSpatialMode::kReplicate) {
+    return rtree_.AnyIntersecting(plane);
+  }
+  bool found = false;
+  rtree_.ForEachIntersecting(plane, [&](const Box3D& box, uint64_t id) {
+    // The xy-projection of the entry must lie inside the region, or a
+    // member point must verify the hit.
+    const bool xy_contained = box.min[0] >= region.min_x &&
+                              box.max[0] <= region.max_x &&
+                              box.min[1] >= region.min_y &&
+                              box.max[1] <= region.max_y;
+    if (xy_contained ||
+        cn_->AnyMemberPointIn(static_cast<ComponentId>(id), region)) {
+      found = true;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+std::string ThreeDReachRev::name() const {
+  std::string out = "3DReach-REV";
+  if (options_.scc_mode == SccSpatialMode::kMbr) out += " (mbr)";
+  return out;
+}
+
+}  // namespace gsr

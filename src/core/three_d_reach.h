@@ -1,0 +1,111 @@
+#ifndef GSR_CORE_THREE_D_REACH_H_
+#define GSR_CORE_THREE_D_REACH_H_
+
+#include <string>
+
+#include "core/condensed_network.h"
+#include "core/range_reach.h"
+#include "labeling/interval_labeling.h"
+#include "spatial/rtree.h"
+
+namespace gsr {
+
+/// 3DReach (Section 4.2): the paper's main contribution. The geosocial
+/// network and its interval-based labeling are modelled in a 3-D space
+/// whose first two dimensions are the original space and whose third is
+/// the post-order-number domain. Every spatial vertex u becomes the 3-D
+/// point (u.point, post(u)); a RangeReach(G, v, R) query becomes one
+/// existence cuboid R x [l,h] per label [l,h] in L(v). A point inside a
+/// cuboid is simultaneously (1) located in R and (2) a descendant of v, so
+/// both predicates are evaluated in a single step.
+///
+/// The MBR SCC variant indexes one box (MBR(c) x post(c)) per component
+/// with spatial members instead of one point per member; hits whose box is
+/// not fully inside a cuboid are verified against member points.
+class ThreeDReach : public RangeReachMethod {
+ public:
+  struct Options {
+    SccSpatialMode scc_mode = SccSpatialMode::kReplicate;
+    /// Spanning-forest strategy for the underlying labeling (ablation).
+    ForestStrategy forest_strategy = ForestStrategy::kDfs;
+  };
+
+  ThreeDReach(const CondensedNetwork* cn, const Options& options);
+  explicit ThreeDReach(const CondensedNetwork* cn)
+      : ThreeDReach(cn, Options{}) {}
+
+  bool Evaluate(VertexId vertex, const Rect& region) const override;
+
+  std::string name() const override;
+
+  size_t IndexSizeBytes() const override {
+    return labeling_.SizeBytes() + RtreeSizeBytes();
+  }
+
+  const IntervalLabeling& labeling() const { return labeling_; }
+
+  /// Per-query counters: one 3-D existence query per label of the query
+  /// vertex (until a hit).
+  struct Counters {
+    uint64_t queries = 0;
+    uint64_t range_queries = 0;  // Cuboids issued.
+  };
+  const Counters& counters() const { return counters_; }
+  void ResetCounters() const { counters_ = Counters{}; }
+
+ private:
+  size_t RtreeSizeBytes() const {
+    return options_.scc_mode == SccSpatialMode::kReplicate
+               ? points_.SizeBytes()
+               : boxes_.SizeBytes();
+  }
+
+  const CondensedNetwork* cn_;
+  Options options_;
+  IntervalLabeling labeling_;
+  RTreePoints3D points_;  // kReplicate: one 3-D point per spatial vertex.
+  RTree3D boxes_;         // kMbr: one flat box per spatial component.
+  mutable Counters counters_;
+};
+
+/// 3DReach-REV, the line-based variant (Section 4.2, second half). It uses
+/// the *reversed* labeling: labels of the edge-reversed network, so each
+/// label of u covers post numbers of u's ancestors. A spatial vertex u
+/// becomes one vertical segment (u.point, [l,h]) per reversed label; a
+/// query becomes a *single* plane R x post(v), which cuts a segment of u
+/// iff u lies in R and v is an ancestor of u.
+class ThreeDReachRev : public RangeReachMethod {
+ public:
+  struct Options {
+    SccSpatialMode scc_mode = SccSpatialMode::kReplicate;
+  };
+
+  ThreeDReachRev(const CondensedNetwork* cn, const Options& options);
+  explicit ThreeDReachRev(const CondensedNetwork* cn)
+      : ThreeDReachRev(cn, Options{}) {}
+
+  bool Evaluate(VertexId vertex, const Rect& region) const override;
+
+  std::string name() const override;
+
+  size_t IndexSizeBytes() const override {
+    return labeling_.SizeBytes() + rtree_.SizeBytes();
+  }
+
+  /// The reversed labeling (post numbers refer to the reversed forest).
+  const IntervalLabeling& labeling() const { return labeling_; }
+
+ private:
+  const CondensedNetwork* cn_;
+  Options options_;
+  DiGraph reversed_dag_;
+  IntervalLabeling labeling_;
+  // Vertical segments are stored as (degenerate) boxes in both SCC modes,
+  // mirroring Boost ("segments and boxes are stored in a similar manner"),
+  // which is why 3DReach-REV shows no MBR-variant overhead in Table 4.
+  RTree3D rtree_;
+};
+
+}  // namespace gsr
+
+#endif  // GSR_CORE_THREE_D_REACH_H_

@@ -1,0 +1,68 @@
+#ifndef GSR_DATAGEN_GENERATOR_H_
+#define GSR_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/geosocial_network.h"
+
+namespace gsr {
+
+/// Parameters of the synthetic geosocial network generator.
+///
+/// The generator reproduces, at configurable scale, the two structural
+/// regimes of the paper's real datasets (Table 3):
+///
+///  - core_fraction == 1.0 — the Gowalla/WeePlaces regime: every user
+///    belongs to one giant SCC (the social core), venues are spatial
+///    leaves, so the number of SCCs is #venues + 1 and the RangeReach cost
+///    is dominated by the spatial predicate;
+///  - core_fraction < 1.0 — the Foursquare/Yelp regime: only a fraction of
+///    the users form the strongly connected core, the rest are scattered
+///    into small components, so the cost splits between graph reachability
+///    and the spatial range.
+///
+/// Users are social (non-spatial) vertices; venues are spatial vertices
+/// with clustered coordinates. Friendship edges are user -> user (out-
+/// degree skewed so the paper's degree buckets up to 200+ are populated);
+/// check-in edges are user -> venue.
+struct GeneratorConfig {
+  std::string name = "synthetic";
+  uint32_t num_users = 10000;
+  uint32_t num_venues = 20000;
+  /// user -> user directed edges (before dedup).
+  uint64_t num_friendships = 60000;
+  /// user -> venue directed edges (before dedup).
+  uint64_t num_checkins = 120000;
+  /// Fraction of users wired into the strongly connected social core.
+  double core_fraction = 1.0;
+  /// Skew exponent for picking edge endpoints: a user is chosen as
+  /// floor(num_users * r^degree_skew) for uniform r, so higher values
+  /// concentrate edges on low-id users (power-law-ish out-degrees).
+  double degree_skew = 3.0;
+  /// Venue coordinates: Gaussian clusters around this many random centers.
+  uint32_t num_clusters = 24;
+  /// Cluster standard deviation, as a fraction of the space extent.
+  double cluster_stddev = 0.03;
+  /// The space is [0, space_extent]^2.
+  double space_extent = 1000.0;
+  uint64_t seed = 42;
+};
+
+/// Generates a synthetic geosocial network. Vertex ids: users occupy
+/// [0, num_users), venues [num_users, num_users + num_venues).
+GeoSocialNetwork GenerateGeoSocialNetwork(const GeneratorConfig& config);
+
+/// The four benchmark datasets, mirroring Table 3's regimes at roughly
+/// 1:40 scale. `scale` in (0, 1] shrinks them further (e.g. 0.1 for quick
+/// smoke runs).
+std::vector<GeneratorConfig> BenchmarkDatasetConfigs(double scale);
+
+/// Named lookup into BenchmarkDatasetConfigs: "foursquare", "gowalla",
+/// "weeplaces" or "yelp". Aborts on unknown names.
+GeneratorConfig BenchmarkDatasetConfig(const std::string& name, double scale);
+
+}  // namespace gsr
+
+#endif  // GSR_DATAGEN_GENERATOR_H_

@@ -1,0 +1,102 @@
+#include "datagen/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace gsr {
+
+Status SaveGeoSocialNetwork(const GeoSocialNetwork& network,
+                            const std::string& prefix) {
+  {
+    std::ofstream edges(prefix + ".edges");
+    if (!edges) return Status::IoError("cannot open " + prefix + ".edges");
+    edges << "# directed edges: from to\n";
+    const DiGraph& graph = network.graph();
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      for (const VertexId w : graph.OutNeighbors(v)) {
+        edges << v << ' ' << w << '\n';
+      }
+    }
+    if (!edges) return Status::IoError("failed writing " + prefix + ".edges");
+  }
+  {
+    std::ofstream points(prefix + ".points");
+    if (!points) return Status::IoError("cannot open " + prefix + ".points");
+    points << "# spatial vertices: vertex x y\n";
+    char buf[96];
+    for (const VertexId v : network.spatial_vertices()) {
+      const Point2D& p = network.PointOf(v);
+      std::snprintf(buf, sizeof(buf), "%u %.17g %.17g\n", v, p.x, p.y);
+      points << buf;
+    }
+    if (!points) {
+      return Status::IoError("failed writing " + prefix + ".points");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<GeoSocialNetwork> LoadGeoSocialNetwork(const std::string& prefix) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  VertexId max_id = 0;
+  {
+    std::ifstream in(prefix + ".edges");
+    if (!in) return Status::IoError("cannot open " + prefix + ".edges");
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream tokens(line);
+      uint64_t from = 0;
+      uint64_t to = 0;
+      if (!(tokens >> from >> to)) {
+        return Status::IoError(prefix + ".edges:" + std::to_string(line_no) +
+                               ": expected 'from to'");
+      }
+      edges.emplace_back(static_cast<VertexId>(from),
+                         static_cast<VertexId>(to));
+      max_id = std::max({max_id, static_cast<VertexId>(from),
+                         static_cast<VertexId>(to)});
+    }
+  }
+
+  std::vector<std::optional<Point2D>> points;
+  {
+    std::ifstream in(prefix + ".points");
+    if (!in) return Status::IoError("cannot open " + prefix + ".points");
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream tokens(line);
+      uint64_t vertex = 0;
+      double x = 0.0;
+      double y = 0.0;
+      if (!(tokens >> vertex >> x >> y)) {
+        return Status::IoError(prefix + ".points:" + std::to_string(line_no) +
+                               ": expected 'vertex x y'");
+      }
+      max_id = std::max(max_id, static_cast<VertexId>(vertex));
+      if (points.size() <= vertex) points.resize(vertex + 1);
+      points[vertex] = Point2D{x, y};
+    }
+  }
+
+  const VertexId num_vertices = edges.empty() && points.empty()
+                                    ? 0
+                                    : max_id + 1;
+  points.resize(num_vertices);
+  auto graph = DiGraph::FromEdges(num_vertices, std::move(edges));
+  if (!graph.ok()) return graph.status();
+  return GeoSocialNetwork::Create(std::move(graph).value(), points);
+}
+
+}  // namespace gsr

@@ -1,0 +1,26 @@
+#ifndef GSR_DATAGEN_IO_H_
+#define GSR_DATAGEN_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/geosocial_network.h"
+
+namespace gsr {
+
+/// Writes `network` as two plain-text files:
+///   <prefix>.edges  — one "from to" pair per line;
+///   <prefix>.points — one "vertex x y" triple per line (spatial vertices).
+/// Lines starting with '#' are comments. This is the common interchange
+/// format of public geosocial datasets (SNAP-style edge lists), so the
+/// real Foursquare/Gowalla/WeePlaces/Yelp dumps can be converted trivially.
+Status SaveGeoSocialNetwork(const GeoSocialNetwork& network,
+                            const std::string& prefix);
+
+/// Loads a network previously written by SaveGeoSocialNetwork (or hand-
+/// converted real data). Vertex ids must be dense in [0, max_id].
+Result<GeoSocialNetwork> LoadGeoSocialNetwork(const std::string& prefix);
+
+}  // namespace gsr
+
+#endif  // GSR_DATAGEN_IO_H_

@@ -1,0 +1,145 @@
+#include "datagen/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace gsr {
+
+std::vector<DegreeBucket> PaperDegreeBuckets() {
+  return {
+      {1, 49, "1-49"},
+      {50, 99, "50-99"},
+      {100, 149, "100-149"},
+      {150, 199, "150-199"},
+      {200, std::numeric_limits<uint32_t>::max(), "200+"},
+  };
+}
+
+std::vector<double> PaperExtents() { return {1.0, 2.0, 5.0, 10.0, 20.0}; }
+
+std::vector<double> PaperSelectivities() { return {0.001, 0.01, 0.1, 1.0}; }
+
+WorkloadGenerator::WorkloadGenerator(const GeoSocialNetwork* network,
+                                     uint64_t seed)
+    : network_(network), rng_(seed) {
+  std::vector<std::pair<Point2D, uint64_t>> entries;
+  entries.reserve(network->spatial_vertices().size());
+  for (const VertexId v : network->spatial_vertices()) {
+    entries.emplace_back(network->PointOf(v), v);
+  }
+  points_rtree_.BulkLoad(std::move(entries));
+}
+
+std::vector<RangeReachQuery> WorkloadGenerator::Generate(
+    const QuerySpec& spec) {
+  std::vector<RangeReachQuery> queries;
+  queries.reserve(spec.count);
+  for (uint32_t i = 0; i < spec.count; ++i) {
+    RangeReachQuery query;
+    query.vertex =
+        RandomVertexWithDegree(spec.min_out_degree, spec.max_out_degree);
+    query.region = spec.selectivity_percent >= 0.0
+                       ? RandomRegionBySelectivity(spec.selectivity_percent)
+                       : RandomRegionByExtent(spec.extent_percent);
+    queries.push_back(query);
+  }
+  return queries;
+}
+
+Rect WorkloadGenerator::RandomRegionByExtent(double extent_percent) {
+  const Rect& space = network_->SpaceBounds();
+  GSR_CHECK(!space.IsEmpty());
+  // A square whose area is extent_percent of the space area.
+  const double side =
+      std::sqrt(space.Area() * extent_percent / 100.0);
+  const double cx = rng_.NextDoubleInRange(space.min_x, space.max_x);
+  const double cy = rng_.NextDoubleInRange(space.min_y, space.max_y);
+  return Rect(cx - side / 2.0, cy - side / 2.0, cx + side / 2.0,
+              cy + side / 2.0);
+}
+
+Rect WorkloadGenerator::RandomRegionBySelectivity(double selectivity_percent) {
+  const Rect& space = network_->SpaceBounds();
+  GSR_CHECK(!space.IsEmpty());
+  const double target =
+      std::max(1.0, selectivity_percent / 100.0 *
+                        static_cast<double>(network_->num_vertices()));
+
+  // Grow a square around a random venue point until the exact R-tree count
+  // brackets the target, then binary-search the side length.
+  const auto& spatial = network_->spatial_vertices();
+  GSR_CHECK(!spatial.empty());
+  const Point2D center =
+      network_->PointOf(spatial[rng_.NextBounded(spatial.size())]);
+
+  const double max_side =
+      2.0 * std::max(space.Width(), space.Height()) + 1e-9;
+  auto count_at = [&](double side) {
+    const Rect region(center.x - side / 2.0, center.y - side / 2.0,
+                      center.x + side / 2.0, center.y + side / 2.0);
+    return points_rtree_.CountIntersecting(region);
+  };
+
+  double lo = 0.0;
+  double hi = max_side / 1024.0;
+  while (hi < max_side && static_cast<double>(count_at(hi)) < target) {
+    lo = hi;
+    hi *= 2.0;
+  }
+  hi = std::min(hi, max_side);
+  for (int iter = 0; iter < 30; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    const double count = static_cast<double>(count_at(mid));
+    if (count < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (count >= 0.8 * target && count <= 1.25 * target) break;
+  }
+  const double side = hi;
+  return Rect(center.x - side / 2.0, center.y - side / 2.0,
+              center.x + side / 2.0, center.y + side / 2.0);
+}
+
+const std::vector<VertexId>& WorkloadGenerator::BucketVertices(uint32_t lo,
+                                                               uint32_t hi) {
+  for (const auto& [key, vertices] : bucket_cache_) {
+    if (key.first == lo && key.second == hi) return vertices;
+  }
+  std::vector<VertexId> vertices;
+  const DiGraph& graph = network_->graph();
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const uint32_t degree = graph.OutDegree(v);
+    if (degree >= lo && degree <= hi) vertices.push_back(v);
+  }
+  if (vertices.empty()) {
+    // Small-network fallback: take the 100 vertices whose out-degree is
+    // closest to the bucket.
+    std::vector<std::pair<uint64_t, VertexId>> by_distance;
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      const uint32_t degree = graph.OutDegree(v);
+      if (degree == 0) continue;  // Vertices without out-edges stay out.
+      const uint64_t distance =
+          degree < lo ? (lo - degree)
+                      : (degree > hi ? degree - hi : uint64_t{0});
+      by_distance.emplace_back(distance, v);
+    }
+    GSR_CHECK(!by_distance.empty());
+    std::sort(by_distance.begin(), by_distance.end());
+    const size_t keep = std::min<size_t>(100, by_distance.size());
+    for (size_t i = 0; i < keep; ++i) vertices.push_back(by_distance[i].second);
+  }
+  bucket_cache_.push_back({{lo, hi}, std::move(vertices)});
+  return bucket_cache_.back().second;
+}
+
+VertexId WorkloadGenerator::RandomVertexWithDegree(uint32_t lo, uint32_t hi) {
+  const std::vector<VertexId>& vertices = BucketVertices(lo, hi);
+  return vertices[rng_.NextBounded(vertices.size())];
+}
+
+}  // namespace gsr

@@ -1,0 +1,87 @@
+#ifndef GSR_DATAGEN_WORKLOAD_H_
+#define GSR_DATAGEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/geosocial_network.h"
+#include "core/range_reach.h"
+#include "spatial/rtree.h"
+
+namespace gsr {
+
+/// An out-degree bucket for query-vertex selection (Section 6.1).
+struct DegreeBucket {
+  uint32_t lo = 1;
+  uint32_t hi = std::numeric_limits<uint32_t>::max();
+  std::string label;
+};
+
+/// The paper's parameter grids: degree buckets {[1-49], [50-99], [100-149],
+/// [150-199], [200-...]}, region extents {1, 2, 5, 10, 20}% of the space,
+/// spatial selectivities {0.001, 0.01, 0.1, 1}% of |V|.
+std::vector<DegreeBucket> PaperDegreeBuckets();
+std::vector<double> PaperExtents();
+std::vector<double> PaperSelectivities();
+
+/// Defaults (bold values in the paper's setup): extent 5%, bucket [50-99].
+inline constexpr double kDefaultExtentPercent = 5.0;
+inline constexpr uint32_t kDefaultDegreeLo = 50;
+inline constexpr uint32_t kDefaultDegreeHi = 99;
+
+/// What one batch of queries should look like.
+struct QuerySpec {
+  uint32_t count = 1000;
+  /// Query-vertex out-degree range (inclusive), per the original graph.
+  uint32_t min_out_degree = kDefaultDegreeLo;
+  uint32_t max_out_degree = kDefaultDegreeHi;
+  /// Region area as a percentage of the whole space area. Ignored when
+  /// selectivity_percent >= 0.
+  double extent_percent = kDefaultExtentPercent;
+  /// When >= 0: size regions so that about this percentage of |V| vertices
+  /// (counted over spatial vertices) fall inside, regardless of area.
+  double selectivity_percent = -1.0;
+};
+
+/// Generates RangeReach query batches against a fixed network. Regions are
+/// square, centered at random locations inside the space (extent mode) or
+/// at random venue points grown to a target cardinality (selectivity
+/// mode). Query vertices are sampled uniformly from the requested
+/// out-degree bucket; when a bucket is empty on a small network, the
+/// vertices with the closest out-degrees are used instead.
+class WorkloadGenerator {
+ public:
+  /// Binds to `network`, which must outlive the generator.
+  WorkloadGenerator(const GeoSocialNetwork* network, uint64_t seed);
+
+  /// Generates `spec.count` queries.
+  std::vector<RangeReachQuery> Generate(const QuerySpec& spec);
+
+  /// A square region of the given area percentage at a random center.
+  Rect RandomRegionByExtent(double extent_percent);
+
+  /// A square region containing approximately
+  /// `selectivity_percent / 100 * num_vertices` spatial vertices.
+  Rect RandomRegionBySelectivity(double selectivity_percent);
+
+  /// A random vertex with out-degree in [lo, hi] (with fallback, see
+  /// class comment).
+  VertexId RandomVertexWithDegree(uint32_t lo, uint32_t hi);
+
+ private:
+  const std::vector<VertexId>& BucketVertices(uint32_t lo, uint32_t hi);
+
+  const GeoSocialNetwork* network_;
+  Rng rng_;
+  RTreePoints2D points_rtree_;  // Exact selectivity counting.
+  // Cache of degree-bucket vertex lists, keyed by (lo, hi).
+  std::vector<std::pair<std::pair<uint32_t, uint32_t>, std::vector<VertexId>>>
+      bucket_cache_;
+};
+
+}  // namespace gsr
+
+#endif  // GSR_DATAGEN_WORKLOAD_H_

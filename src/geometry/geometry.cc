@@ -1,0 +1,23 @@
+#include "geometry/geometry.h"
+
+#include <cstdio>
+
+namespace gsr {
+
+std::string Rect::ToString() const {
+  if (IsEmpty()) return "Rect(empty)";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "Rect([%g, %g] x [%g, %g])", min_x, max_x,
+                min_y, max_y);
+  return buf;
+}
+
+std::string Box3D::ToString() const {
+  if (IsEmpty()) return "Box3D(empty)";
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "Box3D([%g, %g] x [%g, %g] x [%g, %g])",
+                min[0], max[0], min[1], max[1], min[2], max[2]);
+  return buf;
+}
+
+}  // namespace gsr

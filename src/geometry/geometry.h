@@ -1,0 +1,165 @@
+#ifndef GSR_GEOMETRY_GEOMETRY_H_
+#define GSR_GEOMETRY_GEOMETRY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace gsr {
+
+/// A point in the two-dimensional space the geosocial network lives in.
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point2D&, const Point2D&) = default;
+};
+
+/// An axis-aligned rectangle [min_x,max_x] x [min_y,max_y].
+///
+/// The default-constructed Rect is *empty* (inverted bounds): it contains
+/// nothing, intersects nothing, and Expand() of a first point makes it that
+/// point. This is the MBR accumulator idiom used across the library.
+struct Rect {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  /// Creates the empty rectangle.
+  Rect() = default;
+
+  Rect(double min_x_in, double min_y_in, double max_x_in, double max_y_in)
+      : min_x(min_x_in), min_y(min_y_in), max_x(max_x_in), max_y(max_y_in) {}
+
+  /// A zero-area rectangle covering exactly `p`.
+  static Rect FromPoint(const Point2D& p) { return Rect(p.x, p.y, p.x, p.y); }
+
+  /// True when the rectangle contains no points (inverted bounds).
+  bool IsEmpty() const { return min_x > max_x || min_y > max_y; }
+
+  /// True when point `p` lies inside (boundary inclusive).
+  bool Contains(const Point2D& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  /// True when `other` lies fully inside this rectangle.
+  bool Contains(const Rect& other) const {
+    if (other.IsEmpty()) return true;
+    return other.min_x >= min_x && other.max_x <= max_x &&
+           other.min_y >= min_y && other.max_y <= max_y;
+  }
+
+  /// True when the two rectangles share at least one point.
+  bool Intersects(const Rect& other) const {
+    return min_x <= other.max_x && other.min_x <= max_x &&
+           min_y <= other.max_y && other.min_y <= max_y;
+  }
+
+  /// Grows the rectangle to cover `p`.
+  void Expand(const Point2D& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  /// Grows the rectangle to cover `other`.
+  void Expand(const Rect& other) {
+    if (other.IsEmpty()) return;
+    min_x = std::min(min_x, other.min_x);
+    min_y = std::min(min_y, other.min_y);
+    max_x = std::max(max_x, other.max_x);
+    max_y = std::max(max_y, other.max_y);
+  }
+
+  double Width() const { return IsEmpty() ? 0.0 : max_x - min_x; }
+  double Height() const { return IsEmpty() ? 0.0 : max_y - min_y; }
+  double Area() const { return Width() * Height(); }
+
+  Point2D Center() const {
+    return Point2D{(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// An axis-aligned box in the 3-D space used by the 3DReach transformation:
+/// the first two dimensions are spatial, the third is the post-order-number
+/// domain of the interval labeling.
+struct Box3D {
+  double min[3] = {std::numeric_limits<double>::infinity(),
+                   std::numeric_limits<double>::infinity(),
+                   std::numeric_limits<double>::infinity()};
+  double max[3] = {-std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity()};
+
+  /// Creates the empty box.
+  Box3D() = default;
+
+  Box3D(double min_x, double min_y, double min_z, double max_x, double max_y,
+        double max_z) {
+    min[0] = min_x;
+    min[1] = min_y;
+    min[2] = min_z;
+    max[0] = max_x;
+    max[1] = max_y;
+    max[2] = max_z;
+  }
+
+  /// The cuboid R x [lo, hi] used by 3DReach queries.
+  static Box3D FromRectAndInterval(const Rect& r, double lo, double hi) {
+    return Box3D(r.min_x, r.min_y, lo, r.max_x, r.max_y, hi);
+  }
+
+  /// A zero-volume box at (x, y, z): a 3-D point entry.
+  static Box3D FromPoint(double x, double y, double z) {
+    return Box3D(x, y, z, x, y, z);
+  }
+
+  /// A vertical line segment at (x, y) spanning [z_lo, z_hi]: the entry
+  /// shape used by 3DReach-REV.
+  static Box3D VerticalSegment(double x, double y, double z_lo, double z_hi) {
+    return Box3D(x, y, z_lo, x, y, z_hi);
+  }
+
+  bool IsEmpty() const {
+    return min[0] > max[0] || min[1] > max[1] || min[2] > max[2];
+  }
+
+  bool Intersects(const Box3D& o) const {
+    return min[0] <= o.max[0] && o.min[0] <= max[0] && min[1] <= o.max[1] &&
+           o.min[1] <= max[1] && min[2] <= o.max[2] && o.min[2] <= max[2];
+  }
+
+  bool Contains(const Box3D& o) const {
+    if (o.IsEmpty()) return true;
+    return o.min[0] >= min[0] && o.max[0] <= max[0] && o.min[1] >= min[1] &&
+           o.max[1] <= max[1] && o.min[2] >= min[2] && o.max[2] <= max[2];
+  }
+
+  void Expand(const Box3D& o) {
+    if (o.IsEmpty()) return;
+    for (int d = 0; d < 3; ++d) {
+      min[d] = std::min(min[d], o.min[d]);
+      max[d] = std::max(max[d], o.max[d]);
+    }
+  }
+
+  double Volume() const {
+    if (IsEmpty()) return 0.0;
+    return (max[0] - min[0]) * (max[1] - min[1]) * (max[2] - min[2]);
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Box3D&, const Box3D&) = default;
+};
+
+}  // namespace gsr
+
+#endif  // GSR_GEOMETRY_GEOMETRY_H_

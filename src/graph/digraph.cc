@@ -1,0 +1,66 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <string>
+
+namespace gsr {
+
+Result<DiGraph> DiGraph::FromEdges(
+    VertexId num_vertices, std::vector<std::pair<VertexId, VertexId>> edges) {
+  for (const auto& [from, to] : edges) {
+    if (from >= num_vertices || to >= num_vertices) {
+      return Status::InvalidArgument(
+          "edge (" + std::to_string(from) + ", " + std::to_string(to) +
+          ") references a vertex >= " + std::to_string(num_vertices));
+    }
+  }
+
+  // Drop self-loops, sort, deduplicate.
+  std::erase_if(edges, [](const auto& e) { return e.first == e.second; });
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  DiGraph g;
+  g.out_offsets_.assign(num_vertices + 1, 0);
+  g.out_targets_.reserve(edges.size());
+  for (const auto& [from, to] : edges) g.out_offsets_[from + 1]++;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+  }
+  for (const auto& [from, to] : edges) g.out_targets_.push_back(to);
+
+  // Reverse adjacency via counting sort on targets; sources come out sorted
+  // per target because `edges` is sorted by (from, to).
+  g.in_offsets_.assign(num_vertices + 1, 0);
+  for (const auto& [from, to] : edges) g.in_offsets_[to + 1]++;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  g.in_sources_.resize(edges.size());
+  std::vector<uint64_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  for (const auto& [from, to] : edges) {
+    g.in_sources_[cursor[to]++] = from;
+  }
+  return g;
+}
+
+DiGraph ReverseGraph(const DiGraph& graph) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(graph.num_edges());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (const VertexId w : graph.OutNeighbors(v)) {
+      edges.emplace_back(w, v);
+    }
+  }
+  auto result = DiGraph::FromEdges(graph.num_vertices(), std::move(edges));
+  GSR_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+bool DiGraph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= num_vertices() || v >= num_vertices()) return false;
+  const auto neighbors = OutNeighbors(u);
+  return std::binary_search(neighbors.begin(), neighbors.end(), v);
+}
+
+}  // namespace gsr

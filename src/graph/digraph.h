@@ -1,0 +1,124 @@
+#ifndef GSR_GRAPH_DIGRAPH_H_
+#define GSR_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace gsr {
+
+/// Dense vertex identifier in [0, num_vertices).
+using VertexId = uint32_t;
+
+/// Sentinel for "no vertex" (e.g. forest roots have no parent).
+inline constexpr VertexId kInvalidVertex = 0xFFFFFFFFu;
+
+/// An immutable directed graph in compressed-sparse-row form, with both
+/// forward (out-neighbor) and reverse (in-neighbor) adjacency so that SCC
+/// condensation, in-degree priorities (Algorithm 1) and reversed labeling
+/// (3DReach-REV) are all cheap.
+class DiGraph {
+ public:
+  /// Creates the empty graph.
+  DiGraph() = default;
+
+  /// Builds a graph with `num_vertices` vertices from an edge list.
+  /// Duplicate edges are collapsed and self-loops dropped (both carry no
+  /// reachability information). Edges with endpoints >= num_vertices are
+  /// rejected.
+  static Result<DiGraph> FromEdges(
+      VertexId num_vertices, std::vector<std::pair<VertexId, VertexId>> edges);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(out_offsets_.empty()
+                                     ? 0
+                                     : out_offsets_.size() - 1);
+  }
+  uint64_t num_edges() const { return out_targets_.size(); }
+
+  /// Out-neighbors of `v`, sorted ascending.
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    GSR_DCHECK(v < num_vertices());
+    return {out_targets_.data() + out_offsets_[v],
+            out_targets_.data() + out_offsets_[v + 1]};
+  }
+
+  /// In-neighbors of `v`, sorted ascending.
+  std::span<const VertexId> InNeighbors(VertexId v) const {
+    GSR_DCHECK(v < num_vertices());
+    return {in_sources_.data() + in_offsets_[v],
+            in_sources_.data() + in_offsets_[v + 1]};
+  }
+
+  uint32_t OutDegree(VertexId v) const {
+    GSR_DCHECK(v < num_vertices());
+    return static_cast<uint32_t>(out_offsets_[v + 1] - out_offsets_[v]);
+  }
+
+  uint32_t InDegree(VertexId v) const {
+    GSR_DCHECK(v < num_vertices());
+    return static_cast<uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  /// True when edge (u, v) exists; O(log OutDegree(u)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Main-memory footprint in bytes.
+  size_t SizeBytes() const {
+    return sizeof(*this) +
+           (out_offsets_.size() + in_offsets_.size()) * sizeof(uint64_t) +
+           (out_targets_.size() + in_sources_.size()) * sizeof(VertexId);
+  }
+
+ private:
+  std::vector<uint64_t> out_offsets_;
+  std::vector<VertexId> out_targets_;
+  std::vector<uint64_t> in_offsets_;
+  std::vector<VertexId> in_sources_;
+};
+
+/// The graph with every edge direction flipped. Used to build the
+/// *reversed* interval labeling of 3DReach-REV (Section 4.2).
+DiGraph ReverseGraph(const DiGraph& graph);
+
+/// Incremental edge-list accumulator for DiGraph. Grows the vertex count
+/// on demand; Build() finalizes into CSR form.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Pre-declares at least `n` vertices (ids 0..n-1).
+  void ReserveVertices(VertexId n) {
+    if (n > num_vertices_) num_vertices_ = n;
+  }
+
+  /// Adds edge (from, to), growing the vertex count to cover both ids.
+  void AddEdge(VertexId from, VertexId to) {
+    edges_.emplace_back(from, to);
+    const VertexId needed = (from > to ? from : to) + 1;
+    if (needed > num_vertices_) num_vertices_ = needed;
+  }
+
+  VertexId num_vertices() const { return num_vertices_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Finalizes into an immutable CSR graph; the builder is left empty.
+  Result<DiGraph> Build() {
+    auto result = DiGraph::FromEdges(num_vertices_, std::move(edges_));
+    edges_.clear();
+    num_vertices_ = 0;
+    return result;
+  }
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+}  // namespace gsr
+
+#endif  // GSR_GRAPH_DIGRAPH_H_

@@ -1,0 +1,113 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+
+namespace gsr {
+
+uint32_t SccDecomposition::LargestComponentSize() const {
+  if (size_of.empty()) return 0;
+  return *std::max_element(size_of.begin(), size_of.end());
+}
+
+SccDecomposition ComputeScc(const DiGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  constexpr uint32_t kUndefined = 0xFFFFFFFFu;
+
+  SccDecomposition out;
+  out.component_of.assign(n, kUndefined);
+
+  std::vector<uint32_t> index(n, kUndefined);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<VertexId> stack;
+
+  // Explicit DFS call stack: (vertex, next out-edge position).
+  struct Frame {
+    VertexId v;
+    uint32_t edge_pos;
+  };
+  std::vector<Frame> call;
+
+  uint32_t next_index = 0;
+
+  for (VertexId start = 0; start < n; ++start) {
+    if (index[start] != kUndefined) continue;
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    call.push_back(Frame{start, 0});
+
+    while (!call.empty()) {
+      Frame& frame = call.back();
+      const VertexId v = frame.v;
+      const auto neighbors = graph.OutNeighbors(v);
+
+      if (frame.edge_pos < neighbors.size()) {
+        const VertexId w = neighbors[frame.edge_pos++];
+        if (index[w] == kUndefined) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call.push_back(Frame{w, 0});  // Invalidates `frame`; loop restarts.
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+
+      // All out-edges of v explored: close the frame.
+      call.pop_back();
+      if (!call.empty()) {
+        const VertexId parent = call.back().v;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+      if (lowlink[v] == index[v]) {
+        // v roots a component: pop the Tarjan stack down to v.
+        const ComponentId c = out.num_components++;
+        uint32_t component_size = 0;
+        VertexId w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          out.component_of[w] = c;
+          ++component_size;
+        } while (w != v);
+        out.size_of.push_back(component_size);
+      }
+    }
+  }
+  return out;
+}
+
+DiGraph BuildCondensationGraph(const DiGraph& graph,
+                               const SccDecomposition& scc) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const ComponentId cv = scc.component_of[v];
+    for (const VertexId w : graph.OutNeighbors(v)) {
+      const ComponentId cw = scc.component_of[w];
+      if (cv != cw) edges.emplace_back(cv, cw);
+    }
+  }
+  auto result = DiGraph::FromEdges(scc.num_components, std::move(edges));
+  GSR_CHECK(result.ok());  // Component ids are dense by construction.
+  return std::move(result).value();
+}
+
+ComponentMembers GroupByComponent(const SccDecomposition& scc) {
+  ComponentMembers out;
+  out.offsets.assign(scc.num_components + 1, 0);
+  for (const ComponentId c : scc.component_of) out.offsets[c + 1]++;
+  for (uint32_t c = 0; c < scc.num_components; ++c) {
+    out.offsets[c + 1] += out.offsets[c];
+  }
+  out.members.resize(scc.component_of.size());
+  std::vector<uint64_t> cursor(out.offsets.begin(), out.offsets.end() - 1);
+  for (VertexId v = 0; v < scc.component_of.size(); ++v) {
+    out.members[cursor[scc.component_of[v]]++] = v;
+  }
+  return out;
+}
+
+}  // namespace gsr

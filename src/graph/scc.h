@@ -1,0 +1,57 @@
+#ifndef GSR_GRAPH_SCC_H_
+#define GSR_GRAPH_SCC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace gsr {
+
+/// Identifier of a strongly connected component.
+using ComponentId = uint32_t;
+
+/// Output of strongly-connected-component decomposition.
+struct SccDecomposition {
+  /// Number of components.
+  uint32_t num_components = 0;
+  /// component_of[v] = component containing vertex v.
+  std::vector<ComponentId> component_of;
+  /// size_of[c] = number of vertices in component c.
+  std::vector<uint32_t> size_of;
+
+  /// Size of the largest component (0 for the empty graph).
+  uint32_t LargestComponentSize() const;
+};
+
+/// Decomposes `graph` into strongly connected components with an iterative
+/// Tarjan algorithm (explicit stack, safe for deep graphs).
+///
+/// Component ids are assigned in *reverse topological order of the
+/// condensation*: if the condensation has an edge c1 -> c2 then c1 > c2.
+/// This property makes the condensation trivially acyclic and lets callers
+/// process components in topological order by iterating ids descending.
+SccDecomposition ComputeScc(const DiGraph& graph);
+
+/// The condensation (quotient DAG) of `graph` under `scc`: one vertex per
+/// component, deduplicated edges between distinct components. Always a DAG.
+DiGraph BuildCondensationGraph(const DiGraph& graph,
+                               const SccDecomposition& scc);
+
+/// Groups the vertices of the original graph by component: members of
+/// component c are members[offsets[c] .. offsets[c+1]).
+struct ComponentMembers {
+  std::vector<uint64_t> offsets;
+  std::vector<VertexId> members;
+
+  std::span<const VertexId> MembersOf(ComponentId c) const {
+    return {members.data() + offsets[c], members.data() + offsets[c + 1]};
+  }
+};
+
+/// Builds the component -> member-vertices grouping for `scc`.
+ComponentMembers GroupByComponent(const SccDecomposition& scc);
+
+}  // namespace gsr
+
+#endif  // GSR_GRAPH_SCC_H_

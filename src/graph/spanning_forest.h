@@ -1,0 +1,79 @@
+#ifndef GSR_GRAPH_SPANNING_FOREST_H_
+#define GSR_GRAPH_SPANNING_FOREST_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace gsr {
+
+/// How the spanning forest underlying the interval labeling is grown.
+/// Exploring alternative (e.g. shallow) forests is listed as future work
+/// in the paper (Section 8); both strategies below produce correct
+/// labelings — they differ in tree depth, label counts and build cost.
+enum class ForestStrategy {
+  /// Depth-first forest (the paper's construction). DFS guarantees
+  /// post(u) < post(v) for every edge (v, u), so sorting non-tree edges by
+  /// ascending source post directly yields reverse topological order.
+  kDfs,
+  /// Breadth-first forest: much shallower trees (cheaper ancestor climbs
+  /// during label propagation), at the cost of a separate topological sort
+  /// to order the non-tree edges.
+  kBfs,
+};
+
+/// Returns "dfs" or "bfs".
+const char* ForestStrategyName(ForestStrategy strategy);
+
+/// A spanning forest of a DAG with post-order numbering, the backbone of
+/// the interval-based labeling (Section 3.2 of the paper).
+///
+/// Geosocial networks have several vertices with only outgoing edges, so a
+/// single spanning tree does not exist; instead every zero-in-degree vertex
+/// roots one tree of the forest (Algorithm 1, lines 1-4). Post-order
+/// numbers are 1-based and increase across trees in root-processing order.
+struct SpanningForest {
+  /// parent[v] in the forest; kInvalidVertex for roots.
+  std::vector<VertexId> parent;
+  /// post[v]: the 1-based post-order number of v.
+  std::vector<uint32_t> post;
+  /// vertex_of_post[p] = the vertex with post-order number p (p in 1..n,
+  /// slot 0 unused). This is the post -> vertex permutation SocReach scans.
+  std::vector<VertexId> vertex_of_post;
+  /// min_post_subtree[v]: the smallest post-order number in v's subtree,
+  /// i.e. index(v) of the original interval-labeling scheme. The subtree of
+  /// v covers exactly the contiguous post range
+  /// [min_post_subtree[v], post[v]].
+  std::vector<uint32_t> min_post_subtree;
+  /// Roots of the forest, in processing order.
+  std::vector<VertexId> roots;
+  /// The edges of the graph *not* chosen for the forest (E \ E_F), sorted
+  /// so that iterating them processes sources in reverse topological
+  /// order — the property the single-pass label-propagation phase of
+  /// Algorithm 1 relies on.
+  std::vector<std::pair<VertexId, VertexId>> non_tree_edges;
+
+  /// True when u is v or a forest ancestor of v.
+  bool IsAncestorOrSelf(VertexId u, VertexId v) const {
+    return min_post_subtree[u] <= post[v] && post[v] <= post[u];
+  }
+
+  /// Maximum tree depth over all vertices (roots have depth 0). O(n).
+  uint32_t MaxDepth() const;
+};
+
+/// Builds a spanning forest of `dag` rooted at its zero-in-degree vertices
+/// (ascending id order), using the requested strategy. `dag` must be
+/// acyclic. Vertices not reachable from any zero-in-degree vertex
+/// (impossible in a DAG) would be swept up as extra roots.
+SpanningForest BuildSpanningForest(const DiGraph& dag,
+                                   ForestStrategy strategy);
+inline SpanningForest BuildSpanningForest(const DiGraph& dag) {
+  return BuildSpanningForest(dag, ForestStrategy::kDfs);
+}
+
+}  // namespace gsr
+
+#endif  // GSR_GRAPH_SPANNING_FOREST_H_

@@ -1,0 +1,50 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+
+namespace gsr {
+
+bool BfsTraversal::CanReach(VertexId from, VertexId to) {
+  bool found = false;
+  ForEachReachable(from, [&](VertexId v) {
+    if (v == to) {
+      found = true;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+std::vector<VertexId> BfsTraversal::CollectReachable(VertexId from) {
+  std::vector<VertexId> out;
+  ForEachReachable(from, [&out](VertexId v) {
+    out.push_back(v);
+    return true;
+  });
+  return out;
+}
+
+std::vector<VertexId> TopologicalOrder(const DiGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<uint32_t> in_degree(n);
+  std::vector<VertexId> order;
+  order.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    in_degree[v] = graph.InDegree(v);
+    if (in_degree[v] == 0) order.push_back(v);
+  }
+  for (size_t head = 0; head < order.size(); ++head) {
+    for (const VertexId w : graph.OutNeighbors(order[head])) {
+      if (--in_degree[w] == 0) order.push_back(w);
+    }
+  }
+  if (order.size() != n) return {};  // Cycle detected.
+  return order;
+}
+
+bool IsAcyclic(const DiGraph& graph) {
+  return graph.num_vertices() == 0 || !TopologicalOrder(graph).empty();
+}
+
+}  // namespace gsr

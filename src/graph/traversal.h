@@ -1,0 +1,75 @@
+#ifndef GSR_GRAPH_TRAVERSAL_H_
+#define GSR_GRAPH_TRAVERSAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace gsr {
+
+/// Reusable BFS machinery over a DiGraph. Keeps its visited marks as an
+/// epoch-stamped array so repeated traversals touch only the frontier, not
+/// an O(|V|) reset. This is the online-search baseline ("no offline cost,
+/// O(|V|+|E|) per query") from Section 7.1 and the ground-truth oracle the
+/// tests compare every index against.
+class BfsTraversal {
+ public:
+  /// Binds to `graph`; the graph must outlive the traversal object.
+  explicit BfsTraversal(const DiGraph* graph)
+      : graph_(graph), mark_(graph->num_vertices(), 0) {}
+
+  /// True iff `to` is reachable from `from` (a path of length >= 0, so a
+  /// vertex always reaches itself).
+  bool CanReach(VertexId from, VertexId to);
+
+  /// Invokes `fn(v)` for every vertex reachable from `from` (including
+  /// `from` itself) in BFS order until `fn` returns false. Returns true
+  /// when stopped early.
+  template <typename Fn>
+  bool ForEachReachable(VertexId from, Fn&& fn) {
+    BeginEpoch();
+    queue_.clear();
+    queue_.push_back(from);
+    mark_[from] = epoch_;
+    for (size_t head = 0; head < queue_.size(); ++head) {
+      const VertexId v = queue_[head];
+      if (!fn(v)) return true;
+      for (const VertexId w : graph_->OutNeighbors(v)) {
+        if (mark_[w] != epoch_) {
+          mark_[w] = epoch_;
+          queue_.push_back(w);
+        }
+      }
+    }
+    return false;
+  }
+
+  /// All vertices reachable from `from`, including `from`, in BFS order.
+  std::vector<VertexId> CollectReachable(VertexId from);
+
+ private:
+  void BeginEpoch() {
+    if (++epoch_ == 0) {
+      // Epoch counter wrapped: reset all marks once.
+      std::fill(mark_.begin(), mark_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  const DiGraph* graph_;
+  std::vector<uint32_t> mark_;
+  std::vector<VertexId> queue_;
+  uint32_t epoch_ = 0;
+};
+
+/// One topological order of a DAG (Kahn's algorithm). Returns an empty
+/// vector when `graph` contains a cycle.
+std::vector<VertexId> TopologicalOrder(const DiGraph& graph);
+
+/// True when `graph` has no directed cycle.
+bool IsAcyclic(const DiGraph& graph);
+
+}  // namespace gsr
+
+#endif  // GSR_GRAPH_TRAVERSAL_H_

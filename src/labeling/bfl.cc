@@ -1,0 +1,132 @@
+#include "labeling/bfl.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "graph/traversal.h"
+
+namespace gsr {
+
+namespace {
+
+/// SplitMix64 finalizer: maps a vertex id to its Bloom bit.
+uint64_t HashVertex(VertexId v) {
+  uint64_t x = static_cast<uint64_t>(v) + 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+BflIndex BflIndex::Build(const DiGraph* dag, const Options& options) {
+  GSR_CHECK(dag != nullptr);
+  GSR_CHECK(options.filter_words >= 1);
+  BflIndex index;
+  index.filter_words_ = options.filter_words;
+  index.dag_ = dag;
+  index.forest_ = BuildSpanningForest(*dag);
+
+  const VertexId n = dag->num_vertices();
+  const uint32_t words = options.filter_words;
+  const uint32_t bits = words * 64;
+  index.out_filters_.assign(static_cast<size_t>(n) * words, 0);
+  index.in_filters_.assign(static_cast<size_t>(n) * words, 0);
+  index.mark_.assign(n, 0);
+
+  const std::vector<VertexId> topo = TopologicalOrder(*dag);
+  GSR_CHECK(n == 0 || !topo.empty());  // BFL requires a DAG.
+
+  auto set_bit = [&](std::vector<uint64_t>& filters, VertexId v) {
+    const uint32_t bit = static_cast<uint32_t>(HashVertex(v) % bits);
+    filters[static_cast<size_t>(v) * words + bit / 64] |= 1ULL << (bit % 64);
+  };
+  auto merge_into = [&](std::vector<uint64_t>& filters, VertexId dst,
+                        VertexId src) {
+    for (uint32_t w = 0; w < words; ++w) {
+      filters[static_cast<size_t>(dst) * words + w] |=
+          filters[static_cast<size_t>(src) * words + w];
+    }
+  };
+
+  // Out-sets: successors must be finished first -> reverse topological.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const VertexId v = *it;
+    set_bit(index.out_filters_, v);
+    for (const VertexId w : dag->OutNeighbors(v)) {
+      merge_into(index.out_filters_, v, w);
+    }
+  }
+  // In-sets: predecessors first -> topological order.
+  for (const VertexId v : topo) {
+    set_bit(index.in_filters_, v);
+    for (const VertexId w : dag->OutNeighbors(v)) {
+      merge_into(index.in_filters_, w, v);
+    }
+  }
+  return index;
+}
+
+bool BflIndex::FilterContains(const std::vector<uint64_t>& filters, VertexId a,
+                              VertexId b) const {
+  const uint64_t* fa = filters.data() + static_cast<size_t>(a) * filter_words_;
+  const uint64_t* fb = filters.data() + static_cast<size_t>(b) * filter_words_;
+  for (uint32_t w = 0; w < filter_words_; ++w) {
+    if ((fb[w] & ~fa[w]) != 0) return false;
+  }
+  return true;
+}
+
+bool BflIndex::CanReach(VertexId from, VertexId to) const {
+  if (InSubtree(from, to)) {
+    ++counters_.tree_hits;
+    return true;
+  }
+  // u reaches v  =>  out(u) ⊇ out(v) and in(v) ⊇ in(u); the contrapositive
+  // gives instant negatives.
+  if (!FilterContains(out_filters_, from, to) ||
+      !FilterContains(in_filters_, to, from)) {
+    ++counters_.filter_rejects;
+    return false;
+  }
+  ++counters_.dfs_fallbacks;
+  return PrunedDfs(from, to);
+}
+
+bool BflIndex::PrunedDfs(VertexId from, VertexId to) const {
+  if (++epoch_ == 0) {
+    std::fill(mark_.begin(), mark_.end(), 0);
+    epoch_ = 1;
+  }
+  stack_.clear();
+  stack_.push_back(from);
+  mark_[from] = epoch_;
+  while (!stack_.empty()) {
+    const VertexId v = stack_.back();
+    stack_.pop_back();
+    if (InSubtree(v, to)) return true;  // Covers v == to as well.
+    for (const VertexId w : dag_->OutNeighbors(v)) {
+      if (mark_[w] == epoch_) continue;
+      mark_[w] = epoch_;
+      // Prune w when its labels prove it cannot reach `to`.
+      if (!FilterContains(out_filters_, w, to) ||
+          !FilterContains(in_filters_, to, w)) {
+        continue;
+      }
+      stack_.push_back(w);
+    }
+  }
+  return false;
+}
+
+size_t BflIndex::SizeBytes() const {
+  size_t total = sizeof(*this);
+  total += (out_filters_.size() + in_filters_.size()) * sizeof(uint64_t);
+  total += forest_.parent.size() * sizeof(VertexId);
+  total += forest_.post.size() * sizeof(uint32_t);
+  total += forest_.vertex_of_post.size() * sizeof(VertexId);
+  total += forest_.min_post_subtree.size() * sizeof(uint32_t);
+  return total;
+}
+
+}  // namespace gsr

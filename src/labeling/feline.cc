@@ -1,0 +1,90 @@
+#include "labeling/feline.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+#include "common/check.h"
+
+namespace gsr {
+
+namespace {
+
+/// Kahn's algorithm with a priority queue over the ready set; `prefer_max`
+/// flips the tie-breaking so the two produced orders disagree wherever the
+/// DAG leaves freedom.
+std::vector<uint32_t> TopologicalRank(const DiGraph& dag, bool prefer_max) {
+  const VertexId n = dag.num_vertices();
+  std::vector<uint32_t> in_degree(n);
+  std::vector<uint32_t> rank(n, 0);
+
+  auto push_order = [prefer_max](VertexId a, VertexId b) {
+    return prefer_max ? a < b : a > b;  // priority_queue pops the "largest".
+  };
+  std::priority_queue<VertexId, std::vector<VertexId>,
+                      std::function<bool(VertexId, VertexId)>>
+      ready(push_order);
+
+  for (VertexId v = 0; v < n; ++v) {
+    in_degree[v] = dag.InDegree(v);
+    if (in_degree[v] == 0) ready.push(v);
+  }
+  uint32_t next_rank = 0;
+  while (!ready.empty()) {
+    const VertexId v = ready.top();
+    ready.pop();
+    rank[v] = next_rank++;
+    for (const VertexId w : dag.OutNeighbors(v)) {
+      if (--in_degree[w] == 0) ready.push(w);
+    }
+  }
+  GSR_CHECK(next_rank == n);  // Feline requires a DAG.
+  return rank;
+}
+
+}  // namespace
+
+FelineIndex FelineIndex::Build(const DiGraph* dag) {
+  GSR_CHECK(dag != nullptr);
+  FelineIndex index;
+  index.dag_ = dag;
+  index.x_ = TopologicalRank(*dag, /*prefer_max=*/false);
+  index.y_ = TopologicalRank(*dag, /*prefer_max=*/true);
+  index.mark_.assign(dag->num_vertices(), 0);
+  return index;
+}
+
+bool FelineIndex::CanReach(VertexId from, VertexId to) const {
+  if (from == to) return true;
+  // Reachability implies dominance in both topological coordinates.
+  if (!Dominates(from, to)) {
+    ++counters_.dominance_rejects;
+    return false;
+  }
+  ++counters_.dfs_fallbacks;
+  return GuidedDfs(from, to);
+}
+
+bool FelineIndex::GuidedDfs(VertexId from, VertexId to) const {
+  if (++epoch_ == 0) {
+    std::fill(mark_.begin(), mark_.end(), 0);
+    epoch_ = 1;
+  }
+  stack_.clear();
+  stack_.push_back(from);
+  mark_[from] = epoch_;
+  while (!stack_.empty()) {
+    const VertexId v = stack_.back();
+    stack_.pop_back();
+    for (const VertexId w : dag_->OutNeighbors(v)) {
+      if (w == to) return true;
+      if (mark_[w] == epoch_) continue;
+      mark_[w] = epoch_;
+      // Only children that still dominate the target can lead to it.
+      if (Dominates(w, to)) stack_.push_back(w);
+    }
+  }
+  return false;
+}
+
+}  // namespace gsr

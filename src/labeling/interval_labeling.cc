@@ -1,0 +1,80 @@
+#include "labeling/interval_labeling.h"
+
+#include "common/check.h"
+
+namespace gsr {
+
+IntervalLabeling IntervalLabeling::Build(const DiGraph& dag,
+                                         const Options& options) {
+  IntervalLabeling labeling;
+  const VertexId n = dag.num_vertices();
+
+  // Step 1: spanning forest + post-order numbers (Algorithm 1, lines 1-4).
+  labeling.forest_ = BuildSpanningForest(dag, options.forest_strategy);
+  const SpanningForest& forest = labeling.forest_;
+  labeling.stats_.forest_trees = forest.roots.size();
+
+  // Step 2 (lines 5-18): L(v) is initialized with [post(v), post(v)] and
+  // the priority-queue traversal then copies every tree descendant's
+  // singleton into v. The post numbers of v's subtree are exactly the
+  // contiguous range [min_post_subtree(v), post(v)], so the covered set is
+  // materialized directly.
+  labeling.labels_.resize(n);
+  std::vector<LabelSet>& labels = labeling.labels_;
+  for (VertexId v = 0; v < n; ++v) {
+    labels[v].Insert(Interval{forest.min_post_subtree[v], forest.post[v]});
+  }
+
+  // Propagates `source`'s labels to the forest ancestors of `v` (lines
+  // 14-15 / 23-24). The climb stops as soon as an ancestor's covered set
+  // does not grow: by induction every label ever added to a vertex was
+  // itself climbed upward, so all higher ancestors cover it too.
+  auto propagate_to_ancestors = [&labels, &forest](VertexId v,
+                                                   const LabelSet& source) {
+    for (VertexId w = forest.parent[v]; w != kInvalidVertex;
+         w = forest.parent[w]) {
+      if (!labels[w].UnionWith(source)) break;
+    }
+  };
+
+  // Step 3: non-spanning edges in ascending source post-order, i.e.
+  // reverse topological order, so L(u) is already complete when edge
+  // (v, u) is examined (lines 19-24). BuildSpanningForest pre-sorted them.
+  labeling.stats_.non_tree_edges = forest.non_tree_edges.size();
+  for (const auto& [v, u] : forest.non_tree_edges) {
+    labels[v].UnionWith(labels[u]);
+    propagate_to_ancestors(v, labels[v]);
+  }
+
+  // Accounting: the literal algorithm holds one singleton per distinct
+  // descendant post value before compressing (lines 25-26).
+  for (VertexId v = 0; v < n; ++v) {
+    labeling.stats_.uncompressed_labels += labels[v].CoveredValues();
+    labeling.stats_.compressed_labels += labels[v].size();
+    labels[v].ShrinkToFit();
+  }
+  return labeling;
+}
+
+std::vector<VertexId> IntervalLabeling::Descendants(VertexId v) const {
+  std::vector<VertexId> out;
+  ForEachDescendant(v, [&out](VertexId u) {
+    out.push_back(u);
+    return true;
+  });
+  return out;
+}
+
+size_t IntervalLabeling::SizeBytes() const {
+  size_t total = sizeof(*this);
+  for (const LabelSet& set : labels_) {
+    total += sizeof(LabelSet) + set.SizeBytes();
+  }
+  total += forest_.parent.size() * sizeof(VertexId);
+  total += forest_.post.size() * sizeof(uint32_t);
+  total += forest_.vertex_of_post.size() * sizeof(VertexId);
+  total += forest_.min_post_subtree.size() * sizeof(uint32_t);
+  return total;
+}
+
+}  // namespace gsr

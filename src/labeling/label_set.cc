@@ -1,0 +1,128 @@
+#include "labeling/label_set.h"
+
+#include <algorithm>
+
+namespace gsr {
+
+namespace {
+
+/// True when `a` and `b` overlap or touch in the dense integer domain.
+/// 64-bit arithmetic avoids overflow at hi == UINT32_MAX.
+bool MergeableWith(const Interval& a, const Interval& b) {
+  return static_cast<uint64_t>(a.lo) <= static_cast<uint64_t>(b.hi) + 1 &&
+         static_cast<uint64_t>(b.lo) <= static_cast<uint64_t>(a.hi) + 1;
+}
+
+}  // namespace
+
+bool LabelSet::Insert(const Interval& interval) {
+  GSR_DCHECK(interval.lo <= interval.hi);
+  // First interval that ends at or after (interval.lo - 1): candidates for
+  // merging start here.
+  const auto first = std::lower_bound(
+      intervals_.begin(), intervals_.end(), interval,
+      [](const Interval& a, const Interval& b) {
+        // a entirely before b, not even adjacent.
+        return static_cast<uint64_t>(a.hi) + 1 < b.lo;
+      });
+  if (first == intervals_.end()) {
+    intervals_.push_back(interval);
+    return true;
+  }
+  if (first->Subsumes(interval)) return false;
+
+  // Merge [interval] with the run of mergeable intervals starting at first.
+  Interval merged = interval;
+  auto last = first;
+  while (last != intervals_.end() && MergeableWith(*last, merged)) {
+    merged.lo = std::min(merged.lo, last->lo);
+    merged.hi = std::max(merged.hi, last->hi);
+    ++last;
+  }
+  if (last == first) {
+    // No overlap: plain insertion before `first`.
+    intervals_.insert(first, interval);
+    return true;
+  }
+  *first = merged;
+  intervals_.erase(first + 1, last);
+  return true;
+}
+
+bool LabelSet::UnionWith(const LabelSet& other) {
+  if (other.empty()) return false;
+  if (empty()) {
+    intervals_ = other.intervals_;
+    return true;
+  }
+  if (other.size() == 1) return Insert(other.intervals_.front());
+
+  // General case: linear merge of two normalized lists.
+  std::vector<Interval> merged;
+  merged.reserve(intervals_.size() + other.intervals_.size());
+  auto append = [&merged](const Interval& interval) {
+    if (!merged.empty() && MergeableWith(merged.back(), interval)) {
+      merged.back().lo = std::min(merged.back().lo, interval.lo);
+      merged.back().hi = std::max(merged.back().hi, interval.hi);
+    } else {
+      merged.push_back(interval);
+    }
+  };
+  size_t i = 0;
+  size_t j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    if (intervals_[i] < other.intervals_[j]) {
+      append(intervals_[i++]);
+    } else {
+      append(other.intervals_[j++]);
+    }
+  }
+  while (i < intervals_.size()) append(intervals_[i++]);
+  while (j < other.intervals_.size()) append(other.intervals_[j++]);
+
+  if (merged == intervals_) return false;
+  intervals_ = std::move(merged);
+  return true;
+}
+
+bool LabelSet::Contains(uint32_t value) const {
+  // Normalized: only the last interval with lo <= value can contain it.
+  const auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), value,
+      [](uint32_t v, const Interval& interval) { return v < interval.lo; });
+  return it != intervals_.begin() && std::prev(it)->hi >= value;
+}
+
+bool LabelSet::Covers(const LabelSet& other) const {
+  size_t i = 0;
+  for (const Interval& interval : other.intervals_) {
+    while (i < intervals_.size() && intervals_[i].hi < interval.lo) ++i;
+    if (i == intervals_.size() || !intervals_[i].Subsumes(interval)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t LabelSet::CoveredValues() const {
+  uint64_t total = 0;
+  for (const Interval& interval : intervals_) {
+    total += static_cast<uint64_t>(interval.hi) - interval.lo + 1;
+  }
+  return total;
+}
+
+std::string LabelSet::ToString() const {
+  std::string out;
+  for (const Interval& interval : intervals_) {
+    if (!out.empty()) out += ' ';
+    out += '[';
+    out += std::to_string(interval.lo);
+    out += ',';
+    out += std::to_string(interval.hi);
+    out += ']';
+  }
+  return out.empty() ? "(empty)" : out;
+}
+
+}  // namespace gsr

@@ -1,0 +1,88 @@
+#ifndef GSR_LABELING_LABEL_SET_H_
+#define GSR_LABELING_LABEL_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace gsr {
+
+/// One interval label [lo, hi] over the post-order-number domain.
+struct Interval {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+
+  bool Contains(uint32_t value) const { return lo <= value && value <= hi; }
+
+  /// True when this interval fully covers `other`.
+  bool Subsumes(const Interval& other) const {
+    return lo <= other.lo && other.hi <= hi;
+  }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+  friend bool operator<(const Interval& a, const Interval& b) {
+    if (a.lo != b.lo) return a.lo < b.lo;
+    return a.hi < b.hi;
+  }
+};
+
+/// The label set L(v) of one vertex: a set of intervals over the
+/// post-order domain, kept *normalized* at all times — sorted, disjoint,
+/// with overlapping and adjacent intervals merged ([1,4] + [4,5] -> [1,5],
+/// and in the dense integer domain [1,3] + [4,5] -> [1,5] too).
+///
+/// Design note (label accounting): in the literal Algorithm 1 every label
+/// created during construction is a singleton [post(u), post(u)]; the
+/// compression of lines 25-26 is what merges them. A construction-time set
+/// is therefore fully characterized by the post values it covers, which is
+/// what this normalized representation stores — with far better constants
+/// on vertices with millions of descendants. The paper's *uncompressed*
+/// label count is recovered exactly as CoveredValues() (the number of
+/// distinct descendant post values, i.e. singletons before compression)
+/// and the *compressed* count as size().
+class LabelSet {
+ public:
+  LabelSet() = default;
+
+  /// Number of (merged) intervals — the paper's compressed label count.
+  size_t size() const { return intervals_.size(); }
+  bool empty() const { return intervals_.empty(); }
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Inserts one interval, merging with any overlapping or adjacent ones.
+  /// Returns true when the covered set changed.
+  bool Insert(const Interval& interval);
+
+  /// Unions `other` into this set. Returns true when the covered set grew.
+  bool UnionWith(const LabelSet& other);
+
+  /// True when some interval contains `value`. O(log size).
+  bool Contains(uint32_t value) const;
+
+  /// True when every value covered by `other` is covered by this set.
+  bool Covers(const LabelSet& other) const;
+
+  /// Number of post-order values covered — the paper's uncompressed label
+  /// count (one singleton per distinct descendant post value).
+  uint64_t CoveredValues() const;
+
+  /// Renders as "[1,4] [6,6]" for test diagnostics.
+  std::string ToString() const;
+
+  /// Heap bytes used by this set.
+  size_t SizeBytes() const { return intervals_.capacity() * sizeof(Interval); }
+
+  /// Releases excess capacity (called once construction finishes).
+  void ShrinkToFit() { intervals_.shrink_to_fit(); }
+
+  friend bool operator==(const LabelSet&, const LabelSet&) = default;
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace gsr
+
+#endif  // GSR_LABELING_LABEL_SET_H_

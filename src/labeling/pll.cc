@@ -1,0 +1,134 @@
+#include "labeling/pll.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace gsr {
+
+namespace {
+
+/// Sorted-vector intersection test (both sorted ascending).
+bool IntersectsSorted(std::span<const uint32_t> a,
+                      std::span<const uint32_t> b) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+PllIndex PllIndex::Build(const DiGraph& dag) {
+  const VertexId n = dag.num_vertices();
+  PllIndex index;
+
+  // Hub order: descending (in+1)*(out+1) degree product, ties by id —
+  // the standard heuristic putting well-connected vertices first.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&dag](VertexId a, VertexId b) {
+    const uint64_t score_a = static_cast<uint64_t>(dag.InDegree(a) + 1) *
+                             (dag.OutDegree(a) + 1);
+    const uint64_t score_b = static_cast<uint64_t>(dag.InDegree(b) + 1) *
+                             (dag.OutDegree(b) + 1);
+    if (score_a != score_b) return score_a > score_b;
+    return a < b;
+  });
+  index.rank_.assign(n, 0);
+  for (uint32_t r = 0; r < n; ++r) index.rank_[order[r]] = r;
+
+  // Mutable per-vertex label lists during construction.
+  std::vector<std::vector<uint32_t>> in_labels(n);
+  std::vector<std::vector<uint32_t>> out_labels(n);
+
+  auto covered = [&](VertexId from, VertexId to) {
+    return IntersectsSorted(out_labels[from], in_labels[to]);
+  };
+
+  std::vector<uint32_t> mark(n, 0);
+  uint32_t epoch = 0;
+  std::vector<VertexId> queue;
+
+  for (uint32_t r = 0; r < n; ++r) {
+    const VertexId hub = order[r];
+
+    // Forward pruned BFS: hub covers its descendants via L_in.
+    ++epoch;
+    queue.clear();
+    queue.push_back(hub);
+    mark[hub] = epoch;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const VertexId u = queue[head];
+      // Prune when an earlier hub already covers (hub, u); the hub itself
+      // always records its own rank.
+      if (u != hub && covered(hub, u)) continue;
+      in_labels[u].push_back(r);
+      for (const VertexId w : dag.OutNeighbors(u)) {
+        if (mark[w] != epoch) {
+          mark[w] = epoch;
+          queue.push_back(w);
+        }
+      }
+    }
+
+    // Backward pruned BFS: hub covers its ancestors via L_out.
+    ++epoch;
+    queue.clear();
+    queue.push_back(hub);
+    mark[hub] = epoch;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const VertexId u = queue[head];
+      if (u != hub && covered(u, hub)) continue;
+      out_labels[u].push_back(r);
+      for (const VertexId w : dag.InNeighbors(u)) {
+        if (mark[w] != epoch) {
+          mark[w] = epoch;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+
+  // Freeze into CSR storage.
+  auto freeze = [n](const std::vector<std::vector<uint32_t>>& lists,
+                    std::vector<uint64_t>& offsets,
+                    std::vector<uint32_t>& flat) {
+    offsets.assign(n + 1, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      offsets[v + 1] = offsets[v] + lists[v].size();
+    }
+    flat.reserve(offsets[n]);
+    for (VertexId v = 0; v < n; ++v) {
+      flat.insert(flat.end(), lists[v].begin(), lists[v].end());
+    }
+  };
+  freeze(in_labels, index.in_offsets_, index.in_labels_);
+  freeze(out_labels, index.out_offsets_, index.out_labels_);
+  return index;
+}
+
+bool PllIndex::CanReach(VertexId from, VertexId to) const {
+  GSR_DCHECK(from < rank_.size() && to < rank_.size());
+  return IntersectsSorted(OutLabels(from), InLabels(to));
+}
+
+uint64_t PllIndex::TotalLabels() const {
+  return in_labels_.size() + out_labels_.size();
+}
+
+size_t PllIndex::SizeBytes() const {
+  return sizeof(*this) + rank_.size() * sizeof(uint32_t) +
+         (in_offsets_.size() + out_offsets_.size()) * sizeof(uint64_t) +
+         (in_labels_.size() + out_labels_.size()) * sizeof(uint32_t);
+}
+
+}  // namespace gsr

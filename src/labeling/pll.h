@@ -1,0 +1,66 @@
+#ifndef GSR_LABELING_PLL_H_
+#define GSR_LABELING_PLL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace gsr {
+
+/// Pruned 2-hop labeling for reachability (the PLL scheme behind the
+/// original GeoReach paper's SpaReach-PLL baseline [64]).
+///
+/// Vertices are processed as hubs in descending degree order; hub w runs a
+/// *pruned* forward BFS adding its rank to L_in(u) of every newly covered
+/// descendant u, and a pruned backward BFS adding itself to L_out(x) of
+/// every newly covered ancestor x. A BFS branch is cut as soon as the
+/// already-built labels prove the pair covered, which is what keeps the
+/// label sets small. Queries are pure label intersections:
+///
+///   GReach(v, u)  <=>  L_out(v) ∩ L_in(u) ≠ ∅
+///
+/// (both sets contain the vertex's own rank, making the scheme reflexive).
+/// Label-Only: no graph traversal at query time. Input must be a DAG.
+class PllIndex {
+ public:
+  /// Builds the index over `dag` (not retained after construction).
+  static PllIndex Build(const DiGraph& dag);
+
+  /// True iff `to` is reachable from `from` (reflexive).
+  bool CanReach(VertexId from, VertexId to) const;
+
+  /// Total number of labels over all vertices (index "size" in the 2-hop
+  /// literature).
+  uint64_t TotalLabels() const;
+
+  /// Main-memory footprint in bytes.
+  size_t SizeBytes() const;
+
+  /// The hub rank of vertex v (0 = highest-degree hub); exposed for tests.
+  uint32_t RankOf(VertexId v) const { return rank_[v]; }
+
+ private:
+  PllIndex() = default;
+
+  std::span<const uint32_t> InLabels(VertexId v) const {
+    return {in_labels_.data() + in_offsets_[v],
+            in_labels_.data() + in_offsets_[v + 1]};
+  }
+  std::span<const uint32_t> OutLabels(VertexId v) const {
+    return {out_labels_.data() + out_offsets_[v],
+            out_labels_.data() + out_offsets_[v + 1]};
+  }
+
+  std::vector<uint32_t> rank_;  // vertex -> hub rank
+  // CSR label storage, finalized at the end of Build (ranks ascending per
+  // vertex because hubs are processed in rank order).
+  std::vector<uint64_t> in_offsets_;
+  std::vector<uint32_t> in_labels_;
+  std::vector<uint64_t> out_offsets_;
+  std::vector<uint32_t> out_labels_;
+};
+
+}  // namespace gsr
+
+#endif  // GSR_LABELING_PLL_H_

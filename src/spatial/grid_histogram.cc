@@ -1,0 +1,113 @@
+#include "spatial/grid_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gsr {
+
+GridHistogram::GridHistogram(const std::vector<Point2D>& points,
+                             int resolution)
+    : resolution_(resolution) {
+  GSR_CHECK(resolution >= 1);
+  for (const Point2D& p : points) bounds_.Expand(p);
+  if (bounds_.IsEmpty()) bounds_ = Rect(0, 0, 1, 1);
+  // Inflate degenerate axes so boundary-cell overlap fractions stay
+  // meaningful (a zero-extent bounds would clip every query to measure 0).
+  if (bounds_.Width() <= 0.0) bounds_.max_x = bounds_.min_x + 1.0;
+  if (bounds_.Height() <= 0.0) bounds_.max_y = bounds_.min_y + 1.0;
+  cell_w_ = bounds_.Width() / resolution;
+  cell_h_ = bounds_.Height() / resolution;
+  if (cell_w_ <= 0.0) cell_w_ = 1.0;
+  if (cell_h_ <= 0.0) cell_h_ = 1.0;
+
+  std::vector<uint64_t> counts(
+      static_cast<size_t>(resolution) * static_cast<size_t>(resolution), 0);
+  auto cell_index = [this](double value, double origin, double width) {
+    const double f = (value - origin) / width;
+    int idx = static_cast<int>(f);
+    return std::clamp(idx, 0, resolution_ - 1);
+  };
+  for (const Point2D& p : points) {
+    const int ix = cell_index(p.x, bounds_.min_x, cell_w_);
+    const int iy = cell_index(p.y, bounds_.min_y, cell_h_);
+    ++counts[static_cast<size_t>(iy) * resolution_ + ix];
+  }
+  total_ = points.size();
+
+  // Inclusive 2-D prefix sums.
+  prefix_.assign(counts.size(), 0);
+  for (int iy = 0; iy < resolution_; ++iy) {
+    uint64_t row = 0;
+    for (int ix = 0; ix < resolution_; ++ix) {
+      row += counts[static_cast<size_t>(iy) * resolution_ + ix];
+      prefix_[static_cast<size_t>(iy) * resolution_ + ix] =
+          row + (iy > 0 ? prefix_[static_cast<size_t>(iy - 1) * resolution_ + ix]
+                        : 0);
+    }
+  }
+}
+
+uint64_t GridHistogram::PrefixAt(int ix, int iy) const {
+  if (ix < 0 || iy < 0) return 0;
+  ix = std::min(ix, resolution_ - 1);
+  iy = std::min(iy, resolution_ - 1);
+  return prefix_[static_cast<size_t>(iy) * resolution_ + ix];
+}
+
+double GridHistogram::EstimateCount(const Rect& query) const {
+  if (query.IsEmpty() || !query.Intersects(bounds_)) return 0.0;
+  const double qx0 = std::max(query.min_x, bounds_.min_x);
+  const double qy0 = std::max(query.min_y, bounds_.min_y);
+  const double qx1 = std::min(query.max_x, bounds_.max_x);
+  const double qy1 = std::min(query.max_y, bounds_.max_y);
+
+  const int ix0 = std::clamp(
+      static_cast<int>((qx0 - bounds_.min_x) / cell_w_), 0, resolution_ - 1);
+  const int iy0 = std::clamp(
+      static_cast<int>((qy0 - bounds_.min_y) / cell_h_), 0, resolution_ - 1);
+  const int ix1 = std::clamp(
+      static_cast<int>((qx1 - bounds_.min_x) / cell_w_), 0, resolution_ - 1);
+  const int iy1 = std::clamp(
+      static_cast<int>((qy1 - bounds_.min_y) / cell_h_), 0, resolution_ - 1);
+
+  auto cell_count = [this](int ix, int iy) -> uint64_t {
+    return PrefixAt(ix, iy) - PrefixAt(ix - 1, iy) - PrefixAt(ix, iy - 1) +
+           PrefixAt(ix - 1, iy - 1);
+  };
+  auto overlap_fraction = [&](int ix, int iy) {
+    const double cx0 = bounds_.min_x + ix * cell_w_;
+    const double cy0 = bounds_.min_y + iy * cell_h_;
+    const double ox = std::max(
+        0.0, std::min(qx1, cx0 + cell_w_) - std::max(qx0, cx0));
+    const double oy = std::max(
+        0.0, std::min(qy1, cy0 + cell_h_) - std::max(qy0, cy0));
+    return (ox / cell_w_) * (oy / cell_h_);
+  };
+
+  double estimate = 0.0;
+  // Fully covered interior block in O(1) via prefix sums.
+  const int fx0 = ix0 + 1;
+  const int fy0 = iy0 + 1;
+  const int fx1 = ix1 - 1;
+  const int fy1 = iy1 - 1;
+  if (fx0 <= fx1 && fy0 <= fy1) {
+    estimate += static_cast<double>(PrefixAt(fx1, fy1) -
+                                    PrefixAt(fx0 - 1, fy1) -
+                                    PrefixAt(fx1, fy0 - 1) +
+                                    PrefixAt(fx0 - 1, fy0 - 1));
+  }
+  // Boundary cells, weighted by area overlap.
+  for (int ix = ix0; ix <= ix1; ++ix) {
+    for (int iy = iy0; iy <= iy1; ++iy) {
+      const bool interior = ix >= fx0 && ix <= fx1 && iy >= fy0 && iy <= fy1;
+      if (interior) continue;
+      estimate +=
+          static_cast<double>(cell_count(ix, iy)) * overlap_fraction(ix, iy);
+    }
+  }
+  return estimate;
+}
+
+}  // namespace gsr

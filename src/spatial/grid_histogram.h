@@ -1,0 +1,49 @@
+#ifndef GSR_SPATIAL_GRID_HISTOGRAM_H_
+#define GSR_SPATIAL_GRID_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/geometry.h"
+
+namespace gsr {
+
+/// A uniform-grid equi-width histogram over a point set, with prefix sums
+/// for O(1) rectangle-count estimation. The workload generator uses it to
+/// size query regions for a target spatial selectivity before refining with
+/// the exact R-tree count.
+class GridHistogram {
+ public:
+  /// Builds a `resolution x resolution` histogram over the MBR of `points`.
+  GridHistogram(const std::vector<Point2D>& points, int resolution);
+
+  const Rect& bounds() const { return bounds_; }
+  int resolution() const { return resolution_; }
+  uint64_t total_count() const { return total_; }
+
+  /// Estimated number of points inside `query`, using partial-cell
+  /// area-fraction interpolation at the boundary.
+  double EstimateCount(const Rect& query) const;
+
+  /// Estimated selectivity of `query` as a fraction of all points.
+  double EstimateSelectivity(const Rect& query) const {
+    if (total_ == 0) return 0.0;
+    return EstimateCount(query) / static_cast<double>(total_);
+  }
+
+ private:
+  /// Exact count of points in the cell block [0..ix] x [0..iy] via the
+  /// inclusive 2-D prefix-sum table.
+  uint64_t PrefixAt(int ix, int iy) const;
+
+  Rect bounds_;
+  int resolution_;
+  double cell_w_ = 1.0;
+  double cell_h_ = 1.0;
+  uint64_t total_ = 0;
+  std::vector<uint64_t> prefix_;  // (resolution x resolution), row-major
+};
+
+}  // namespace gsr
+
+#endif  // GSR_SPATIAL_GRID_HISTOGRAM_H_

@@ -1,0 +1,111 @@
+#include "spatial/hierarchical_grid.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace gsr {
+
+std::string GridCell::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "L%u(%u,%u)", level, ix, iy);
+  return buf;
+}
+
+HierarchicalGrid::HierarchicalGrid(const Rect& space, int depth)
+    : space_(space), depth_(depth) {
+  GSR_CHECK(!space.IsEmpty());
+  GSR_CHECK(depth >= 0 && depth <= 27);
+  const double cells = static_cast<double>(1u << depth);
+  cell_width_ = space.Width() / cells;
+  cell_height_ = space.Height() / cells;
+  // Degenerate (zero-extent) spaces still need nonzero cell sizes so that
+  // Locate() stays well-defined.
+  if (cell_width_ <= 0.0) cell_width_ = 1.0;
+  if (cell_height_ <= 0.0) cell_height_ = 1.0;
+}
+
+GridCell HierarchicalGrid::Locate(const Point2D& p, int level) const {
+  GSR_DCHECK(level >= 0 && level <= depth_);
+  const uint32_t per_axis = CellsPerAxis(level);
+  const double w = cell_width_ * static_cast<double>(1u << level);
+  const double h = cell_height_ * static_cast<double>(1u << level);
+  auto clamp_index = [per_axis](double value) {
+    if (value < 0.0) return 0u;
+    const uint32_t idx = static_cast<uint32_t>(value);
+    return std::min(idx, per_axis - 1);
+  };
+  return GridCell{static_cast<uint8_t>(level),
+                  clamp_index((p.x - space_.min_x) / w),
+                  clamp_index((p.y - space_.min_y) / h)};
+}
+
+Rect HierarchicalGrid::CellRect(const GridCell& cell) const {
+  const double w = cell_width_ * static_cast<double>(1u << cell.level);
+  const double h = cell_height_ * static_cast<double>(1u << cell.level);
+  const double x0 = space_.min_x + w * cell.ix;
+  const double y0 = space_.min_y + h * cell.iy;
+  return Rect(x0, y0, x0 + w, y0 + h);
+}
+
+bool HierarchicalGrid::Covers(const GridCell& a, const GridCell& b) const {
+  if (a.level < b.level) return false;
+  const uint32_t shift = a.level - b.level;
+  return (b.ix >> shift) == a.ix && (b.iy >> shift) == a.iy;
+}
+
+std::vector<GridCell> HierarchicalGrid::MergeCells(std::vector<GridCell> cells,
+                                                   int merge_count) const {
+  GSR_CHECK(merge_count >= 0);
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+
+  // Bottom-up pass: replace quad-sibling groups larger than merge_count by
+  // their parent. A merge at level l can enable a merge at level l+1, so we
+  // sweep level by level.
+  for (int level = 0; level < depth_; ++level) {
+    // Group this level's cells by parent.
+    std::map<uint64_t, std::vector<size_t>> by_parent;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i].level != level) continue;
+      by_parent[Parent(cells[i]).Pack()].push_back(i);
+    }
+    std::vector<bool> drop(cells.size(), false);
+    std::vector<GridCell> promoted;
+    for (const auto& [parent_key, members] : by_parent) {
+      if (static_cast<int>(members.size()) <= merge_count) continue;
+      for (size_t idx : members) drop[idx] = true;
+      promoted.push_back(
+          GridCell{static_cast<uint8_t>(level + 1),
+                   static_cast<uint32_t>((parent_key >> 0) & 0x0FFFFFFF),
+                   static_cast<uint32_t>((parent_key >> 28) & 0x0FFFFFFF)});
+    }
+    if (promoted.empty()) continue;
+    std::vector<GridCell> next;
+    next.reserve(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (!drop[i]) next.push_back(cells[i]);
+    }
+    next.insert(next.end(), promoted.begin(), promoted.end());
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    cells = std::move(next);
+  }
+
+  // Remove cells covered by a coarser cell in the set.
+  std::vector<GridCell> result;
+  result.reserve(cells.size());
+  for (const GridCell& c : cells) {
+    bool covered = false;
+    for (const GridCell& other : cells) {
+      if (other.level > c.level && Covers(other, c)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) result.push_back(c);
+  }
+  return result;
+}
+
+}  // namespace gsr

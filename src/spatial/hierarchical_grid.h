@@ -1,0 +1,96 @@
+#ifndef GSR_SPATIAL_HIERARCHICAL_GRID_H_
+#define GSR_SPATIAL_HIERARCHICAL_GRID_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "geometry/geometry.h"
+
+namespace gsr {
+
+/// Identifier of a cell in a HierarchicalGrid. Level 0 is the finest
+/// partitioning; each level up merges 2x2 quad-cells into one.
+struct GridCell {
+  uint8_t level = 0;
+  uint32_t ix = 0;
+  uint32_t iy = 0;
+
+  friend bool operator==(const GridCell&, const GridCell&) = default;
+
+  /// Total order used to keep cell sets sorted: by level, then iy, then ix.
+  friend bool operator<(const GridCell& a, const GridCell& b) {
+    if (a.level != b.level) return a.level < b.level;
+    if (a.iy != b.iy) return a.iy < b.iy;
+    return a.ix < b.ix;
+  }
+
+  /// Packs into a single integer (handy as a hash/map key).
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(level) << 56) |
+           (static_cast<uint64_t>(iy) << 28) | static_cast<uint64_t>(ix);
+  }
+
+  std::string ToString() const;
+};
+
+/// The hierarchical (quad) grid GeoReach partitions the space with.
+///
+/// Level 0 splits the space into 2^depth x 2^depth cells; level `l` has
+/// 2^(depth-l) cells per axis; level `depth` is a single cell covering the
+/// whole space. Matches the pyramid of Sarwat & Sun's SPA-Graph, where a
+/// ReachGrid may mix cells from different levels.
+class HierarchicalGrid {
+ public:
+  /// Builds a grid pyramid over `space` with 2^depth cells per axis at the
+  /// finest level. `depth` must be in [0, 27] (cell indices fit 28 bits).
+  HierarchicalGrid(const Rect& space, int depth);
+
+  const Rect& space() const { return space_; }
+  int depth() const { return depth_; }
+
+  /// Number of levels (depth + 1, counting the single-cell top level).
+  int num_levels() const { return depth_ + 1; }
+
+  /// Cells per axis at `level`.
+  uint32_t CellsPerAxis(int level) const {
+    GSR_DCHECK(level >= 0 && level <= depth_);
+    return 1u << (depth_ - level);
+  }
+
+  /// The level-`level` cell containing point `p`. Points outside the space
+  /// are clamped to the boundary cells.
+  GridCell Locate(const Point2D& p, int level) const;
+
+  /// The spatial extent of a cell.
+  Rect CellRect(const GridCell& cell) const;
+
+  /// The cell one level up containing `cell`. `cell.level` must be < depth.
+  GridCell Parent(const GridCell& cell) const {
+    GSR_DCHECK(cell.level < depth_);
+    return GridCell{static_cast<uint8_t>(cell.level + 1), cell.ix / 2,
+                    cell.iy / 2};
+  }
+
+  /// True when `a` covers `b` (same cell, or `a` is an ancestor of `b`).
+  bool Covers(const GridCell& a, const GridCell& b) const;
+
+  /// Merges quad-siblings in a sorted, deduplicated cell set bottom-up: if
+  /// more than `merge_count` of the 4 children of a parent cell are present
+  /// at some level, they are replaced by the parent cell (GeoReach's
+  /// MERGE_COUNT policy). Also removes cells covered by coarser cells
+  /// already in the set. Returns the canonicalized set, sorted.
+  std::vector<GridCell> MergeCells(std::vector<GridCell> cells,
+                                   int merge_count) const;
+
+ private:
+  Rect space_;
+  int depth_;
+  double cell_width_;   // level-0 cell width
+  double cell_height_;  // level-0 cell height
+};
+
+}  // namespace gsr
+
+#endif  // GSR_SPATIAL_HIERARCHICAL_GRID_H_

@@ -1,0 +1,353 @@
+#include "spatial/rtree.h"
+
+#include <cmath>
+#include <cstddef>
+
+namespace gsr {
+
+template <typename BoxT, typename LeafT>
+void RTree<BoxT, LeafT>::Insert(const LeafT& geom, uint64_t id) {
+  if (root_ == kNoNode) {
+    root_ = NewNode(/*is_leaf=*/true);
+    height_ = 1;
+  }
+  SplitResult result = InsertRecursive(root_, geom, id);
+  if (result.split) {
+    // Grow the tree: a new root adopts the old root and its new sibling.
+    const uint32_t old_root = root_;
+    const uint32_t new_root = NewNode(/*is_leaf=*/false);
+    Node& node = nodes_[new_root];
+    node.children = {old_root, result.new_node};
+    node.boxes = {nodes_[old_root].mbr, nodes_[result.new_node].mbr};
+    RecomputeMbr(node);
+    root_ = new_root;
+    ++height_;
+  }
+  ++size_;
+}
+
+template <typename BoxT, typename LeafT>
+typename RTree<BoxT, LeafT>::SplitResult RTree<BoxT, LeafT>::InsertRecursive(
+    uint32_t node_idx, const LeafT& geom, uint64_t id) {
+  const BoxT box = GeomToBox(geom);
+  if (nodes_[node_idx].is_leaf) {
+    Node& leaf = nodes_[node_idx];
+    leaf.geoms.push_back(geom);
+    leaf.ids.push_back(id);
+    leaf.mbr.Expand(box);
+    if (leaf.count() > options_.max_entries) {
+      return SplitResult{true, SplitNode(node_idx)};
+    }
+    return SplitResult{};
+  }
+
+  const int slot = ChooseSubtree(nodes_[node_idx], box);
+  const uint32_t child_idx = nodes_[node_idx].children[slot];
+  const SplitResult child_split = InsertRecursive(child_idx, geom, id);
+
+  // nodes_ may have been reallocated by descendant splits; re-acquire.
+  nodes_[node_idx].boxes[slot] = nodes_[child_idx].mbr;
+  if (child_split.split) {
+    Node& node = nodes_[node_idx];
+    node.children.push_back(child_split.new_node);
+    node.boxes.push_back(nodes_[child_split.new_node].mbr);
+    if (node.count() > options_.max_entries) {
+      return SplitResult{true, SplitNode(node_idx)};
+    }
+  }
+  RecomputeMbr(nodes_[node_idx]);
+  return SplitResult{};
+}
+
+template <typename BoxT, typename LeafT>
+int RTree<BoxT, LeafT>::ChooseSubtree(const Node& node,
+                                      const BoxT& box) const {
+  GSR_DCHECK(!node.is_leaf);
+  int best = 0;
+  double best_enlargement = std::numeric_limits<double>::infinity();
+  double best_measure = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < node.count(); ++i) {
+    BoxT merged = node.boxes[i];
+    merged.Expand(box);
+    const double measure = Measure(node.boxes[i]);
+    const double enlargement = Measure(merged) - measure;
+    if (enlargement < best_enlargement ||
+        (enlargement == best_enlargement && measure < best_measure)) {
+      best = i;
+      best_enlargement = enlargement;
+      best_measure = measure;
+    }
+  }
+  return best;
+}
+
+template <typename BoxT, typename LeafT>
+void RTree<BoxT, LeafT>::PickSeeds(const std::vector<BoxT>& boxes,
+                                   int* seed_a, int* seed_b) const {
+  // Guttman's quadratic PickSeeds: the pair wasting the most area together.
+  double worst = -std::numeric_limits<double>::infinity();
+  *seed_a = 0;
+  *seed_b = 1;
+  const int n = static_cast<int>(boxes.size());
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      BoxT merged = boxes[i];
+      merged.Expand(boxes[j]);
+      const double waste =
+          Measure(merged) - Measure(boxes[i]) - Measure(boxes[j]);
+      if (waste > worst) {
+        worst = waste;
+        *seed_a = i;
+        *seed_b = j;
+      }
+    }
+  }
+}
+
+template <typename BoxT, typename LeafT>
+uint32_t RTree<BoxT, LeafT>::SplitNode(uint32_t node_idx) {
+  const uint32_t new_idx = NewNode(nodes_[node_idx].is_leaf);
+  Node& node = nodes_[node_idx];
+  Node& sibling = nodes_[new_idx];
+
+  const int total = node.count();
+  const bool is_leaf = node.is_leaf;
+
+  // Entry bounding boxes drive the split decisions for both node kinds.
+  std::vector<BoxT> boxes;
+  boxes.reserve(total);
+  for (int i = 0; i < total; ++i) boxes.push_back(node.EntryBox(i));
+
+  int seed_a = 0;
+  int seed_b = 1;
+  PickSeeds(boxes, &seed_a, &seed_b);
+
+  std::vector<BoxT> child_boxes = std::move(node.boxes);
+  std::vector<uint32_t> children = std::move(node.children);
+  std::vector<LeafT> geoms = std::move(node.geoms);
+  std::vector<uint64_t> ids = std::move(node.ids);
+  node.boxes.clear();
+  node.children.clear();
+  node.geoms.clear();
+  node.ids.clear();
+
+  std::vector<bool> assigned(total, false);
+  auto assign = [&](Node& target, int i) {
+    if (is_leaf) {
+      target.geoms.push_back(geoms[i]);
+      target.ids.push_back(ids[i]);
+    } else {
+      target.boxes.push_back(child_boxes[i]);
+      target.children.push_back(children[i]);
+    }
+    assigned[i] = true;
+  };
+
+  assign(node, seed_a);
+  assign(sibling, seed_b);
+  BoxT mbr_a = boxes[seed_a];
+  BoxT mbr_b = boxes[seed_b];
+
+  int remaining = total - 2;
+  while (remaining > 0) {
+    // If one group needs every remaining entry to reach the minimum fill,
+    // hand the rest over wholesale.
+    if (node.count() + remaining == options_.min_entries ||
+        sibling.count() + remaining == options_.min_entries) {
+      Node& target =
+          (node.count() + remaining == options_.min_entries) ? node : sibling;
+      BoxT& target_mbr = (&target == &node) ? mbr_a : mbr_b;
+      for (int i = 0; i < total; ++i) {
+        if (!assigned[i]) {
+          assign(target, i);
+          target_mbr.Expand(boxes[i]);
+          --remaining;
+        }
+      }
+      break;
+    }
+
+    // PickNext: the entry with the strongest preference for one group.
+    int pick = -1;
+    double best_diff = -1.0;
+    double enlarge_a_pick = 0.0;
+    double enlarge_b_pick = 0.0;
+    for (int i = 0; i < total; ++i) {
+      if (assigned[i]) continue;
+      BoxT ma = mbr_a;
+      ma.Expand(boxes[i]);
+      BoxT mb = mbr_b;
+      mb.Expand(boxes[i]);
+      const double ea = Measure(ma) - Measure(mbr_a);
+      const double eb = Measure(mb) - Measure(mbr_b);
+      const double diff = std::fabs(ea - eb);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+        enlarge_a_pick = ea;
+        enlarge_b_pick = eb;
+      }
+    }
+    GSR_DCHECK(pick >= 0);
+
+    bool to_a;
+    if (enlarge_a_pick != enlarge_b_pick) {
+      to_a = enlarge_a_pick < enlarge_b_pick;
+    } else if (Measure(mbr_a) != Measure(mbr_b)) {
+      to_a = Measure(mbr_a) < Measure(mbr_b);
+    } else {
+      to_a = node.count() <= sibling.count();
+    }
+    if (to_a) {
+      assign(node, pick);
+      mbr_a.Expand(boxes[pick]);
+    } else {
+      assign(sibling, pick);
+      mbr_b.Expand(boxes[pick]);
+    }
+    --remaining;
+  }
+
+  node.mbr = mbr_a;
+  sibling.mbr = mbr_b;
+  return new_idx;
+}
+
+template <typename BoxT, typename LeafT>
+template <typename ItemT, typename EmitFn>
+void RTree<BoxT, LeafT>::StrTile(std::vector<ItemT>& items, size_t lo,
+                                 size_t hi, int dim, int dims, EmitFn&& emit) {
+  const size_t n = hi - lo;
+  const size_t capacity = static_cast<size_t>(options_.max_entries);
+  if (n <= capacity) {
+    emit(lo, hi);
+    return;
+  }
+
+  auto by_center = [dim](const ItemT& a, const ItemT& b) {
+    return CenterAlong(a.first, dim) < CenterAlong(b.first, dim);
+  };
+  std::sort(items.begin() + static_cast<ptrdiff_t>(lo),
+            items.begin() + static_cast<ptrdiff_t>(hi), by_center);
+
+  if (dim >= dims - 1) {
+    // Last dimension: chop the run into consecutive full nodes.
+    for (size_t start = lo; start < hi; start += capacity) {
+      emit(start, std::min(start + capacity, hi));
+    }
+    return;
+  }
+
+  const double nodes_needed =
+      std::ceil(static_cast<double>(n) / static_cast<double>(capacity));
+  const size_t slices = static_cast<size_t>(std::max(
+      1.0, std::ceil(std::pow(nodes_needed,
+                              1.0 / static_cast<double>(dims - dim)))));
+  const size_t slab = (n + slices - 1) / slices;
+  for (size_t start = lo; start < hi; start += slab) {
+    StrTile(items, start, std::min(start + slab, hi), dim + 1, dims, emit);
+  }
+}
+
+template <typename BoxT, typename LeafT>
+void RTree<BoxT, LeafT>::BulkLoad(
+    std::vector<std::pair<LeafT, uint64_t>> entries) {
+  nodes_.clear();
+  root_ = kNoNode;
+  size_ = entries.size();
+  height_ = 0;
+  if (entries.empty()) return;
+
+  const int dims = BoxDims(BoxT());
+  std::vector<uint32_t> level;
+  StrTile(entries, 0, entries.size(), /*dim=*/0, dims,
+          [this, &entries, &level](size_t lo, size_t hi) {
+            const uint32_t leaf_idx = NewNode(/*is_leaf=*/true);
+            Node& leaf = nodes_[leaf_idx];
+            leaf.geoms.reserve(hi - lo);
+            leaf.ids.reserve(hi - lo);
+            for (size_t i = lo; i < hi; ++i) {
+              leaf.geoms.push_back(entries[i].first);
+              leaf.ids.push_back(entries[i].second);
+            }
+            RecomputeMbr(leaf);
+            level.push_back(leaf_idx);
+          });
+  height_ = 1;
+
+  // Build upper levels by STR-tiling the node MBRs until one root remains.
+  while (level.size() > 1) {
+    std::vector<std::pair<BoxT, uint64_t>> items;
+    items.reserve(level.size());
+    for (uint32_t node_idx : level) {
+      items.emplace_back(nodes_[node_idx].mbr, node_idx);
+    }
+    std::vector<uint32_t> parents;
+    StrTile(items, 0, items.size(), /*dim=*/0, dims,
+            [this, &items, &parents](size_t lo, size_t hi) {
+              const uint32_t parent_idx = NewNode(/*is_leaf=*/false);
+              Node& parent = nodes_[parent_idx];
+              parent.boxes.reserve(hi - lo);
+              parent.children.reserve(hi - lo);
+              for (size_t i = lo; i < hi; ++i) {
+                parent.boxes.push_back(items[i].first);
+                parent.children.push_back(
+                    static_cast<uint32_t>(items[i].second));
+              }
+              RecomputeMbr(parent);
+              parents.push_back(parent_idx);
+            });
+    level = std::move(parents);
+    ++height_;
+  }
+  root_ = level.front();
+}
+
+template <typename BoxT, typename LeafT>
+size_t RTree<BoxT, LeafT>::SizeBytes() const {
+  size_t total = sizeof(*this);
+  for (const Node& node : nodes_) {
+    total += sizeof(Node);
+    total += node.boxes.size() * sizeof(BoxT);
+    total += node.children.size() * sizeof(uint32_t);
+    total += node.geoms.size() * sizeof(LeafT);
+    total += node.ids.size() * sizeof(uint64_t);
+  }
+  return total;
+}
+
+template <typename BoxT, typename LeafT>
+bool RTree<BoxT, LeafT>::CheckInvariants() const {
+  if (root_ == kNoNode) return size_ == 0 && height_ == 0;
+  return CheckNode(root_, /*depth=*/1, /*leaf_depth=*/height_);
+}
+
+template <typename BoxT, typename LeafT>
+bool RTree<BoxT, LeafT>::CheckNode(uint32_t node_idx, int depth,
+                                   int leaf_depth) const {
+  const Node& node = nodes_[node_idx];
+  if (node.count() == 0) return false;
+  if (node.count() > options_.max_entries) return false;
+  if (node.is_leaf) {
+    if (depth != leaf_depth) return false;
+    if (node.geoms.size() != node.ids.size()) return false;
+  } else {
+    if (node.boxes.size() != node.children.size()) return false;
+  }
+  for (int i = 0; i < node.count(); ++i) {
+    if (!node.mbr.Contains(node.EntryBox(i))) return false;
+    if (!node.is_leaf) {
+      // The parent's stored box must cover the child's actual MBR.
+      if (!node.boxes[i].Contains(nodes_[node.children[i]].mbr)) return false;
+      if (!CheckNode(node.children[i], depth + 1, leaf_depth)) return false;
+    }
+  }
+  return true;
+}
+
+template class RTree<Rect, Rect>;
+template class RTree<Rect, Point2D>;
+template class RTree<Box3D, Box3D>;
+template class RTree<Box3D, Point3D>;
+
+}  // namespace gsr

@@ -1,0 +1,123 @@
+#include "core/condensed_network.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/traversal.h"
+#include "tests/test_util.h"
+
+namespace gsr {
+namespace {
+
+GeoSocialNetwork TriangleWithVenues() {
+  // Users {0,1,2} form a cycle; venues 3 and 4 hang off it.
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(0, 3);
+  builder.AddEdge(1, 4);
+  auto graph = builder.Build();
+  GSR_CHECK(graph.ok());
+  std::vector<std::optional<Point2D>> points(5);
+  points[3] = Point2D{1, 1};
+  points[4] = Point2D{9, 9};
+  auto network = GeoSocialNetwork::Create(std::move(graph).value(), points);
+  GSR_CHECK(network.ok());
+  return std::move(network).value();
+}
+
+TEST(CondensedNetworkTest, CollapsesCycle) {
+  const GeoSocialNetwork network = TriangleWithVenues();
+  const CondensedNetwork cn(&network);
+  EXPECT_EQ(cn.num_components(), 3u);  // Core + two venues.
+  EXPECT_EQ(cn.ComponentOf(0), cn.ComponentOf(1));
+  EXPECT_EQ(cn.ComponentOf(0), cn.ComponentOf(2));
+  EXPECT_NE(cn.ComponentOf(3), cn.ComponentOf(4));
+  EXPECT_EQ(cn.scc().LargestComponentSize(), 3u);
+}
+
+TEST(CondensedNetworkTest, SpatialMembersAndMbr) {
+  const GeoSocialNetwork network = TriangleWithVenues();
+  const CondensedNetwork cn(&network);
+  const ComponentId core = cn.ComponentOf(0);
+  EXPECT_FALSE(cn.HasSpatialMember(core));
+  EXPECT_TRUE(cn.MbrOf(core).IsEmpty());
+  const ComponentId c3 = cn.ComponentOf(3);
+  ASSERT_TRUE(cn.HasSpatialMember(c3));
+  EXPECT_EQ(cn.SpatialMembersOf(c3).size(), 1u);
+  EXPECT_EQ(cn.SpatialMembersOf(c3)[0], 3u);
+  EXPECT_EQ(cn.MbrOf(c3), Rect::FromPoint(Point2D{1, 1}));
+}
+
+TEST(CondensedNetworkTest, SpatialSccGetsCombinedMbr) {
+  // Two spatial vertices in one SCC: the MBR must cover both points.
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  std::vector<std::optional<Point2D>> points(2);
+  points[0] = Point2D{0, 0};
+  points[1] = Point2D{10, 4};
+  auto network = GeoSocialNetwork::Create(std::move(graph).value(), points);
+  ASSERT_TRUE(network.ok());
+  const CondensedNetwork cn(&*network);
+  EXPECT_EQ(cn.num_components(), 1u);
+  EXPECT_EQ(cn.MbrOf(0), Rect(0, 0, 10, 4));
+  EXPECT_EQ(cn.SpatialMembersOf(0).size(), 2u);
+}
+
+TEST(CondensedNetworkTest, AnyMemberPointIn) {
+  const GeoSocialNetwork network = TriangleWithVenues();
+  const CondensedNetwork cn(&network);
+  const ComponentId c3 = cn.ComponentOf(3);
+  EXPECT_TRUE(cn.AnyMemberPointIn(c3, Rect(0, 0, 2, 2)));
+  EXPECT_FALSE(cn.AnyMemberPointIn(c3, Rect(5, 5, 10, 10)));
+  EXPECT_FALSE(cn.AnyMemberPointIn(cn.ComponentOf(0), Rect(0, 0, 10, 10)));
+}
+
+TEST(CondensedNetworkTest, MembersPartitionVertices) {
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(200, 3.0, 0.5, 23);
+  const CondensedNetwork cn(&network);
+  std::set<VertexId> seen;
+  uint64_t spatial_total = 0;
+  for (ComponentId c = 0; c < cn.num_components(); ++c) {
+    for (const VertexId v : cn.MembersOf(c)) {
+      EXPECT_EQ(cn.ComponentOf(v), c);
+      EXPECT_TRUE(seen.insert(v).second);
+    }
+    for (const VertexId v : cn.SpatialMembersOf(c)) {
+      EXPECT_TRUE(network.IsSpatial(v));
+      EXPECT_EQ(cn.ComponentOf(v), c);
+      EXPECT_TRUE(cn.MbrOf(c).Contains(network.PointOf(v)));
+      ++spatial_total;
+    }
+  }
+  EXPECT_EQ(seen.size(), network.num_vertices());
+  EXPECT_EQ(spatial_total, network.num_spatial_vertices());
+}
+
+TEST(CondensedNetworkTest, DagPreservesReachability) {
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(120, 2.5, 0.3, 31);
+  const CondensedNetwork cn(&network);
+  BfsTraversal bfs_orig(&network.graph());
+  BfsTraversal bfs_dag(&cn.dag());
+  for (VertexId u = 0; u < network.num_vertices(); u += 4) {
+    for (VertexId v = 0; v < network.num_vertices(); v += 6) {
+      EXPECT_EQ(bfs_orig.CanReach(u, v),
+                bfs_dag.CanReach(cn.ComponentOf(u), cn.ComponentOf(v)));
+    }
+  }
+}
+
+TEST(SccSpatialModeTest, Names) {
+  EXPECT_STREQ(SccSpatialModeName(SccSpatialMode::kReplicate), "replicate");
+  EXPECT_STREQ(SccSpatialModeName(SccSpatialMode::kMbr), "mbr");
+}
+
+}  // namespace
+}  // namespace gsr

@@ -1,0 +1,127 @@
+#include "core/condensed_spatial_index.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace gsr {
+namespace {
+
+GeoSocialNetwork TwoVenueSccNetwork() {
+  // Users {0,1} in a cycle; both are ALSO spatial (a venue-operator pair),
+  // plus a free-standing venue 2 — exercises the multi-point-SCC case
+  // where replicate and MBR genuinely differ.
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(0, 2);
+  auto graph = builder.Build();
+  GSR_CHECK(graph.ok());
+  std::vector<std::optional<Point2D>> points(3);
+  points[0] = Point2D{0, 0};
+  points[1] = Point2D{10, 10};
+  points[2] = Point2D{5, 5};
+  auto network = GeoSocialNetwork::Create(std::move(graph).value(), points);
+  GSR_CHECK(network.ok());
+  return std::move(network).value();
+}
+
+TEST(CondensedSpatialIndexTest, ReplicateEmitsOneCandidatePerPoint) {
+  const GeoSocialNetwork network = TwoVenueSccNetwork();
+  const CondensedNetwork cn(&network);
+  const CondensedSpatialIndex index(&cn, SccSpatialMode::kReplicate);
+  std::vector<std::pair<ComponentId, bool>> candidates;
+  index.CollectCandidates(Rect(-1, -1, 11, 11), candidates);
+  // Three points -> three candidates, all pre-verified.
+  EXPECT_EQ(candidates.size(), 3u);
+  for (const auto& [c, verified] : candidates) EXPECT_TRUE(verified);
+}
+
+TEST(CondensedSpatialIndexTest, MbrEmitsOneCandidatePerComponent) {
+  const GeoSocialNetwork network = TwoVenueSccNetwork();
+  const CondensedNetwork cn(&network);
+  const CondensedSpatialIndex index(&cn, SccSpatialMode::kMbr);
+  std::vector<std::pair<ComponentId, bool>> candidates;
+  index.CollectCandidates(Rect(-1, -1, 11, 11), candidates);
+  // Two spatial components: the {0,1} SCC and venue 2.
+  EXPECT_EQ(candidates.size(), 2u);
+  for (const auto& [c, verified] : candidates) {
+    EXPECT_TRUE(verified);  // Region contains both MBRs fully.
+  }
+}
+
+TEST(CondensedSpatialIndexTest, MbrPartialOverlapIsUnverified) {
+  const GeoSocialNetwork network = TwoVenueSccNetwork();
+  const CondensedNetwork cn(&network);
+  const CondensedSpatialIndex index(&cn, SccSpatialMode::kMbr);
+  // Intersects the SCC's MBR [0,10]^2 but contains neither member point.
+  std::vector<std::pair<ComponentId, bool>> candidates;
+  index.CollectCandidates(Rect(2, 2, 4, 4), candidates);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].first, cn.ComponentOf(0));
+  EXPECT_FALSE(candidates[0].second);  // Needs member-point verification.
+  EXPECT_FALSE(cn.AnyMemberPointIn(candidates[0].first, Rect(2, 2, 4, 4)));
+}
+
+TEST(CondensedSpatialIndexTest, ReplicateMissesNothingMbrCatches) {
+  // Property: on any network and region, the set of *actually matching*
+  // components (those with a member point inside) derived from both modes
+  // is identical.
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(200, 2.5, 0.5, 71);
+  const CondensedNetwork cn(&network);
+  const CondensedSpatialIndex replicate(&cn, SccSpatialMode::kReplicate);
+  const CondensedSpatialIndex mbr(&cn, SccSpatialMode::kMbr);
+  Rng rng(72);
+  for (int q = 0; q < 60; ++q) {
+    const double x = rng.NextDoubleInRange(0, 90);
+    const double y = rng.NextDoubleInRange(0, 90);
+    const Rect region(x, y, x + 15, y + 15);
+
+    std::set<ComponentId> from_replicate;
+    replicate.ForEachCandidate(region, [&](ComponentId c, bool verified) {
+      EXPECT_TRUE(verified);
+      from_replicate.insert(c);
+      return true;
+    });
+    std::set<ComponentId> from_mbr;
+    mbr.ForEachCandidate(region, [&](ComponentId c, bool verified) {
+      if (verified || cn.AnyMemberPointIn(c, region)) from_mbr.insert(c);
+      return true;
+    });
+    EXPECT_EQ(from_replicate, from_mbr);
+  }
+}
+
+TEST(CondensedSpatialIndexTest, EmptyNetwork) {
+  auto graph = DiGraph::FromEdges(3, {{0, 1}});
+  ASSERT_TRUE(graph.ok());
+  auto network = GeoSocialNetwork::Create(
+      std::move(graph).value(), std::vector<std::optional<Point2D>>(3));
+  ASSERT_TRUE(network.ok());
+  const CondensedNetwork cn(&*network);
+  for (const SccSpatialMode mode :
+       {SccSpatialMode::kReplicate, SccSpatialMode::kMbr}) {
+    const CondensedSpatialIndex index(&cn, mode);
+    std::vector<std::pair<ComponentId, bool>> candidates;
+    index.CollectCandidates(Rect(-1e9, -1e9, 1e9, 1e9), candidates);
+    EXPECT_TRUE(candidates.empty());
+  }
+}
+
+TEST(CondensedSpatialIndexTest, ModeAccessorAndSizes) {
+  const GeoSocialNetwork network = TwoVenueSccNetwork();
+  const CondensedNetwork cn(&network);
+  const CondensedSpatialIndex replicate(&cn, SccSpatialMode::kReplicate);
+  const CondensedSpatialIndex mbr(&cn, SccSpatialMode::kMbr);
+  EXPECT_EQ(replicate.mode(), SccSpatialMode::kReplicate);
+  EXPECT_EQ(mbr.mode(), SccSpatialMode::kMbr);
+  EXPECT_GT(replicate.SizeBytes(), 0u);
+  EXPECT_GT(mbr.SizeBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace gsr

@@ -1,0 +1,114 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gsr {
+namespace {
+
+TEST(DiGraphTest, EmptyGraph) {
+  auto g = DiGraph::FromEdges(0, {});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 0u);
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+TEST(DiGraphTest, VerticesWithoutEdges) {
+  auto g = DiGraph::FromEdges(5, {});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 5u);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(g->OutDegree(v), 0u);
+    EXPECT_EQ(g->InDegree(v), 0u);
+  }
+}
+
+TEST(DiGraphTest, BasicAdjacency) {
+  auto g = DiGraph::FromEdges(4, {{0, 1}, {0, 2}, {2, 3}, {1, 3}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 4u);
+  EXPECT_EQ(g->OutDegree(0), 2u);
+  EXPECT_EQ(g->InDegree(3), 2u);
+  const auto n0 = g->OutNeighbors(0);
+  EXPECT_EQ(std::vector<VertexId>(n0.begin(), n0.end()),
+            (std::vector<VertexId>{1, 2}));
+  const auto in3 = g->InNeighbors(3);
+  EXPECT_EQ(std::vector<VertexId>(in3.begin(), in3.end()),
+            (std::vector<VertexId>{1, 2}));
+}
+
+TEST(DiGraphTest, DropsSelfLoopsAndDuplicates) {
+  auto g = DiGraph::FromEdges(3, {{0, 1}, {0, 1}, {1, 1}, {1, 2}, {0, 1}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_EQ(g->OutDegree(0), 1u);
+  EXPECT_EQ(g->OutDegree(1), 1u);
+}
+
+TEST(DiGraphTest, RejectsOutOfRangeEndpoints) {
+  auto g = DiGraph::FromEdges(2, {{0, 2}});
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DiGraphTest, HasEdge) {
+  auto g = DiGraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 0}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(2, 0));
+  EXPECT_FALSE(g->HasEdge(1, 0));
+  EXPECT_FALSE(g->HasEdge(3, 3));
+  EXPECT_FALSE(g->HasEdge(9, 0));  // Out of range is just false.
+}
+
+TEST(DiGraphTest, ReverseGraphFlipsEdges) {
+  auto g = DiGraph::FromEdges(4, {{0, 1}, {0, 2}, {2, 3}});
+  ASSERT_TRUE(g.ok());
+  const DiGraph rev = ReverseGraph(*g);
+  EXPECT_EQ(rev.num_edges(), 3u);
+  EXPECT_TRUE(rev.HasEdge(1, 0));
+  EXPECT_TRUE(rev.HasEdge(2, 0));
+  EXPECT_TRUE(rev.HasEdge(3, 2));
+  EXPECT_FALSE(rev.HasEdge(0, 1));
+  EXPECT_EQ(rev.OutDegree(3), 1u);
+  EXPECT_EQ(rev.InDegree(0), 2u);
+}
+
+TEST(GraphBuilderTest, GrowsVertexCount) {
+  GraphBuilder builder;
+  builder.AddEdge(3, 7);
+  builder.AddEdge(1, 0);
+  EXPECT_EQ(builder.num_vertices(), 8u);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 8u);
+  EXPECT_TRUE(g->HasEdge(3, 7));
+}
+
+TEST(GraphBuilderTest, ReserveVerticesCreatesIsolated) {
+  GraphBuilder builder;
+  builder.ReserveVertices(10);
+  builder.AddEdge(0, 1);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 10u);
+  EXPECT_EQ(g->OutDegree(9), 0u);
+}
+
+TEST(GraphBuilderTest, BuildResetsBuilder) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  ASSERT_TRUE(builder.Build().ok());
+  EXPECT_EQ(builder.num_vertices(), 0u);
+  EXPECT_EQ(builder.num_edges(), 0u);
+}
+
+TEST(DiGraphTest, SizeBytesPositive) {
+  auto g = DiGraph::FromEdges(100, {{0, 1}, {5, 99}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(g->SizeBytes(), 100 * sizeof(uint64_t));
+}
+
+}  // namespace
+}  // namespace gsr

@@ -1,0 +1,206 @@
+#include "core/dynamic_range_reach.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/naive_bfs.h"
+#include "graph/digraph.h"
+#include "tests/test_util.h"
+
+namespace gsr {
+namespace {
+
+/// Reference implementation: materialize the updated network and BFS.
+class ReferenceNetwork {
+ public:
+  explicit ReferenceNetwork(const GeoSocialNetwork& base) {
+    const DiGraph& graph = base.graph();
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      for (const VertexId w : graph.OutNeighbors(v)) edges_.emplace_back(v, w);
+      points_.push_back(base.IsSpatial(v)
+                            ? std::optional<Point2D>(base.PointOf(v))
+                            : std::nullopt);
+    }
+  }
+
+  VertexId AddVertex(std::optional<Point2D> point) {
+    points_.push_back(point);
+    return static_cast<VertexId>(points_.size() - 1);
+  }
+
+  void AddEdge(VertexId from, VertexId to) { edges_.emplace_back(from, to); }
+
+  bool RangeReach(VertexId v, const Rect& region) const {
+    auto graph = DiGraph::FromEdges(
+        static_cast<VertexId>(points_.size()),
+        std::vector<std::pair<VertexId, VertexId>>(edges_));
+    GSR_CHECK(graph.ok());
+    auto network = GeoSocialNetwork::Create(std::move(graph).value(), points_);
+    GSR_CHECK(network.ok());
+    const NaiveBfsMethod oracle(&*network);
+    return oracle.Evaluate(v, region);
+  }
+
+ private:
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+  std::vector<std::optional<Point2D>> points_;
+};
+
+TEST(DynamicRangeReachTest, BaseOnlyMatchesIndex) {
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(100, 2.0, 0.4, 61);
+  const NaiveBfsMethod oracle(&network);
+  DynamicRangeReach dynamic{testing::RandomGeoSocialNetwork(100, 2.0, 0.4,
+                                                            61)};
+  Rng rng(62);
+  for (int q = 0; q < 100; ++q) {
+    const VertexId v =
+        static_cast<VertexId>(rng.NextBounded(network.num_vertices()));
+    const double x = rng.NextDoubleInRange(0, 80);
+    const double y = rng.NextDoubleInRange(0, 80);
+    const Rect region(x, y, x + 20, y + 20);
+    EXPECT_EQ(dynamic.Evaluate(v, region), oracle.Evaluate(v, region));
+  }
+}
+
+TEST(DynamicRangeReachTest, NewVenueBecomesReachable) {
+  // alice -> bob; a new cafe appears and bob checks in: alice must now
+  // geosocially reach the cafe's neighbourhood.
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  auto network = GeoSocialNetwork::Create(
+      std::move(graph).value(), std::vector<std::optional<Point2D>>(2));
+  ASSERT_TRUE(network.ok());
+
+  DynamicRangeReach dynamic(std::move(network).value());
+  const Rect cafe_area(0, 0, 10, 10);
+  EXPECT_FALSE(dynamic.Evaluate(0, cafe_area));
+
+  const VertexId cafe = dynamic.AddVertex(Point2D{5, 5});
+  EXPECT_FALSE(dynamic.Evaluate(0, cafe_area));  // No check-in yet.
+  ASSERT_TRUE(dynamic.AddEdge(1, cafe).ok());
+  EXPECT_TRUE(dynamic.Evaluate(0, cafe_area));   // alice -> bob -> cafe.
+  EXPECT_TRUE(dynamic.Evaluate(1, cafe_area));
+  EXPECT_TRUE(dynamic.Evaluate(cafe, cafe_area));  // The cafe itself.
+
+  dynamic.Rebuild();
+  EXPECT_EQ(dynamic.pending_updates(), 0u);
+  EXPECT_TRUE(dynamic.Evaluate(0, cafe_area));
+  EXPECT_FALSE(dynamic.Evaluate(cafe, Rect(20, 20, 30, 30)));
+}
+
+TEST(DynamicRangeReachTest, NewEdgeBridgesBaseComponents) {
+  // Two disconnected halves; a new friendship bridges them.
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);  // Half A: 0 -> 1 (venue).
+  builder.AddEdge(2, 3);  // Half B: 2 -> 3 (venue).
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  std::vector<std::optional<Point2D>> points(4);
+  points[1] = Point2D{1, 1};
+  points[3] = Point2D{9, 9};
+  auto network = GeoSocialNetwork::Create(std::move(graph).value(), points);
+  ASSERT_TRUE(network.ok());
+
+  DynamicRangeReach dynamic(std::move(network).value());
+  const Rect around_3(8, 8, 10, 10);
+  EXPECT_FALSE(dynamic.Evaluate(0, around_3));
+  ASSERT_TRUE(dynamic.AddEdge(0, 2).ok());
+  EXPECT_TRUE(dynamic.Evaluate(0, around_3));  // 0 -> 2 -> 3.
+  EXPECT_FALSE(dynamic.Evaluate(2, Rect(0, 0, 2, 2)));  // No reverse path.
+}
+
+TEST(DynamicRangeReachTest, ChainsAcrossMultipleDeltaEdges) {
+  // A path that alternates base segments and delta edges repeatedly.
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(4, 5);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  std::vector<std::optional<Point2D>> points(6);
+  points[5] = Point2D{5, 5};
+  auto network = GeoSocialNetwork::Create(std::move(graph).value(), points);
+  ASSERT_TRUE(network.ok());
+
+  DynamicRangeReach dynamic(std::move(network).value());
+  const Rect target(4, 4, 6, 6);
+  EXPECT_FALSE(dynamic.Evaluate(0, target));
+  ASSERT_TRUE(dynamic.AddEdge(1, 2).ok());  // 0 ->base 1 ->delta 2.
+  EXPECT_FALSE(dynamic.Evaluate(0, target));
+  ASSERT_TRUE(dynamic.AddEdge(3, 4).ok());  // ... ->base 3 ->delta 4 ->base 5.
+  EXPECT_TRUE(dynamic.Evaluate(0, target));
+}
+
+TEST(DynamicRangeReachTest, RejectsOutOfRangeEdges) {
+  auto graph = DiGraph::FromEdges(2, {{0, 1}});
+  ASSERT_TRUE(graph.ok());
+  auto network = GeoSocialNetwork::Create(
+      std::move(graph).value(), std::vector<std::optional<Point2D>>(2));
+  ASSERT_TRUE(network.ok());
+  DynamicRangeReach dynamic(std::move(network).value());
+  EXPECT_FALSE(dynamic.AddEdge(0, 7).ok());
+  EXPECT_TRUE(dynamic.AddEdge(1, 0).ok());
+}
+
+class DynamicRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DynamicRandomTest, RandomUpdateSequencesStayExact) {
+  const uint64_t seed = GetParam();
+  const GeoSocialNetwork base =
+      testing::RandomGeoSocialNetwork(60, 1.5, 0.4, seed);
+  ReferenceNetwork reference(base);
+  DynamicRangeReach dynamic{
+      testing::RandomGeoSocialNetwork(60, 1.5, 0.4, seed)};
+
+  Rng rng(seed * 31 + 7);
+  for (int step = 0; step < 60; ++step) {
+    // Apply a random update.
+    const double dice = rng.NextDouble();
+    if (dice < 0.25) {
+      std::optional<Point2D> point;
+      if (rng.NextBernoulli(0.7)) {
+        point = Point2D{rng.NextDoubleInRange(0, 100),
+                        rng.NextDoubleInRange(0, 100)};
+      }
+      const VertexId a = dynamic.AddVertex(point);
+      const VertexId b = reference.AddVertex(point);
+      ASSERT_EQ(a, b);
+    } else if (dice < 0.85) {
+      const VertexId from =
+          static_cast<VertexId>(rng.NextBounded(dynamic.num_vertices()));
+      const VertexId to =
+          static_cast<VertexId>(rng.NextBounded(dynamic.num_vertices()));
+      if (from != to) {
+        ASSERT_TRUE(dynamic.AddEdge(from, to).ok());
+        reference.AddEdge(from, to);
+      }
+    } else if (dice < 0.9) {
+      dynamic.Rebuild();
+      ASSERT_EQ(dynamic.pending_updates(), 0u);
+    }
+
+    // Verify a few queries after each update.
+    for (int q = 0; q < 5; ++q) {
+      const VertexId v =
+          static_cast<VertexId>(rng.NextBounded(dynamic.num_vertices()));
+      const double x = rng.NextDoubleInRange(-5, 95);
+      const double y = rng.NextDoubleInRange(-5, 95);
+      const Rect region(x, y, x + rng.NextDoubleInRange(0, 40),
+                        y + rng.NextDoubleInRange(0, 40));
+      ASSERT_EQ(dynamic.Evaluate(v, region), reference.RangeReach(v, region))
+          << "step " << step << " vertex " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace gsr

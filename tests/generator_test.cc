@@ -1,0 +1,134 @@
+#include "datagen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/condensed_network.h"
+
+namespace gsr {
+namespace {
+
+TEST(GeneratorTest, Deterministic) {
+  GeneratorConfig config;
+  config.num_users = 200;
+  config.num_venues = 300;
+  config.seed = 5;
+  const GeoSocialNetwork a = GenerateGeoSocialNetwork(config);
+  const GeoSocialNetwork b = GenerateGeoSocialNetwork(config);
+  EXPECT_EQ(a.num_vertices(), b.num_vertices());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (const VertexId v : a.spatial_vertices()) {
+    EXPECT_EQ(a.PointOf(v), b.PointOf(v));
+  }
+}
+
+TEST(GeneratorTest, VenuesAreSpatialUsersAreNot) {
+  GeneratorConfig config;
+  config.num_users = 100;
+  config.num_venues = 250;
+  const GeoSocialNetwork network = GenerateGeoSocialNetwork(config);
+  EXPECT_EQ(network.num_vertices(), 350u);
+  EXPECT_EQ(network.num_spatial_vertices(), 250u);
+  for (VertexId v = 0; v < 100; ++v) EXPECT_FALSE(network.IsSpatial(v));
+  for (VertexId v = 100; v < 350; ++v) EXPECT_TRUE(network.IsSpatial(v));
+}
+
+TEST(GeneratorTest, GiantCoreRegime) {
+  GeneratorConfig config;
+  config.num_users = 500;
+  config.num_venues = 800;
+  config.num_friendships = 2000;
+  config.num_checkins = 4000;
+  config.core_fraction = 1.0;
+  const GeoSocialNetwork network = GenerateGeoSocialNetwork(config);
+  const CondensedNetwork cn(&network);
+  // Table 3's Gowalla/WeePlaces shape: all users in one SCC, every venue
+  // its own component.
+  EXPECT_EQ(cn.scc().LargestComponentSize(), 500u);
+  EXPECT_EQ(cn.num_components(), 800u + 1u);
+}
+
+TEST(GeneratorTest, FragmentedRegime) {
+  GeneratorConfig config;
+  config.num_users = 1000;
+  config.num_venues = 500;
+  config.num_friendships = 3000;
+  config.num_checkins = 2000;
+  config.core_fraction = 0.5;
+  const GeoSocialNetwork network = GenerateGeoSocialNetwork(config);
+  const CondensedNetwork cn(&network);
+  // Foursquare/Yelp shape: a large-but-partial core plus many small SCCs.
+  EXPECT_GE(cn.scc().LargestComponentSize(), 500u);
+  EXPECT_LT(cn.scc().LargestComponentSize(), 1000u);
+  EXPECT_GT(cn.num_components(), 500u);
+}
+
+TEST(GeneratorTest, VenueCoordinatesInsideSpace) {
+  GeneratorConfig config;
+  config.num_users = 50;
+  config.num_venues = 2000;
+  config.space_extent = 123.0;
+  const GeoSocialNetwork network = GenerateGeoSocialNetwork(config);
+  for (const VertexId v : network.spatial_vertices()) {
+    const Point2D& p = network.PointOf(v);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 123.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 123.0);
+  }
+}
+
+TEST(GeneratorTest, DegreeSkewPopulatesHighBuckets) {
+  GeneratorConfig config;
+  config.num_users = 2000;
+  config.num_venues = 1000;
+  config.num_friendships = 20000;
+  config.num_checkins = 20000;
+  config.degree_skew = 3.0;
+  const GeoSocialNetwork network = GenerateGeoSocialNetwork(config);
+  uint32_t max_degree = 0;
+  uint32_t in_50_99 = 0;
+  for (VertexId v = 0; v < 2000; ++v) {
+    const uint32_t d = network.graph().OutDegree(v);
+    max_degree = std::max(max_degree, d);
+    if (d >= 50 && d <= 99) ++in_50_99;
+  }
+  // The paper's degree buckets up to 200+ must be populated.
+  EXPECT_GE(max_degree, 200u);
+  EXPECT_GT(in_50_99, 0u);
+}
+
+TEST(GeneratorTest, BenchmarkDatasetConfigsShapes) {
+  const auto configs = BenchmarkDatasetConfigs(0.1);
+  ASSERT_EQ(configs.size(), 4u);
+  EXPECT_EQ(configs[0].name, "foursquare");
+  EXPECT_EQ(configs[1].name, "gowalla");
+  EXPECT_EQ(configs[2].name, "weeplaces");
+  EXPECT_EQ(configs[3].name, "yelp");
+  // Regimes as in Table 3.
+  EXPECT_LT(configs[0].core_fraction, 1.0);
+  EXPECT_EQ(configs[1].core_fraction, 1.0);
+  EXPECT_EQ(configs[2].core_fraction, 1.0);
+  EXPECT_LT(configs[3].core_fraction, 1.0);
+  // Gowalla/WeePlaces: venues outnumber users; Yelp: opposite.
+  EXPECT_GT(configs[1].num_venues, configs[1].num_users);
+  EXPECT_GT(configs[2].num_venues, configs[2].num_users);
+  EXPECT_GT(configs[3].num_users, configs[3].num_venues);
+}
+
+TEST(GeneratorTest, BenchmarkDatasetConfigByName) {
+  const GeneratorConfig config = BenchmarkDatasetConfig("yelp", 0.2);
+  EXPECT_EQ(config.name, "yelp");
+  EXPECT_GT(config.num_users, 0u);
+}
+
+TEST(GeneratorTest, ScaleShrinksCounts) {
+  const auto full = BenchmarkDatasetConfigs(1.0);
+  const auto small = BenchmarkDatasetConfigs(0.1);
+  for (size_t i = 0; i < full.size(); ++i) {
+    EXPECT_LT(small[i].num_users, full[i].num_users);
+    EXPECT_LT(small[i].num_checkins, full[i].num_checkins);
+  }
+}
+
+}  // namespace
+}  // namespace gsr

@@ -1,0 +1,138 @@
+#include "geometry/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace gsr {
+namespace {
+
+TEST(RectTest, DefaultIsEmpty) {
+  Rect r;
+  EXPECT_TRUE(r.IsEmpty());
+  EXPECT_EQ(r.Area(), 0.0);
+  EXPECT_FALSE(r.Contains(Point2D{0, 0}));
+}
+
+TEST(RectTest, FromPointIsZeroAreaButContainsIt) {
+  const Rect r = Rect::FromPoint(Point2D{3, 4});
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_EQ(r.Area(), 0.0);
+  EXPECT_TRUE(r.Contains(Point2D{3, 4}));
+  EXPECT_FALSE(r.Contains(Point2D{3.1, 4}));
+}
+
+TEST(RectTest, ContainsPointBoundaryInclusive) {
+  const Rect r(0, 0, 10, 5);
+  EXPECT_TRUE(r.Contains(Point2D{0, 0}));
+  EXPECT_TRUE(r.Contains(Point2D{10, 5}));
+  EXPECT_TRUE(r.Contains(Point2D{5, 2.5}));
+  EXPECT_FALSE(r.Contains(Point2D{10.001, 5}));
+  EXPECT_FALSE(r.Contains(Point2D{-0.001, 0}));
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect outer(0, 0, 10, 10);
+  EXPECT_TRUE(outer.Contains(Rect(1, 1, 9, 9)));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Rect(1, 1, 11, 9)));
+  EXPECT_TRUE(outer.Contains(Rect()));  // Empty is contained everywhere.
+}
+
+TEST(RectTest, IntersectsSymmetric) {
+  const Rect a(0, 0, 5, 5);
+  const Rect b(4, 4, 8, 8);
+  const Rect c(6, 6, 8, 8);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(c.Intersects(a));
+}
+
+TEST(RectTest, IntersectsTouchingEdge) {
+  const Rect a(0, 0, 5, 5);
+  const Rect b(5, 0, 8, 5);  // Shares the x = 5 edge.
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(RectTest, ExpandGrowsToCover) {
+  Rect r;
+  r.Expand(Point2D{2, 3});
+  EXPECT_EQ(r, Rect::FromPoint(Point2D{2, 3}));
+  r.Expand(Point2D{-1, 7});
+  EXPECT_TRUE(r.Contains(Point2D{2, 3}));
+  EXPECT_TRUE(r.Contains(Point2D{-1, 7}));
+  EXPECT_EQ(r, Rect(-1, 3, 2, 7));
+  r.Expand(Rect(0, 0, 1, 1));
+  EXPECT_TRUE(r.Contains(Rect(0, 0, 1, 1)));
+}
+
+TEST(RectTest, ExpandWithEmptyIsNoop) {
+  Rect r(0, 0, 1, 1);
+  r.Expand(Rect());
+  EXPECT_EQ(r, Rect(0, 0, 1, 1));
+}
+
+TEST(RectTest, AreaAndDims) {
+  const Rect r(1, 2, 4, 10);
+  EXPECT_EQ(r.Width(), 3.0);
+  EXPECT_EQ(r.Height(), 8.0);
+  EXPECT_EQ(r.Area(), 24.0);
+  EXPECT_EQ(r.Center().x, 2.5);
+  EXPECT_EQ(r.Center().y, 6.0);
+}
+
+TEST(RectTest, ToStringMentionsBounds) {
+  EXPECT_EQ(Rect().ToString(), "Rect(empty)");
+  EXPECT_NE(Rect(0, 0, 1, 2).ToString().find("1"), std::string::npos);
+}
+
+TEST(Box3DTest, DefaultIsEmpty) {
+  Box3D b;
+  EXPECT_TRUE(b.IsEmpty());
+  EXPECT_EQ(b.Volume(), 0.0);
+}
+
+TEST(Box3DTest, FromRectAndInterval) {
+  const Box3D b = Box3D::FromRectAndInterval(Rect(0, 1, 2, 3), 4, 7);
+  EXPECT_EQ(b.min[0], 0.0);
+  EXPECT_EQ(b.min[1], 1.0);
+  EXPECT_EQ(b.min[2], 4.0);
+  EXPECT_EQ(b.max[0], 2.0);
+  EXPECT_EQ(b.max[1], 3.0);
+  EXPECT_EQ(b.max[2], 7.0);
+}
+
+TEST(Box3DTest, PointInsideCuboid) {
+  const Box3D cuboid = Box3D::FromRectAndInterval(Rect(0, 0, 10, 10), 1, 5);
+  EXPECT_TRUE(cuboid.Intersects(Box3D::FromPoint(5, 5, 3)));
+  EXPECT_TRUE(cuboid.Intersects(Box3D::FromPoint(5, 5, 1)));   // z boundary
+  EXPECT_TRUE(cuboid.Intersects(Box3D::FromPoint(10, 10, 5)));  // corner
+  EXPECT_FALSE(cuboid.Intersects(Box3D::FromPoint(5, 5, 5.5)));
+  EXPECT_FALSE(cuboid.Intersects(Box3D::FromPoint(11, 5, 3)));
+}
+
+TEST(Box3DTest, PlaneCutsVerticalSegment) {
+  // The 3DReach-REV geometry: a query plane at z = 4 cuts segments
+  // spanning that z, for points inside the region.
+  const Box3D plane = Box3D::FromRectAndInterval(Rect(0, 0, 10, 10), 4, 4);
+  EXPECT_TRUE(plane.Intersects(Box3D::VerticalSegment(5, 5, 2, 6)));
+  EXPECT_TRUE(plane.Intersects(Box3D::VerticalSegment(5, 5, 4, 4)));
+  EXPECT_FALSE(plane.Intersects(Box3D::VerticalSegment(5, 5, 5, 9)));
+  EXPECT_FALSE(plane.Intersects(Box3D::VerticalSegment(12, 5, 2, 6)));
+}
+
+TEST(Box3DTest, ContainsAndExpand) {
+  Box3D b = Box3D::FromPoint(1, 1, 1);
+  b.Expand(Box3D::FromPoint(3, 4, 5));
+  EXPECT_TRUE(b.Contains(Box3D::FromPoint(2, 2, 3)));
+  EXPECT_FALSE(b.Contains(Box3D::FromPoint(0, 2, 3)));
+  EXPECT_EQ(b.Volume(), 2.0 * 3.0 * 4.0);
+  EXPECT_TRUE(b.Contains(Box3D()));  // Empty contained everywhere.
+}
+
+TEST(Box3DTest, ToString) {
+  EXPECT_EQ(Box3D().ToString(), "Box3D(empty)");
+  EXPECT_NE(Box3D(0, 0, 0, 1, 1, 1).ToString().find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gsr

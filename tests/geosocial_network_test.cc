@@ -1,0 +1,73 @@
+#include "core/geosocial_network.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace gsr {
+namespace {
+
+TEST(GeoSocialNetworkTest, CreateBasic) {
+  auto graph = DiGraph::FromEdges(3, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(graph.ok());
+  std::vector<std::optional<Point2D>> points(3);
+  points[2] = Point2D{5, 6};
+  auto network = GeoSocialNetwork::Create(std::move(graph).value(), points);
+  ASSERT_TRUE(network.ok());
+  EXPECT_EQ(network->num_vertices(), 3u);
+  EXPECT_EQ(network->num_edges(), 2u);
+  EXPECT_EQ(network->num_spatial_vertices(), 1u);
+  EXPECT_FALSE(network->IsSpatial(0));
+  EXPECT_TRUE(network->IsSpatial(2));
+  EXPECT_EQ(network->PointOf(2).x, 5.0);
+  EXPECT_EQ(network->spatial_vertices(), std::vector<VertexId>{2});
+}
+
+TEST(GeoSocialNetworkTest, RejectsMismatchedPointVector) {
+  auto graph = DiGraph::FromEdges(3, {});
+  ASSERT_TRUE(graph.ok());
+  std::vector<std::optional<Point2D>> points(2);
+  auto network = GeoSocialNetwork::Create(std::move(graph).value(), points);
+  EXPECT_FALSE(network.ok());
+  EXPECT_EQ(network.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GeoSocialNetworkTest, SpaceBoundsCoverAllPoints) {
+  auto graph = DiGraph::FromEdges(4, {});
+  ASSERT_TRUE(graph.ok());
+  std::vector<std::optional<Point2D>> points(4);
+  points[0] = Point2D{-3, 2};
+  points[1] = Point2D{7, -1};
+  points[3] = Point2D{0, 9};
+  auto network = GeoSocialNetwork::Create(std::move(graph).value(), points);
+  ASSERT_TRUE(network.ok());
+  EXPECT_EQ(network->SpaceBounds(), Rect(-3, -1, 7, 9));
+}
+
+TEST(GeoSocialNetworkTest, NoSpatialVerticesMeansEmptySpace) {
+  auto graph = DiGraph::FromEdges(2, {{0, 1}});
+  ASSERT_TRUE(graph.ok());
+  auto network = GeoSocialNetwork::Create(
+      std::move(graph).value(), std::vector<std::optional<Point2D>>(2));
+  ASSERT_TRUE(network.ok());
+  EXPECT_TRUE(network->SpaceBounds().IsEmpty());
+  EXPECT_EQ(network->num_spatial_vertices(), 0u);
+}
+
+TEST(GeoSocialNetworkTest, FigureOneShape) {
+  const GeoSocialNetwork network = testing::FigureOneNetwork();
+  EXPECT_EQ(network.num_vertices(), 12u);
+  EXPECT_EQ(network.num_edges(), 15u);
+  EXPECT_EQ(network.num_spatial_vertices(), 4u);
+  EXPECT_TRUE(network.IsSpatial(testing::kE));
+  EXPECT_TRUE(network.IsSpatial(testing::kH));
+  EXPECT_FALSE(network.IsSpatial(testing::kA));
+  const Rect region = testing::FigureOneRegion();
+  EXPECT_TRUE(region.Contains(network.PointOf(testing::kE)));
+  EXPECT_TRUE(region.Contains(network.PointOf(testing::kH)));
+  EXPECT_FALSE(region.Contains(network.PointOf(testing::kF)));
+  EXPECT_FALSE(region.Contains(network.PointOf(testing::kI)));
+}
+
+}  // namespace
+}  // namespace gsr

@@ -1,0 +1,88 @@
+#include "spatial/grid_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gsr {
+namespace {
+
+size_t ExactCount(const std::vector<Point2D>& points, const Rect& query) {
+  size_t count = 0;
+  for (const Point2D& p : points) {
+    if (query.Contains(p)) ++count;
+  }
+  return count;
+}
+
+TEST(GridHistogramTest, EmptyPoints) {
+  const GridHistogram hist({}, 16);
+  EXPECT_EQ(hist.total_count(), 0u);
+  EXPECT_EQ(hist.EstimateCount(Rect(0, 0, 1, 1)), 0.0);
+}
+
+TEST(GridHistogramTest, FullBoundsCoversEverything) {
+  Rng rng(3);
+  std::vector<Point2D> points;
+  for (int i = 0; i < 5000; ++i) {
+    points.push_back(
+        {rng.NextDoubleInRange(0, 50), rng.NextDoubleInRange(0, 50)});
+  }
+  const GridHistogram hist(points, 32);
+  EXPECT_NEAR(hist.EstimateCount(Rect(-1, -1, 51, 51)), 5000.0, 1e-6);
+  EXPECT_NEAR(hist.EstimateSelectivity(Rect(-1, -1, 51, 51)), 1.0, 1e-9);
+}
+
+TEST(GridHistogramTest, DisjointQueryIsZero) {
+  std::vector<Point2D> points = {{1, 1}, {2, 2}};
+  const GridHistogram hist(points, 8);
+  EXPECT_EQ(hist.EstimateCount(Rect(10, 10, 20, 20)), 0.0);
+}
+
+TEST(GridHistogramTest, UniformDataEstimatesWithinTolerance) {
+  Rng rng(11);
+  std::vector<Point2D> points;
+  for (int i = 0; i < 20000; ++i) {
+    points.push_back(
+        {rng.NextDoubleInRange(0, 100), rng.NextDoubleInRange(0, 100)});
+  }
+  const GridHistogram hist(points, 64);
+  Rng qrng(12);
+  for (int q = 0; q < 30; ++q) {
+    const double x = qrng.NextDoubleInRange(0, 70);
+    const double y = qrng.NextDoubleInRange(0, 70);
+    const Rect query(x, y, x + 25, y + 25);
+    const double exact = static_cast<double>(ExactCount(points, query));
+    const double estimate = hist.EstimateCount(query);
+    EXPECT_NEAR(estimate, exact, std::max(50.0, exact * 0.15))
+        << "query " << query.ToString();
+  }
+}
+
+TEST(GridHistogramTest, EstimateMonotoneInQuerySize) {
+  Rng rng(21);
+  std::vector<Point2D> points;
+  for (int i = 0; i < 5000; ++i) {
+    points.push_back(
+        {rng.NextDoubleInRange(0, 10), rng.NextDoubleInRange(0, 10)});
+  }
+  const GridHistogram hist(points, 32);
+  double previous = 0.0;
+  for (double half = 1.0; half <= 5.0; half += 0.5) {
+    const double estimate =
+        hist.EstimateCount(Rect(5 - half, 5 - half, 5 + half, 5 + half));
+    EXPECT_GE(estimate, previous - 1e-9);
+    previous = estimate;
+  }
+}
+
+TEST(GridHistogramTest, SinglePoint) {
+  const GridHistogram hist({{3, 3}}, 4);
+  EXPECT_NEAR(hist.EstimateCount(Rect(2, 2, 4, 4)), 1.0, 1e-6);
+  EXPECT_EQ(hist.total_count(), 1u);
+}
+
+}  // namespace
+}  // namespace gsr

@@ -1,0 +1,124 @@
+#include "spatial/hierarchical_grid.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gsr {
+namespace {
+
+TEST(HierarchicalGridTest, LevelsAndCellCounts) {
+  const HierarchicalGrid grid(Rect(0, 0, 16, 16), 4);
+  EXPECT_EQ(grid.num_levels(), 5);
+  EXPECT_EQ(grid.CellsPerAxis(0), 16u);
+  EXPECT_EQ(grid.CellsPerAxis(4), 1u);
+}
+
+TEST(HierarchicalGridTest, LocateAndCellRectRoundTrip) {
+  const HierarchicalGrid grid(Rect(0, 0, 100, 100), 3);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const Point2D p{rng.NextDoubleInRange(0, 100),
+                    rng.NextDoubleInRange(0, 100)};
+    for (int level = 0; level <= 3; ++level) {
+      const GridCell cell = grid.Locate(p, level);
+      EXPECT_TRUE(grid.CellRect(cell).Contains(p))
+          << cell.ToString() << " " << p.x << "," << p.y;
+    }
+  }
+}
+
+TEST(HierarchicalGridTest, PointsOutsideClampToBoundary) {
+  const HierarchicalGrid grid(Rect(0, 0, 10, 10), 2);
+  const GridCell low = grid.Locate(Point2D{-5, -5}, 0);
+  EXPECT_EQ(low.ix, 0u);
+  EXPECT_EQ(low.iy, 0u);
+  const GridCell high = grid.Locate(Point2D{50, 50}, 0);
+  EXPECT_EQ(high.ix, 3u);
+  EXPECT_EQ(high.iy, 3u);
+}
+
+TEST(HierarchicalGridTest, ParentCoversChild) {
+  const HierarchicalGrid grid(Rect(0, 0, 64, 64), 5);
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const Point2D p{rng.NextDoubleInRange(0, 64), rng.NextDoubleInRange(0, 64)};
+    GridCell cell = grid.Locate(p, 0);
+    while (cell.level < grid.depth()) {
+      const GridCell parent = grid.Parent(cell);
+      EXPECT_TRUE(grid.Covers(parent, cell));
+      EXPECT_FALSE(grid.Covers(cell, parent));
+      EXPECT_TRUE(grid.CellRect(parent).Contains(grid.CellRect(cell)));
+      cell = parent;
+    }
+  }
+}
+
+TEST(HierarchicalGridTest, CoversSelf) {
+  const HierarchicalGrid grid(Rect(0, 0, 8, 8), 3);
+  const GridCell cell{1, 2, 3};
+  EXPECT_TRUE(grid.Covers(cell, cell));
+}
+
+TEST(HierarchicalGridTest, MergeCellsBelowThresholdKeepsCells) {
+  const HierarchicalGrid grid(Rect(0, 0, 8, 8), 3);
+  // Two siblings of the same parent; merge_count = 3 keeps them.
+  std::vector<GridCell> cells = {{0, 0, 0}, {0, 1, 0}};
+  const auto merged = grid.MergeCells(cells, 3);
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(HierarchicalGridTest, MergeCellsAboveThresholdPromotes) {
+  const HierarchicalGrid grid(Rect(0, 0, 8, 8), 3);
+  // Three quad-siblings (children of L1 cell (0,0)); merge_count = 1
+  // merges any group larger than one.
+  std::vector<GridCell> cells = {{0, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  const auto merged = grid.MergeCells(cells, 1);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], (GridCell{1, 0, 0}));
+}
+
+TEST(HierarchicalGridTest, MergeCascadesUpLevels) {
+  const HierarchicalGrid grid(Rect(0, 0, 8, 8), 3);
+  // All 16 level-0 cells of one L2 quadrant; merge_count = 1 should
+  // cascade 16 -> 4 L1 cells -> 1 L2 cell.
+  std::vector<GridCell> cells;
+  for (uint32_t x = 0; x < 4; ++x) {
+    for (uint32_t y = 0; y < 4; ++y) cells.push_back({0, x, y});
+  }
+  const auto merged = grid.MergeCells(cells, 1);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], (GridCell{2, 0, 0}));
+}
+
+TEST(HierarchicalGridTest, MergeRemovesCoveredCells) {
+  const HierarchicalGrid grid(Rect(0, 0, 8, 8), 3);
+  std::vector<GridCell> cells = {{1, 0, 0}, {0, 1, 1}};  // L1 covers the L0.
+  const auto merged = grid.MergeCells(cells, 3);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], (GridCell{1, 0, 0}));
+}
+
+TEST(HierarchicalGridTest, MergeDeduplicates) {
+  const HierarchicalGrid grid(Rect(0, 0, 8, 8), 3);
+  std::vector<GridCell> cells = {{0, 2, 2}, {0, 2, 2}, {0, 2, 2}};
+  const auto merged = grid.MergeCells(cells, 3);
+  EXPECT_EQ(merged.size(), 1u);
+}
+
+TEST(GridCellTest, PackUnambiguous) {
+  const GridCell a{1, 2, 3};
+  const GridCell b{1, 3, 2};
+  const GridCell c{2, 2, 3};
+  EXPECT_NE(a.Pack(), b.Pack());
+  EXPECT_NE(a.Pack(), c.Pack());
+}
+
+TEST(HierarchicalGridTest, DegenerateSpaceStillWorks) {
+  const HierarchicalGrid grid(Rect(5, 5, 5, 5), 2);  // Zero-extent space.
+  const GridCell cell = grid.Locate(Point2D{5, 5}, 0);
+  EXPECT_TRUE(grid.CellRect(cell).Contains(Point2D{5, 5}));
+}
+
+}  // namespace
+}  // namespace gsr

@@ -1,0 +1,197 @@
+#include "labeling/interval_labeling.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/condensed_network.h"
+#include "graph/traversal.h"
+#include "tests/test_util.h"
+
+namespace gsr {
+namespace {
+
+TEST(IntervalLabelingTest, ChainGraph) {
+  auto g = DiGraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  ASSERT_TRUE(g.ok());
+  const IntervalLabeling labeling = IntervalLabeling::Build(*g);
+  // Every vertex reaches its suffix; a single tree -> one interval each.
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_EQ(labeling.Labels(v).size(), 1u);
+    for (VertexId u = 0; u < 4; ++u) {
+      EXPECT_EQ(labeling.CanReach(v, u), v <= u) << v << " -> " << u;
+    }
+  }
+  EXPECT_EQ(labeling.stats().forest_trees, 1u);
+  EXPECT_EQ(labeling.stats().non_tree_edges, 0u);
+}
+
+TEST(IntervalLabelingTest, DiamondUsesNonTreeEdge) {
+  // 0 -> {1, 2} -> 3: one of the edges into 3 is non-tree.
+  auto g = DiGraph::FromEdges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  ASSERT_TRUE(g.ok());
+  const IntervalLabeling labeling = IntervalLabeling::Build(*g);
+  EXPECT_EQ(labeling.stats().non_tree_edges, 1u);
+  EXPECT_TRUE(labeling.CanReach(0, 3));
+  EXPECT_TRUE(labeling.CanReach(1, 3));
+  EXPECT_TRUE(labeling.CanReach(2, 3));
+  EXPECT_FALSE(labeling.CanReach(1, 2));
+  EXPECT_FALSE(labeling.CanReach(3, 0));
+}
+
+TEST(IntervalLabelingTest, SelfIsAlwaysReachable) {
+  const DiGraph g = testing::RandomDag(50, 2.0, 9);
+  const IntervalLabeling labeling = IntervalLabeling::Build(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_TRUE(labeling.CanReach(v, v));
+  }
+}
+
+class LabelingRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LabelingRandomTest, ReachabilityMatchesBfsExhaustively) {
+  const DiGraph g = testing::RandomDag(120, 3.0, GetParam());
+  const IntervalLabeling labeling = IntervalLabeling::Build(g);
+  BfsTraversal bfs(&g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto reachable = bfs.CollectReachable(v);
+    const std::set<VertexId> expected(reachable.begin(), reachable.end());
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      ASSERT_EQ(labeling.CanReach(v, u), expected.count(u) > 0)
+          << "GReach(" << v << ", " << u << ") labels "
+          << labeling.Labels(v).ToString();
+    }
+  }
+}
+
+TEST_P(LabelingRandomTest, DescendantsMatchBfs) {
+  const DiGraph g = testing::RandomDag(100, 2.5, GetParam() + 50);
+  const IntervalLabeling labeling = IntervalLabeling::Build(g);
+  BfsTraversal bfs(&g);
+  for (VertexId v = 0; v < g.num_vertices(); v += 3) {
+    const auto descendants = labeling.Descendants(v);
+    const std::set<VertexId> got(descendants.begin(), descendants.end());
+    // Descendant enumeration must visit each vertex exactly once.
+    EXPECT_EQ(got.size(), descendants.size());
+    const auto reachable = bfs.CollectReachable(v);
+    EXPECT_EQ(got, std::set<VertexId>(reachable.begin(), reachable.end()));
+  }
+}
+
+TEST_P(LabelingRandomTest, UncompressedCountEqualsTotalDescendants) {
+  // Design-note invariant: the paper's uncompressed label count is one
+  // singleton per distinct descendant post value, i.e. sum over v of
+  // |D(v)|.
+  const DiGraph g = testing::RandomDag(80, 2.0, GetParam() + 99);
+  const IntervalLabeling labeling = IntervalLabeling::Build(g);
+  BfsTraversal bfs(&g);
+  uint64_t total_descendants = 0;
+  uint64_t total_intervals = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    total_descendants += bfs.CollectReachable(v).size();
+    total_intervals += labeling.Labels(v).size();
+  }
+  EXPECT_EQ(labeling.stats().uncompressed_labels, total_descendants);
+  EXPECT_EQ(labeling.stats().compressed_labels, total_intervals);
+  EXPECT_LE(labeling.stats().compressed_labels,
+            labeling.stats().uncompressed_labels);
+}
+
+TEST_P(LabelingRandomTest, ReversedLabelingGivesAncestors) {
+  const DiGraph g = testing::RandomDag(90, 2.5, GetParam() + 123);
+  const DiGraph rev = ReverseGraph(g);
+  const IntervalLabeling reversed = IntervalLabeling::Build(rev);
+  BfsTraversal bfs(&g);
+  for (VertexId v = 0; v < g.num_vertices(); v += 2) {
+    for (VertexId u = 0; u < g.num_vertices(); u += 3) {
+      // v reaches u in g  <=>  u reaches v in the reversed graph.
+      EXPECT_EQ(bfs.CanReach(v, u), reversed.CanReach(u, v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelingRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(IntervalLabelingTest, FigureOneExampleSemantics) {
+  using namespace testing;  // NOLINT
+  const GeoSocialNetwork network = FigureOneNetwork();
+  // Figure 1's graph is already a DAG.
+  const IntervalLabeling labeling = IntervalLabeling::Build(network.graph());
+  EXPECT_EQ(labeling.stats().forest_trees, 2u);  // Rooted at a and c.
+
+  // Example 4.1: D(a) has 10 members, D(c) = {c, i, k, d, f}.
+  EXPECT_EQ(labeling.Descendants(kA).size(), 10u);
+  const auto dc = labeling.Descendants(kC);
+  EXPECT_EQ(std::set<VertexId>(dc.begin(), dc.end()),
+            (std::set<VertexId>{kC, kI, kK, kD, kF}));
+
+  // Example 2.4 reachability facts.
+  EXPECT_TRUE(labeling.CanReach(kA, kE));
+  EXPECT_TRUE(labeling.CanReach(kA, kH));
+  EXPECT_FALSE(labeling.CanReach(kC, kE));
+  EXPECT_FALSE(labeling.CanReach(kC, kH));
+
+  // Table 1 (final column): a's labels compress to a single interval
+  // covering all 10 descendants.
+  EXPECT_EQ(labeling.Labels(kA).size(), 1u);
+  EXPECT_EQ(labeling.Labels(kA).CoveredValues(), 10u);
+}
+
+TEST(IntervalLabelingTest, WorksOnCondensedCyclicNetwork) {
+  // Arbitrary graphs go through the condensation first (Section 5).
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(150, 3.0, 0.4, 17);
+  const CondensedNetwork cn(&network);
+  const IntervalLabeling labeling = IntervalLabeling::Build(cn.dag());
+  BfsTraversal bfs(&network.graph());
+  for (VertexId v = 0; v < network.num_vertices(); v += 5) {
+    for (VertexId u = 0; u < network.num_vertices(); u += 7) {
+      EXPECT_EQ(labeling.CanReach(cn.ComponentOf(v), cn.ComponentOf(u)),
+                bfs.CanReach(v, u))
+          << v << " -> " << u;
+    }
+  }
+}
+
+class BfsStrategyLabelingTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BfsStrategyLabelingTest, BfsForestLabelingMatchesBfsOracle) {
+  // The shallow-forest strategy (paper future work) must answer exactly
+  // like the default DFS construction.
+  const DiGraph g = testing::RandomDag(120, 3.0, GetParam() + 4000);
+  const IntervalLabeling labeling = IntervalLabeling::Build(
+      g, IntervalLabeling::Options{.forest_strategy = ForestStrategy::kBfs});
+  BfsTraversal bfs(&g);
+  for (VertexId v = 0; v < g.num_vertices(); v += 2) {
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      ASSERT_EQ(labeling.CanReach(v, u), bfs.CanReach(v, u))
+          << "GReach(" << v << ", " << u << ") via BFS forest";
+    }
+  }
+}
+
+TEST_P(BfsStrategyLabelingTest, BothStrategiesCountSameDescendants) {
+  const DiGraph g = testing::RandomDag(100, 2.5, GetParam() + 4100);
+  const IntervalLabeling dfs = IntervalLabeling::Build(g);
+  const IntervalLabeling bfs = IntervalLabeling::Build(
+      g, IntervalLabeling::Options{.forest_strategy = ForestStrategy::kBfs});
+  // Post numbering differs, but the uncompressed label count (= total
+  // descendants) is a forest-independent quantity.
+  EXPECT_EQ(dfs.stats().uncompressed_labels, bfs.stats().uncompressed_labels);
+  for (VertexId v = 0; v < g.num_vertices(); v += 5) {
+    EXPECT_EQ(dfs.Descendants(v).size(), bfs.Descendants(v).size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsStrategyLabelingTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(IntervalLabelingTest, SizeBytesPositive) {
+  const DiGraph g = testing::RandomDag(100, 2.0, 5);
+  const IntervalLabeling labeling = IntervalLabeling::Build(g);
+  EXPECT_GT(labeling.SizeBytes(), 100 * sizeof(uint32_t));
+}
+
+}  // namespace
+}  // namespace gsr

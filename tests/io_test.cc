@@ -1,0 +1,119 @@
+#include "datagen/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "datagen/generator.h"
+
+namespace gsr {
+namespace {
+
+std::string TempPrefix(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() / ("gsr_io_test_" + tag))
+      .string();
+}
+
+void Cleanup(const std::string& prefix) {
+  std::filesystem::remove(prefix + ".edges");
+  std::filesystem::remove(prefix + ".points");
+}
+
+TEST(IoTest, RoundTripPreservesNetwork) {
+  GeneratorConfig config;
+  config.num_users = 150;
+  config.num_venues = 250;
+  config.num_friendships = 800;
+  config.num_checkins = 1200;
+  config.seed = 99;
+  const GeoSocialNetwork original = GenerateGeoSocialNetwork(config);
+
+  const std::string prefix = TempPrefix("roundtrip");
+  ASSERT_TRUE(SaveGeoSocialNetwork(original, prefix).ok());
+  auto loaded = LoadGeoSocialNetwork(prefix);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->num_vertices(), original.num_vertices());
+  EXPECT_EQ(loaded->num_edges(), original.num_edges());
+  EXPECT_EQ(loaded->num_spatial_vertices(), original.num_spatial_vertices());
+  for (VertexId v = 0; v < original.num_vertices(); ++v) {
+    ASSERT_EQ(loaded->IsSpatial(v), original.IsSpatial(v));
+    if (original.IsSpatial(v)) {
+      EXPECT_EQ(loaded->PointOf(v), original.PointOf(v));
+    }
+    const auto a = original.graph().OutNeighbors(v);
+    const auto b = loaded->graph().OutNeighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+  Cleanup(prefix);
+}
+
+TEST(IoTest, MissingFilesAreIoErrors) {
+  auto loaded = LoadGeoSocialNetwork("/nonexistent/path/prefix");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(IoTest, CommentsAndBlankLinesIgnored) {
+  const std::string prefix = TempPrefix("comments");
+  {
+    std::ofstream edges(prefix + ".edges");
+    edges << "# comment\n\n0 1\n1 2\n";
+    std::ofstream points(prefix + ".points");
+    points << "# comment\n2 1.5 2.5\n\n";
+  }
+  auto loaded = LoadGeoSocialNetwork(prefix);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_vertices(), 3u);
+  EXPECT_EQ(loaded->num_edges(), 2u);
+  EXPECT_TRUE(loaded->IsSpatial(2));
+  EXPECT_EQ(loaded->PointOf(2), (Point2D{1.5, 2.5}));
+  Cleanup(prefix);
+}
+
+TEST(IoTest, MalformedEdgeLineRejected) {
+  const std::string prefix = TempPrefix("malformed");
+  {
+    std::ofstream edges(prefix + ".edges");
+    edges << "0 notanumber\n";
+    std::ofstream points(prefix + ".points");
+  }
+  auto loaded = LoadGeoSocialNetwork(prefix);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  Cleanup(prefix);
+}
+
+TEST(IoTest, SaveToUnwritablePathFails) {
+  GeneratorConfig config;
+  config.num_users = 5;
+  config.num_venues = 5;
+  config.num_friendships = 5;
+  config.num_checkins = 5;
+  const GeoSocialNetwork network = GenerateGeoSocialNetwork(config);
+  const Status status =
+      SaveGeoSocialNetwork(network, "/nonexistent/dir/prefix");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(IoTest, PointOnlyVertexExtendsVertexCount) {
+  const std::string prefix = TempPrefix("pointonly");
+  {
+    std::ofstream edges(prefix + ".edges");
+    edges << "0 1\n";
+    std::ofstream points(prefix + ".points");
+    points << "5 3.0 4.0\n";  // Vertex 5 appears only in the points file.
+  }
+  auto loaded = LoadGeoSocialNetwork(prefix);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_vertices(), 6u);
+  EXPECT_TRUE(loaded->IsSpatial(5));
+  Cleanup(prefix);
+}
+
+}  // namespace
+}  // namespace gsr

@@ -1,0 +1,185 @@
+#include "labeling/label_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace gsr {
+namespace {
+
+std::set<uint32_t> Materialize(const LabelSet& set) {
+  std::set<uint32_t> out;
+  for (const Interval& interval : set.intervals()) {
+    for (uint32_t v = interval.lo; v <= interval.hi; ++v) out.insert(v);
+  }
+  return out;
+}
+
+TEST(IntervalTest, ContainsAndSubsumes) {
+  const Interval i{3, 7};
+  EXPECT_TRUE(i.Contains(3));
+  EXPECT_TRUE(i.Contains(7));
+  EXPECT_FALSE(i.Contains(2));
+  EXPECT_TRUE(i.Subsumes(Interval{4, 6}));
+  EXPECT_TRUE(i.Subsumes(i));
+  EXPECT_FALSE(i.Subsumes(Interval{4, 8}));
+}
+
+TEST(LabelSetTest, EmptySet) {
+  LabelSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.CoveredValues(), 0u);
+  EXPECT_FALSE(set.Contains(1));
+  EXPECT_EQ(set.ToString(), "(empty)");
+}
+
+TEST(LabelSetTest, InsertDisjoint) {
+  LabelSet set;
+  EXPECT_TRUE(set.Insert({10, 12}));
+  EXPECT_TRUE(set.Insert({1, 3}));
+  EXPECT_TRUE(set.Insert({6, 6}));
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.ToString(), "[1,3] [6,6] [10,12]");
+  EXPECT_EQ(set.CoveredValues(), 7u);
+}
+
+TEST(LabelSetTest, InsertSubsumedReturnsFalse) {
+  LabelSet set;
+  set.Insert({1, 10});
+  EXPECT_FALSE(set.Insert({3, 5}));
+  EXPECT_FALSE(set.Insert({1, 10}));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(LabelSetTest, InsertMergesOverlap) {
+  LabelSet set;
+  set.Insert({1, 4});
+  EXPECT_TRUE(set.Insert({4, 5}));  // The paper's [1,4]+[4,5] -> [1,5].
+  EXPECT_EQ(set.ToString(), "[1,5]");
+}
+
+TEST(LabelSetTest, InsertMergesAdjacency) {
+  LabelSet set;
+  set.Insert({1, 3});
+  EXPECT_TRUE(set.Insert({4, 5}));  // Dense integer domain: 1..5 contiguous.
+  EXPECT_EQ(set.ToString(), "[1,5]");
+}
+
+TEST(LabelSetTest, InsertBridgesMultipleIntervals) {
+  LabelSet set;
+  set.Insert({1, 2});
+  set.Insert({5, 6});
+  set.Insert({9, 10});
+  EXPECT_TRUE(set.Insert({3, 8}));
+  EXPECT_EQ(set.ToString(), "[1,10]");
+}
+
+TEST(LabelSetTest, ContainsBinarySearch) {
+  LabelSet set;
+  set.Insert({1, 3});
+  set.Insert({7, 9});
+  set.Insert({20, 20});
+  for (uint32_t v : {1u, 2u, 3u, 7u, 9u, 20u}) EXPECT_TRUE(set.Contains(v));
+  for (uint32_t v : {0u, 4u, 6u, 10u, 19u, 21u}) EXPECT_FALSE(set.Contains(v));
+}
+
+TEST(LabelSetTest, UnionWithGrowsCoverage) {
+  LabelSet a;
+  a.Insert({1, 5});
+  LabelSet b;
+  b.Insert({4, 8});
+  b.Insert({12, 14});
+  EXPECT_TRUE(a.UnionWith(b));
+  EXPECT_EQ(a.ToString(), "[1,8] [12,14]");
+  EXPECT_FALSE(a.UnionWith(b));  // Now covered: no change.
+}
+
+TEST(LabelSetTest, UnionWithEmptySource) {
+  LabelSet a;
+  a.Insert({1, 2});
+  EXPECT_FALSE(a.UnionWith(LabelSet()));
+  LabelSet empty;
+  LabelSet b;
+  b.Insert({3, 4});
+  EXPECT_TRUE(empty.UnionWith(b));
+  EXPECT_EQ(empty.ToString(), "[3,4]");
+}
+
+TEST(LabelSetTest, CoversSubset) {
+  LabelSet a;
+  a.Insert({1, 10});
+  a.Insert({20, 30});
+  LabelSet b;
+  b.Insert({2, 5});
+  b.Insert({25, 30});
+  EXPECT_TRUE(a.Covers(b));
+  EXPECT_FALSE(b.Covers(a));
+  b.Insert({15, 15});
+  EXPECT_FALSE(a.Covers(b));
+  EXPECT_TRUE(a.Covers(LabelSet()));
+}
+
+TEST(LabelSetTest, RandomizedAgainstSetReference) {
+  // Property sweep: arbitrary insert/union sequences must behave exactly
+  // like a std::set of covered integers.
+  Rng rng(2024);
+  for (int round = 0; round < 50; ++round) {
+    LabelSet set;
+    std::set<uint32_t> reference;
+    for (int op = 0; op < 60; ++op) {
+      const uint32_t lo = static_cast<uint32_t>(rng.NextBounded(200)) + 1;
+      const uint32_t hi =
+          lo + static_cast<uint32_t>(rng.NextBounded(10));
+      if (rng.NextBernoulli(0.7)) {
+        const bool changed = set.Insert({lo, hi});
+        bool ref_changed = false;
+        for (uint32_t v = lo; v <= hi; ++v) {
+          ref_changed |= reference.insert(v).second;
+        }
+        ASSERT_EQ(changed, ref_changed)
+            << "insert [" << lo << "," << hi << "] on " << set.ToString();
+      } else {
+        LabelSet other;
+        other.Insert({lo, hi});
+        const uint32_t lo2 = static_cast<uint32_t>(rng.NextBounded(200)) + 1;
+        other.Insert({lo2, lo2 + 3});
+        const bool changed = set.UnionWith(other);
+        bool ref_changed = false;
+        for (const Interval& interval : other.intervals()) {
+          for (uint32_t v = interval.lo; v <= interval.hi; ++v) {
+            ref_changed |= reference.insert(v).second;
+          }
+        }
+        ASSERT_EQ(changed, ref_changed);
+      }
+      ASSERT_EQ(Materialize(set), reference);
+      ASSERT_EQ(set.CoveredValues(), reference.size());
+      // Normalization invariant: disjoint, sorted, non-adjacent.
+      for (size_t i = 1; i < set.intervals().size(); ++i) {
+        ASSERT_GT(set.intervals()[i].lo, set.intervals()[i - 1].hi + 1);
+      }
+      for (uint32_t v = 0; v <= 215; ++v) {
+        ASSERT_EQ(set.Contains(v), reference.count(v) > 0) << "value " << v;
+      }
+    }
+  }
+}
+
+TEST(LabelSetTest, ExtremeBounds) {
+  LabelSet set;
+  const uint32_t max = std::numeric_limits<uint32_t>::max();
+  set.Insert({max - 1, max});
+  EXPECT_TRUE(set.Contains(max));
+  EXPECT_TRUE(set.Insert({0, 0}));
+  EXPECT_TRUE(set.Contains(0));
+  EXPECT_FALSE(set.Contains(1));
+  // Adjacent at the top boundary merges without overflow.
+  EXPECT_TRUE(set.Insert({max - 3, max - 2}));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Contains(max - 3));
+}
+
+}  // namespace
+}  // namespace gsr

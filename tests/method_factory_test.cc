@@ -1,0 +1,96 @@
+#include "core/method_factory.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace gsr {
+namespace {
+
+TEST(MethodFactoryTest, KindNames) {
+  EXPECT_STREQ(MethodKindName(MethodKind::kNaiveBfs), "NaiveBFS");
+  EXPECT_STREQ(MethodKindName(MethodKind::kSpaReachBfl), "SpaReach-BFL");
+  EXPECT_STREQ(MethodKindName(MethodKind::kSpaReachInt), "SpaReach-INT");
+  EXPECT_STREQ(MethodKindName(MethodKind::kGeoReach), "GeoReach");
+  EXPECT_STREQ(MethodKindName(MethodKind::kSocReach), "SocReach");
+  EXPECT_STREQ(MethodKindName(MethodKind::kThreeDReach), "3DReach");
+  EXPECT_STREQ(MethodKindName(MethodKind::kThreeDReachRev), "3DReach-REV");
+}
+
+TEST(MethodFactoryTest, CreatesEveryKind) {
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(80, 2.0, 0.4, 3);
+  const CondensedNetwork cn(&network);
+  for (const MethodKind kind :
+       {MethodKind::kNaiveBfs, MethodKind::kSpaReachBfl,
+        MethodKind::kSpaReachInt, MethodKind::kGeoReach, MethodKind::kSocReach,
+        MethodKind::kThreeDReach, MethodKind::kThreeDReachRev}) {
+    MethodConfig config;
+    config.kind = kind;
+    const auto method = CreateMethod(&cn, config);
+    ASSERT_NE(method, nullptr) << MethodKindName(kind);
+    // The factory name and the instance name agree on the replicate
+    // variant (no suffix).
+    EXPECT_EQ(method->name(), MethodKindName(kind));
+  }
+}
+
+TEST(MethodFactoryTest, MbrVariantSuffixesNames) {
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(80, 2.0, 0.4, 4);
+  const CondensedNetwork cn(&network);
+  for (const MethodKind kind :
+       {MethodKind::kSpaReachBfl, MethodKind::kSpaReachInt,
+        MethodKind::kThreeDReach, MethodKind::kThreeDReachRev}) {
+    MethodConfig config;
+    config.kind = kind;
+    config.scc_mode = SccSpatialMode::kMbr;
+    const auto method = CreateMethod(&cn, config);
+    EXPECT_NE(method->name().find("(mbr)"), std::string::npos)
+        << method->name();
+  }
+}
+
+TEST(MethodFactoryTest, Figure7Lineup) {
+  const auto configs = Figure7MethodConfigs();
+  ASSERT_EQ(configs.size(), 5u);
+  EXPECT_EQ(configs[0].kind, MethodKind::kSpaReachBfl);
+  EXPECT_EQ(configs[1].kind, MethodKind::kGeoReach);
+  EXPECT_EQ(configs[2].kind, MethodKind::kSocReach);
+  EXPECT_EQ(configs[3].kind, MethodKind::kThreeDReach);
+  EXPECT_EQ(configs[4].kind, MethodKind::kThreeDReachRev);
+  for (const MethodConfig& config : configs) {
+    EXPECT_EQ(config.scc_mode, SccSpatialMode::kReplicate);
+  }
+}
+
+TEST(MethodFactoryTest, BflOptionsArePassedThrough) {
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(200, 2.0, 0.4, 5);
+  const CondensedNetwork cn(&network);
+  MethodConfig narrow;
+  narrow.kind = MethodKind::kSpaReachBfl;
+  narrow.bfl.filter_words = 1;
+  MethodConfig wide;
+  wide.kind = MethodKind::kSpaReachBfl;
+  wide.bfl.filter_words = 8;
+  EXPECT_LT(CreateMethod(&cn, narrow)->IndexSizeBytes(),
+            CreateMethod(&cn, wide)->IndexSizeBytes());
+}
+
+TEST(MethodFactoryTest, GeoReachOptionsArePassedThrough) {
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(200, 2.0, 0.5, 6);
+  const CondensedNetwork cn(&network);
+  MethodConfig coarse;
+  coarse.kind = MethodKind::kGeoReach;
+  coarse.geo_reach.max_reach_grids = 1;  // Nearly everything degrades to R.
+  MethodConfig fine;
+  fine.kind = MethodKind::kGeoReach;
+  fine.geo_reach.max_reach_grids = 4096;
+  EXPECT_LE(CreateMethod(&cn, coarse)->IndexSizeBytes(),
+            CreateMethod(&cn, fine)->IndexSizeBytes());
+}
+
+}  // namespace
+}  // namespace gsr

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/condensed_network.h"
+#include "core/method_factory.h"
+#include "core/naive_bfs.h"
+#include "datagen/generator.h"
+#include "datagen/workload.h"
+#include "tests/test_util.h"
+
+namespace gsr {
+namespace {
+
+/// The central correctness property of the whole library: every evaluation
+/// method, under both SCC spatial modes, must answer exactly like the
+/// index-free BFS ground truth on arbitrary (cyclic) geosocial networks.
+
+struct AgreementCase {
+  uint32_t n;
+  double density;
+  double spatial_fraction;
+  uint64_t seed;
+};
+
+std::vector<MethodConfig> AllConfigs() {
+  std::vector<MethodConfig> configs;
+  for (const MethodKind kind :
+       {MethodKind::kSpaReachBfl, MethodKind::kSpaReachInt,
+        MethodKind::kSpaReachPll, MethodKind::kSpaReachFeline,
+        MethodKind::kGeoReach, MethodKind::kSocReach, MethodKind::kThreeDReach,
+        MethodKind::kThreeDReachRev}) {
+    for (const SccSpatialMode mode :
+         {SccSpatialMode::kReplicate, SccSpatialMode::kMbr}) {
+      MethodConfig config;
+      config.kind = kind;
+      config.scc_mode = mode;
+      configs.push_back(config);
+      // SocReach/GeoReach ignore the mode; keep one instance each.
+      if (kind == MethodKind::kSocReach || kind == MethodKind::kGeoReach) {
+        break;
+      }
+    }
+  }
+  return configs;
+}
+
+class MethodsAgreementTest : public ::testing::TestWithParam<AgreementCase> {};
+
+TEST_P(MethodsAgreementTest, AllMethodsMatchNaiveBfs) {
+  const AgreementCase& param = GetParam();
+  const GeoSocialNetwork network = testing::RandomGeoSocialNetwork(
+      param.n, param.density, param.spatial_fraction, param.seed);
+  const CondensedNetwork cn(&network);
+  const NaiveBfsMethod oracle(&network);
+
+  std::vector<std::unique_ptr<RangeReachMethod>> methods;
+  for (const MethodConfig& config : AllConfigs()) {
+    methods.push_back(CreateMethod(&cn, config));
+  }
+
+  Rng rng(param.seed ^ 0xABCDEF);
+  for (int q = 0; q < 150; ++q) {
+    const VertexId v =
+        static_cast<VertexId>(rng.NextBounded(network.num_vertices()));
+    const double x = rng.NextDoubleInRange(-10, 100);
+    const double y = rng.NextDoubleInRange(-10, 100);
+    const Rect region(x, y, x + rng.NextDoubleInRange(0, 60),
+                      y + rng.NextDoubleInRange(0, 60));
+    const bool expected = oracle.Evaluate(v, region);
+    for (const auto& method : methods) {
+      ASSERT_EQ(method->Evaluate(v, region), expected)
+          << method->name() << " disagrees on vertex " << v << " region "
+          << region.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomNetworks, MethodsAgreementTest,
+    ::testing::Values(
+        AgreementCase{30, 1.5, 0.5, 1}, AgreementCase{60, 2.0, 0.3, 2},
+        AgreementCase{100, 3.0, 0.4, 3}, AgreementCase{100, 1.0, 0.2, 4},
+        AgreementCase{200, 2.5, 0.5, 5}, AgreementCase{200, 4.0, 0.1, 6},
+        AgreementCase{400, 2.0, 0.3, 7}, AgreementCase{50, 5.0, 0.8, 8},
+        AgreementCase{150, 0.5, 0.6, 9}, AgreementCase{300, 3.5, 0.25, 10}));
+
+TEST(MethodsAgreementTest, SyntheticDatasetsBothRegimes) {
+  // Exercise the generator's two regimes end to end, smaller scale.
+  for (const double core_fraction : {1.0, 0.5}) {
+    GeneratorConfig config;
+    config.num_users = 300;
+    config.num_venues = 500;
+    config.num_friendships = 1500;
+    config.num_checkins = 2500;
+    config.core_fraction = core_fraction;
+    config.seed = 777;
+    const GeoSocialNetwork network = GenerateGeoSocialNetwork(config);
+    const CondensedNetwork cn(&network);
+    const NaiveBfsMethod oracle(&network);
+
+    std::vector<std::unique_ptr<RangeReachMethod>> methods;
+    for (const MethodConfig& method_config : AllConfigs()) {
+      methods.push_back(CreateMethod(&cn, method_config));
+    }
+
+    WorkloadGenerator workload(&network, 99);
+    QuerySpec spec;
+    spec.count = 100;
+    spec.min_out_degree = 1;
+    spec.max_out_degree = 1u << 30;
+    for (const RangeReachQuery& query : workload.Generate(spec)) {
+      const bool expected = oracle.EvaluateQuery(query);
+      for (const auto& method : methods) {
+        ASSERT_EQ(method->EvaluateQuery(query), expected)
+            << method->name() << " core_fraction=" << core_fraction;
+      }
+    }
+  }
+}
+
+TEST(MethodsAgreementTest, EmptyRegionIsAlwaysFalse) {
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(50, 2.0, 0.5, 42);
+  const CondensedNetwork cn(&network);
+  for (const MethodConfig& config : AllConfigs()) {
+    const auto method = CreateMethod(&cn, config);
+    for (VertexId v = 0; v < network.num_vertices(); v += 5) {
+      EXPECT_FALSE(method->Evaluate(v, Rect())) << method->name();
+    }
+  }
+}
+
+TEST(MethodsAgreementTest, QueryVertexItselfSpatial) {
+  // A spatial query vertex inside R must yield TRUE (paths of length 0).
+  GraphBuilder builder;
+  builder.ReserveVertices(2);
+  builder.AddEdge(0, 1);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  std::vector<std::optional<Point2D>> points(2);
+  points[0] = Point2D{5, 5};
+  auto network = GeoSocialNetwork::Create(std::move(graph).value(), points);
+  ASSERT_TRUE(network.ok());
+  const CondensedNetwork cn(&*network);
+  for (const MethodConfig& config : AllConfigs()) {
+    const auto method = CreateMethod(&cn, config);
+    EXPECT_TRUE(method->Evaluate(0, Rect(0, 0, 10, 10))) << method->name();
+    EXPECT_FALSE(method->Evaluate(1, Rect(0, 0, 10, 10))) << method->name();
+  }
+}
+
+TEST(MethodsAgreementTest, IndexSizesArePositive) {
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(100, 2.0, 0.5, 55);
+  const CondensedNetwork cn(&network);
+  for (const MethodConfig& config : AllConfigs()) {
+    const auto method = CreateMethod(&cn, config);
+    EXPECT_GT(method->IndexSizeBytes(), 0u) << method->name();
+    EXPECT_FALSE(method->name().empty());
+  }
+}
+
+}  // namespace
+}  // namespace gsr

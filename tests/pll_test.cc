@@ -1,0 +1,107 @@
+#include "labeling/pll.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/traversal.h"
+#include "tests/test_util.h"
+
+namespace gsr {
+namespace {
+
+TEST(PllTest, ChainGraph) {
+  auto g = DiGraph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  ASSERT_TRUE(g.ok());
+  const PllIndex index = PllIndex::Build(*g);
+  for (VertexId v = 0; v < 5; ++v) {
+    for (VertexId u = 0; u < 5; ++u) {
+      EXPECT_EQ(index.CanReach(v, u), v <= u) << v << " -> " << u;
+    }
+  }
+}
+
+TEST(PllTest, SelfReachable) {
+  const DiGraph g = testing::RandomDag(60, 2.0, 7);
+  const PllIndex index = PllIndex::Build(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_TRUE(index.CanReach(v, v));
+  }
+}
+
+TEST(PllTest, DisconnectedVertices) {
+  auto g = DiGraph::FromEdges(4, {{0, 1}});
+  ASSERT_TRUE(g.ok());
+  const PllIndex index = PllIndex::Build(*g);
+  EXPECT_TRUE(index.CanReach(0, 1));
+  EXPECT_FALSE(index.CanReach(0, 2));
+  EXPECT_FALSE(index.CanReach(2, 3));
+  EXPECT_TRUE(index.CanReach(3, 3));
+}
+
+class PllRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PllRandomTest, MatchesBfsExhaustively) {
+  const DiGraph g = testing::RandomDag(120, 3.0, GetParam());
+  const PllIndex index = PllIndex::Build(g);
+  BfsTraversal bfs(&g);
+  for (VertexId v = 0; v < g.num_vertices(); v += 2) {
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      ASSERT_EQ(index.CanReach(v, u), bfs.CanReach(v, u))
+          << "GReach(" << v << ", " << u << ")";
+    }
+  }
+}
+
+TEST_P(PllRandomTest, DenseDagsStayCorrect) {
+  const DiGraph g = testing::RandomDag(80, 8.0, GetParam() + 70);
+  const PllIndex index = PllIndex::Build(g);
+  BfsTraversal bfs(&g);
+  for (VertexId v = 0; v < g.num_vertices(); v += 3) {
+    for (VertexId u = 0; u < g.num_vertices(); u += 2) {
+      ASSERT_EQ(index.CanReach(v, u), bfs.CanReach(v, u));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PllRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(PllTest, PruningKeepsLabelsBelowTransitiveClosure) {
+  // 100 sources -> 1 hub -> 100 sinks: the transitive closure has > 10^4
+  // pairs, but the hub (processed first thanks to its degree product)
+  // covers all of them, so every other BFS prunes immediately and the
+  // label total stays linear.
+  const VertexId sources = 100;
+  const VertexId sinks = 100;
+  const VertexId hub = sources + sinks;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId s = 0; s < sources; ++s) edges.emplace_back(s, hub);
+  for (VertexId t = 0; t < sinks; ++t) edges.emplace_back(hub, sources + t);
+  auto g = DiGraph::FromEdges(hub + 1, std::move(edges));
+  ASSERT_TRUE(g.ok());
+  const PllIndex index = PllIndex::Build(*g);
+  EXPECT_EQ(index.RankOf(hub), 0u);  // Highest degree product.
+  const uint64_t n = hub + 1;
+  EXPECT_LT(index.TotalLabels(), 4 * n);  // Linear, not quadratic.
+  EXPECT_GE(index.TotalLabels(), 2 * n);  // Own rank in both lists.
+}
+
+TEST(PllTest, RanksAreAPermutation) {
+  const DiGraph g = testing::RandomDag(100, 2.0, 17);
+  const PllIndex index = PllIndex::Build(g);
+  std::vector<bool> seen(g.num_vertices(), false);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const uint32_t r = index.RankOf(v);
+    ASSERT_LT(r, g.num_vertices());
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+}
+
+TEST(PllTest, SizeBytesPositive) {
+  const DiGraph g = testing::RandomDag(50, 2.0, 19);
+  const PllIndex index = PllIndex::Build(g);
+  EXPECT_GT(index.SizeBytes(), 50 * sizeof(uint32_t));
+}
+
+}  // namespace
+}  // namespace gsr

@@ -1,0 +1,129 @@
+#include "graph/scc.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/traversal.h"
+#include "tests/test_util.h"
+
+namespace gsr {
+namespace {
+
+/// Brute-force SCC equivalence: u, v in the same component iff they reach
+/// each other.
+bool SameComponentBruteForce(const DiGraph& g, VertexId u, VertexId v) {
+  BfsTraversal bfs(&g);
+  return bfs.CanReach(u, v) && bfs.CanReach(v, u);
+}
+
+TEST(SccTest, EmptyGraph) {
+  auto g = DiGraph::FromEdges(0, {});
+  ASSERT_TRUE(g.ok());
+  const SccDecomposition scc = ComputeScc(*g);
+  EXPECT_EQ(scc.num_components, 0u);
+  EXPECT_EQ(scc.LargestComponentSize(), 0u);
+}
+
+TEST(SccTest, DagHasSingletonComponents) {
+  const DiGraph g = testing::RandomDag(100, 2.0, 3);
+  const SccDecomposition scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, g.num_vertices());
+  EXPECT_EQ(scc.LargestComponentSize(), 1u);
+}
+
+TEST(SccTest, SingleCycleIsOneComponent) {
+  auto g = DiGraph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  ASSERT_TRUE(g.ok());
+  const SccDecomposition scc = ComputeScc(*g);
+  EXPECT_EQ(scc.num_components, 1u);
+  EXPECT_EQ(scc.LargestComponentSize(), 5u);
+}
+
+TEST(SccTest, TwoComponentsWithBridge) {
+  // {0,1,2} cycle -> {3,4} cycle.
+  auto g = DiGraph::FromEdges(
+      5, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 3}});
+  ASSERT_TRUE(g.ok());
+  const SccDecomposition scc = ComputeScc(*g);
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_EQ(scc.component_of[0], scc.component_of[1]);
+  EXPECT_EQ(scc.component_of[0], scc.component_of[2]);
+  EXPECT_EQ(scc.component_of[3], scc.component_of[4]);
+  EXPECT_NE(scc.component_of[0], scc.component_of[3]);
+  // Reverse topological ids: the edge source's component id is larger.
+  EXPECT_GT(scc.component_of[0], scc.component_of[3]);
+}
+
+TEST(SccTest, SizesAddUp) {
+  const DiGraph g = testing::RandomDigraph(300, 2.5, 11);
+  const SccDecomposition scc = ComputeScc(g);
+  uint64_t total = 0;
+  for (const uint32_t s : scc.size_of) total += s;
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+class SccRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SccRandomTest, MatchesBruteForce) {
+  const DiGraph g = testing::RandomDigraph(60, 2.0, GetParam());
+  const SccDecomposition scc = ComputeScc(g);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = u + 1; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(scc.component_of[u] == scc.component_of[v],
+                SameComponentBruteForce(g, u, v))
+          << "vertices " << u << ", " << v;
+    }
+  }
+}
+
+TEST_P(SccRandomTest, CondensationIsAcyclicAndReverseTopological) {
+  const DiGraph g = testing::RandomDigraph(200, 3.0, GetParam() + 100);
+  const SccDecomposition scc = ComputeScc(g);
+  const DiGraph dag = BuildCondensationGraph(g, scc);
+  EXPECT_EQ(dag.num_vertices(), scc.num_components);
+  EXPECT_TRUE(IsAcyclic(dag));
+  // Component id order: every condensation edge goes to a smaller id.
+  for (VertexId c = 0; c < dag.num_vertices(); ++c) {
+    for (const VertexId d : dag.OutNeighbors(c)) {
+      EXPECT_GT(c, d);
+    }
+  }
+}
+
+TEST_P(SccRandomTest, CondensationPreservesReachability) {
+  const DiGraph g = testing::RandomDigraph(80, 2.0, GetParam() + 500);
+  const SccDecomposition scc = ComputeScc(g);
+  const DiGraph dag = BuildCondensationGraph(g, scc);
+  BfsTraversal bfs_g(&g);
+  BfsTraversal bfs_dag(&dag);
+  for (VertexId u = 0; u < g.num_vertices(); u += 7) {
+    for (VertexId v = 0; v < g.num_vertices(); v += 5) {
+      EXPECT_EQ(bfs_g.CanReach(u, v),
+                bfs_dag.CanReach(scc.component_of[u], scc.component_of[v]))
+          << "vertices " << u << ", " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SccRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(GroupByComponentTest, MembersMatchAssignment) {
+  const DiGraph g = testing::RandomDigraph(150, 2.5, 77);
+  const SccDecomposition scc = ComputeScc(g);
+  const ComponentMembers members = GroupByComponent(scc);
+  std::set<VertexId> seen;
+  for (ComponentId c = 0; c < scc.num_components; ++c) {
+    const auto span = members.MembersOf(c);
+    EXPECT_EQ(span.size(), scc.size_of[c]);
+    for (const VertexId v : span) {
+      EXPECT_EQ(scc.component_of[v], c);
+      EXPECT_TRUE(seen.insert(v).second) << "vertex listed twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), g.num_vertices());
+}
+
+}  // namespace
+}  // namespace gsr

@@ -1,0 +1,76 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace gsr {
+namespace {
+
+TEST(TablePrinterTest, FormatNumberSignificantDigits) {
+  EXPECT_EQ(TablePrinter::FormatNumber(7.8812), "7.88");
+  EXPECT_EQ(TablePrinter::FormatNumber(160.2), "160");
+  EXPECT_EQ(TablePrinter::FormatNumber(1636.0), "1636");
+  EXPECT_EQ(TablePrinter::FormatNumber(0.0), "0");
+  EXPECT_EQ(TablePrinter::FormatNumber(1.3), "1.30");
+  EXPECT_EQ(TablePrinter::FormatNumber(0.0123, 2), "0.012");
+}
+
+TEST(TablePrinterTest, FormatNumberNan) {
+  EXPECT_EQ(TablePrinter::FormatNumber(std::nan("")), "n/a");
+}
+
+TEST(TablePrinterTest, CsvRoundTrip) {
+  TablePrinter table("Test table", {"dataset", "value"});
+  table.AddRow({"foursquare", "1.5"});
+  table.AddRow({"with,comma", "2.0"});
+  EXPECT_EQ(table.num_rows(), 2u);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gsr_table_test.csv").string();
+  ASSERT_TRUE(table.WriteCsv(path).ok());
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  EXPECT_NE(content.find("dataset,value"), std::string::npos);
+  EXPECT_NE(content.find("foursquare,1.5"), std::string::npos);
+  EXPECT_NE(content.find("\"with,comma\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(TablePrinterTest, CsvToBadPathFails) {
+  TablePrinter table("t", {"a"});
+  table.AddRow({"1"});
+  EXPECT_FALSE(table.WriteCsv("/nonexistent/dir/file.csv").ok());
+}
+
+TEST(TablePrinterTest, PrintDoesNotCrash) {
+  TablePrinter table("Table N: something", {"col a", "col b", "col c"});
+  table.AddRow({"x", "yyyyyyyyyyyy", "z"});
+  table.AddRow({"longer cell", "y", "zz"});
+  table.Print();  // Visual output; just exercise the code path.
+}
+
+TEST(TablePrinterTest, QuotesEscapedInCsv) {
+  TablePrinter table("t", {"a"});
+  table.AddRow({"say \"hi\""});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gsr_table_quote.csv")
+          .string();
+  ASSERT_TRUE(table.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string header;
+  std::string line;
+  std::getline(in, header);
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"say \"\"hi\"\"\"");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace gsr

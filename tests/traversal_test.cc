@@ -1,0 +1,106 @@
+#include "graph/traversal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "tests/test_util.h"
+
+namespace gsr {
+namespace {
+
+TEST(BfsTraversalTest, SelfIsAlwaysReachable) {
+  auto g = DiGraph::FromEdges(3, {{0, 1}});
+  ASSERT_TRUE(g.ok());
+  BfsTraversal bfs(&*g);
+  EXPECT_TRUE(bfs.CanReach(2, 2));
+  EXPECT_TRUE(bfs.CanReach(0, 0));
+}
+
+TEST(BfsTraversalTest, ChainReachability) {
+  auto g = DiGraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  ASSERT_TRUE(g.ok());
+  BfsTraversal bfs(&*g);
+  EXPECT_TRUE(bfs.CanReach(0, 3));
+  EXPECT_FALSE(bfs.CanReach(3, 0));
+  EXPECT_TRUE(bfs.CanReach(1, 2));
+}
+
+TEST(BfsTraversalTest, CollectReachable) {
+  auto g = DiGraph::FromEdges(5, {{0, 1}, {1, 2}, {3, 4}});
+  ASSERT_TRUE(g.ok());
+  BfsTraversal bfs(&*g);
+  const auto reach = bfs.CollectReachable(0);
+  EXPECT_EQ(std::set<VertexId>(reach.begin(), reach.end()),
+            (std::set<VertexId>{0, 1, 2}));
+}
+
+TEST(BfsTraversalTest, RepeatedQueriesAreIndependent) {
+  auto g = DiGraph::FromEdges(6, {{0, 1}, {2, 3}, {4, 5}});
+  ASSERT_TRUE(g.ok());
+  BfsTraversal bfs(&*g);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(bfs.CanReach(0, 1));
+    EXPECT_FALSE(bfs.CanReach(0, 3));
+    EXPECT_TRUE(bfs.CanReach(4, 5));
+  }
+}
+
+TEST(BfsTraversalTest, HandlesCycles) {
+  auto g = DiGraph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+  ASSERT_TRUE(g.ok());
+  BfsTraversal bfs(&*g);
+  EXPECT_TRUE(bfs.CanReach(0, 2));
+  EXPECT_TRUE(bfs.CanReach(2, 1));
+  EXPECT_EQ(bfs.CollectReachable(1).size(), 3u);
+}
+
+TEST(TopologicalOrderTest, ValidOrderOnDag) {
+  const DiGraph g = testing::RandomDag(200, 3.0, 5);
+  const auto order = TopologicalOrder(g);
+  ASSERT_EQ(order.size(), g.num_vertices());
+  std::vector<uint32_t> position(g.num_vertices());
+  for (uint32_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId w : g.OutNeighbors(v)) {
+      EXPECT_LT(position[v], position[w]);
+    }
+  }
+}
+
+TEST(TopologicalOrderTest, EmptyOnCycle) {
+  auto g = DiGraph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(TopologicalOrder(*g).empty());
+}
+
+TEST(IsAcyclicTest, Detection) {
+  auto dag = DiGraph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  ASSERT_TRUE(dag.ok());
+  EXPECT_TRUE(IsAcyclic(*dag));
+
+  auto cyc = DiGraph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+  ASSERT_TRUE(cyc.ok());
+  EXPECT_FALSE(IsAcyclic(*cyc));
+
+  auto empty = DiGraph::FromEdges(0, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(IsAcyclic(*empty));
+}
+
+TEST(BfsTraversalTest, EarlyStopInForEachReachable) {
+  auto g = DiGraph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  ASSERT_TRUE(g.ok());
+  BfsTraversal bfs(&*g);
+  int visits = 0;
+  const bool stopped = bfs.ForEachReachable(0, [&](VertexId) {
+    ++visits;
+    return visits < 3;
+  });
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(visits, 3);
+}
+
+}  // namespace
+}  // namespace gsr

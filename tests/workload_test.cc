@@ -1,0 +1,122 @@
+#include "datagen/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+
+namespace gsr {
+namespace {
+
+GeoSocialNetwork TestNetwork() {
+  GeneratorConfig config;
+  config.num_users = 1000;
+  config.num_venues = 4000;
+  config.num_friendships = 8000;
+  config.num_checkins = 16000;
+  config.seed = 321;
+  return GenerateGeoSocialNetwork(config);
+}
+
+TEST(WorkloadTest, PaperParameterGrids) {
+  const auto buckets = PaperDegreeBuckets();
+  ASSERT_EQ(buckets.size(), 5u);
+  EXPECT_EQ(buckets[0].lo, 1u);
+  EXPECT_EQ(buckets[0].hi, 49u);
+  EXPECT_EQ(buckets[4].lo, 200u);
+  EXPECT_EQ(buckets[4].label, "200+");
+  EXPECT_EQ(PaperExtents(), (std::vector<double>{1, 2, 5, 10, 20}));
+  EXPECT_EQ(PaperSelectivities(), (std::vector<double>{0.001, 0.01, 0.1, 1}));
+}
+
+TEST(WorkloadTest, GeneratesRequestedCount) {
+  const GeoSocialNetwork network = TestNetwork();
+  WorkloadGenerator workload(&network, 7);
+  QuerySpec spec;
+  spec.count = 123;
+  const auto queries = workload.Generate(spec);
+  EXPECT_EQ(queries.size(), 123u);
+}
+
+TEST(WorkloadTest, RegionExtentMatchesAreaPercent) {
+  const GeoSocialNetwork network = TestNetwork();
+  WorkloadGenerator workload(&network, 11);
+  const double space_area = network.SpaceBounds().Area();
+  for (const double extent : PaperExtents()) {
+    const Rect region = workload.RandomRegionByExtent(extent);
+    EXPECT_NEAR(region.Area() / space_area, extent / 100.0, 1e-9);
+  }
+}
+
+TEST(WorkloadTest, QueryVerticesRespectDegreeBucket) {
+  const GeoSocialNetwork network = TestNetwork();
+  WorkloadGenerator workload(&network, 13);
+  QuerySpec spec;
+  spec.count = 200;
+  spec.min_out_degree = 1;
+  spec.max_out_degree = 49;
+  for (const RangeReachQuery& query : workload.Generate(spec)) {
+    const uint32_t degree = network.graph().OutDegree(query.vertex);
+    EXPECT_GE(degree, 1u);
+    EXPECT_LE(degree, 49u);
+  }
+}
+
+TEST(WorkloadTest, SelectivityTargeting) {
+  const GeoSocialNetwork network = TestNetwork();
+  WorkloadGenerator workload(&network, 17);
+  // Count spatial points exactly per generated region; the generator aims
+  // for selectivity% of |V| and must land within a small factor.
+  for (const double selectivity : {0.1, 1.0}) {
+    const double target =
+        selectivity / 100.0 * static_cast<double>(network.num_vertices());
+    for (int i = 0; i < 10; ++i) {
+      const Rect region = workload.RandomRegionBySelectivity(selectivity);
+      size_t count = 0;
+      for (const VertexId v : network.spatial_vertices()) {
+        if (region.Contains(network.PointOf(v))) ++count;
+      }
+      EXPECT_GE(static_cast<double>(count), target * 0.4)
+          << "selectivity " << selectivity;
+      EXPECT_LE(static_cast<double>(count), target * 3.0)
+          << "selectivity " << selectivity;
+    }
+  }
+}
+
+TEST(WorkloadTest, SelectivityRegionsNeverEmpty) {
+  const GeoSocialNetwork network = TestNetwork();
+  WorkloadGenerator workload(&network, 19);
+  for (int i = 0; i < 20; ++i) {
+    const Rect region = workload.RandomRegionBySelectivity(0.001);
+    size_t count = 0;
+    for (const VertexId v : network.spatial_vertices()) {
+      if (region.Contains(network.PointOf(v))) ++count;
+    }
+    EXPECT_GE(count, 1u);
+  }
+}
+
+TEST(WorkloadTest, EmptyBucketFallsBackToClosestDegrees) {
+  const GeoSocialNetwork network = TestNetwork();
+  WorkloadGenerator workload(&network, 23);
+  // Absurd bucket that no vertex hits: fallback picks high-degree vertices.
+  const VertexId v = workload.RandomVertexWithDegree(1000000, 2000000);
+  EXPECT_GT(network.graph().OutDegree(v), 0u);
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  const GeoSocialNetwork network = TestNetwork();
+  WorkloadGenerator a(&network, 31);
+  WorkloadGenerator b(&network, 31);
+  QuerySpec spec;
+  spec.count = 50;
+  const auto qa = a.Generate(spec);
+  const auto qb = b.Generate(spec);
+  for (size_t i = 0; i < qa.size(); ++i) {
+    EXPECT_EQ(qa[i].vertex, qb[i].vertex);
+    EXPECT_EQ(qa[i].region, qb[i].region);
+  }
+}
+
+}  // namespace
+}  // namespace gsr
