@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_georeach.dir/bench_ablation_georeach.cc.o"
+  "CMakeFiles/bench_ablation_georeach.dir/bench_ablation_georeach.cc.o.d"
+  "bench_ablation_georeach"
+  "bench_ablation_georeach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_georeach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analysis_breakdown.dir/bench_analysis_breakdown.cc.o"
+  "CMakeFiles/bench_analysis_breakdown.dir/bench_analysis_breakdown.cc.o.d"
+  "bench_analysis_breakdown"
+  "bench_analysis_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analysis_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_spareach.dir/bench_fig6_spareach.cc.o"
+  "CMakeFiles/bench_fig6_spareach.dir/bench_fig6_spareach.cc.o.d"
+  "bench_fig6_spareach"
+  "bench_fig6_spareach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_spareach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libgsr_bench_support.a"
+  "../lib/libgsr_bench_support.pdb"
+  "CMakeFiles/gsr_bench_support.dir/bench_support.cc.o"
+  "CMakeFiles/gsr_bench_support.dir/bench_support.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsr_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libgsr_bench_support.a"
+)

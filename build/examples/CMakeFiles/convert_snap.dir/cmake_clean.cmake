@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convert_snap.dir/convert_snap.cpp.o"
+  "CMakeFiles/convert_snap.dir/convert_snap.cpp.o.d"
+  "convert_snap"
+  "convert_snap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convert_snap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epidemic_monitoring.dir/epidemic_monitoring.cpp.o"
+  "CMakeFiles/epidemic_monitoring.dir/epidemic_monitoring.cpp.o.d"
+  "epidemic_monitoring"
+  "epidemic_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epidemic_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_advertising.dir/geo_advertising.cpp.o"
+  "CMakeFiles/geo_advertising.dir/geo_advertising.cpp.o.d"
+  "geo_advertising"
+  "geo_advertising.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_advertising.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsr_common.dir/status.cc.o"
+  "CMakeFiles/gsr_common.dir/status.cc.o.d"
+  "CMakeFiles/gsr_common.dir/table_printer.cc.o"
+  "CMakeFiles/gsr_common.dir/table_printer.cc.o.d"
+  "libgsr_common.a"
+  "libgsr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

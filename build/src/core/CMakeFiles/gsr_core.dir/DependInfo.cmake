@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/condensed_network.cc" "src/core/CMakeFiles/gsr_core.dir/condensed_network.cc.o" "gcc" "src/core/CMakeFiles/gsr_core.dir/condensed_network.cc.o.d"
+  "/root/repo/src/core/dynamic_range_reach.cc" "src/core/CMakeFiles/gsr_core.dir/dynamic_range_reach.cc.o" "gcc" "src/core/CMakeFiles/gsr_core.dir/dynamic_range_reach.cc.o.d"
+  "/root/repo/src/core/geo_reach.cc" "src/core/CMakeFiles/gsr_core.dir/geo_reach.cc.o" "gcc" "src/core/CMakeFiles/gsr_core.dir/geo_reach.cc.o.d"
+  "/root/repo/src/core/geosocial_network.cc" "src/core/CMakeFiles/gsr_core.dir/geosocial_network.cc.o" "gcc" "src/core/CMakeFiles/gsr_core.dir/geosocial_network.cc.o.d"
+  "/root/repo/src/core/method_factory.cc" "src/core/CMakeFiles/gsr_core.dir/method_factory.cc.o" "gcc" "src/core/CMakeFiles/gsr_core.dir/method_factory.cc.o.d"
+  "/root/repo/src/core/three_d_reach.cc" "src/core/CMakeFiles/gsr_core.dir/three_d_reach.cc.o" "gcc" "src/core/CMakeFiles/gsr_core.dir/three_d_reach.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gsr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/gsr_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gsr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/labeling/CMakeFiles/gsr_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/gsr_spatial.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

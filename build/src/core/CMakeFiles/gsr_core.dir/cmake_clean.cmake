@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsr_core.dir/condensed_network.cc.o"
+  "CMakeFiles/gsr_core.dir/condensed_network.cc.o.d"
+  "CMakeFiles/gsr_core.dir/dynamic_range_reach.cc.o"
+  "CMakeFiles/gsr_core.dir/dynamic_range_reach.cc.o.d"
+  "CMakeFiles/gsr_core.dir/geo_reach.cc.o"
+  "CMakeFiles/gsr_core.dir/geo_reach.cc.o.d"
+  "CMakeFiles/gsr_core.dir/geosocial_network.cc.o"
+  "CMakeFiles/gsr_core.dir/geosocial_network.cc.o.d"
+  "CMakeFiles/gsr_core.dir/method_factory.cc.o"
+  "CMakeFiles/gsr_core.dir/method_factory.cc.o.d"
+  "CMakeFiles/gsr_core.dir/three_d_reach.cc.o"
+  "CMakeFiles/gsr_core.dir/three_d_reach.cc.o.d"
+  "libgsr_core.a"
+  "libgsr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

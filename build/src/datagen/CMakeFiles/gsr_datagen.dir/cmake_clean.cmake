@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsr_datagen.dir/generator.cc.o"
+  "CMakeFiles/gsr_datagen.dir/generator.cc.o.d"
+  "CMakeFiles/gsr_datagen.dir/io.cc.o"
+  "CMakeFiles/gsr_datagen.dir/io.cc.o.d"
+  "CMakeFiles/gsr_datagen.dir/workload.cc.o"
+  "CMakeFiles/gsr_datagen.dir/workload.cc.o.d"
+  "libgsr_datagen.a"
+  "libgsr_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsr_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgsr_datagen.a"
+)

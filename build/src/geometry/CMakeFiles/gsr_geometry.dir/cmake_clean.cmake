@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsr_geometry.dir/geometry.cc.o"
+  "CMakeFiles/gsr_geometry.dir/geometry.cc.o.d"
+  "libgsr_geometry.a"
+  "libgsr_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsr_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

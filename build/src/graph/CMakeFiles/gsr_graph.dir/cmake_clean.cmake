@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsr_graph.dir/digraph.cc.o"
+  "CMakeFiles/gsr_graph.dir/digraph.cc.o.d"
+  "CMakeFiles/gsr_graph.dir/scc.cc.o"
+  "CMakeFiles/gsr_graph.dir/scc.cc.o.d"
+  "CMakeFiles/gsr_graph.dir/spanning_forest.cc.o"
+  "CMakeFiles/gsr_graph.dir/spanning_forest.cc.o.d"
+  "CMakeFiles/gsr_graph.dir/traversal.cc.o"
+  "CMakeFiles/gsr_graph.dir/traversal.cc.o.d"
+  "libgsr_graph.a"
+  "libgsr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/labeling/bfl.cc" "src/labeling/CMakeFiles/gsr_labeling.dir/bfl.cc.o" "gcc" "src/labeling/CMakeFiles/gsr_labeling.dir/bfl.cc.o.d"
+  "/root/repo/src/labeling/feline.cc" "src/labeling/CMakeFiles/gsr_labeling.dir/feline.cc.o" "gcc" "src/labeling/CMakeFiles/gsr_labeling.dir/feline.cc.o.d"
+  "/root/repo/src/labeling/interval_labeling.cc" "src/labeling/CMakeFiles/gsr_labeling.dir/interval_labeling.cc.o" "gcc" "src/labeling/CMakeFiles/gsr_labeling.dir/interval_labeling.cc.o.d"
+  "/root/repo/src/labeling/label_set.cc" "src/labeling/CMakeFiles/gsr_labeling.dir/label_set.cc.o" "gcc" "src/labeling/CMakeFiles/gsr_labeling.dir/label_set.cc.o.d"
+  "/root/repo/src/labeling/pll.cc" "src/labeling/CMakeFiles/gsr_labeling.dir/pll.cc.o" "gcc" "src/labeling/CMakeFiles/gsr_labeling.dir/pll.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gsr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gsr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsr_labeling.dir/bfl.cc.o"
+  "CMakeFiles/gsr_labeling.dir/bfl.cc.o.d"
+  "CMakeFiles/gsr_labeling.dir/feline.cc.o"
+  "CMakeFiles/gsr_labeling.dir/feline.cc.o.d"
+  "CMakeFiles/gsr_labeling.dir/interval_labeling.cc.o"
+  "CMakeFiles/gsr_labeling.dir/interval_labeling.cc.o.d"
+  "CMakeFiles/gsr_labeling.dir/label_set.cc.o"
+  "CMakeFiles/gsr_labeling.dir/label_set.cc.o.d"
+  "CMakeFiles/gsr_labeling.dir/pll.cc.o"
+  "CMakeFiles/gsr_labeling.dir/pll.cc.o.d"
+  "libgsr_labeling.a"
+  "libgsr_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsr_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

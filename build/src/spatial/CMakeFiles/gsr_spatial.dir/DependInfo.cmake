@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spatial/grid_histogram.cc" "src/spatial/CMakeFiles/gsr_spatial.dir/grid_histogram.cc.o" "gcc" "src/spatial/CMakeFiles/gsr_spatial.dir/grid_histogram.cc.o.d"
+  "/root/repo/src/spatial/hierarchical_grid.cc" "src/spatial/CMakeFiles/gsr_spatial.dir/hierarchical_grid.cc.o" "gcc" "src/spatial/CMakeFiles/gsr_spatial.dir/hierarchical_grid.cc.o.d"
+  "/root/repo/src/spatial/rtree.cc" "src/spatial/CMakeFiles/gsr_spatial.dir/rtree.cc.o" "gcc" "src/spatial/CMakeFiles/gsr_spatial.dir/rtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gsr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/gsr_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

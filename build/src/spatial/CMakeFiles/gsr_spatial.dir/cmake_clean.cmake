@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsr_spatial.dir/grid_histogram.cc.o"
+  "CMakeFiles/gsr_spatial.dir/grid_histogram.cc.o.d"
+  "CMakeFiles/gsr_spatial.dir/hierarchical_grid.cc.o"
+  "CMakeFiles/gsr_spatial.dir/hierarchical_grid.cc.o.d"
+  "CMakeFiles/gsr_spatial.dir/rtree.cc.o"
+  "CMakeFiles/gsr_spatial.dir/rtree.cc.o.d"
+  "libgsr_spatial.a"
+  "libgsr_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsr_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

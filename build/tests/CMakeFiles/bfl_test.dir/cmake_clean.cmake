@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfl_test.dir/bfl_test.cc.o"
+  "CMakeFiles/bfl_test.dir/bfl_test.cc.o.d"
+  "bfl_test"
+  "bfl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

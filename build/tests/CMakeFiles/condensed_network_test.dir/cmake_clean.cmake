@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condensed_network_test.dir/condensed_network_test.cc.o"
+  "CMakeFiles/condensed_network_test.dir/condensed_network_test.cc.o.d"
+  "condensed_network_test"
+  "condensed_network_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condensed_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condensed_spatial_index_test.dir/condensed_spatial_index_test.cc.o"
+  "CMakeFiles/condensed_spatial_index_test.dir/condensed_spatial_index_test.cc.o.d"
+  "condensed_spatial_index_test"
+  "condensed_spatial_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condensed_spatial_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_range_reach_test.dir/dynamic_range_reach_test.cc.o"
+  "CMakeFiles/dynamic_range_reach_test.dir/dynamic_range_reach_test.cc.o.d"
+  "dynamic_range_reach_test"
+  "dynamic_range_reach_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_range_reach_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

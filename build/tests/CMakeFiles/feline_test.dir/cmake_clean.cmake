@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feline_test.dir/feline_test.cc.o"
+  "CMakeFiles/feline_test.dir/feline_test.cc.o.d"
+  "feline_test"
+  "feline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

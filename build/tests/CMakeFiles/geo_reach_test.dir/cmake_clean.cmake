@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_reach_test.dir/geo_reach_test.cc.o"
+  "CMakeFiles/geo_reach_test.dir/geo_reach_test.cc.o.d"
+  "geo_reach_test"
+  "geo_reach_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_reach_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

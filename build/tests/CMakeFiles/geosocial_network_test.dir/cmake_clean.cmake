@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geosocial_network_test.dir/geosocial_network_test.cc.o"
+  "CMakeFiles/geosocial_network_test.dir/geosocial_network_test.cc.o.d"
+  "geosocial_network_test"
+  "geosocial_network_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geosocial_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_histogram_test.dir/grid_histogram_test.cc.o"
+  "CMakeFiles/grid_histogram_test.dir/grid_histogram_test.cc.o.d"
+  "grid_histogram_test"
+  "grid_histogram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

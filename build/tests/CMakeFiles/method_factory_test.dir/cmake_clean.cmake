@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_factory_test.dir/method_factory_test.cc.o"
+  "CMakeFiles/method_factory_test.dir/method_factory_test.cc.o.d"
+  "method_factory_test"
+  "method_factory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/methods_agreement_test.dir/methods_agreement_test.cc.o"
+  "CMakeFiles/methods_agreement_test.dir/methods_agreement_test.cc.o.d"
+  "methods_agreement_test"
+  "methods_agreement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/methods_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spanning_forest_test.dir/spanning_forest_test.cc.o"
+  "CMakeFiles/spanning_forest_test.dir/spanning_forest_test.cc.o.d"
+  "spanning_forest_test"
+  "spanning_forest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spanning_forest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_d_reach_test.dir/three_d_reach_test.cc.o"
+  "CMakeFiles/three_d_reach_test.dir/three_d_reach_test.cc.o.d"
+  "three_d_reach_test"
+  "three_d_reach_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_d_reach_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
