@@ -1,9 +1,12 @@
 #include "bench/bench_support.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+
+#include "exec/batch_runner.h"
 
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
@@ -30,7 +33,7 @@ std::vector<std::string> SplitCommas(const std::string& value) {
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--scale f] [--queries n] [--out dir] "
-               "[--datasets a,b,...]\n",
+               "[--datasets a,b,...] [--threads n]\n",
                argv0);
   std::exit(2);
 }
@@ -55,6 +58,8 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       options.out_dir = next();
     } else if (arg == "--datasets") {
       options.datasets = SplitCommas(next());
+    } else if (arg == "--threads") {
+      options.threads = static_cast<unsigned>(std::atoi(next()));
     } else {
       Usage(argv[0]);
     }
@@ -101,6 +106,46 @@ QueryStats MeasureQueries(const RangeReachMethod& method,
     if (method.EvaluateQuery(query)) ++stats.true_answers;
   }
   stats.avg_micros = watch.ElapsedMicros() / static_cast<double>(queries.size());
+  return stats;
+}
+
+namespace {
+
+double Percentile(std::vector<double>& sorted_in_place, double p) {
+  if (sorted_in_place.empty()) return 0.0;
+  std::sort(sorted_in_place.begin(), sorted_in_place.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted_in_place.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted_in_place.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_in_place[lo] * (1.0 - frac) + sorted_in_place[hi] * frac;
+}
+
+}  // namespace
+
+ThroughputStats MeasureThroughput(const RangeReachMethod& method,
+                                  const std::vector<RangeReachQuery>& queries,
+                                  exec::ThreadPool& pool) {
+  ThroughputStats stats;
+  if (queries.empty()) return stats;
+
+  exec::BatchRunner runner(&pool);
+  exec::BatchOptions batch;
+  batch.record_latencies = true;
+
+  // Warmup run: fault in per-worker scratches and warm caches so the
+  // measured run is steady state.
+  (void)runner.Run(method, queries, batch);
+
+  Stopwatch watch;
+  exec::BatchResult result = runner.Run(method, queries, batch);
+  stats.wall_seconds = watch.ElapsedSeconds();
+  stats.qps =
+      static_cast<double>(queries.size()) / std::max(1e-12, stats.wall_seconds);
+  stats.true_answers = result.true_count;
+  stats.p50_us = Percentile(result.latencies_us, 50.0);
+  stats.p95_us = Percentile(result.latencies_us, 95.0);
+  stats.p99_us = Percentile(result.latencies_us, 99.0);
   return stats;
 }
 

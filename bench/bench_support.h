@@ -11,6 +11,7 @@
 #include "core/range_reach.h"
 #include "datagen/generator.h"
 #include "datagen/workload.h"
+#include "exec/thread_pool.h"
 
 namespace gsr::bench {
 
@@ -23,12 +24,15 @@ namespace gsr::bench {
 ///   --out <dir>    directory for CSV outputs (default "results")
 ///   --datasets a,b comma-separated subset of
 ///                  foursquare,gowalla,weeplaces,yelp
+///   --threads <n>  worker threads for throughput harnesses; 0 (default)
+///                  means hardware concurrency
 struct BenchOptions {
   double scale = 0.25;
   uint32_t queries = 200;
   std::string out_dir = "results";
   std::vector<std::string> datasets = {"foursquare", "gowalla", "weeplaces",
                                        "yelp"};
+  unsigned threads = 0;
 
   /// Parses argv; aborts with a usage message on unknown flags.
   static BenchOptions Parse(int argc, char** argv);
@@ -67,6 +71,25 @@ struct QueryStats {
 };
 QueryStats MeasureQueries(const RangeReachMethod& method,
                           const std::vector<RangeReachQuery>& queries);
+
+/// Parallel-batch throughput of one method at a fixed thread count:
+/// queries per second over the whole batch plus per-query latency
+/// percentiles (latency of a query = its own wall time on its worker, so
+/// under contention qps and latency diverge — both are reported).
+struct ThroughputStats {
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  size_t true_answers = 0;
+};
+
+/// Evaluates `queries` on `pool` via exec::BatchRunner and reports
+/// throughput. The pool's size is the thread count of the measurement.
+ThroughputStats MeasureThroughput(const RangeReachMethod& method,
+                                  const std::vector<RangeReachQuery>& queries,
+                                  exec::ThreadPool& pool);
 
 /// Creates `dir` if needed; returns false (with a warning on stderr) when
 /// that fails — CSV output is then skipped.

@@ -1,0 +1,165 @@
+// Parallel batch-query throughput: evaluates one large RangeReach batch
+// on the exec::ThreadPool + exec::BatchRunner engine at increasing thread
+// counts and reports queries/second plus per-query latency percentiles,
+// per method of the final comparison (Figure 7 set).
+//
+// Expected shape: the label-lookup methods (3DReach, 3DReach-REV,
+// SpaReach) scale near-linearly until memory bandwidth saturates — all
+// shared state is read-only at query time and each worker owns its
+// scratch. SocReach and GeoReach scale too but start from much slower
+// single-thread baselines on negative queries.
+//
+// Outputs one table + CSV per dataset (<out>/throughput_<dataset>.csv)
+// and a machine-readable <out>/BENCH_throughput.json with every
+// (dataset, method, threads) measurement and its speedup over 1 thread.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_support.h"
+#include "common/table_printer.h"
+#include "exec/thread_pool.h"
+
+namespace {
+
+using namespace gsr;         // NOLINT
+using namespace gsr::bench;  // NOLINT
+
+/// Thread counts to sweep: 1, 2, 4, ... up to `max_threads` (always
+/// including `max_threads` itself).
+std::vector<unsigned> ThreadSweep(unsigned max_threads) {
+  std::vector<unsigned> sweep;
+  for (unsigned t = 1; t < max_threads; t *= 2) sweep.push_back(t);
+  sweep.push_back(max_threads);
+  return sweep;
+}
+
+/// Repeats the workload until the batch is large enough that per-batch
+/// overheads (pool wakeup, chunk claiming) are amortized.
+std::vector<RangeReachQuery> TileBatch(std::vector<RangeReachQuery> queries,
+                                       size_t min_size) {
+  if (queries.empty()) return queries;
+  const size_t base = queries.size();
+  while (queries.size() < min_size) {
+    for (size_t i = 0; i < base && queries.size() < min_size; ++i) {
+      queries.push_back(queries[i]);
+    }
+  }
+  return queries;
+}
+
+struct Measurement {
+  std::string dataset;
+  std::string method;
+  unsigned threads = 0;
+  ThroughputStats stats;
+  double speedup = 1.0;  // qps relative to the same method at 1 thread.
+};
+
+void WriteJson(const std::string& path, const std::vector<Measurement>& all,
+               size_t batch_size, double scale) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"throughput\",\n");
+  std::fprintf(f, "  \"scale\": %g,\n  \"batch_size\": %zu,\n", scale,
+               batch_size);
+  std::fprintf(f, "  \"measurements\": [\n");
+  for (size_t i = 0; i < all.size(); ++i) {
+    const Measurement& m = all[i];
+    std::fprintf(f,
+                 "    {\"dataset\": \"%s\", \"method\": \"%s\", "
+                 "\"threads\": %u, \"qps\": %.1f, \"speedup\": %.3f, "
+                 "\"p50_us\": %.2f, \"p95_us\": %.2f, \"p99_us\": %.2f, "
+                 "\"true_answers\": %zu}%s\n",
+                 m.dataset.c_str(), m.method.c_str(), m.threads, m.stats.qps,
+                 m.speedup, m.stats.p50_us, m.stats.p95_us, m.stats.p99_us,
+                 m.stats.true_answers, i + 1 < all.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[throughput] wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions options = BenchOptions::Parse(argc, argv);
+  const unsigned max_threads = options.threads != 0
+                                   ? options.threads
+                                   : exec::ThreadPool::DefaultThreads();
+  const std::vector<unsigned> sweep = ThreadSweep(max_threads);
+  const auto bundles = LoadDatasets(options);
+  const bool csv = EnsureDir(options.out_dir);
+
+  std::vector<Measurement> all;
+  size_t batch_size = 0;
+
+  for (const DatasetBundle& bundle : bundles) {
+    // One mixed batch per dataset: the default workload (5% extent,
+    // degree 50-99), tiled so even fast methods run long enough to
+    // measure.
+    WorkloadGenerator workload(bundle.network.get(), /*seed=*/20250706);
+    QuerySpec spec;
+    spec.count = options.queries;
+    const std::vector<RangeReachQuery> queries =
+        TileBatch(workload.Generate(spec), /*min_size=*/2000);
+    batch_size = queries.size();
+
+    std::vector<std::string> headers = {"method"};
+    for (const unsigned t : sweep) {
+      headers.push_back(std::to_string(t) + "T qps");
+    }
+    headers.push_back("speedup");
+    headers.push_back("p95 us (max T)");
+    TablePrinter table("throughput / " + bundle.name() + ": batch of " +
+                           std::to_string(queries.size()) +
+                           " queries, threads 1.." +
+                           std::to_string(max_threads),
+                       headers);
+
+    for (const MethodConfig& config : Figure7MethodConfigs()) {
+      const TimedMethod built = BuildTimed(bundle.cn.get(), config);
+      const std::string method_name = MethodKindName(config.kind);
+
+      double qps_1t = 0.0;
+      std::vector<std::string> cells = {method_name};
+      ThroughputStats last;
+      for (const unsigned threads : sweep) {
+        exec::ThreadPool pool(threads);
+        const ThroughputStats stats =
+            MeasureThroughput(*built.method, queries, pool);
+        if (threads == 1) qps_1t = stats.qps;
+        last = stats;
+
+        Measurement m;
+        m.dataset = bundle.name();
+        m.method = method_name;
+        m.threads = threads;
+        m.stats = stats;
+        m.speedup = qps_1t > 0.0 ? stats.qps / qps_1t : 1.0;
+        all.push_back(m);
+
+        cells.push_back(TablePrinter::FormatNumber(stats.qps, 4));
+      }
+      cells.push_back(TablePrinter::FormatNumber(
+          qps_1t > 0.0 ? last.qps / qps_1t : 1.0, 3));
+      cells.push_back(Micros(last.p95_us));
+      table.AddRow(std::move(cells));
+    }
+
+    table.Print();
+    if (csv) {
+      (void)table.WriteCsv(options.out_dir + "/throughput_" + bundle.name() +
+                           ".csv");
+    }
+  }
+
+  WriteJson(options.out_dir + "/BENCH_throughput.json", all, batch_size,
+            options.scale);
+  return 0;
+}

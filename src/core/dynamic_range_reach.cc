@@ -46,12 +46,13 @@ Status DynamicRangeReach::AddEdge(VertexId from, VertexId to) {
   return Status::Ok();
 }
 
-bool DynamicRangeReach::Evaluate(VertexId vertex, const Rect& region) const {
+bool DynamicRangeReach::Evaluate(VertexId vertex, const Rect& region,
+                                 Scratch& scratch) const {
   GSR_CHECK(vertex < num_vertices());
 
   // Pure-base answer (also covers a spatial query vertex itself).
   if (IsBaseVertex(vertex)) {
-    if (BaseRangeReach(vertex, region)) return true;
+    if (BaseRangeReach(vertex, region, scratch)) return true;
   } else {
     const AddedVertex& added = added_vertices_[vertex - base_vertices_];
     if (added.point.has_value() && region.Contains(*added.point)) return true;
@@ -62,8 +63,10 @@ bool DynamicRangeReach::Evaluate(VertexId vertex, const Rect& region) const {
   // endpoints). Edges of this mini-graph are (a) the delta edges
   // themselves and (b) base reachability between base stitch points.
   const size_t k = delta_nodes_.size();
-  node_visited_.assign(k, 0);
-  std::vector<uint32_t> queue;
+  scratch.node_visited.assign(k, 0);
+  std::vector<uint8_t>& node_visited = scratch.node_visited;
+  std::vector<uint32_t>& queue = scratch.queue;
+  queue.clear();
   queue.reserve(k);
 
   auto node_index = [this](VertexId v) {
@@ -73,8 +76,8 @@ bool DynamicRangeReach::Evaluate(VertexId vertex, const Rect& region) const {
     return static_cast<size_t>(it - delta_nodes_.begin());
   };
   auto try_visit = [&](size_t idx) {
-    if (!node_visited_[idx]) {
-      node_visited_[idx] = 1;
+    if (!node_visited[idx]) {
+      node_visited[idx] = 1;
       queue.push_back(static_cast<uint32_t>(idx));
     }
   };
@@ -95,7 +98,7 @@ bool DynamicRangeReach::Evaluate(VertexId vertex, const Rect& region) const {
 
     // Answer check below this stitch point.
     if (IsBaseVertex(a)) {
-      if (BaseRangeReach(a, region)) return true;
+      if (BaseRangeReach(a, region, scratch)) return true;
     } else {
       const AddedVertex& added = added_vertices_[a - base_vertices_];
       if (added.point.has_value() && region.Contains(*added.point)) {
@@ -110,7 +113,7 @@ bool DynamicRangeReach::Evaluate(VertexId vertex, const Rect& region) const {
     // Expand through base segments from a to other base stitch points.
     if (IsBaseVertex(a)) {
       for (size_t i = 0; i < k; ++i) {
-        if (!node_visited_[i] && IsBaseVertex(delta_nodes_[i]) &&
+        if (!node_visited[i] && IsBaseVertex(delta_nodes_[i]) &&
             BaseReach(a, delta_nodes_[i])) {
           try_visit(i);
         }

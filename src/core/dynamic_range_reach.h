@@ -30,7 +30,12 @@ namespace gsr {
 /// segments stitched together by delta edges; the delta search enumerates
 /// the reachable stitch points and asks the base index below each.
 ///
-/// Not thread-safe (shares scratch with the underlying methods).
+/// Concurrency: Evaluate with an explicit Scratch is safe from many
+/// reader threads at once (one scratch each), as long as no writer
+/// (AddVertex/AddEdge/Rebuild) runs concurrently — the usual
+/// single-writer/multi-reader regime of a base+delta index. The
+/// two-argument Evaluate shares an object-owned scratch and stays
+/// single-threaded.
 class DynamicRangeReach {
  public:
   /// Takes ownership of the initial network snapshot and builds the base
@@ -56,8 +61,27 @@ class DynamicRangeReach {
     return added_vertices_.size() + delta_edges_.size();
   }
 
-  /// Answers RangeReach over the updated network. Exact.
-  bool Evaluate(VertexId vertex, const Rect& region) const;
+  /// Per-thread query state: the delta-search visited marks and frontier,
+  /// plus a scratch for the underlying base index. Obtain via NewScratch.
+  struct Scratch {
+    std::unique_ptr<QueryScratch> base;
+    std::vector<uint8_t> node_visited;
+    std::vector<uint32_t> queue;
+  };
+
+  /// Creates a scratch for this object. One per reader thread. Scratches
+  /// stay valid across Rebuild (but must not be used while one runs).
+  Scratch NewScratch() const { return Scratch{index_->NewScratch(), {}, {}}; }
+
+  /// Answers RangeReach over the updated network using only `scratch` for
+  /// mutable state. Exact.
+  bool Evaluate(VertexId vertex, const Rect& region, Scratch& scratch) const;
+
+  /// Single-threaded convenience overload on an object-owned scratch.
+  bool Evaluate(VertexId vertex, const Rect& region) const {
+    if (!scratch_.base) scratch_ = NewScratch();
+    return Evaluate(vertex, region, scratch_);
+  }
 
   /// Folds every pending update into a fresh base network + index.
   /// O(rebuild); afterwards pending_updates() == 0 and queries run at
@@ -78,15 +102,17 @@ class DynamicRangeReach {
 
   bool IsBaseVertex(VertexId v) const { return v < base_vertices_; }
 
-  /// Base-index reachability between two *base* vertices.
+  /// Base-index reachability between two *base* vertices (pure label
+  /// lookup, no scratch needed).
   bool BaseReach(VertexId from, VertexId to) const {
     return index_->labeling().CanReach(cn_->ComponentOf(from),
                                        cn_->ComponentOf(to));
   }
 
   /// RangeReach over the base network only.
-  bool BaseRangeReach(VertexId from, const Rect& region) const {
-    return index_->Evaluate(from, region);
+  bool BaseRangeReach(VertexId from, const Rect& region,
+                      Scratch& scratch) const {
+    return index_->Evaluate(from, region, *scratch.base);
   }
 
   void RebuildFrom(GeoSocialNetwork network);
@@ -98,10 +124,10 @@ class DynamicRangeReach {
 
   std::vector<AddedVertex> added_vertices_;  // Ids base_vertices_ + i.
   std::vector<std::pair<VertexId, VertexId>> delta_edges_;
+  std::vector<VertexId> delta_nodes_;  // Distinct delta endpoints, sorted.
 
-  // Scratch for the delta search (single-threaded queries).
-  mutable std::vector<VertexId> delta_nodes_;   // Distinct delta endpoints.
-  mutable std::vector<uint8_t> node_visited_;
+  // Scratch behind the single-threaded Evaluate overload.
+  mutable Scratch scratch_;
 };
 
 }  // namespace gsr

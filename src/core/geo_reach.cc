@@ -30,7 +30,6 @@ GeoReachMethod::GeoReachMethod(const CondensedNetwork* cn,
   class_.assign(n, SpaClass::kBFalse);
   rmbr_.assign(n, Rect());
   reach_grid_.assign(n, {});
-  mark_.assign(n, 0);
 
   const double space_area = grid_.space().Area();
   const double max_rmbr_area = options.max_rmbr_ratio * space_area;
@@ -140,37 +139,49 @@ GeoReachMethod::VisitAction GeoReachMethod::Visit(ComponentId c,
   return VisitAction::kPrune;
 }
 
-bool GeoReachMethod::Evaluate(VertexId vertex, const Rect& region) const {
-  ++counters_.queries;
-  if (++epoch_ == 0) {
-    std::fill(mark_.begin(), mark_.end(), 0);
-    epoch_ = 1;
+bool GeoReachMethod::Evaluate(VertexId vertex, const Rect& region,
+                              QueryScratch& scratch) const {
+  Scratch& s = static_cast<Scratch&>(scratch);
+  ++s.counters.queries;
+  if (++s.epoch == 0) {
+    std::fill(s.mark.begin(), s.mark.end(), 0);
+    s.epoch = 1;
   }
-  queue_.clear();
+  s.queue.clear();
   const ComponentId source = cn_->ComponentOf(vertex);
-  queue_.push_back(source);
-  mark_[source] = epoch_;
-  for (size_t head = 0; head < queue_.size(); ++head) {
-    const ComponentId c = queue_[head];
-    ++counters_.vertices_visited;
+  s.queue.push_back(source);
+  s.mark[source] = s.epoch;
+  for (size_t head = 0; head < s.queue.size(); ++head) {
+    const ComponentId c = s.queue[head];
+    ++s.counters.vertices_visited;
     switch (Visit(c, region)) {
       case VisitAction::kAnswerTrue:
         return true;
       case VisitAction::kPrune:
-        ++counters_.pruned;
+        ++s.counters.pruned;
         break;
       case VisitAction::kExpand:
         for (const VertexId raw : cn_->dag().OutNeighbors(c)) {
           const ComponentId succ = static_cast<ComponentId>(raw);
-          if (mark_[succ] != epoch_) {
-            mark_[succ] = epoch_;
-            queue_.push_back(succ);
+          if (s.mark[succ] != s.epoch) {
+            s.mark[succ] = s.epoch;
+            s.queue.push_back(succ);
           }
         }
         break;
     }
   }
   return false;
+}
+
+void GeoReachMethod::DrainScratchCounters(QueryScratch& scratch) const {
+  if (IsDefaultScratch(scratch)) return;
+  Scratch& s = static_cast<Scratch&>(scratch);
+  Counters& into = MutableCounters();
+  into.queries += s.counters.queries;
+  into.vertices_visited += s.counters.vertices_visited;
+  into.pruned += s.counters.pruned;
+  s.counters = Counters{};
 }
 
 size_t GeoReachMethod::IndexSizeBytes() const {

@@ -2,6 +2,7 @@
 #define GSR_CORE_GEO_REACH_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -55,7 +56,32 @@ class GeoReachMethod : public RangeReachMethod {
   explicit GeoReachMethod(const CondensedNetwork* cn)
       : GeoReachMethod(cn, Options{}) {}
 
-  bool Evaluate(VertexId vertex, const Rect& region) const override;
+  /// Per-query traversal counters: GeoReach's cost is the SPA-graph BFS.
+  struct Counters {
+    uint64_t queries = 0;
+    uint64_t vertices_visited = 0;  // Components popped by the BFS.
+    uint64_t pruned = 0;            // Visits answered kPrune.
+  };
+
+  /// Per-thread BFS state (epoch-stamped marks + frontier) and counters.
+  struct Scratch : QueryScratch {
+    explicit Scratch(uint32_t num_components) : mark(num_components, 0) {}
+    std::vector<uint32_t> mark;
+    std::vector<ComponentId> queue;
+    uint32_t epoch = 0;
+    Counters counters;
+  };
+
+  std::unique_ptr<QueryScratch> NewScratch() const override {
+    return std::make_unique<Scratch>(cn_->num_components());
+  }
+
+  bool Evaluate(VertexId vertex, const Rect& region,
+                QueryScratch& scratch) const override;
+
+  using RangeReachMethod::Evaluate;
+
+  void DrainScratchCounters(QueryScratch& scratch) const override;
 
   std::string name() const override { return "GeoReach"; }
 
@@ -77,19 +103,17 @@ class GeoReachMethod : public RangeReachMethod {
   };
   ClassCounts CountClasses() const;
 
-  /// Per-query traversal counters: GeoReach's cost is the SPA-graph BFS.
-  struct Counters {
-    uint64_t queries = 0;
-    uint64_t vertices_visited = 0;  // Components popped by the BFS.
-    uint64_t pruned = 0;            // Visits answered kPrune.
-  };
-  const Counters& counters() const { return counters_; }
-  void ResetCounters() const { counters_ = Counters{}; }
+  const Counters& counters() const { return MutableCounters(); }
+  void ResetCounters() const { MutableCounters() = Counters{}; }
 
  private:
   /// Visit outcome for one component during the query BFS.
   enum class VisitAction { kPrune, kExpand, kAnswerTrue };
   VisitAction Visit(ComponentId c, const Rect& region) const;
+
+  Counters& MutableCounters() const {
+    return static_cast<Scratch&>(DefaultScratch()).counters;
+  }
 
   const CondensedNetwork* cn_;
   Options options_;
@@ -97,12 +121,6 @@ class GeoReachMethod : public RangeReachMethod {
   std::vector<SpaClass> class_;
   std::vector<Rect> rmbr_;                       // R-vertices (and G, exact)
   std::vector<std::vector<GridCell>> reach_grid_;  // G-vertices
-
-  // BFS scratch, epoch-stamped (queries are single-threaded).
-  mutable std::vector<uint32_t> mark_;
-  mutable std::vector<ComponentId> queue_;
-  mutable uint32_t epoch_ = 0;
-  mutable Counters counters_;
 };
 
 }  // namespace gsr

@@ -47,7 +47,7 @@ std::unique_ptr<RangeReachMethod> CreateMethod(const CondensedNetwork* cn,
     case MethodKind::kGeoReach:
       return std::make_unique<GeoReachMethod>(cn, config.geo_reach);
     case MethodKind::kSocReach:
-      return std::make_unique<SocReach>(cn);
+      return std::make_unique<SocReach>(cn, config.soc_reach);
     case MethodKind::kThreeDReach:
       return std::make_unique<ThreeDReach>(
           cn, ThreeDReach::Options{.scc_mode = config.scc_mode});

@@ -7,6 +7,7 @@
 #include "core/condensed_network.h"
 #include "core/geo_reach.h"
 #include "core/range_reach.h"
+#include "core/soc_reach.h"
 #include "labeling/bfl.h"
 
 namespace gsr {
@@ -36,6 +37,7 @@ struct MethodConfig {
   SccSpatialMode scc_mode = SccSpatialMode::kReplicate;
   GeoReachMethod::Options geo_reach;
   BflIndex::Options bfl;
+  SocReach::Options soc_reach;
 };
 
 /// Instantiates a method over a prebuilt condensation. Building the index

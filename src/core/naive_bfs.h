@@ -1,6 +1,7 @@
 #ifndef GSR_CORE_NAIVE_BFS_H_
 #define GSR_CORE_NAIVE_BFS_H_
 
+#include <memory>
 #include <string>
 
 #include "core/geosocial_network.h"
@@ -17,11 +18,23 @@ class NaiveBfsMethod : public RangeReachMethod {
  public:
   /// Binds to `network`, which must outlive this object.
   explicit NaiveBfsMethod(const GeoSocialNetwork* network)
-      : network_(network), bfs_(&network->graph()) {}
+      : network_(network) {}
 
-  bool Evaluate(VertexId vertex, const Rect& region) const override {
+  /// Per-thread BFS state (visited marks + frontier queue).
+  struct Scratch : QueryScratch {
+    explicit Scratch(const DiGraph* graph) : bfs(graph) {}
+    BfsTraversal bfs;
+  };
+
+  std::unique_ptr<QueryScratch> NewScratch() const override {
+    return std::make_unique<Scratch>(&network_->graph());
+  }
+
+  bool Evaluate(VertexId vertex, const Rect& region,
+                QueryScratch& scratch) const override {
+    BfsTraversal& bfs = static_cast<Scratch&>(scratch).bfs;
     bool found = false;
-    bfs_.ForEachReachable(vertex, [&](VertexId v) {
+    bfs.ForEachReachable(vertex, [&](VertexId v) {
       if (network_->IsSpatial(v) && region.Contains(network_->PointOf(v))) {
         found = true;
         return false;
@@ -31,13 +44,14 @@ class NaiveBfsMethod : public RangeReachMethod {
     return found;
   }
 
+  using RangeReachMethod::Evaluate;
+
   std::string name() const override { return "NaiveBFS"; }
 
   size_t IndexSizeBytes() const override { return 0; }  // No index at all.
 
  private:
   const GeoSocialNetwork* network_;
-  mutable BfsTraversal bfs_;  // Reused scratch; queries are single-threaded.
 };
 
 }  // namespace gsr

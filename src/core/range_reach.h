@@ -1,7 +1,9 @@
 #ifndef GSR_CORE_RANGE_REACH_H_
 #define GSR_CORE_RANGE_REACH_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "geometry/geometry.h"
@@ -16,21 +18,78 @@ struct RangeReachQuery {
   Rect region;
 };
 
+/// Per-thread mutable query state (buffers, visited marks, cost counters).
+///
+/// Index structures are immutable after construction, so the only thing
+/// that stops Evaluate from running concurrently is its scratch space.
+/// A scratch is created by the method that will consume it (NewScratch)
+/// and must only ever be handed back to that same method; one scratch must
+/// not be used by two threads at the same time, but any number of threads
+/// may evaluate against the same method with one scratch each. Methods
+/// with no per-query state use this base class directly.
+class QueryScratch {
+ public:
+  virtual ~QueryScratch() = default;
+};
+
 /// Common interface of all RangeReach evaluation methods. Implementations
-/// build their index structures in their constructor; Evaluate() answers
-/// one query. Evaluate() is conceptually const but implementations may use
-/// internal scratch buffers, so methods are not thread-safe.
+/// build their (immutable) index structures in their constructor.
+///
+/// Thread-safety contract: the scratch overload of Evaluate touches no
+/// method state except through `scratch`, so it is safe to call from many
+/// threads concurrently — each thread owning one scratch from NewScratch.
+/// The two-argument overload is the legacy single-threaded API: it runs on
+/// a method-owned scratch (DefaultScratch) and must not race with itself
+/// or with counter accessors.
 class RangeReachMethod {
  public:
   virtual ~RangeReachMethod() = default;
 
-  /// Answers RangeReach(G, vertex, region).
-  virtual bool Evaluate(VertexId vertex, const Rect& region) const = 0;
+  /// Answers RangeReach(G, vertex, region) using `scratch` — which must
+  /// come from this method's NewScratch() — for all mutable state.
+  virtual bool Evaluate(VertexId vertex, const Rect& region,
+                        QueryScratch& scratch) const = 0;
+
+  /// Creates a scratch for this method. One per thread.
+  virtual std::unique_ptr<QueryScratch> NewScratch() const {
+    return std::make_unique<QueryScratch>();
+  }
+
+  /// Folds the per-query cost counters accumulated in `scratch` into the
+  /// method's aggregate counters (the ones its counters() accessor
+  /// exposes, kept on DefaultScratch) and zeroes them in `scratch`, so a
+  /// scratch can be drained after every batch without double counting.
+  /// Calls must be serialized by the caller (BatchRunner drains worker
+  /// scratches one at a time after the batch completes). No-op for
+  /// methods without counters and for the default scratch itself.
+  virtual void DrainScratchCounters(QueryScratch& scratch) const {
+    (void)scratch;
+  }
+
+  /// Answers RangeReach(G, vertex, region) on the method-owned scratch.
+  /// Single-threaded convenience API; not safe for concurrent callers.
+  bool Evaluate(VertexId vertex, const Rect& region) const {
+    return Evaluate(vertex, region, DefaultScratch());
+  }
 
   /// Convenience form (non-overload so derived overrides don't hide it).
   bool EvaluateQuery(const RangeReachQuery& query) const {
     return Evaluate(query.vertex, query.region);
   }
+
+  /// The scratch behind the single-threaded API, lazily created. Concrete
+  /// methods keep their aggregate counters here, which is what makes
+  /// counters() reflect both serial calls and drained batch runs.
+  QueryScratch& DefaultScratch() const {
+    if (!default_scratch_) default_scratch_ = NewScratch();
+    return *default_scratch_;
+  }
+
+  /// Process-unique id of this method instance, assigned at construction
+  /// and never reused. Caches keyed by method (like BatchRunner's scratch
+  /// cache) use it instead of the object address, which a later instance
+  /// could legitimately reoccupy.
+  uint64_t instance_id() const { return instance_id_; }
 
   /// Display name, e.g. "3DReach" or "SpaReach-BFL (mbr)".
   virtual std::string name() const = 0;
@@ -39,6 +98,22 @@ class RangeReachMethod {
   /// Matches what Table 4 reports per method (labeling schemes, R-trees,
   /// SPA-graph), excluding the shared network/condensation.
   virtual size_t IndexSizeBytes() const = 0;
+
+ protected:
+  /// True when `scratch` is the method-owned default scratch — drain
+  /// implementations use this to skip self-merging.
+  bool IsDefaultScratch(const QueryScratch& scratch) const {
+    return &scratch == default_scratch_.get();
+  }
+
+ private:
+  static uint64_t NextInstanceId() {
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t instance_id_ = NextInstanceId();
+  mutable std::unique_ptr<QueryScratch> default_scratch_;
 };
 
 }  // namespace gsr

@@ -1,7 +1,9 @@
 #ifndef GSR_CORE_SOC_REACH_H_
 #define GSR_CORE_SOC_REACH_H_
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/condensed_network.h"
 #include "core/range_reach.h"
@@ -16,9 +18,21 @@ namespace gsr {
 /// until one hits. No spatial index is involved, by design.
 class SocReach : public RangeReachMethod {
  public:
+  struct Options {
+    /// When true, the containment test of step 2 is streamed inside
+    /// ForEachDescendant, so a positive query exits at the first hit
+    /// without materializing the full D(v) buffer. The default keeps the
+    /// paper-faithful two-step evaluation (materialize, then test) whose
+    /// cost profile Section 6 reports.
+    bool stream_containment = false;
+  };
+
   /// Builds the labeling over the condensation of `cn`'s network.
-  explicit SocReach(const CondensedNetwork* cn)
-      : cn_(cn), labeling_(IntervalLabeling::Build(cn->dag())) {}
+  SocReach(const CondensedNetwork* cn, const Options& options)
+      : cn_(cn),
+        options_(options),
+        labeling_(IntervalLabeling::Build(cn->dag())) {}
+  explicit SocReach(const CondensedNetwork* cn) : SocReach(cn, Options{}) {}
 
   /// Per-query cost counters: SocReach's cost is dominated by the size of
   /// the materialized descendant sets.
@@ -28,24 +42,52 @@ class SocReach : public RangeReachMethod {
     uint64_t containment_tests = 0;  // Spatial tests until the first hit.
   };
 
-  bool Evaluate(VertexId vertex, const Rect& region) const override {
-    ++counters_.queries;
+  /// Per-thread state: the reusable D(v) buffer plus counters.
+  struct Scratch : QueryScratch {
+    std::vector<VertexId> descendants;
+    Counters counters;
+  };
+
+  std::unique_ptr<QueryScratch> NewScratch() const override {
+    return std::make_unique<Scratch>();
+  }
+
+  bool Evaluate(VertexId vertex, const Rect& region,
+                QueryScratch& scratch) const override {
+    Scratch& s = static_cast<Scratch&>(scratch);
+    ++s.counters.queries;
+    const ComponentId source = cn_->ComponentOf(vertex);
+    if (options_.stream_containment) {
+      // Fused variant: each enumerated descendant is tested immediately,
+      // so a positive answer stops the relational range scans early.
+      bool found = false;
+      labeling_.ForEachDescendant(source, [&](VertexId descendant) {
+        ++s.counters.descendants;
+        ++s.counters.containment_tests;
+        if (cn_->AnyMemberPointIn(static_cast<ComponentId>(descendant),
+                                  region)) {
+          found = true;
+          return false;
+        }
+        return true;
+      });
+      return found;
+    }
     // Step 1: compute the full descendant set D(v), as Section 4.1
     // prescribes — the labels of v are relational range scans over the
     // post-order domain. This step is what keeps SocReach from being
     // competitive on vertices with many descendants.
-    const ComponentId source = cn_->ComponentOf(vertex);
-    descendants_.clear();
-    labeling_.ForEachDescendant(source, [this](VertexId descendant) {
-      descendants_.push_back(descendant);
+    s.descendants.clear();
+    labeling_.ForEachDescendant(source, [&s](VertexId descendant) {
+      s.descendants.push_back(descendant);
       return true;
     });
-    counters_.descendants += descendants_.size();
+    s.counters.descendants += s.descendants.size();
     // Step 2: spatial containment tests, stopping at the first hit ("on
     // average, not all spatial tests will be conducted for queries with a
     // positive answer").
-    for (const VertexId descendant : descendants_) {
-      ++counters_.containment_tests;
+    for (const VertexId descendant : s.descendants) {
+      ++s.counters.containment_tests;
       if (cn_->AnyMemberPointIn(static_cast<ComponentId>(descendant),
                                 region)) {
         return true;
@@ -54,8 +96,22 @@ class SocReach : public RangeReachMethod {
     return false;
   }
 
-  const Counters& counters() const { return counters_; }
-  void ResetCounters() const { counters_ = Counters{}; }
+  using RangeReachMethod::Evaluate;
+
+  void DrainScratchCounters(QueryScratch& scratch) const override {
+    if (IsDefaultScratch(scratch)) return;
+    Scratch& s = static_cast<Scratch&>(scratch);
+    Counters& into = MutableCounters();
+    into.queries += s.counters.queries;
+    into.descendants += s.counters.descendants;
+    into.containment_tests += s.counters.containment_tests;
+    s.counters = Counters{};
+  }
+
+  const Counters& counters() const { return MutableCounters(); }
+  void ResetCounters() const { MutableCounters() = Counters{}; }
+
+  const Options& options() const { return options_; }
 
   std::string name() const override { return "SocReach"; }
 
@@ -64,11 +120,13 @@ class SocReach : public RangeReachMethod {
   const IntervalLabeling& labeling() const { return labeling_; }
 
  private:
+  Counters& MutableCounters() const {
+    return static_cast<Scratch&>(DefaultScratch()).counters;
+  }
+
   const CondensedNetwork* cn_;
+  Options options_;
   IntervalLabeling labeling_;
-  // Reused D(v) buffer; queries are single-threaded.
-  mutable std::vector<VertexId> descendants_;
-  mutable Counters counters_;
 };
 
 }  // namespace gsr

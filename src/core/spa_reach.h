@@ -1,7 +1,10 @@
 #ifndef GSR_CORE_SPA_REACH_H_
 #define GSR_CORE_SPA_REACH_H_
 
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/condensed_network.h"
 #include "core/condensed_spatial_index.h"
@@ -30,26 +33,53 @@ class SpaReachBase : public RangeReachMethod {
     uint64_t greach_calls = 0;  // Reachability probes issued.
   };
 
-  bool Evaluate(VertexId vertex, const Rect& region) const override {
-    ++counters_.queries;
+  /// Per-thread state shared by every spatial-first method: the SRange
+  /// result buffer plus counters. Backends with their own search state
+  /// (BFL, Feline) derive from it.
+  struct Scratch : QueryScratch {
+    std::vector<std::pair<ComponentId, bool>> candidates;
+    Counters counters;
+  };
+
+  std::unique_ptr<QueryScratch> NewScratch() const override {
+    return std::make_unique<Scratch>();
+  }
+
+  bool Evaluate(VertexId vertex, const Rect& region,
+                QueryScratch& scratch) const override {
+    Scratch& s = static_cast<Scratch&>(scratch);
+    ++s.counters.queries;
     // Step 1 (SRange): materialize every spatial vertex inside the region,
     // as the SpaReach algorithm prescribes. This is what makes the method
     // sensitive to the spatial selectivity of the query.
-    spatial_index_.CollectCandidates(region, candidates_);
+    spatial_index_.CollectCandidates(region, s.candidates);
     // Step 2: one GReach query per candidate, stopping at the first
     // positive answer.
-    counters_.candidates += candidates_.size();
+    s.counters.candidates += s.candidates.size();
     const ComponentId source = cn_->ComponentOf(vertex);
-    for (const auto& [candidate, verified] : candidates_) {
-      ++counters_.greach_calls;
-      if (!CanReachComponent(source, candidate)) continue;
+    for (const auto& [candidate, verified] : s.candidates) {
+      ++s.counters.greach_calls;
+      if (!CanReachComponent(source, candidate, s)) continue;
       if (verified || cn_->AnyMemberPointIn(candidate, region)) return true;
     }
     return false;
   }
 
-  const Counters& counters() const { return counters_; }
-  void ResetCounters() const { counters_ = Counters{}; }
+  using RangeReachMethod::Evaluate;
+
+  void DrainScratchCounters(QueryScratch& scratch) const override {
+    if (IsDefaultScratch(scratch)) return;
+    Scratch& s = static_cast<Scratch&>(scratch);
+    Counters& into = MutableCounters();
+    into.queries += s.counters.queries;
+    into.candidates += s.counters.candidates;
+    into.greach_calls += s.counters.greach_calls;
+    s.counters = Counters{};
+    DrainBackendCounters(s);
+  }
+
+  const Counters& counters() const { return MutableCounters(); }
+  void ResetCounters() const { MutableCounters() = Counters{}; }
 
   std::string name() const override {
     std::string out = base_name_;
@@ -62,16 +92,24 @@ class SpaReachBase : public RangeReachMethod {
                std::string base_name)
       : cn_(cn), spatial_index_(cn, mode), base_name_(std::move(base_name)) {}
 
-  /// GReach over the condensation DAG.
-  virtual bool CanReachComponent(ComponentId from, ComponentId to) const = 0;
+  /// GReach over the condensation DAG. `scratch` is the one passed to
+  /// Evaluate; backends with search state downcast it to their own type.
+  virtual bool CanReachComponent(ComponentId from, ComponentId to,
+                                 Scratch& scratch) const = 0;
+
+  /// Folds backend counters (e.g. BFL's) out of `scratch`; default none.
+  virtual void DrainBackendCounters(Scratch& scratch) const {
+    (void)scratch;
+  }
 
   const CondensedNetwork* cn_;
   CondensedSpatialIndex spatial_index_;
 
  private:
-  // Reused SRange result buffer; queries are single-threaded.
-  mutable std::vector<std::pair<ComponentId, bool>> candidates_;
-  mutable Counters counters_;
+  Counters& MutableCounters() const {
+    return static_cast<Scratch&>(DefaultScratch()).counters;
+  }
+
   std::string base_name_;
 };
 
@@ -90,6 +128,15 @@ class SpaReachBfl : public SpaReachBase {
   explicit SpaReachBfl(const CondensedNetwork* cn)
       : SpaReachBfl(cn, SccSpatialMode::kReplicate) {}
 
+  /// Adds BFL's pruned-DFS state to the spatial-first scratch.
+  struct Scratch : SpaReachBase::Scratch {
+    BflIndex::SearchScratch bfl;
+  };
+
+  std::unique_ptr<QueryScratch> NewScratch() const override {
+    return std::make_unique<Scratch>();
+  }
+
   size_t IndexSizeBytes() const override {
     return spatial_index_.SizeBytes() + bfl_.SizeBytes();
   }
@@ -97,8 +144,16 @@ class SpaReachBfl : public SpaReachBase {
   const BflIndex& bfl() const { return bfl_; }
 
  protected:
-  bool CanReachComponent(ComponentId from, ComponentId to) const override {
-    return bfl_.CanReach(from, to);
+  bool CanReachComponent(ComponentId from, ComponentId to,
+                         SpaReachBase::Scratch& scratch) const override {
+    // Serial path: use the index-owned scratch so bfl().counters()
+    // advances live, exactly like standalone BflIndex usage.
+    if (IsDefaultScratch(scratch)) return bfl_.CanReach(from, to);
+    return bfl_.CanReach(from, to, static_cast<Scratch&>(scratch).bfl);
+  }
+
+  void DrainBackendCounters(SpaReachBase::Scratch& scratch) const override {
+    bfl_.DrainScratchCounters(static_cast<Scratch&>(scratch).bfl);
   }
 
  private:
@@ -125,8 +180,9 @@ class SpaReachInt : public SpaReachBase {
   const IntervalLabeling& labeling() const { return labeling_; }
 
  protected:
-  bool CanReachComponent(ComponentId from, ComponentId to) const override {
-    return labeling_.CanReach(from, to);
+  bool CanReachComponent(ComponentId from, ComponentId to,
+                         Scratch& /*scratch*/) const override {
+    return labeling_.CanReach(from, to);  // Pure label lookup.
   }
 
  private:
@@ -152,8 +208,9 @@ class SpaReachPll : public SpaReachBase {
   const PllIndex& pll() const { return pll_; }
 
  protected:
-  bool CanReachComponent(ComponentId from, ComponentId to) const override {
-    return pll_.CanReach(from, to);
+  bool CanReachComponent(ComponentId from, ComponentId to,
+                         Scratch& /*scratch*/) const override {
+    return pll_.CanReach(from, to);  // Pure label intersection.
   }
 
  private:
@@ -171,6 +228,15 @@ class SpaReachFeline : public SpaReachBase {
   explicit SpaReachFeline(const CondensedNetwork* cn)
       : SpaReachFeline(cn, SccSpatialMode::kReplicate) {}
 
+  /// Adds Feline's guided-DFS state to the spatial-first scratch.
+  struct Scratch : SpaReachBase::Scratch {
+    FelineIndex::SearchScratch feline;
+  };
+
+  std::unique_ptr<QueryScratch> NewScratch() const override {
+    return std::make_unique<Scratch>();
+  }
+
   size_t IndexSizeBytes() const override {
     return spatial_index_.SizeBytes() + feline_.SizeBytes();
   }
@@ -178,8 +244,15 @@ class SpaReachFeline : public SpaReachBase {
   const FelineIndex& feline() const { return feline_; }
 
  protected:
-  bool CanReachComponent(ComponentId from, ComponentId to) const override {
-    return feline_.CanReach(from, to);
+  bool CanReachComponent(ComponentId from, ComponentId to,
+                         SpaReachBase::Scratch& scratch) const override {
+    // Serial path: index-owned scratch keeps feline().counters() live.
+    if (IsDefaultScratch(scratch)) return feline_.CanReach(from, to);
+    return feline_.CanReach(from, to, static_cast<Scratch&>(scratch).feline);
+  }
+
+  void DrainBackendCounters(SpaReachBase::Scratch& scratch) const override {
+    feline_.DrainScratchCounters(static_cast<Scratch&>(scratch).feline);
   }
 
  private:

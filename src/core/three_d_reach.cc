@@ -38,8 +38,10 @@ ThreeDReach::ThreeDReach(const CondensedNetwork* cn, const Options& options)
   }
 }
 
-bool ThreeDReach::Evaluate(VertexId vertex, const Rect& region) const {
-  ++counters_.queries;
+bool ThreeDReach::Evaluate(VertexId vertex, const Rect& region,
+                           QueryScratch& scratch) const {
+  Counters& counters = static_cast<Scratch&>(scratch).counters;
+  ++counters.queries;
   const ComponentId source = cn_->ComponentOf(vertex);
   const bool replicate = options_.scc_mode == SccSpatialMode::kReplicate;
   // One 3-D existence query per label of the query vertex. With the
@@ -47,7 +49,7 @@ bool ThreeDReach::Evaluate(VertexId vertex, const Rect& region) const {
   // with the MBR variant a partially-overlapping box needs verification
   // (the z-dimension is always exact: boxes are flat in z).
   for (const Interval& label : labeling_.Labels(source).intervals()) {
-    ++counters_.range_queries;
+    ++counters.range_queries;
     const Box3D cuboid = Box3D::FromRectAndInterval(
         region, static_cast<double>(label.lo), static_cast<double>(label.hi));
     if (replicate) {
@@ -66,6 +68,15 @@ bool ThreeDReach::Evaluate(VertexId vertex, const Rect& region) const {
     if (found) return true;
   }
   return false;
+}
+
+void ThreeDReach::DrainScratchCounters(QueryScratch& scratch) const {
+  if (IsDefaultScratch(scratch)) return;
+  Counters& from = static_cast<Scratch&>(scratch).counters;
+  Counters& into = MutableCounters();
+  into.queries += from.queries;
+  into.range_queries += from.range_queries;
+  from = Counters{};
 }
 
 std::string ThreeDReach::name() const {
@@ -111,7 +122,8 @@ ThreeDReachRev::ThreeDReachRev(const CondensedNetwork* cn,
   rtree_.BulkLoad(std::move(entries));
 }
 
-bool ThreeDReachRev::Evaluate(VertexId vertex, const Rect& region) const {
+bool ThreeDReachRev::Evaluate(VertexId vertex, const Rect& region,
+                              QueryScratch& /*scratch*/) const {
   const ComponentId source = cn_->ComponentOf(vertex);
   // A single 3-D query: the plane R x post(v). It cuts the segment of a
   // spatial vertex u iff u.point is in R and v is an ancestor of u.

@@ -1,6 +1,7 @@
 #ifndef GSR_CORE_THREE_D_REACH_H_
 #define GSR_CORE_THREE_D_REACH_H_
 
+#include <memory>
 #include <string>
 
 #include "core/condensed_network.h"
@@ -34,7 +35,29 @@ class ThreeDReach : public RangeReachMethod {
   explicit ThreeDReach(const CondensedNetwork* cn)
       : ThreeDReach(cn, Options{}) {}
 
-  bool Evaluate(VertexId vertex, const Rect& region) const override;
+  /// Per-query counters: one 3-D existence query per label of the query
+  /// vertex (until a hit).
+  struct Counters {
+    uint64_t queries = 0;
+    uint64_t range_queries = 0;  // Cuboids issued.
+  };
+
+  /// Per-thread state: only counters — the R-tree descent itself is
+  /// recursive and touches no shared mutable state.
+  struct Scratch : QueryScratch {
+    Counters counters;
+  };
+
+  std::unique_ptr<QueryScratch> NewScratch() const override {
+    return std::make_unique<Scratch>();
+  }
+
+  bool Evaluate(VertexId vertex, const Rect& region,
+                QueryScratch& scratch) const override;
+
+  using RangeReachMethod::Evaluate;
+
+  void DrainScratchCounters(QueryScratch& scratch) const override;
 
   std::string name() const override;
 
@@ -44,14 +67,8 @@ class ThreeDReach : public RangeReachMethod {
 
   const IntervalLabeling& labeling() const { return labeling_; }
 
-  /// Per-query counters: one 3-D existence query per label of the query
-  /// vertex (until a hit).
-  struct Counters {
-    uint64_t queries = 0;
-    uint64_t range_queries = 0;  // Cuboids issued.
-  };
-  const Counters& counters() const { return counters_; }
-  void ResetCounters() const { counters_ = Counters{}; }
+  const Counters& counters() const { return MutableCounters(); }
+  void ResetCounters() const { MutableCounters() = Counters{}; }
 
  private:
   size_t RtreeSizeBytes() const {
@@ -60,12 +77,15 @@ class ThreeDReach : public RangeReachMethod {
                : boxes_.SizeBytes();
   }
 
+  Counters& MutableCounters() const {
+    return static_cast<Scratch&>(DefaultScratch()).counters;
+  }
+
   const CondensedNetwork* cn_;
   Options options_;
   IntervalLabeling labeling_;
   RTreePoints3D points_;  // kReplicate: one 3-D point per spatial vertex.
   RTree3D boxes_;         // kMbr: one flat box per spatial component.
-  mutable Counters counters_;
 };
 
 /// 3DReach-REV, the line-based variant (Section 4.2, second half). It uses
@@ -84,7 +104,12 @@ class ThreeDReachRev : public RangeReachMethod {
   explicit ThreeDReachRev(const CondensedNetwork* cn)
       : ThreeDReachRev(cn, Options{}) {}
 
-  bool Evaluate(VertexId vertex, const Rect& region) const override;
+  /// Stateless per query: the base QueryScratch from the default
+  /// NewScratch suffices.
+  bool Evaluate(VertexId vertex, const Rect& region,
+                QueryScratch& scratch) const override;
+
+  using RangeReachMethod::Evaluate;
 
   std::string name() const override;
 

@@ -1,0 +1,55 @@
+#include "exec/batch_runner.h"
+
+#include <chrono>
+
+namespace gsr::exec {
+
+BatchResult BatchRunner::Run(const RangeReachMethod& method,
+                             const std::vector<RangeReachQuery>& queries,
+                             const BatchOptions& options) {
+  if (scratch_method_id_ != method.instance_id()) {
+    scratches_.clear();
+    scratches_.reserve(pool_->size());
+    for (unsigned i = 0; i < pool_->size(); ++i) {
+      scratches_.push_back(method.NewScratch());
+    }
+    scratch_method_id_ = method.instance_id();
+  }
+
+  BatchResult result;
+  result.answers.assign(queries.size(), 0);
+  if (options.record_latencies) {
+    result.latencies_us.assign(queries.size(), 0.0);
+  }
+
+  pool_->ParallelFor(
+      queries.size(), options.chunk,
+      [&](size_t i, unsigned worker) {
+        const RangeReachQuery& query = queries[i];
+        QueryScratch& scratch = *scratches_[worker];
+        if (options.record_latencies) {
+          const auto start = std::chrono::steady_clock::now();
+          result.answers[i] =
+              method.Evaluate(query.vertex, query.region, scratch) ? 1 : 0;
+          const auto stop = std::chrono::steady_clock::now();
+          result.latencies_us[i] =
+              std::chrono::duration<double, std::micro>(stop - start).count();
+        } else {
+          result.answers[i] =
+              method.Evaluate(query.vertex, query.region, scratch) ? 1 : 0;
+        }
+      });
+
+  // Fold per-worker counters into the method aggregate on this thread;
+  // the pool is idle now, so no query races with the drain.
+  for (const std::unique_ptr<QueryScratch>& scratch : scratches_) {
+    method.DrainScratchCounters(*scratch);
+  }
+
+  for (const uint8_t answer : result.answers) result.true_count += answer;
+  return result;
+}
+
+size_t BatchRunner::cached_scratch_count() const { return scratches_.size(); }
+
+}  // namespace gsr::exec

@@ -1,0 +1,74 @@
+#ifndef GSR_EXEC_BATCH_RUNNER_H_
+#define GSR_EXEC_BATCH_RUNNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/range_reach.h"
+#include "exec/thread_pool.h"
+
+namespace gsr::exec {
+
+/// Tuning knobs for one batch evaluation.
+struct BatchOptions {
+  /// Queries per chunk claimed from the shared cursor. Large enough to
+  /// amortize the atomic increment, small enough to balance skewed
+  /// per-query costs (a BFS miss can be 1000x a label-lookup hit).
+  size_t chunk = 32;
+  /// When set, BatchResult::latencies_us gets one entry per query
+  /// (steady-clock wall time of that query on its worker).
+  bool record_latencies = false;
+};
+
+/// Answers for one batch.
+struct BatchResult {
+  /// answers[i] == 1 iff queries[i] is TRUE. uint8_t (not vector<bool>)
+  /// so concurrent writes to distinct indices are race-free.
+  std::vector<uint8_t> answers;
+  /// Number of TRUE answers (== sum of answers).
+  size_t true_count = 0;
+  /// Per-query latencies in microseconds, parallel to answers; empty
+  /// unless BatchOptions::record_latencies.
+  std::vector<double> latencies_us;
+};
+
+/// Evaluates batches of RangeReach queries on a thread pool.
+///
+/// Each pool worker gets its own QueryScratch (created via
+/// method.NewScratch()), so any RangeReachMethod honoring the scratch
+/// contract of core/range_reach.h can be driven from all workers at once.
+/// After every batch the per-worker scratch counters are folded into the
+/// method's aggregate counters on the calling thread, so
+/// method.counters() reflects batch work exactly as if it ran serially.
+///
+/// Scratches are cached across Run() calls for the same method (index
+/// buffers stay warm); switching methods re-creates them.
+class BatchRunner {
+ public:
+  /// The pool must outlive the runner.
+  explicit BatchRunner(ThreadPool* pool) : pool_(pool) {}
+
+  /// Evaluates all queries; blocks until the batch is done. Rethrows the
+  /// first exception any query evaluation threw.
+  BatchResult Run(const RangeReachMethod& method,
+                  const std::vector<RangeReachQuery>& queries,
+                  const BatchOptions& options = {});
+
+  /// Number of per-worker scratches currently cached (test hook).
+  size_t cached_scratch_count() const;
+
+ private:
+  ThreadPool* pool_;
+  /// Scratch cache, one slot per pool worker, valid for the method whose
+  /// instance_id() this holds (0 = empty). Keyed by id, not address: a
+  /// destroyed method's address can be reoccupied by a new instance whose
+  /// scratch layout differs.
+  uint64_t scratch_method_id_ = 0;
+  std::vector<std::unique_ptr<QueryScratch>> scratches_;
+};
+
+}  // namespace gsr::exec
+
+#endif  // GSR_EXEC_BATCH_RUNNER_H_

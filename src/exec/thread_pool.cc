@@ -1,0 +1,90 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <utility>
+
+namespace gsr::exec {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  const unsigned n = std::max(1u, num_threads);
+  workers_.reserve(n);
+  for (unsigned worker = 0; worker < n; ++worker) {
+    workers_.emplace_back([this, worker] { WorkerLoop(worker); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void(unsigned)> task) {
+  Task item;
+  item.fn = std::move(task);
+  std::future<void> done = item.done.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+  return done;
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, size_t chunk,
+    const std::function<void(size_t index, unsigned worker)>& fn) {
+  if (n == 0) return;
+  const size_t step = std::max<size_t>(1, chunk);
+
+  // One long-lived task per worker; each repeatedly claims the next
+  // contiguous chunk off a shared cursor until the range is exhausted.
+  auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  std::vector<std::future<void>> done;
+  done.reserve(workers_.size());
+  for (unsigned t = 0; t < workers_.size(); ++t) {
+    done.push_back(Submit([cursor, n, step, &fn](unsigned worker) {
+      for (;;) {
+        const size_t begin = cursor->fetch_add(step);
+        if (begin >= n) return;
+        const size_t end = std::min(n, begin + step);
+        for (size_t i = begin; i < end; ++i) fn(i, worker);
+      }
+    }));
+  }
+  // Wait for everything first so `fn` and `cursor` stay alive for all
+  // workers even when one of them throws; then surface the first error.
+  for (std::future<void>& f : done) f.wait();
+  for (std::future<void>& f : done) f.get();
+}
+
+unsigned ThreadPool::DefaultThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void ThreadPool::WorkerLoop(unsigned worker) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ && drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task.fn(worker);
+      task.done.set_value();
+    } catch (...) {
+      task.done.set_exception(std::current_exception());
+    }
+  }
+}
+
+}  // namespace gsr::exec

@@ -1,0 +1,72 @@
+#ifndef GSR_EXEC_THREAD_POOL_H_
+#define GSR_EXEC_THREAD_POOL_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gsr::exec {
+
+/// A fixed pool of worker threads consuming a FIFO task queue. Tasks
+/// receive the id of the worker running them (0 .. size()-1), which is how
+/// BatchRunner routes per-thread query scratch without any locking on the
+/// hot path. Deliberately no work stealing: batches are sharded into
+/// chunks via a single atomic cursor (see ParallelFor), which balances
+/// load without per-task queue traffic.
+///
+/// Threads are spawned once in the constructor and live until destruction,
+/// so scratch state keyed by worker id stays meaningful across
+/// submissions.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(unsigned num_threads);
+
+  /// Finishes queued tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues one task. The returned future resolves when the task
+  /// finishes and rethrows anything it threw.
+  std::future<void> Submit(std::function<void(unsigned worker)> task);
+
+  /// Runs fn(index, worker) for every index in [0, n). Indices are dealt
+  /// to workers in contiguous chunks of `chunk` (>= 1) claimed from an
+  /// atomic cursor, so faster workers naturally take more chunks. Blocks
+  /// until every index is done; rethrows the first task exception (the
+  /// remaining workers still drain their chunks first). Must not be
+  /// called from inside a pool task — the caller's wait would deadlock
+  /// on a single-thread pool.
+  void ParallelFor(
+      size_t n, size_t chunk,
+      const std::function<void(size_t index, unsigned worker)>& fn);
+
+  /// std::thread::hardware_concurrency() with a fallback of 1.
+  static unsigned DefaultThreads();
+
+ private:
+  struct Task {
+    std::function<void(unsigned)> fn;
+    std::promise<void> done;
+  };
+
+  void WorkerLoop(unsigned worker);
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gsr::exec
+
+#endif  // GSR_EXEC_THREAD_POOL_H_

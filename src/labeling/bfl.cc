@@ -32,7 +32,6 @@ BflIndex BflIndex::Build(const DiGraph* dag, const Options& options) {
   const uint32_t bits = words * 64;
   index.out_filters_.assign(static_cast<size_t>(n) * words, 0);
   index.in_filters_.assign(static_cast<size_t>(n) * words, 0);
-  index.mark_.assign(n, 0);
 
   const std::vector<VertexId> topo = TopologicalOrder(*dag);
   GSR_CHECK(n == 0 || !topo.empty());  // BFL requires a DAG.
@@ -77,43 +76,50 @@ bool BflIndex::FilterContains(const std::vector<uint64_t>& filters, VertexId a,
   return true;
 }
 
-bool BflIndex::CanReach(VertexId from, VertexId to) const {
+bool BflIndex::CanReach(VertexId from, VertexId to,
+                        SearchScratch& scratch) const {
   if (InSubtree(from, to)) {
-    ++counters_.tree_hits;
+    ++scratch.counters.tree_hits;
     return true;
   }
   // u reaches v  =>  out(u) ⊇ out(v) and in(v) ⊇ in(u); the contrapositive
   // gives instant negatives.
   if (!FilterContains(out_filters_, from, to) ||
       !FilterContains(in_filters_, to, from)) {
-    ++counters_.filter_rejects;
+    ++scratch.counters.filter_rejects;
     return false;
   }
-  ++counters_.dfs_fallbacks;
-  return PrunedDfs(from, to);
+  ++scratch.counters.dfs_fallbacks;
+  return PrunedDfs(from, to, scratch);
 }
 
-bool BflIndex::PrunedDfs(VertexId from, VertexId to) const {
-  if (++epoch_ == 0) {
-    std::fill(mark_.begin(), mark_.end(), 0);
-    epoch_ = 1;
+bool BflIndex::PrunedDfs(VertexId from, VertexId to,
+                         SearchScratch& scratch) const {
+  const size_t n = forest_.post.size();
+  if (scratch.mark.size() != n) {
+    scratch.mark.assign(n, 0);
+    scratch.epoch = 0;
   }
-  stack_.clear();
-  stack_.push_back(from);
-  mark_[from] = epoch_;
-  while (!stack_.empty()) {
-    const VertexId v = stack_.back();
-    stack_.pop_back();
+  if (++scratch.epoch == 0) {
+    std::fill(scratch.mark.begin(), scratch.mark.end(), 0);
+    scratch.epoch = 1;
+  }
+  scratch.stack.clear();
+  scratch.stack.push_back(from);
+  scratch.mark[from] = scratch.epoch;
+  while (!scratch.stack.empty()) {
+    const VertexId v = scratch.stack.back();
+    scratch.stack.pop_back();
     if (InSubtree(v, to)) return true;  // Covers v == to as well.
     for (const VertexId w : dag_->OutNeighbors(v)) {
-      if (mark_[w] == epoch_) continue;
-      mark_[w] = epoch_;
+      if (scratch.mark[w] == scratch.epoch) continue;
+      scratch.mark[w] = scratch.epoch;
       // Prune w when its labels prove it cannot reach `to`.
       if (!FilterContains(out_filters_, w, to) ||
           !FilterContains(in_filters_, to, w)) {
         continue;
       }
-      stack_.push_back(w);
+      scratch.stack.push_back(w);
     }
   }
   return false;

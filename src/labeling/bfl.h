@@ -23,7 +23,11 @@ namespace gsr {
 /// When neither label decides, a DFS pruned by the same two tests resolves
 /// the query exactly, so BFL is always correct.
 ///
-/// The input must be a DAG. Not thread-safe: queries share DFS scratch.
+/// The input must be a DAG. The index itself is immutable after Build;
+/// the Label+G DFS keeps its visited marks in a SearchScratch, so queries
+/// run concurrently when each thread passes its own scratch. The
+/// two-argument CanReach uses an index-owned scratch and stays
+/// single-threaded.
 class BflIndex {
  public:
   struct Options {
@@ -32,23 +36,51 @@ class BflIndex {
     uint32_t filter_words = 4;
   };
 
+  /// Counters for observing how queries were answered (used by tests to
+  /// confirm the filters actually prune).
+  struct QueryCounters {
+    uint64_t tree_hits = 0;       // answered by the tree interval
+    uint64_t filter_rejects = 0;  // answered negatively by a Bloom test
+    uint64_t dfs_fallbacks = 0;   // needed the pruned DFS
+  };
+
+  /// Per-thread DFS state (epoch-stamped marks + stack) and counters.
+  /// Sized lazily on first use, so a default-constructed scratch works for
+  /// any index.
+  struct SearchScratch {
+    std::vector<uint32_t> mark;
+    std::vector<VertexId> stack;
+    uint32_t epoch = 0;
+    QueryCounters counters;
+  };
+
   /// Builds the index over `dag`, which must outlive the index (the DFS
   /// fallback of the Label+G scheme traverses it).
   static BflIndex Build(const DiGraph* dag, const Options& options);
   static BflIndex Build(const DiGraph* dag) { return Build(dag, Options{}); }
 
   /// True iff `to` is reachable from `from` (reflexive: CanReach(v,v)).
-  bool CanReach(VertexId from, VertexId to) const;
+  /// Touches no index state except through `scratch`; thread-safe with
+  /// one scratch per thread.
+  bool CanReach(VertexId from, VertexId to, SearchScratch& scratch) const;
 
-  /// Counters for observing how queries were answered (used by tests to
-  /// confirm the filters actually prune).
-  struct QueryCounters {
-    uint64_t tree_hits = 0;      // answered by the tree interval
-    uint64_t filter_rejects = 0; // answered negatively by a Bloom test
-    uint64_t dfs_fallbacks = 0;  // needed the pruned DFS
-  };
-  const QueryCounters& counters() const { return counters_; }
-  void ResetCounters() const { counters_ = QueryCounters{}; }
+  /// Single-threaded convenience overload on the index-owned scratch.
+  bool CanReach(VertexId from, VertexId to) const {
+    return CanReach(from, to, scratch_);
+  }
+
+  const QueryCounters& counters() const { return scratch_.counters; }
+  void ResetCounters() const { scratch_.counters = QueryCounters{}; }
+
+  /// Folds counters accumulated in an external scratch into counters()
+  /// and zeroes them in `scratch`. Callers serialize.
+  void DrainScratchCounters(SearchScratch& scratch) const {
+    if (&scratch == &scratch_) return;
+    scratch_.counters.tree_hits += scratch.counters.tree_hits;
+    scratch_.counters.filter_rejects += scratch.counters.filter_rejects;
+    scratch_.counters.dfs_fallbacks += scratch.counters.dfs_fallbacks;
+    scratch.counters = QueryCounters{};
+  }
 
   /// Main-memory footprint in bytes.
   size_t SizeBytes() const;
@@ -67,7 +99,7 @@ class BflIndex {
            forest_.post[to] <= forest_.post[from];
   }
 
-  bool PrunedDfs(VertexId from, VertexId to) const;
+  bool PrunedDfs(VertexId from, VertexId to, SearchScratch& scratch) const;
 
   uint32_t filter_words_ = 4;
   const DiGraph* dag_ = nullptr;  // For the DFS fallback (Label+G).
@@ -75,11 +107,8 @@ class BflIndex {
   std::vector<uint64_t> out_filters_;  // n * filter_words_
   std::vector<uint64_t> in_filters_;   // n * filter_words_
 
-  // DFS scratch, epoch-stamped to avoid O(n) clears per query.
-  mutable std::vector<uint32_t> mark_;
-  mutable std::vector<VertexId> stack_;
-  mutable uint32_t epoch_ = 0;
-  mutable QueryCounters counters_;
+  // Scratch behind the single-threaded CanReach overload.
+  mutable SearchScratch scratch_;
 };
 
 }  // namespace gsr

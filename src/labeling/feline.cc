@@ -50,38 +50,44 @@ FelineIndex FelineIndex::Build(const DiGraph* dag) {
   index.dag_ = dag;
   index.x_ = TopologicalRank(*dag, /*prefer_max=*/false);
   index.y_ = TopologicalRank(*dag, /*prefer_max=*/true);
-  index.mark_.assign(dag->num_vertices(), 0);
   return index;
 }
 
-bool FelineIndex::CanReach(VertexId from, VertexId to) const {
+bool FelineIndex::CanReach(VertexId from, VertexId to,
+                           SearchScratch& scratch) const {
   if (from == to) return true;
   // Reachability implies dominance in both topological coordinates.
   if (!Dominates(from, to)) {
-    ++counters_.dominance_rejects;
+    ++scratch.counters.dominance_rejects;
     return false;
   }
-  ++counters_.dfs_fallbacks;
-  return GuidedDfs(from, to);
+  ++scratch.counters.dfs_fallbacks;
+  return GuidedDfs(from, to, scratch);
 }
 
-bool FelineIndex::GuidedDfs(VertexId from, VertexId to) const {
-  if (++epoch_ == 0) {
-    std::fill(mark_.begin(), mark_.end(), 0);
-    epoch_ = 1;
+bool FelineIndex::GuidedDfs(VertexId from, VertexId to,
+                            SearchScratch& scratch) const {
+  const size_t n = x_.size();
+  if (scratch.mark.size() != n) {
+    scratch.mark.assign(n, 0);
+    scratch.epoch = 0;
   }
-  stack_.clear();
-  stack_.push_back(from);
-  mark_[from] = epoch_;
-  while (!stack_.empty()) {
-    const VertexId v = stack_.back();
-    stack_.pop_back();
+  if (++scratch.epoch == 0) {
+    std::fill(scratch.mark.begin(), scratch.mark.end(), 0);
+    scratch.epoch = 1;
+  }
+  scratch.stack.clear();
+  scratch.stack.push_back(from);
+  scratch.mark[from] = scratch.epoch;
+  while (!scratch.stack.empty()) {
+    const VertexId v = scratch.stack.back();
+    scratch.stack.pop_back();
     for (const VertexId w : dag_->OutNeighbors(v)) {
       if (w == to) return true;
-      if (mark_[w] == epoch_) continue;
-      mark_[w] = epoch_;
+      if (scratch.mark[w] == scratch.epoch) continue;
+      scratch.mark[w] = scratch.epoch;
       // Only children that still dominate the target can lead to it.
-      if (Dominates(w, to)) stack_.push_back(w);
+      if (Dominates(w, to)) scratch.stack.push_back(w);
     }
   }
   return false;

@@ -19,25 +19,54 @@ namespace gsr {
 /// to a DFS that only expands dominated children (Label+G). Always exact.
 ///
 /// The input must be a DAG and must outlive the index (DFS fallback).
+/// The index is immutable after Build; the guided DFS keeps its visited
+/// marks in a SearchScratch, so queries run concurrently when each thread
+/// passes its own scratch. The two-argument CanReach uses an index-owned
+/// scratch and stays single-threaded.
 class FelineIndex {
  public:
   /// Builds the index over `dag`.
   static FelineIndex Build(const DiGraph* dag);
-
-  /// True iff `to` is reachable from `from` (reflexive).
-  bool CanReach(VertexId from, VertexId to) const;
-
-  /// The two topological coordinates of v (exposed for tests).
-  uint32_t XCoord(VertexId v) const { return x_[v]; }
-  uint32_t YCoord(VertexId v) const { return y_[v]; }
 
   /// Counters observing how queries were answered.
   struct QueryCounters {
     uint64_t dominance_rejects = 0;  // Answered negatively by coordinates.
     uint64_t dfs_fallbacks = 0;      // Needed the guided DFS.
   };
-  const QueryCounters& counters() const { return counters_; }
-  void ResetCounters() const { counters_ = QueryCounters{}; }
+
+  /// Per-thread DFS state (epoch-stamped marks + stack) and counters.
+  /// Sized lazily on first use.
+  struct SearchScratch {
+    std::vector<uint32_t> mark;
+    std::vector<VertexId> stack;
+    uint32_t epoch = 0;
+    QueryCounters counters;
+  };
+
+  /// True iff `to` is reachable from `from` (reflexive). Touches no index
+  /// state except through `scratch`; thread-safe with one per thread.
+  bool CanReach(VertexId from, VertexId to, SearchScratch& scratch) const;
+
+  /// Single-threaded convenience overload on the index-owned scratch.
+  bool CanReach(VertexId from, VertexId to) const {
+    return CanReach(from, to, scratch_);
+  }
+
+  /// The two topological coordinates of v (exposed for tests).
+  uint32_t XCoord(VertexId v) const { return x_[v]; }
+  uint32_t YCoord(VertexId v) const { return y_[v]; }
+
+  const QueryCounters& counters() const { return scratch_.counters; }
+  void ResetCounters() const { scratch_.counters = QueryCounters{}; }
+
+  /// Folds counters accumulated in an external scratch into counters()
+  /// and zeroes them in `scratch`. Callers serialize.
+  void DrainScratchCounters(SearchScratch& scratch) const {
+    if (&scratch == &scratch_) return;
+    scratch_.counters.dominance_rejects += scratch.counters.dominance_rejects;
+    scratch_.counters.dfs_fallbacks += scratch.counters.dfs_fallbacks;
+    scratch.counters = QueryCounters{};
+  }
 
   /// Main-memory footprint in bytes.
   size_t SizeBytes() const {
@@ -51,17 +80,14 @@ class FelineIndex {
     return x_[u] <= x_[v] && y_[u] <= y_[v];
   }
 
-  bool GuidedDfs(VertexId from, VertexId to) const;
+  bool GuidedDfs(VertexId from, VertexId to, SearchScratch& scratch) const;
 
   const DiGraph* dag_ = nullptr;
   std::vector<uint32_t> x_;  // Topological rank, min-id tie-breaking.
   std::vector<uint32_t> y_;  // Topological rank, max-id tie-breaking.
 
-  // DFS scratch, epoch-stamped (queries are single-threaded).
-  mutable std::vector<uint32_t> mark_;
-  mutable std::vector<VertexId> stack_;
-  mutable uint32_t epoch_ = 0;
-  mutable QueryCounters counters_;
+  // Scratch behind the single-threaded CanReach overload.
+  mutable SearchScratch scratch_;
 };
 
 }  // namespace gsr

@@ -1,0 +1,110 @@
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace gsr::exec {
+namespace {
+
+TEST(ThreadPoolTest, SizeIsClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  ThreadPool pool4(4);
+  EXPECT_EQ(pool4.size(), 4u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTaskAndResolvesFuture) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  auto done = pool.Submit([&](unsigned worker) {
+    EXPECT_LT(worker, pool.size());
+    ran.fetch_add(1);
+  });
+  done.get();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto done = pool.Submit(
+      [](unsigned) { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(done.get(), std::runtime_error);
+
+  // The pool survives a throwing task: later submissions still run.
+  std::atomic<bool> ran{false};
+  pool.Submit([&](unsigned) { ran.store(true); }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, /*chunk=*/7,
+                   [&](size_t i, unsigned) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 8, [&](size_t, unsigned) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  pool.ParallelFor(1, 8, [&](size_t, unsigned) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1);
+  // Chunk of 0 is treated as 1, not an infinite loop.
+  pool.ParallelFor(5, 0, [&](size_t, unsigned) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 6);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(100, 4,
+                                [&](size_t i, unsigned) {
+                                  if (i == 57) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, WorkerIdsAreStableAcrossSubmissions) {
+  // The contract BatchRunner's scratch cache relies on: a given worker id
+  // is always served by the same OS thread, across separate batches.
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::map<unsigned, std::set<std::thread::id>> seen;
+  for (int round = 0; round < 5; ++round) {
+    pool.ParallelFor(60, 4, [&](size_t, unsigned worker) {
+      std::lock_guard<std::mutex> lock(mutex);
+      seen[worker].insert(std::this_thread::get_id());
+    });
+  }
+  EXPECT_LE(seen.size(), 3u);
+  for (const auto& [worker, threads] : seen) {
+    EXPECT_EQ(threads.size(), 1u) << "worker " << worker;
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&](unsigned) { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+}  // namespace
+}  // namespace gsr::exec
