@@ -1,12 +1,15 @@
 #include "core/condensed_network.h"
 
+#include "exec/parallel.h"
+
 namespace gsr {
 
 const char* SccSpatialModeName(SccSpatialMode mode) {
   return mode == SccSpatialMode::kReplicate ? "replicate" : "mbr";
 }
 
-CondensedNetwork::CondensedNetwork(const GeoSocialNetwork* network)
+CondensedNetwork::CondensedNetwork(const GeoSocialNetwork* network,
+                                   const exec::BuildOptions& build)
     : network_(network) {
   const DiGraph& graph = network->graph();
   scc_ = ComputeScc(graph);
@@ -29,10 +32,15 @@ CondensedNetwork::CondensedNetwork(const GeoSocialNetwork* network)
     spatial_members_[cursor[scc_.component_of[v]]++] = v;
   }
 
+  // Per-component MBRs: each component expands only from its own spatial
+  // member slice, so the components parallelize independently.
+  exec::ScopedBuildPool pool(build);
   mbr_.assign(num_components, Rect());
-  for (const VertexId v : network->spatial_vertices()) {
-    mbr_[scc_.component_of[v]].Expand(network->PointOf(v));
-  }
+  exec::ForEachIndex(pool.get(), num_components, 512, [&](size_t c) {
+    for (const VertexId v : SpatialMembersOf(static_cast<ComponentId>(c))) {
+      mbr_[c].Expand(network_->PointOf(v));
+    }
+  });
 }
 
 bool CondensedNetwork::AnyMemberPointIn(ComponentId c,

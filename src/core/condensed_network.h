@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/geosocial_network.h"
+#include "exec/build_options.h"
 #include "geometry/geometry.h"
 #include "graph/scc.h"
 
@@ -35,7 +36,10 @@ const char* SccSpatialModeName(SccSpatialMode mode);
 class CondensedNetwork {
  public:
   /// Builds the condensation of `network`, which must outlive this object.
-  explicit CondensedNetwork(const GeoSocialNetwork* network);
+  /// `build` controls construction parallelism (per-component grouping and
+  /// MBRs); the result is identical at any thread count.
+  explicit CondensedNetwork(const GeoSocialNetwork* network,
+                            const exec::BuildOptions& build = {});
 
   const GeoSocialNetwork& network() const { return *network_; }
   const SccDecomposition& scc() const { return scc_; }

@@ -23,7 +23,10 @@ namespace gsr {
 ///    and slower (Section 6.2).
 class CondensedSpatialIndex {
  public:
-  CondensedSpatialIndex(const CondensedNetwork* cn, SccSpatialMode mode)
+  /// Builds the R-tree for `cn`. A non-null `pool` runs the STR bulk load
+  /// on its workers; the tree is identical at any thread count.
+  CondensedSpatialIndex(const CondensedNetwork* cn, SccSpatialMode mode,
+                        exec::ThreadPool* pool = nullptr)
       : mode_(mode) {
     if (mode == SccSpatialMode::kReplicate) {
       const GeoSocialNetwork& network = cn->network();
@@ -32,13 +35,13 @@ class CondensedSpatialIndex {
       for (const VertexId v : network.spatial_vertices()) {
         entries.emplace_back(network.PointOf(v), cn->ComponentOf(v));
       }
-      points_.BulkLoad(std::move(entries));
+      points_.BulkLoad(std::move(entries), pool);
     } else {
       std::vector<std::pair<Rect, uint64_t>> entries;
       for (ComponentId c = 0; c < cn->num_components(); ++c) {
         if (cn->HasSpatialMember(c)) entries.emplace_back(cn->MbrOf(c), c);
       }
-      boxes_.BulkLoad(std::move(entries));
+      boxes_.BulkLoad(std::move(entries), pool);
     }
   }
 

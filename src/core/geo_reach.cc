@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "exec/parallel.h"
 
 namespace gsr {
 
@@ -21,12 +22,12 @@ Rect GridSpace(const GeoSocialNetwork& network) {
 }  // namespace
 
 GeoReachMethod::GeoReachMethod(const CondensedNetwork* cn,
-                               const Options& options)
+                               const Options& options,
+                               exec::ThreadPool* pool)
     : cn_(cn),
       options_(options),
       grid_(GridSpace(cn->network()), options.grid_depth) {
   const uint32_t n = cn->num_components();
-  const GeoSocialNetwork& network = cn->network();
   class_.assign(n, SpaClass::kBFalse);
   rmbr_.assign(n, Rect());
   reach_grid_.assign(n, {});
@@ -36,72 +37,99 @@ GeoReachMethod::GeoReachMethod(const CondensedNetwork* cn,
 
   // Component ids ascend in reverse topological order, so iterating
   // ascending processes all successors of c before c itself.
-  for (ComponentId c = 0; c < n; ++c) {
-    Rect rmbr;  // Exact MBR of all spatial vertices reachable from c.
-    std::vector<GridCell> cells;
-    bool reaches_spatial = false;
-    bool forced_b = false;  // Some successor is a B-vertex with GeoB=true.
-    bool forced_r = false;  // Some successor is an R-vertex (no grid info).
-
-    // Own spatial members (a super-vertex reaches its own points).
-    for (const VertexId v : cn->SpatialMembersOf(c)) {
-      const Point2D& p = network.PointOf(v);
-      rmbr.Expand(p);
-      cells.push_back(grid_.Locate(p, /*level=*/0));
-      reaches_spatial = true;
-    }
-
-    // Merge successor information.
-    for (const VertexId raw : cn->dag().OutNeighbors(c)) {
-      const ComponentId succ = static_cast<ComponentId>(raw);
-      switch (class_[succ]) {
-        case SpaClass::kBFalse:
-          break;
-        case SpaClass::kBTrue:
-          reaches_spatial = true;
-          forced_b = true;
-          break;
-        case SpaClass::kR:
-          reaches_spatial = true;
-          forced_r = true;
-          rmbr.Expand(rmbr_[succ]);
-          break;
-        case SpaClass::kG:
-          reaches_spatial = true;
-          rmbr.Expand(rmbr_[succ]);
-          cells.insert(cells.end(), reach_grid_[succ].begin(),
-                       reach_grid_[succ].end());
-          break;
-      }
-    }
-
-    if (!reaches_spatial) {
-      class_[c] = SpaClass::kBFalse;
-      continue;
-    }
-    if (forced_b) {
-      class_[c] = SpaClass::kBTrue;
-      continue;
-    }
-    // Candidate G-vertex unless a successor already lost its grid.
-    if (!forced_r) {
-      cells = grid_.MergeCells(std::move(cells), options.merge_count);
-      if (cells.size() <= options.max_reach_grids) {
-        class_[c] = SpaClass::kG;
-        rmbr_[c] = rmbr;
-        reach_grid_[c] = std::move(cells);
-        reach_grid_[c].shrink_to_fit();
-        continue;
-      }
-      // Too many cells: downgrade to R (MAX_REACH_GRIDS policy).
-    }
-    if (rmbr.Area() > max_rmbr_area) {
-      class_[c] = SpaClass::kBTrue;  // MAX_RMBR policy.
-      continue;
-    }
-    class_[c] = SpaClass::kR;
-    rmbr_[c] = rmbr;
+  if (pool == nullptr || pool->size() <= 1) {
+    for (ComponentId c = 0; c < n; ++c) BuildComponent(c, max_rmbr_area);
+    return;
   }
+
+  // Parallel variant: components on the same longest-path-to-sink level
+  // cannot reach each other, so each wave builds independently from the
+  // finished waves below it — the per-component results are identical to
+  // the serial ascending pass.
+  std::vector<uint32_t> level(n, 0);
+  uint32_t max_level = 0;
+  for (ComponentId c = 0; c < n; ++c) {
+    for (const VertexId raw : cn->dag().OutNeighbors(c)) {
+      level[c] = std::max(level[c], level[raw] + 1);
+    }
+    max_level = std::max(max_level, level[c]);
+  }
+  std::vector<std::vector<ComponentId>> waves(static_cast<size_t>(max_level) +
+                                              1);
+  for (ComponentId c = 0; c < n; ++c) waves[level[c]].push_back(c);
+  for (const std::vector<ComponentId>& wave : waves) {
+    exec::ForEachIndex(pool, wave.size(), 64, [&](size_t i) {
+      BuildComponent(wave[i], max_rmbr_area);
+    });
+  }
+}
+
+void GeoReachMethod::BuildComponent(ComponentId c, double max_rmbr_area) {
+  const GeoSocialNetwork& network = cn_->network();
+  Rect rmbr;  // Exact MBR of all spatial vertices reachable from c.
+  std::vector<GridCell> cells;
+  bool reaches_spatial = false;
+  bool forced_b = false;  // Some successor is a B-vertex with GeoB=true.
+  bool forced_r = false;  // Some successor is an R-vertex (no grid info).
+
+  // Own spatial members (a super-vertex reaches its own points).
+  for (const VertexId v : cn_->SpatialMembersOf(c)) {
+    const Point2D& p = network.PointOf(v);
+    rmbr.Expand(p);
+    cells.push_back(grid_.Locate(p, /*level=*/0));
+    reaches_spatial = true;
+  }
+
+  // Merge successor information.
+  for (const VertexId raw : cn_->dag().OutNeighbors(c)) {
+    const ComponentId succ = static_cast<ComponentId>(raw);
+    switch (class_[succ]) {
+      case SpaClass::kBFalse:
+        break;
+      case SpaClass::kBTrue:
+        reaches_spatial = true;
+        forced_b = true;
+        break;
+      case SpaClass::kR:
+        reaches_spatial = true;
+        forced_r = true;
+        rmbr.Expand(rmbr_[succ]);
+        break;
+      case SpaClass::kG:
+        reaches_spatial = true;
+        rmbr.Expand(rmbr_[succ]);
+        cells.insert(cells.end(), reach_grid_[succ].begin(),
+                     reach_grid_[succ].end());
+        break;
+    }
+  }
+
+  if (!reaches_spatial) {
+    class_[c] = SpaClass::kBFalse;
+    return;
+  }
+  if (forced_b) {
+    class_[c] = SpaClass::kBTrue;
+    return;
+  }
+  // Candidate G-vertex unless a successor already lost its grid.
+  if (!forced_r) {
+    cells = grid_.MergeCells(std::move(cells), options_.merge_count);
+    if (cells.size() <= options_.max_reach_grids) {
+      class_[c] = SpaClass::kG;
+      rmbr_[c] = rmbr;
+      reach_grid_[c] = std::move(cells);
+      reach_grid_[c].shrink_to_fit();
+      return;
+    }
+    // Too many cells: downgrade to R (MAX_REACH_GRIDS policy).
+  }
+  if (rmbr.Area() > max_rmbr_area) {
+    class_[c] = SpaClass::kBTrue;  // MAX_RMBR policy.
+    return;
+  }
+  class_[c] = SpaClass::kR;
+  rmbr_[c] = rmbr;
 }
 
 GeoReachMethod::VisitAction GeoReachMethod::Visit(ComponentId c,

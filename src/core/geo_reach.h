@@ -8,6 +8,7 @@
 
 #include "core/condensed_network.h"
 #include "core/range_reach.h"
+#include "exec/thread_pool.h"
 #include "spatial/hierarchical_grid.h"
 
 namespace gsr {
@@ -51,8 +52,12 @@ class GeoReachMethod : public RangeReachMethod {
     kG,       // G-vertex: carries ReachGrid.
   };
 
-  /// Builds the SPA-Graph over the condensation of `cn`'s network.
-  GeoReachMethod(const CondensedNetwork* cn, const Options& options);
+  /// Builds the SPA-Graph over the condensation of `cn`'s network. A
+  /// non-null `pool` computes components level-by-level over the
+  /// condensation DAG (a component only reads its successors' finished
+  /// entries), producing the identical SPA-graph at any thread count.
+  GeoReachMethod(const CondensedNetwork* cn, const Options& options,
+                 exec::ThreadPool* pool = nullptr);
   explicit GeoReachMethod(const CondensedNetwork* cn)
       : GeoReachMethod(cn, Options{}) {}
 
@@ -107,6 +112,10 @@ class GeoReachMethod : public RangeReachMethod {
   void ResetCounters() const { MutableCounters() = Counters{}; }
 
  private:
+  /// Computes class/RMBR/ReachGrid for one component from its own spatial
+  /// members and its successors' already-final entries.
+  void BuildComponent(ComponentId c, double max_rmbr_area);
+
   /// Visit outcome for one component during the query BFS.
   enum class VisitAction { kPrune, kExpand, kAnswerTrue };
   VisitAction Visit(ComponentId c, const Rect& region) const;

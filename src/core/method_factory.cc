@@ -33,27 +33,32 @@ const char* MethodKindName(MethodKind kind) {
 
 std::unique_ptr<RangeReachMethod> CreateMethod(const CondensedNetwork* cn,
                                                const MethodConfig& config) {
+  // One pool (possibly none, = serial) drives every build stage of the
+  // method; it is torn down when construction finishes.
+  exec::ScopedBuildPool build_pool(config.build);
+  exec::ThreadPool* pool = build_pool.get();
   switch (config.kind) {
     case MethodKind::kNaiveBfs:
       return std::make_unique<NaiveBfsMethod>(&cn->network());
     case MethodKind::kSpaReachBfl:
-      return std::make_unique<SpaReachBfl>(cn, config.scc_mode, config.bfl);
+      return std::make_unique<SpaReachBfl>(cn, config.scc_mode, config.bfl,
+                                           pool);
     case MethodKind::kSpaReachInt:
-      return std::make_unique<SpaReachInt>(cn, config.scc_mode);
+      return std::make_unique<SpaReachInt>(cn, config.scc_mode, pool);
     case MethodKind::kSpaReachPll:
-      return std::make_unique<SpaReachPll>(cn, config.scc_mode);
+      return std::make_unique<SpaReachPll>(cn, config.scc_mode, pool);
     case MethodKind::kSpaReachFeline:
-      return std::make_unique<SpaReachFeline>(cn, config.scc_mode);
+      return std::make_unique<SpaReachFeline>(cn, config.scc_mode, pool);
     case MethodKind::kGeoReach:
-      return std::make_unique<GeoReachMethod>(cn, config.geo_reach);
+      return std::make_unique<GeoReachMethod>(cn, config.geo_reach, pool);
     case MethodKind::kSocReach:
-      return std::make_unique<SocReach>(cn, config.soc_reach);
+      return std::make_unique<SocReach>(cn, config.soc_reach, pool);
     case MethodKind::kThreeDReach:
       return std::make_unique<ThreeDReach>(
-          cn, ThreeDReach::Options{.scc_mode = config.scc_mode});
+          cn, ThreeDReach::Options{.scc_mode = config.scc_mode}, pool);
     case MethodKind::kThreeDReachRev:
       return std::make_unique<ThreeDReachRev>(
-          cn, ThreeDReachRev::Options{.scc_mode = config.scc_mode});
+          cn, ThreeDReachRev::Options{.scc_mode = config.scc_mode}, pool);
   }
   return nullptr;
 }

@@ -8,6 +8,7 @@
 #include "core/geo_reach.h"
 #include "core/range_reach.h"
 #include "core/soc_reach.h"
+#include "exec/build_options.h"
 #include "labeling/bfl.h"
 
 namespace gsr {
@@ -38,6 +39,9 @@ struct MethodConfig {
   GeoReachMethod::Options geo_reach;
   BflIndex::Options bfl;
   SocReach::Options soc_reach;
+  /// Index-construction parallelism (see exec::BuildOptions). Defaults to
+  /// serial; any thread count builds the identical index.
+  exec::BuildOptions build;
 };
 
 /// Instantiates a method over a prebuilt condensation. Building the index

@@ -27,11 +27,14 @@ class SocReach : public RangeReachMethod {
     bool stream_containment = false;
   };
 
-  /// Builds the labeling over the condensation of `cn`'s network.
-  SocReach(const CondensedNetwork* cn, const Options& options)
+  /// Builds the labeling over the condensation of `cn`'s network. A
+  /// non-null `pool` runs construction in parallel (identical labeling).
+  SocReach(const CondensedNetwork* cn, const Options& options,
+           exec::ThreadPool* pool = nullptr)
       : cn_(cn),
         options_(options),
-        labeling_(IntervalLabeling::Build(cn->dag())) {}
+        labeling_(IntervalLabeling::Build(cn->dag(),
+                                          IntervalLabeling::Options{}, pool)) {}
   explicit SocReach(const CondensedNetwork* cn) : SocReach(cn, Options{}) {}
 
   /// Per-query cost counters: SocReach's cost is dominated by the size of

@@ -89,8 +89,10 @@ class SpaReachBase : public RangeReachMethod {
 
  protected:
   SpaReachBase(const CondensedNetwork* cn, SccSpatialMode mode,
-               std::string base_name)
-      : cn_(cn), spatial_index_(cn, mode), base_name_(std::move(base_name)) {}
+               std::string base_name, exec::ThreadPool* pool = nullptr)
+      : cn_(cn),
+        spatial_index_(cn, mode, pool),
+        base_name_(std::move(base_name)) {}
 
   /// GReach over the condensation DAG. `scratch` is the one passed to
   /// Evaluate; backends with search state downcast it to their own type.
@@ -118,8 +120,9 @@ class SpaReachBase : public RangeReachMethod {
 class SpaReachBfl : public SpaReachBase {
  public:
   SpaReachBfl(const CondensedNetwork* cn, SccSpatialMode mode,
-              const BflIndex::Options& options)
-      : SpaReachBase(cn, mode, "SpaReach-BFL"),
+              const BflIndex::Options& options,
+              exec::ThreadPool* pool = nullptr)
+      : SpaReachBase(cn, mode, "SpaReach-BFL", pool),
         bfl_(BflIndex::Build(&cn->dag(), options)) {}
 
   SpaReachBfl(const CondensedNetwork* cn, SccSpatialMode mode)
@@ -166,9 +169,11 @@ class SpaReachBfl : public SpaReachBase {
 /// the spatial-first scheme (it loses to SpaReach-BFL, Figure 6).
 class SpaReachInt : public SpaReachBase {
  public:
-  SpaReachInt(const CondensedNetwork* cn, SccSpatialMode mode)
-      : SpaReachBase(cn, mode, "SpaReach-INT"),
-        labeling_(IntervalLabeling::Build(cn->dag())) {}
+  SpaReachInt(const CondensedNetwork* cn, SccSpatialMode mode,
+              exec::ThreadPool* pool = nullptr)
+      : SpaReachBase(cn, mode, "SpaReach-INT", pool),
+        labeling_(IntervalLabeling::Build(cn->dag(),
+                                          IntervalLabeling::Options{}, pool)) {}
 
   explicit SpaReachInt(const CondensedNetwork* cn)
       : SpaReachInt(cn, SccSpatialMode::kReplicate) {}
@@ -194,8 +199,9 @@ class SpaReachInt : public SpaReachBase {
 /// original GeoReach paper (Section 2.2 mentions SpaReach-PLL).
 class SpaReachPll : public SpaReachBase {
  public:
-  SpaReachPll(const CondensedNetwork* cn, SccSpatialMode mode)
-      : SpaReachBase(cn, mode, "SpaReach-PLL"),
+  SpaReachPll(const CondensedNetwork* cn, SccSpatialMode mode,
+              exec::ThreadPool* pool = nullptr)
+      : SpaReachBase(cn, mode, "SpaReach-PLL", pool),
         pll_(PllIndex::Build(cn->dag())) {}
 
   explicit SpaReachPll(const CondensedNetwork* cn)
@@ -221,8 +227,9 @@ class SpaReachPll : public SpaReachBase {
 /// the second baseline configuration of the original GeoReach paper.
 class SpaReachFeline : public SpaReachBase {
  public:
-  SpaReachFeline(const CondensedNetwork* cn, SccSpatialMode mode)
-      : SpaReachBase(cn, mode, "SpaReach-Feline"),
+  SpaReachFeline(const CondensedNetwork* cn, SccSpatialMode mode,
+                 exec::ThreadPool* pool = nullptr)
+      : SpaReachBase(cn, mode, "SpaReach-Feline", pool),
         feline_(FelineIndex::Build(&cn->dag())) {}
 
   explicit SpaReachFeline(const CondensedNetwork* cn)

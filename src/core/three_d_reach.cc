@@ -3,28 +3,34 @@
 #include <utility>
 #include <vector>
 
+#include "exec/parallel.h"
+
 namespace gsr {
 
-ThreeDReach::ThreeDReach(const CondensedNetwork* cn, const Options& options)
+ThreeDReach::ThreeDReach(const CondensedNetwork* cn, const Options& options,
+                         exec::ThreadPool* pool)
     : cn_(cn),
       options_(options),
       labeling_(IntervalLabeling::Build(
           cn->dag(),
           IntervalLabeling::Options{.forest_strategy =
-                                        options.forest_strategy})) {
+                                        options.forest_strategy},
+          pool)) {
   const GeoSocialNetwork& network = cn->network();
   if (options.scc_mode == SccSpatialMode::kReplicate) {
     // One genuine 3-D point (u.point, post(u)) per spatial vertex; the
     // entry id is the component so verification can reach member points.
-    std::vector<std::pair<Point3D, uint64_t>> entries;
-    entries.reserve(network.spatial_vertices().size());
-    for (const VertexId v : network.spatial_vertices()) {
+    // Each entry is written at its own index, so the fill parallelizes.
+    const auto& spatial = network.spatial_vertices();
+    std::vector<std::pair<Point3D, uint64_t>> entries(spatial.size());
+    exec::ForEachIndex(pool, spatial.size(), 2048, [&](size_t i) {
+      const VertexId v = spatial[i];
       const ComponentId c = cn->ComponentOf(v);
       const Point2D& p = network.PointOf(v);
-      entries.emplace_back(
-          Point3D{p.x, p.y, static_cast<double>(labeling_.post(c))}, c);
-    }
-    points_.BulkLoad(std::move(entries));
+      entries[i] = {Point3D{p.x, p.y, static_cast<double>(labeling_.post(c))},
+                    c};
+    });
+    points_.BulkLoad(std::move(entries), pool);
   } else {
     // One flat box (MBR(c) x post(c)) per component with spatial members.
     std::vector<std::pair<Box3D, uint64_t>> entries;
@@ -34,7 +40,7 @@ ThreeDReach::ThreeDReach(const CondensedNetwork* cn, const Options& options)
       entries.emplace_back(
           Box3D::FromRectAndInterval(cn->MbrOf(c), z, z), c);
     }
-    boxes_.BulkLoad(std::move(entries));
+    boxes_.BulkLoad(std::move(entries), pool);
   }
 }
 
@@ -86,27 +92,40 @@ std::string ThreeDReach::name() const {
 }
 
 ThreeDReachRev::ThreeDReachRev(const CondensedNetwork* cn,
-                               const Options& options)
+                               const Options& options,
+                               exec::ThreadPool* pool)
     : cn_(cn),
       options_(options),
       reversed_dag_(ReverseGraph(cn->dag())),
-      labeling_(IntervalLabeling::Build(reversed_dag_)) {
+      labeling_(IntervalLabeling::Build(reversed_dag_,
+                                        IntervalLabeling::Options{}, pool)) {
   // One vertical segment per (spatial entry, reversed label): the segment
   // of u spans the reversed-post numbers of u's ancestors. The MBR variant
   // stores boxes MBR(c) x [l,h] instead; both shapes occupy a full box.
   std::vector<std::pair<Box3D, uint64_t>> entries;
   const GeoSocialNetwork& network = cn->network();
   if (options.scc_mode == SccSpatialMode::kReplicate) {
-    for (const VertexId v : network.spatial_vertices()) {
+    // Label counts vary per vertex, so a prefix sum fixes each spatial
+    // vertex's slice of `entries` and the slices fill independently.
+    const auto& spatial = network.spatial_vertices();
+    std::vector<size_t> offsets(spatial.size() + 1, 0);
+    exec::ForEachIndex(pool, spatial.size(), 2048, [&](size_t i) {
+      offsets[i + 1] = labeling_.Labels(cn->ComponentOf(spatial[i])).size();
+    });
+    for (size_t i = 0; i < spatial.size(); ++i) offsets[i + 1] += offsets[i];
+    entries.resize(offsets.back());
+    exec::ForEachIndex(pool, spatial.size(), 1024, [&](size_t i) {
+      const VertexId v = spatial[i];
       const ComponentId c = cn->ComponentOf(v);
       const Point2D& p = network.PointOf(v);
+      size_t out = offsets[i];
       for (const Interval& label : labeling_.Labels(c).intervals()) {
-        entries.emplace_back(
+        entries[out++] = {
             Box3D::VerticalSegment(p.x, p.y, static_cast<double>(label.lo),
                                    static_cast<double>(label.hi)),
-            c);
+            c};
       }
-    }
+    });
   } else {
     for (ComponentId c = 0; c < cn->num_components(); ++c) {
       if (!cn->HasSpatialMember(c)) continue;
@@ -119,7 +138,7 @@ ThreeDReachRev::ThreeDReachRev(const CondensedNetwork* cn,
       }
     }
   }
-  rtree_.BulkLoad(std::move(entries));
+  rtree_.BulkLoad(std::move(entries), pool);
 }
 
 bool ThreeDReachRev::Evaluate(VertexId vertex, const Rect& region,

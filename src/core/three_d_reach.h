@@ -31,7 +31,10 @@ class ThreeDReach : public RangeReachMethod {
     ForestStrategy forest_strategy = ForestStrategy::kDfs;
   };
 
-  ThreeDReach(const CondensedNetwork* cn, const Options& options);
+  /// A non-null `pool` parallelizes the labeling build, the 3-D entry
+  /// generation and the STR bulk load; the index is identical to serial.
+  ThreeDReach(const CondensedNetwork* cn, const Options& options,
+              exec::ThreadPool* pool = nullptr);
   explicit ThreeDReach(const CondensedNetwork* cn)
       : ThreeDReach(cn, Options{}) {}
 
@@ -100,7 +103,8 @@ class ThreeDReachRev : public RangeReachMethod {
     SccSpatialMode scc_mode = SccSpatialMode::kReplicate;
   };
 
-  ThreeDReachRev(const CondensedNetwork* cn, const Options& options);
+  ThreeDReachRev(const CondensedNetwork* cn, const Options& options,
+                 exec::ThreadPool* pool = nullptr);
   explicit ThreeDReachRev(const CondensedNetwork* cn)
       : ThreeDReachRev(cn, Options{}) {}
 

@@ -1,0 +1,19 @@
+#include "exec/build_options.h"
+
+namespace gsr::exec {
+
+ScopedBuildPool::ScopedBuildPool(const BuildOptions& options) {
+  if (options.pool != nullptr) {
+    pool_ = options.pool;
+    return;
+  }
+  const unsigned threads = options.num_threads == 0
+                               ? ThreadPool::DefaultThreads()
+                               : options.num_threads;
+  if (threads > 1) {
+    owned_.emplace(threads);
+    pool_ = &*owned_;
+  }
+}
+
+}  // namespace gsr::exec

@@ -1,0 +1,49 @@
+#include "labeling/flat_label_store.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "exec/parallel.h"
+
+namespace gsr {
+
+bool LabelView::Contains(uint32_t value) const {
+  // Normalized: only the last interval with lo <= value can contain it.
+  const auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), value,
+      [](uint32_t v, const Interval& interval) { return v < interval.lo; });
+  return it != intervals_.begin() && std::prev(it)->hi >= value;
+}
+
+uint64_t LabelView::CoveredValues() const {
+  uint64_t total = 0;
+  for (const Interval& interval : intervals_) {
+    total += static_cast<uint64_t>(interval.hi) - interval.lo + 1;
+  }
+  return total;
+}
+
+std::string LabelView::ToString() const { return IntervalsToString(intervals_); }
+
+FlatLabelStore FlatLabelStore::Freeze(std::span<const LabelSet> sets,
+                                      exec::ThreadPool* pool) {
+  FlatLabelStore store;
+  const size_t n = sets.size();
+  store.offsets_.resize(n + 1);
+  uint64_t total = 0;
+  store.offsets_[0] = 0;
+  for (size_t v = 0; v < n; ++v) {
+    total += sets[v].size();
+    GSR_CHECK(total <= std::numeric_limits<uint32_t>::max());
+    store.offsets_[v + 1] = static_cast<uint32_t>(total);
+  }
+  store.intervals_.resize(total);
+  exec::ForEachIndex(pool, n, 1024, [&store, sets](size_t v) {
+    const std::vector<Interval>& src = sets[v].intervals();
+    std::copy(src.begin(), src.end(),
+              store.intervals_.begin() + store.offsets_[v]);
+  });
+  return store;
+}
+
+}  // namespace gsr

@@ -1,0 +1,112 @@
+#ifndef GSR_LABELING_FLAT_LABEL_STORE_H_
+#define GSR_LABELING_FLAT_LABEL_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "exec/thread_pool.h"
+#include "graph/digraph.h"
+#include "labeling/label_set.h"
+
+namespace gsr {
+
+/// Read-only view of one vertex's frozen labels (see FlatLabelStore).
+/// Mirrors LabelSet's query-side surface so call sites work unchanged
+/// against either representation.
+class LabelView {
+ public:
+  LabelView() = default;
+  explicit LabelView(std::span<const Interval> intervals)
+      : intervals_(intervals) {}
+
+  /// Number of (merged) intervals — the paper's compressed label count.
+  size_t size() const { return intervals_.size(); }
+  bool empty() const { return intervals_.empty(); }
+  std::span<const Interval> intervals() const { return intervals_; }
+
+  /// True when some interval contains `value`. O(log size).
+  bool Contains(uint32_t value) const;
+
+  /// Number of post-order values covered — the paper's uncompressed label
+  /// count (one singleton per distinct descendant post value).
+  uint64_t CoveredValues() const;
+
+  /// Renders as "[1,4] [6,6]" for test diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::span<const Interval> intervals_;
+};
+
+/// The frozen, cache-compact form of a whole labeling: every vertex's
+/// normalized interval list packed back-to-back into one contiguous array,
+/// addressed through a flat offsets table (SoA).
+///
+///   offsets_:   [o_0, o_1, ..., o_n]            (n+1 entries, o_0 = 0)
+///   intervals_: [v0's intervals | v1's | ... ]  (o_n entries total)
+///
+/// Vertex v's labels live at intervals_[offsets_[v] .. offsets_[v+1]).
+/// Two allocations for the entire index instead of one vector per vertex:
+/// Contains is a binary search over a small contiguous range and label
+/// enumeration a linear scan, with no per-vertex pointer chase. Mutation
+/// stays in LabelSet during construction; Freeze converts once final.
+class FlatLabelStore {
+ public:
+  FlatLabelStore() = default;
+
+  /// Packs sets[v] for every v into the flat layout. Per-vertex copies run
+  /// on `pool` when given; the result is identical at any thread count.
+  static FlatLabelStore Freeze(std::span<const LabelSet> sets,
+                               exec::ThreadPool* pool = nullptr);
+
+  VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  size_t total_intervals() const { return intervals_.size(); }
+
+  std::span<const Interval> Intervals(VertexId v) const {
+    GSR_DCHECK(v + 1 < offsets_.size());
+    return {intervals_.data() + offsets_[v],
+            intervals_.data() + offsets_[v + 1]};
+  }
+
+  LabelView View(VertexId v) const { return LabelView(Intervals(v)); }
+
+  /// True when some label of v contains `value` — the Lemma 3.1 lookup.
+  /// Branch-light binary search over the packed (lo, hi) pairs.
+  bool Contains(VertexId v, uint32_t value) const {
+    const uint32_t begin = offsets_[v];
+    size_t first = begin;
+    size_t count = offsets_[v + 1] - begin;
+    // Invariant: intervals before `first` have lo <= value.
+    while (count > 0) {
+      const size_t step = count / 2;
+      const size_t mid = first + step;
+      if (intervals_[mid].lo <= value) {
+        first = mid + 1;
+        count -= step + 1;
+      } else {
+        count = step;
+      }
+    }
+    return first > begin && intervals_[first - 1].hi >= value;
+  }
+
+  /// Heap bytes used by the store.
+  size_t SizeBytes() const {
+    return offsets_.capacity() * sizeof(uint32_t) +
+           intervals_.capacity() * sizeof(Interval);
+  }
+
+ private:
+  std::vector<uint32_t> offsets_;
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace gsr
+
+#endif  // GSR_LABELING_FLAT_LABEL_STORE_H_

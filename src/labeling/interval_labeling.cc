@@ -1,11 +1,186 @@
 #include "labeling/interval_labeling.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/check.h"
+#include "exec/parallel.h"
 
 namespace gsr {
 
+namespace {
+
+/// One schedulable slice of the non-tree-edge phase: a contiguous
+/// post-order range [post_lo, post_hi] whose label sets only this unit
+/// writes, plus the (pre-sorted) non-tree edges whose source lies in the
+/// range. Small trees form one unit each; a tree larger than the split
+/// threshold contributes one unit per child subtree of its root plus a
+/// *root completion* unit ([post(r), post(r)], root != kInvalidVertex)
+/// that folds the finished child subtrees into the root.
+struct EdgeUnit {
+  uint32_t post_lo = 0;
+  uint32_t post_hi = 0;
+  size_t edge_begin = 0;  // range into forest.non_tree_edges
+  size_t edge_end = 0;
+  VertexId root = kInvalidVertex;  // set on root completion units only
+  std::vector<VertexId> children;  // completion units: child subtree tops
+  std::vector<size_t> deps;        // unit indices whose labels this reads
+  uint32_t level = 0;              // wave number (1 + max over deps)
+};
+
+/// Serial Algorithm 1 lines 19-24: non-spanning edges in ascending source
+/// post-order (= reverse topological order for DFS forests; kBfs pre-sorts
+/// by an explicit topological order), so L(u) is already complete when
+/// edge (v, u) is examined.
+void SerialEdgePhase(std::vector<LabelSet>& labels,
+                     const SpanningForest& forest) {
+  for (const auto& [v, u] : forest.non_tree_edges) {
+    labels[v].UnionWith(labels[u]);
+    const LabelSet& source = labels[v];
+    // Propagate to forest ancestors (lines 23-24). The climb stops as soon
+    // as an ancestor's covered set does not grow: by induction every label
+    // ever added to a vertex was itself climbed upward, so all higher
+    // ancestors cover it too.
+    for (VertexId w = forest.parent[v]; w != kInvalidVertex;
+         w = forest.parent[w]) {
+      if (!labels[w].UnionWith(source)) break;
+    }
+  }
+}
+
+/// Replays one unit of the parallel edge phase. Regular units run the
+/// serial per-edge routine with the ancestor climb clamped to the unit's
+/// post range (the climb out of a child subtree into its root is deferred
+/// to the completion unit). Completion units union each finished child
+/// subtree top into the root, then the root's own non-tree edge targets.
+void RunEdgeUnit(const EdgeUnit& unit, std::vector<LabelSet>& labels,
+                 const SpanningForest& forest) {
+  if (unit.root != kInvalidVertex) {
+    LabelSet& root_labels = labels[unit.root];
+    for (const VertexId c : unit.children) root_labels.UnionWith(labels[c]);
+    for (size_t e = unit.edge_begin; e < unit.edge_end; ++e) {
+      root_labels.UnionWith(labels[forest.non_tree_edges[e].second]);
+    }
+    return;
+  }
+  for (size_t e = unit.edge_begin; e < unit.edge_end; ++e) {
+    const auto& [v, u] = forest.non_tree_edges[e];
+    labels[v].UnionWith(labels[u]);
+    const LabelSet& source = labels[v];
+    for (VertexId w = forest.parent[v];
+         w != kInvalidVertex && forest.post[w] <= unit.post_hi;
+         w = forest.parent[w]) {
+      if (!labels[w].UnionWith(source)) break;
+    }
+  }
+}
+
+/// Parallel non-tree-edge phase for DFS forests. The forest is cut into
+/// EdgeUnits with disjoint post ranges; a unit's writes stay inside its
+/// range (climbs never leave the source's root path) and its cross-unit
+/// reads are label sets of edge targets, which DFS guarantees have
+/// *smaller* post than their source — so the dependency graph over units
+/// is acyclic and always points to earlier post ranges. Executing units
+/// level-by-level (all dependencies finished, disjoint writes within a
+/// wave) therefore reproduces the serial labels exactly; since normalized
+/// interval lists are a canonical representation, the result is
+/// bit-identical at any thread count. See DESIGN.md for the full argument.
+void ParallelEdgePhase(std::vector<LabelSet>& labels,
+                       const SpanningForest& forest, exec::ThreadPool& pool,
+                       VertexId n) {
+  // 1) Units. Forest roots are processed in ascending post order, so the
+  // unit list ends up sorted by post range.
+  const size_t split_threshold =
+      std::max<size_t>(1024, n / (8 * pool.size()));
+  std::vector<EdgeUnit> units;
+  for (const VertexId r : forest.roots) {
+    const uint32_t lo = forest.min_post_subtree[r];
+    const uint32_t hi = forest.post[r];
+    if (hi - lo + 1 <= split_threshold) {
+      EdgeUnit unit;
+      unit.post_lo = lo;
+      unit.post_hi = hi;
+      units.push_back(std::move(unit));
+      continue;
+    }
+    EdgeUnit completion;
+    completion.post_lo = hi;
+    completion.post_hi = hi;
+    completion.root = r;
+    for (uint32_t p = lo; p < hi; ++p) {
+      const VertexId v = forest.vertex_of_post[p];
+      if (forest.parent[v] != r) continue;
+      EdgeUnit child;
+      child.post_lo = forest.min_post_subtree[v];
+      child.post_hi = forest.post[v];
+      units.push_back(std::move(child));
+      completion.children.push_back(v);
+    }
+    units.push_back(std::move(completion));
+  }
+
+  // 2) Edges -> owning unit. Both sequences ascend in source post.
+  size_t e = 0;
+  for (EdgeUnit& unit : units) {
+    unit.edge_begin = e;
+    while (e < forest.non_tree_edges.size() &&
+           forest.post[forest.non_tree_edges[e].first] <= unit.post_hi) {
+      ++e;
+    }
+    unit.edge_end = e;
+  }
+  GSR_CHECK(e == forest.non_tree_edges.size());
+
+  // 3) Dependencies + wave levels. Post ranges partition [1, n], so the
+  // owning unit of any post is a direct lookup; dependencies always point
+  // to units with smaller indices (smaller post), hence the single
+  // ascending pass settles every level.
+  std::vector<uint32_t> unit_of_post(static_cast<size_t>(n) + 1, 0);
+  for (size_t i = 0; i < units.size(); ++i) {
+    for (uint32_t p = units[i].post_lo; p <= units[i].post_hi; ++p) {
+      unit_of_post[p] = static_cast<uint32_t>(i);
+    }
+  }
+  uint32_t max_level = 0;
+  for (size_t i = 0; i < units.size(); ++i) {
+    EdgeUnit& unit = units[i];
+    auto add_dep = [&unit, i](size_t d) {
+      if (d != i) unit.deps.push_back(d);
+    };
+    for (size_t k = unit.edge_begin; k < unit.edge_end; ++k) {
+      add_dep(unit_of_post[forest.post[forest.non_tree_edges[k].second]]);
+    }
+    for (const VertexId c : unit.children) {
+      add_dep(unit_of_post[forest.post[c]]);
+    }
+    std::sort(unit.deps.begin(), unit.deps.end());
+    unit.deps.erase(std::unique(unit.deps.begin(), unit.deps.end()),
+                    unit.deps.end());
+    for (const size_t d : unit.deps) {
+      GSR_DCHECK(d < i);
+      unit.level = std::max(unit.level, units[d].level + 1);
+    }
+    max_level = std::max(max_level, unit.level);
+  }
+
+  // 4) Execute wave by wave. ParallelFor's completion barrier publishes
+  // each wave's writes before the next wave reads them.
+  std::vector<std::vector<size_t>> waves(static_cast<size_t>(max_level) + 1);
+  for (size_t i = 0; i < units.size(); ++i) {
+    waves[units[i].level].push_back(i);
+  }
+  for (const std::vector<size_t>& wave : waves) {
+    pool.ParallelFor(wave.size(), 1, [&](size_t w, unsigned) {
+      RunEdgeUnit(units[wave[w]], labels, forest);
+    });
+  }
+}
+
+}  // namespace
+
 IntervalLabeling IntervalLabeling::Build(const DiGraph& dag,
-                                         const Options& options) {
+                                         const Options& options,
+                                         exec::ThreadPool* pool) {
   IntervalLabeling labeling;
   const VertexId n = dag.num_vertices();
 
@@ -13,46 +188,51 @@ IntervalLabeling IntervalLabeling::Build(const DiGraph& dag,
   labeling.forest_ = BuildSpanningForest(dag, options.forest_strategy);
   const SpanningForest& forest = labeling.forest_;
   labeling.stats_.forest_trees = forest.roots.size();
+  labeling.stats_.non_tree_edges = forest.non_tree_edges.size();
 
   // Step 2 (lines 5-18): L(v) is initialized with [post(v), post(v)] and
   // the priority-queue traversal then copies every tree descendant's
   // singleton into v. The post numbers of v's subtree are exactly the
   // contiguous range [min_post_subtree(v), post(v)], so the covered set is
-  // materialized directly.
-  labeling.labels_.resize(n);
-  std::vector<LabelSet>& labels = labeling.labels_;
-  for (VertexId v = 0; v < n; ++v) {
+  // materialized directly — independently per vertex.
+  std::vector<LabelSet> labels(n);
+  exec::ForEachIndex(pool, n, 2048, [&labels, &forest](size_t v) {
     labels[v].Insert(Interval{forest.min_post_subtree[v], forest.post[v]});
-  }
+  });
 
-  // Propagates `source`'s labels to the forest ancestors of `v` (lines
-  // 14-15 / 23-24). The climb stops as soon as an ancestor's covered set
-  // does not grow: by induction every label ever added to a vertex was
-  // itself climbed upward, so all higher ancestors cover it too.
-  auto propagate_to_ancestors = [&labels, &forest](VertexId v,
-                                                   const LabelSet& source) {
-    for (VertexId w = forest.parent[v]; w != kInvalidVertex;
-         w = forest.parent[w]) {
-      if (!labels[w].UnionWith(source)) break;
-    }
-  };
-
-  // Step 3: non-spanning edges in ascending source post-order, i.e.
-  // reverse topological order, so L(u) is already complete when edge
-  // (v, u) is examined (lines 19-24). BuildSpanningForest pre-sorted them.
-  labeling.stats_.non_tree_edges = forest.non_tree_edges.size();
-  for (const auto& [v, u] : forest.non_tree_edges) {
-    labels[v].UnionWith(labels[u]);
-    propagate_to_ancestors(v, labels[v]);
+  // Step 3: the non-spanning-edge phase. The parallel variant needs the
+  // DFS invariant post(u) < post(v) for every edge (v, u); BFS forests
+  // order edges by an explicit topological sort instead, so they keep the
+  // serial pass.
+  if (pool != nullptr && pool->size() > 1 &&
+      options.forest_strategy == ForestStrategy::kDfs &&
+      !forest.non_tree_edges.empty()) {
+    ParallelEdgePhase(labels, forest, *pool, n);
+  } else {
+    SerialEdgePhase(labels, forest);
   }
 
   // Accounting: the literal algorithm holds one singleton per distinct
-  // descendant post value before compressing (lines 25-26).
-  for (VertexId v = 0; v < n; ++v) {
-    labeling.stats_.uncompressed_labels += labels[v].CoveredValues();
-    labeling.stats_.compressed_labels += labels[v].size();
-    labels[v].ShrinkToFit();
+  // descendant post value before compressing (lines 25-26). Chunked
+  // partial sums keep the tally exact and order-independent.
+  const size_t kStatsChunk = 4096;
+  const size_t chunks = (static_cast<size_t>(n) + kStatsChunk - 1) / kStatsChunk;
+  std::vector<uint64_t> uncompressed(chunks, 0);
+  std::vector<uint64_t> compressed(chunks, 0);
+  exec::ForEachIndex(pool, chunks, 1, [&](size_t c) {
+    const size_t end = std::min(static_cast<size_t>(n), (c + 1) * kStatsChunk);
+    for (size_t v = c * kStatsChunk; v < end; ++v) {
+      uncompressed[c] += labels[v].CoveredValues();
+      compressed[c] += labels[v].size();
+    }
+  });
+  for (size_t c = 0; c < chunks; ++c) {
+    labeling.stats_.uncompressed_labels += uncompressed[c];
+    labeling.stats_.compressed_labels += compressed[c];
   }
+
+  // Freeze into the flat SoA layout; the mutable LabelSets die here.
+  labeling.flat_ = FlatLabelStore::Freeze(labels, pool);
   return labeling;
 }
 
@@ -67,9 +247,7 @@ std::vector<VertexId> IntervalLabeling::Descendants(VertexId v) const {
 
 size_t IntervalLabeling::SizeBytes() const {
   size_t total = sizeof(*this);
-  for (const LabelSet& set : labels_) {
-    total += sizeof(LabelSet) + set.SizeBytes();
-  }
+  total += flat_.SizeBytes();
   total += forest_.parent.size() * sizeof(VertexId);
   total += forest_.post.size() * sizeof(uint32_t);
   total += forest_.vertex_of_post.size() * sizeof(VertexId);

@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "graph/digraph.h"
 #include "graph/spanning_forest.h"
+#include "labeling/flat_label_store.h"
 #include "labeling/label_set.h"
 
 namespace gsr {
@@ -28,6 +30,13 @@ namespace gsr {
 ///  - Label sets stay normalized throughout (see LabelSet); the
 ///    uncompressed/compressed accounting of Table 6 is recovered exactly
 ///    from CoveredValues()/size().
+///  - Construction mutates per-vertex LabelSets; the finished labeling is
+///    frozen into a FlatLabelStore (offsets + packed interval array), so
+///    the query path never chases a per-vertex heap pointer.
+///  - With a thread pool, construction is parallelized over spanning trees
+///    and post-order ranges with a schedule that provably reproduces the
+///    serial result bit-for-bit — including Stats (see DESIGN.md, "Index
+///    construction pipeline").
 ///
 /// The input must be a DAG; arbitrary graphs are first condensed (see
 /// CondensedNetwork in src/core). Reachability follows Lemma 3.1:
@@ -53,15 +62,19 @@ class IntervalLabeling {
     uint64_t forest_trees = 0;
   };
 
-  /// Builds the labeling for `dag`. The graph must be acyclic.
-  static IntervalLabeling Build(const DiGraph& dag, const Options& options);
+  /// Builds the labeling for `dag` (must be acyclic). When `pool` is
+  /// non-null the tree phase, non-tree-edge propagation and freeze run on
+  /// its workers; labels and Stats are identical to the serial build.
+  static IntervalLabeling Build(const DiGraph& dag, const Options& options,
+                                exec::ThreadPool* pool);
+  static IntervalLabeling Build(const DiGraph& dag, const Options& options) {
+    return Build(dag, options, nullptr);
+  }
   static IntervalLabeling Build(const DiGraph& dag) {
-    return Build(dag, Options{});
+    return Build(dag, Options{}, nullptr);
   }
 
-  VertexId num_vertices() const {
-    return static_cast<VertexId>(labels_.size());
-  }
+  VertexId num_vertices() const { return flat_.num_vertices(); }
 
   /// The 1-based post-order number of `v`.
   uint32_t post(VertexId v) const { return forest_.post[v]; }
@@ -69,12 +82,12 @@ class IntervalLabeling {
   /// The vertex with post-order number `p` (p in 1..n).
   VertexId VertexOfPost(uint32_t p) const { return forest_.vertex_of_post[p]; }
 
-  /// The label set L(v).
-  const LabelSet& Labels(VertexId v) const { return labels_[v]; }
+  /// The label set L(v), as a view into the flat store.
+  LabelView Labels(VertexId v) const { return flat_.View(v); }
 
   /// Lemma 3.1: u is reachable from v iff a label of v contains post(u).
   bool CanReach(VertexId v, VertexId u) const {
-    return labels_[v].Contains(forest_.post[u]);
+    return flat_.Contains(v, forest_.post[u]);
   }
 
   /// Enumerates the descendants D(v) (including v itself, Equation 1),
@@ -83,7 +96,7 @@ class IntervalLabeling {
   /// when stopped early.
   template <typename Fn>
   bool ForEachDescendant(VertexId v, Fn&& fn) const {
-    for (const Interval& interval : labels_[v].intervals()) {
+    for (const Interval& interval : flat_.Intervals(v)) {
       for (uint32_t p = interval.lo; p <= interval.hi; ++p) {
         if (!fn(forest_.vertex_of_post[p])) return true;
       }
@@ -97,6 +110,9 @@ class IntervalLabeling {
   /// The spanning forest the labeling was built on (exposed for tests).
   const SpanningForest& forest() const { return forest_; }
 
+  /// The frozen label storage (exposed for tests and size accounting).
+  const FlatLabelStore& flat_store() const { return flat_; }
+
   const Stats& stats() const { return stats_; }
 
   /// Main-memory footprint of the labeling in bytes (labels + post arrays).
@@ -106,7 +122,7 @@ class IntervalLabeling {
   IntervalLabeling() = default;
 
   SpanningForest forest_;
-  std::vector<LabelSet> labels_;
+  FlatLabelStore flat_;
   Stats stats_;
 };
 

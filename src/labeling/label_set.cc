@@ -112,9 +112,9 @@ uint64_t LabelSet::CoveredValues() const {
   return total;
 }
 
-std::string LabelSet::ToString() const {
+std::string IntervalsToString(std::span<const Interval> intervals) {
   std::string out;
-  for (const Interval& interval : intervals_) {
+  for (const Interval& interval : intervals) {
     if (!out.empty()) out += ' ';
     out += '[';
     out += std::to_string(interval.lo);
@@ -124,5 +124,7 @@ std::string LabelSet::ToString() const {
   }
   return out.empty() ? "(empty)" : out;
 }
+
+std::string LabelSet::ToString() const { return IntervalsToString(intervals_); }
 
 }  // namespace gsr

@@ -2,6 +2,7 @@
 #define GSR_LABELING_LABEL_SET_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,10 @@ struct Interval {
     return a.hi < b.hi;
   }
 };
+
+/// Renders intervals as "[1,4] [6,6]" ("(empty)" when none); shared by
+/// LabelSet and the frozen LabelView.
+std::string IntervalsToString(std::span<const Interval> intervals);
 
 /// The label set L(v) of one vertex: a set of intervals over the
 /// post-order domain, kept *normalized* at all times — sorted, disjoint,

@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <cstddef>
+#include <utility>
+
+#include "exec/parallel.h"
 
 namespace gsr {
 
@@ -214,44 +217,97 @@ uint32_t RTree<BoxT, LeafT>::SplitNode(uint32_t node_idx) {
 }
 
 template <typename BoxT, typename LeafT>
-template <typename ItemT, typename EmitFn>
-void RTree<BoxT, LeafT>::StrTile(std::vector<ItemT>& items, size_t lo,
-                                 size_t hi, int dim, int dims, EmitFn&& emit) {
-  const size_t n = hi - lo;
-  const size_t capacity = static_cast<size_t>(options_.max_entries);
-  if (n <= capacity) {
-    emit(lo, hi);
-    return;
+template <typename ItemT>
+bool RTree<BoxT, LeafT>::StrLess(const ItemT& a, const ItemT& b, int dim,
+                                 int dims) {
+  {
+    const double ca = CenterAlong(a.first, dim);
+    const double cb = CenterAlong(b.first, dim);
+    if (ca != cb) return ca < cb;
   }
-
-  auto by_center = [dim](const ItemT& a, const ItemT& b) {
-    return CenterAlong(a.first, dim) < CenterAlong(b.first, dim);
-  };
-  std::sort(items.begin() + static_cast<ptrdiff_t>(lo),
-            items.begin() + static_cast<ptrdiff_t>(hi), by_center);
-
-  if (dim >= dims - 1) {
-    // Last dimension: chop the run into consecutive full nodes.
-    for (size_t start = lo; start < hi; start += capacity) {
-      emit(start, std::min(start + capacity, hi));
+  for (int d = 0; d < dims; ++d) {
+    if (d == dim) continue;
+    const double ca = CenterAlong(a.first, d);
+    const double cb = CenterAlong(b.first, d);
+    if (ca != cb) return ca < cb;
+  }
+  const auto box_a = GeomToBox(a.first);
+  const auto box_b = GeomToBox(b.first);
+  for (int d = 0; d < dims; ++d) {
+    if (BoxMinAlong(box_a, d) != BoxMinAlong(box_b, d)) {
+      return BoxMinAlong(box_a, d) < BoxMinAlong(box_b, d);
     }
-    return;
+    if (BoxMaxAlong(box_a, d) != BoxMaxAlong(box_b, d)) {
+      return BoxMaxAlong(box_a, d) < BoxMaxAlong(box_b, d);
+    }
   }
+  return a.second < b.second;
+}
 
-  const double nodes_needed =
-      std::ceil(static_cast<double>(n) / static_cast<double>(capacity));
-  const size_t slices = static_cast<size_t>(std::max(
-      1.0, std::ceil(std::pow(nodes_needed,
-                              1.0 / static_cast<double>(dims - dim)))));
-  const size_t slab = (n + slices - 1) / slices;
-  for (size_t start = lo; start < hi; start += slab) {
-    StrTile(items, start, std::min(start + slab, hi), dim + 1, dims, emit);
+template <typename BoxT, typename LeafT>
+template <typename ItemT>
+auto RTree<BoxT, LeafT>::StrSortIntoRuns(std::vector<ItemT>& items, int dims,
+                                         exec::ThreadPool* pool)
+    -> std::vector<Run> {
+  const size_t capacity = static_cast<size_t>(options_.max_entries);
+  std::vector<Run> runs;
+  std::vector<Run> current{{0, items.size()}};
+  for (int dim = 0; dim < dims && !current.empty(); ++dim) {
+    // Ranges already small enough become one node, unsorted — exactly as
+    // the classic recursion's base case.
+    std::vector<Run> to_sort;
+    for (const Run& r : current) {
+      (r.hi - r.lo <= capacity ? runs : to_sort).push_back(r);
+    }
+
+    auto less = [dim, dims](const ItemT& a, const ItemT& b) {
+      return StrLess(a, b, dim, dims);
+    };
+    if (to_sort.size() == 1) {
+      // The dim-0 round is one big range: split it across workers.
+      exec::ParallelSort(pool,
+                         items.begin() + static_cast<ptrdiff_t>(to_sort[0].lo),
+                         items.begin() + static_cast<ptrdiff_t>(to_sort[0].hi),
+                         less);
+    } else {
+      // Deeper rounds have many independent slabs: one sort per worker.
+      exec::ForEachIndex(pool, to_sort.size(), 1, [&](size_t i) {
+        std::sort(items.begin() + static_cast<ptrdiff_t>(to_sort[i].lo),
+                  items.begin() + static_cast<ptrdiff_t>(to_sort[i].hi), less);
+      });
+    }
+
+    std::vector<Run> next;
+    for (const Run& r : to_sort) {
+      const size_t n = r.hi - r.lo;
+      if (dim >= dims - 1) {
+        // Last dimension: chop the run into consecutive full nodes.
+        for (size_t start = r.lo; start < r.hi; start += capacity) {
+          runs.push_back(Run{start, std::min(start + capacity, r.hi)});
+        }
+        continue;
+      }
+      const double nodes_needed =
+          std::ceil(static_cast<double>(n) / static_cast<double>(capacity));
+      const size_t slices = static_cast<size_t>(std::max(
+          1.0, std::ceil(std::pow(nodes_needed,
+                                  1.0 / static_cast<double>(dims - dim)))));
+      const size_t slab = (n + slices - 1) / slices;
+      for (size_t start = r.lo; start < r.hi; start += slab) {
+        next.push_back(Run{start, std::min(start + slab, r.hi)});
+      }
+    }
+    current = std::move(next);
   }
+  // Emit in ascending item position, matching the serial recursion order.
+  std::sort(runs.begin(), runs.end(),
+            [](const Run& a, const Run& b) { return a.lo < b.lo; });
+  return runs;
 }
 
 template <typename BoxT, typename LeafT>
 void RTree<BoxT, LeafT>::BulkLoad(
-    std::vector<std::pair<LeafT, uint64_t>> entries) {
+    std::vector<std::pair<LeafT, uint64_t>> entries, exec::ThreadPool* pool) {
   nodes_.clear();
   root_ = kNoNode;
   size_ = entries.size();
@@ -259,48 +315,69 @@ void RTree<BoxT, LeafT>::BulkLoad(
   if (entries.empty()) return;
 
   const int dims = BoxDims(BoxT());
-  std::vector<uint32_t> level;
-  StrTile(entries, 0, entries.size(), /*dim=*/0, dims,
-          [this, &entries, &level](size_t lo, size_t hi) {
-            const uint32_t leaf_idx = NewNode(/*is_leaf=*/true);
-            Node& leaf = nodes_[leaf_idx];
-            leaf.geoms.reserve(hi - lo);
-            leaf.ids.reserve(hi - lo);
-            for (size_t i = lo; i < hi; ++i) {
-              leaf.geoms.push_back(entries[i].first);
-              leaf.ids.push_back(entries[i].second);
-            }
-            RecomputeMbr(leaf);
-            level.push_back(leaf_idx);
-          });
+  const size_t capacity = static_cast<size_t>(options_.max_entries);
+  {
+    // Each STR level shrinks by the fanout; reserving the geometric-series
+    // bound keeps nodes_ from reallocating mid-build.
+    size_t expected = 0;
+    size_t level_nodes = (entries.size() + capacity - 1) / capacity;
+    for (;;) {
+      expected += level_nodes;
+      if (level_nodes <= 1) break;
+      level_nodes = (level_nodes + capacity - 1) / capacity;
+    }
+    nodes_.reserve(expected);
+  }
+
+  // Leaf level: one node per run, filled in parallel at fixed indices (no
+  // atomics — run i becomes node first_node + i on every thread count).
+  std::vector<Run> runs = StrSortIntoRuns(entries, dims, pool);
+  uint32_t first_node = 0;
+  nodes_.resize(runs.size());
+  exec::ForEachIndex(pool, runs.size(), 8, [&](size_t i) {
+    Node& leaf = nodes_[first_node + i];
+    leaf.is_leaf = true;
+    const auto [lo, hi] = runs[i];
+    leaf.geoms.reserve(hi - lo);
+    leaf.ids.reserve(hi - lo);
+    for (size_t k = lo; k < hi; ++k) {
+      leaf.geoms.push_back(std::move(entries[k].first));
+      leaf.ids.push_back(entries[k].second);
+    }
+    RecomputeMbr(leaf);
+  });
+  entries.clear();
+  entries.shrink_to_fit();
   height_ = 1;
+  size_t level_count = runs.size();
 
   // Build upper levels by STR-tiling the node MBRs until one root remains.
-  while (level.size() > 1) {
-    std::vector<std::pair<BoxT, uint64_t>> items;
-    items.reserve(level.size());
-    for (uint32_t node_idx : level) {
-      items.emplace_back(nodes_[node_idx].mbr, node_idx);
-    }
-    std::vector<uint32_t> parents;
-    StrTile(items, 0, items.size(), /*dim=*/0, dims,
-            [this, &items, &parents](size_t lo, size_t hi) {
-              const uint32_t parent_idx = NewNode(/*is_leaf=*/false);
-              Node& parent = nodes_[parent_idx];
-              parent.boxes.reserve(hi - lo);
-              parent.children.reserve(hi - lo);
-              for (size_t i = lo; i < hi; ++i) {
-                parent.boxes.push_back(items[i].first);
-                parent.children.push_back(
-                    static_cast<uint32_t>(items[i].second));
-              }
-              RecomputeMbr(parent);
-              parents.push_back(parent_idx);
-            });
-    level = std::move(parents);
+  while (level_count > 1) {
+    std::vector<std::pair<BoxT, uint64_t>> items(level_count);
+    exec::ForEachIndex(pool, level_count, 512, [&](size_t i) {
+      const uint32_t node_idx = first_node + static_cast<uint32_t>(i);
+      items[i] = {nodes_[node_idx].mbr, node_idx};
+    });
+    runs = StrSortIntoRuns(items, dims, pool);
+    const uint32_t parent_first = static_cast<uint32_t>(nodes_.size());
+    nodes_.resize(nodes_.size() + runs.size());
+    exec::ForEachIndex(pool, runs.size(), 8, [&](size_t i) {
+      Node& parent = nodes_[parent_first + i];
+      parent.is_leaf = false;
+      const auto [lo, hi] = runs[i];
+      parent.boxes.reserve(hi - lo);
+      parent.children.reserve(hi - lo);
+      for (size_t k = lo; k < hi; ++k) {
+        parent.boxes.push_back(items[k].first);
+        parent.children.push_back(static_cast<uint32_t>(items[k].second));
+      }
+      RecomputeMbr(parent);
+    });
+    first_node = parent_first;
+    level_count = runs.size();
     ++height_;
   }
-  root_ = level.front();
+  root_ = first_node;
 }
 
 template <typename BoxT, typename LeafT>

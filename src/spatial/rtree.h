@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "exec/thread_pool.h"
 #include "geometry/geometry.h"
 
 namespace gsr {
@@ -52,6 +53,17 @@ inline double BoxMargin(const Box3D& b) {
   return (b.max[0] - b.min[0]) + (b.max[1] - b.min[1]) +
          (b.max[2] - b.min[2]);
 }
+
+/// Per-dimension box extremes; tie-breaker keys for deterministic STR
+/// sorting (see RTree::StrLess).
+inline double BoxMinAlong(const Rect& r, int dim) {
+  return dim == 0 ? r.min_x : r.min_y;
+}
+inline double BoxMaxAlong(const Rect& r, int dim) {
+  return dim == 0 ? r.max_x : r.max_y;
+}
+inline double BoxMinAlong(const Box3D& b, int dim) { return b.min[dim]; }
+inline double BoxMaxAlong(const Box3D& b, int dim) { return b.max[dim]; }
 
 /// Leaf-geometry -> bounding-box conversions.
 inline Rect GeomToBox(const Rect& r) { return r; }
@@ -126,7 +138,15 @@ class RTree {
   void Insert(const LeafT& geom, uint64_t id);
 
   /// Discards current contents and bulk-loads `entries` with STR packing.
-  void BulkLoad(std::vector<std::pair<LeafT, uint64_t>> entries);
+  /// When `pool` is non-null the tile sorts and node packing run on its
+  /// workers; STR tile boundaries depend only on entry *counts* and the
+  /// sort comparator is a strict total order, so the resulting tree is
+  /// node-for-node identical to the serial build at any thread count.
+  void BulkLoad(std::vector<std::pair<LeafT, uint64_t>> entries,
+                exec::ThreadPool* pool);
+  void BulkLoad(std::vector<std::pair<LeafT, uint64_t>> entries) {
+    BulkLoad(std::move(entries), nullptr);
+  }
 
   /// Calls `fn(geom, id)` for every entry intersecting `query` until `fn`
   /// returns false. Returns true when the visit was stopped early.
@@ -234,11 +254,26 @@ class RTree {
 
   bool CheckNode(uint32_t node_idx, int depth, int leaf_depth) const;
 
-  /// STR: recursively tiles `items[lo, hi)` along `dim`, packing runs of
-  /// at most max_entries items into nodes via `emit(lo, hi)`.
-  template <typename ItemT, typename EmitFn>
-  void StrTile(std::vector<ItemT>& items, size_t lo, size_t hi, int dim,
-               int dims, EmitFn&& emit);
+  /// One node-sized run of consecutive items produced by STR tiling.
+  struct Run {
+    size_t lo = 0;
+    size_t hi = 0;
+  };
+
+  /// Strict total order used for STR tiling along `dim`: center along dim,
+  /// then the remaining centers, then box extents, then id. Ties only
+  /// between bitwise-identical entries, which makes the sorted permutation
+  /// unique — the foundation of the deterministic parallel build.
+  template <typename ItemT>
+  static bool StrLess(const ItemT& a, const ItemT& b, int dim, int dims);
+
+  /// STR tiling: sorts and slices `items` level by level along each
+  /// dimension and returns the node-sized runs in ascending position.
+  /// Equivalent to the classic recursion, but expressed as per-dimension
+  /// rounds of independent range sorts so they can run on `pool`.
+  template <typename ItemT>
+  std::vector<Run> StrSortIntoRuns(std::vector<ItemT>& items, int dims,
+                                   exec::ThreadPool* pool);
 
   Options options_;
   std::vector<Node> nodes_;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <span>
 
 #include "common/rng.h"
 
@@ -165,6 +166,55 @@ TEST(LabelSetTest, RandomizedAgainstSetReference) {
       }
     }
   }
+}
+
+TEST(LabelSetTest, SingletonAbsorption) {
+  LabelSet set;
+  set.Insert({1, 9});
+  // A singleton inside an existing interval is absorbed without change.
+  EXPECT_FALSE(set.Insert({5, 5}));
+  EXPECT_EQ(set.size(), 1u);
+  LabelSet single;
+  single.Insert({4, 4});
+  EXPECT_FALSE(set.UnionWith(single));
+  // Adjacent singletons extend the run on both sides instead of piling up.
+  EXPECT_TRUE(set.Insert({0, 0}));
+  EXPECT_TRUE(set.Insert({10, 10}));
+  EXPECT_EQ(set.ToString(), "[0,10]");
+}
+
+TEST(LabelSetTest, AdjacentMergeBothInsertionOrders) {
+  // [a,b] + [b+1,c] must collapse to [a,c] regardless of which side
+  // arrives first (the post domain is dense, Section 4).
+  LabelSet above;
+  above.Insert({3, 5});
+  EXPECT_TRUE(above.Insert({6, 9}));
+  EXPECT_EQ(above.ToString(), "[3,9]");
+  LabelSet below;
+  below.Insert({6, 9});
+  EXPECT_TRUE(below.Insert({3, 5}));
+  EXPECT_EQ(below.ToString(), "[3,9]");
+  EXPECT_EQ(below.size(), 1u);
+}
+
+TEST(LabelSetTest, UnionWithInterleavedAdjacentRuns) {
+  LabelSet a;
+  a.Insert({1, 2});
+  a.Insert({5, 6});
+  LabelSet b;
+  b.Insert({3, 4});
+  b.Insert({7, 8});
+  EXPECT_TRUE(a.UnionWith(b));
+  EXPECT_EQ(a.ToString(), "[1,8]");
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(LabelSetTest, IntervalsToStringMatchesToString) {
+  LabelSet set;
+  set.Insert({2, 4});
+  set.Insert({8, 8});
+  EXPECT_EQ(IntervalsToString(set.intervals()), set.ToString());
+  EXPECT_EQ(IntervalsToString(std::span<const Interval>{}), "(empty)");
 }
 
 TEST(LabelSetTest, ExtremeBounds) {
