@@ -1,0 +1,191 @@
+#ifndef GSR_COMMON_BINARY_IO_H_
+#define GSR_COMMON_BINARY_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gsr {
+
+/// The serialization layer is little-endian only (see DESIGN.md, "Snapshot
+/// binary format"): snapshots written on a big-endian host would be
+/// rejected at load time rather than silently misread. All mainstream
+/// deployment targets are little-endian; a byte-swapping read path can be
+/// added behind the same format version if that ever changes.
+inline constexpr uint32_t kEndianTag = 0x01020304u;
+
+inline bool HostIsLittleEndian() {
+  const uint32_t probe = kEndianTag;
+  uint8_t first;
+  std::memcpy(&first, &probe, 1);
+  return first == 0x04;
+}
+
+/// Append-only serializer into an in-memory byte buffer. All multi-byte
+/// values are written in host order, which the snapshot header pins to
+/// little-endian. Arrays are length-prefixed and 8-byte aligned so that a
+/// reader can hand out zero-copy views into a mapped file.
+class BinaryWriter {
+ public:
+  size_t size() const { return buffer_.size(); }
+  const std::vector<std::byte>& bytes() const { return buffer_; }
+  std::vector<std::byte> TakeBytes() { return std::move(buffer_); }
+
+  /// Zero-pads until the buffer size is a multiple of `alignment`.
+  void AlignTo(size_t alignment) {
+    const size_t rem = buffer_.size() % alignment;
+    if (rem != 0) buffer_.resize(buffer_.size() + (alignment - rem));
+  }
+
+  void WriteBytes(const void* data, size_t len) {
+    const std::byte* p = static_cast<const std::byte*>(data);
+    buffer_.insert(buffer_.end(), p, p + len);
+  }
+
+  /// Writes one trivially copyable value. Only use for types without
+  /// internal padding; padded structs must be written field by field so no
+  /// indeterminate bytes reach the checksum.
+  template <typename T>
+  void WritePod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteBytes(&value, sizeof(T));
+  }
+
+  void WriteU8(uint8_t v) { WritePod(v); }
+  void WriteU32(uint32_t v) { WritePod(v); }
+  void WriteU64(uint64_t v) { WritePod(v); }
+  void WriteI32(int32_t v) { WritePod(v); }
+  void WriteF64(double v) { WritePod(v); }
+
+  /// Writes a length-prefixed array of trivially copyable elements. The
+  /// payload is aligned to 8 bytes (relative to the buffer start) so the
+  /// reader can vend an aligned zero-copy span over it.
+  template <typename T>
+  void WriteArray(std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(values.size());
+    AlignTo(8);
+    WriteBytes(values.data(), values.size() * sizeof(T));
+  }
+
+  template <typename T>
+  void WriteVector(const std::vector<T>& values) {
+    WriteArray(std::span<const T>(values));
+  }
+
+ private:
+  std::vector<std::byte> buffer_;
+};
+
+/// Keeps borrowed (zero-copy) deserialization memory alive. `borrow` set
+/// means "structures may view into the backing buffer instead of copying";
+/// every structure that does so must retain `keepalive`, which owns the
+/// buffer (e.g. a whole mapped snapshot file).
+struct BorrowContext {
+  bool borrow = false;
+  std::shared_ptr<const void> keepalive;
+};
+
+/// Bounds-checked deserializer over a read-only byte span. Every read
+/// returns a Status instead of crashing, so corrupt or truncated snapshot
+/// files surface as clean errors. Mirrors BinaryWriter's layout rules.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::span<const std::byte> data) : data_(data) {}
+
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return data_.size() - offset_; }
+
+  Status AlignTo(size_t alignment) {
+    const size_t rem = offset_ % alignment;
+    if (rem == 0) return Status::Ok();
+    return Skip(alignment - rem);
+  }
+
+  Status Skip(size_t len) {
+    if (len > remaining()) {
+      return Status::OutOfRange("binary read past end of section");
+    }
+    offset_ += len;
+    return Status::Ok();
+  }
+
+  template <typename T>
+  Status ReadPod(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (sizeof(T) > remaining()) {
+      return Status::OutOfRange("binary read past end of section");
+    }
+    std::memcpy(out, data_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return Status::Ok();
+  }
+
+  Status ReadU8(uint8_t* out) { return ReadPod(out); }
+  Status ReadU32(uint32_t* out) { return ReadPod(out); }
+  Status ReadU64(uint64_t* out) { return ReadPod(out); }
+  Status ReadI32(int32_t* out) { return ReadPod(out); }
+  Status ReadF64(double* out) { return ReadPod(out); }
+
+  /// Reads a length-prefixed array into an owned vector.
+  template <typename T>
+  Status ReadVector(std::vector<T>* out) {
+    std::span<const T> view;
+    GSR_RETURN_IF_ERROR(ReadArrayView(&view));
+    out->assign(view.begin(), view.end());
+    return Status::Ok();
+  }
+
+  /// Reads a length-prefixed array as a view into the underlying buffer
+  /// (no copy). The view is only valid while the buffer lives; callers
+  /// must hold a BorrowContext keepalive to extend its lifetime.
+  template <typename T>
+  Status ReadArrayView(std::span<const T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t count = 0;
+    GSR_RETURN_IF_ERROR(ReadU64(&count));
+    GSR_RETURN_IF_ERROR(AlignTo(8));
+    if (count > remaining() / sizeof(T)) {
+      return Status::OutOfRange("array length exceeds section size");
+    }
+    const std::byte* base = data_.data() + offset_;
+    if (reinterpret_cast<uintptr_t>(base) % alignof(T) != 0) {
+      return Status::Internal("misaligned array payload");
+    }
+    *out = {reinterpret_cast<const T*>(base), static_cast<size_t>(count)};
+    offset_ += static_cast<size_t>(count) * sizeof(T);
+    return Status::Ok();
+  }
+
+  /// Reads a length-prefixed array either as a zero-copy view (when
+  /// `ctx.borrow`) or as an owned copy. `*view` always ends up valid:
+  /// it aliases the mapped buffer in the borrowed case and `*owned`
+  /// otherwise. This is the primitive every mmap-loadable structure's
+  /// Deserialize is built on.
+  template <typename T>
+  Status ReadArrayInto(const BorrowContext& ctx, std::vector<T>* owned,
+                       std::span<const T>* view) {
+    if (ctx.borrow) {
+      owned->clear();
+      return ReadArrayView(view);
+    }
+    GSR_RETURN_IF_ERROR(ReadVector(owned));
+    *view = std::span<const T>(*owned);
+    return Status::Ok();
+  }
+
+ private:
+  std::span<const std::byte> data_;
+  size_t offset_ = 0;
+};
+
+}  // namespace gsr
+
+#endif  // GSR_COMMON_BINARY_IO_H_

@@ -1,0 +1,19 @@
+#ifndef GSR_COMMON_CHECKSUM_H_
+#define GSR_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gsr {
+
+/// XXH64 (Yann Collet's xxHash, 64-bit variant): the non-cryptographic
+/// checksum guarding snapshot sections against corruption. Chosen over
+/// CRC32 for speed (one multiply-rotate lane per 8 bytes, 4 lanes) and
+/// over cryptographic hashes because snapshots only need accident
+/// detection, not tamper resistance. Matches the reference implementation
+/// bit-for-bit, so external tooling can verify snapshot files.
+uint64_t XxHash64(const void* data, size_t len, uint64_t seed = 0);
+
+}  // namespace gsr
+
+#endif  // GSR_COMMON_CHECKSUM_H_

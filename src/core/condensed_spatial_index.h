@@ -4,7 +4,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "core/condensed_network.h"
+#include "spatial/frozen_rtree.h"
 #include "spatial/rtree.h"
 
 namespace gsr {
@@ -21,6 +23,11 @@ namespace gsr {
 ///    the region; otherwise the caller must test member points. Entries
 ///    occupy full rectangles, which is why this variant's index is larger
 ///    and slower (Section 6.2).
+///
+/// The tree is built with a dynamic RTree (STR bulk load) and immediately
+/// frozen into the packed FrozenRTree layout, which is what queries run
+/// on and what snapshots persist/mmap. Move-only, like every span-backed
+/// structure.
 class CondensedSpatialIndex {
  public:
   /// Builds the R-tree for `cn`. A non-null `pool` runs the STR bulk load
@@ -35,15 +42,22 @@ class CondensedSpatialIndex {
       for (const VertexId v : network.spatial_vertices()) {
         entries.emplace_back(network.PointOf(v), cn->ComponentOf(v));
       }
-      points_.BulkLoad(std::move(entries), pool);
+      RTreePoints2D tree;
+      tree.BulkLoad(std::move(entries), pool);
+      points_ = FrozenRTreePoints2D::Freeze(tree);
     } else {
       std::vector<std::pair<Rect, uint64_t>> entries;
       for (ComponentId c = 0; c < cn->num_components(); ++c) {
         if (cn->HasSpatialMember(c)) entries.emplace_back(cn->MbrOf(c), c);
       }
-      boxes_.BulkLoad(std::move(entries), pool);
+      RTree2D tree;
+      tree.BulkLoad(std::move(entries), pool);
+      boxes_ = FrozenRTree2D::Freeze(tree);
     }
   }
+
+  CondensedSpatialIndex(CondensedSpatialIndex&&) = default;
+  CondensedSpatialIndex& operator=(CondensedSpatialIndex&&) = default;
 
   SccSpatialMode mode() const { return mode_; }
 
@@ -85,10 +99,45 @@ class CondensedSpatialIndex {
                                                : boxes_.SizeBytes();
   }
 
+  /// Writes the mode tag and the active frozen tree (snapshot layer).
+  void SerializeTo(BinaryWriter& w) const {
+    w.WriteU8(mode_ == SccSpatialMode::kReplicate ? 0 : 1);
+    if (mode_ == SccSpatialMode::kReplicate) {
+      points_.SerializeTo(w);
+    } else {
+      boxes_.SerializeTo(w);
+    }
+  }
+
+  /// Restores an index from `r`; with `ctx.borrow` the tree arrays stay
+  /// zero-copy views into the reader's buffer.
+  static Result<CondensedSpatialIndex> Deserialize(BinaryReader& r,
+                                                   const BorrowContext& ctx) {
+    uint8_t mode_tag = 0;
+    GSR_RETURN_IF_ERROR(r.ReadU8(&mode_tag));
+    if (mode_tag > 1) {
+      return Status::InvalidArgument("spatial index: bad SCC mode tag");
+    }
+    if (mode_tag == 0) {
+      auto points = FrozenRTreePoints2D::Deserialize(r, ctx);
+      if (!points.ok()) return points.status();
+      return CondensedSpatialIndex(SccSpatialMode::kReplicate,
+                                   std::move(*points), FrozenRTree2D());
+    }
+    auto boxes = FrozenRTree2D::Deserialize(r, ctx);
+    if (!boxes.ok()) return boxes.status();
+    return CondensedSpatialIndex(SccSpatialMode::kMbr, FrozenRTreePoints2D(),
+                                 std::move(*boxes));
+  }
+
  private:
+  CondensedSpatialIndex(SccSpatialMode mode, FrozenRTreePoints2D points,
+                        FrozenRTree2D boxes)
+      : mode_(mode), points_(std::move(points)), boxes_(std::move(boxes)) {}
+
   SccSpatialMode mode_;
-  RTreePoints2D points_;  // kReplicate
-  RTree2D boxes_;         // kMbr
+  FrozenRTreePoints2D points_;  // kReplicate
+  FrozenRTree2D boxes_;         // kMbr
 };
 
 }  // namespace gsr

@@ -64,6 +64,18 @@ GeoReachMethod::GeoReachMethod(const CondensedNetwork* cn,
   }
 }
 
+GeoReachMethod::GeoReachMethod(const CondensedNetwork* cn,
+                               const Options& options,
+                               std::vector<SpaClass> classes,
+                               std::vector<Rect> rmbr,
+                               std::vector<std::vector<GridCell>> reach_grid)
+    : cn_(cn),
+      options_(options),
+      grid_(GridSpace(cn->network()), options.grid_depth),
+      class_(std::move(classes)),
+      rmbr_(std::move(rmbr)),
+      reach_grid_(std::move(reach_grid)) {}
+
 void GeoReachMethod::BuildComponent(ComponentId c, double max_rmbr_area) {
   const GeoSocialNetwork& network = cn_->network();
   Rect rmbr;  // Exact MBR of all spatial vertices reachable from c.

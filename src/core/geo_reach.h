@@ -112,6 +112,15 @@ class GeoReachMethod : public RangeReachMethod {
   void ResetCounters() const { MutableCounters() = Counters{}; }
 
  private:
+  friend struct MethodSnapshotAccess;
+
+  /// From-parts constructor used by the snapshot loader. The grid pyramid
+  /// is deterministic given the network bounds and options, so it is
+  /// rebuilt rather than persisted.
+  GeoReachMethod(const CondensedNetwork* cn, const Options& options,
+                 std::vector<SpaClass> classes, std::vector<Rect> rmbr,
+                 std::vector<std::vector<GridCell>> reach_grid);
+
   /// Computes class/RMBR/ReachGrid for one component from its own spatial
   /// members and its successors' already-final entries.
   void BuildComponent(ComponentId c, double max_rmbr_area);

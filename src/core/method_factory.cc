@@ -55,7 +55,10 @@ std::unique_ptr<RangeReachMethod> CreateMethod(const CondensedNetwork* cn,
       return std::make_unique<SocReach>(cn, config.soc_reach, pool);
     case MethodKind::kThreeDReach:
       return std::make_unique<ThreeDReach>(
-          cn, ThreeDReach::Options{.scc_mode = config.scc_mode}, pool);
+          cn,
+          ThreeDReach::Options{.scc_mode = config.scc_mode,
+                               .forest_strategy = config.forest_strategy},
+          pool);
     case MethodKind::kThreeDReachRev:
       return std::make_unique<ThreeDReachRev>(
           cn, ThreeDReachRev::Options{.scc_mode = config.scc_mode}, pool);

@@ -39,6 +39,10 @@ struct MethodConfig {
   GeoReachMethod::Options geo_reach;
   BflIndex::Options bfl;
   SocReach::Options soc_reach;
+  /// Spanning-forest strategy for interval labelings built by 3DReach
+  /// (other labeling users keep their own defaults). Persisted in
+  /// snapshots so a loaded method reproduces the configured build.
+  ForestStrategy forest_strategy = ForestStrategy::kDfs;
   /// Index-construction parallelism (see exec::BuildOptions). Defaults to
   /// serial; any thread count builds the identical index.
   exec::BuildOptions build;

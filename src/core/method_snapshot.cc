@@ -1,0 +1,420 @@
+#include "core/method_snapshot.h"
+
+#include <utility>
+#include <vector>
+
+#include "core/geo_reach.h"
+#include "core/soc_reach.h"
+#include "core/spa_reach.h"
+#include "core/three_d_reach.h"
+#include "snapshot/format.h"
+
+namespace gsr {
+
+using snapshot::SectionId;
+using snapshot::SnapshotReader;
+using snapshot::SnapshotWriter;
+
+namespace {
+
+/// Meta section: the MethodConfig the index was built as, plus a dataset
+/// fingerprint. The condensation is not persisted (it is cheap to rebuild
+/// and the methods only hold a pointer to it), so the fingerprint is what
+/// ties a snapshot to its dataset.
+void WriteMeta(BinaryWriter& w, const MethodConfig& config,
+               const CondensedNetwork& cn) {
+  w.WriteU32(static_cast<uint32_t>(config.kind));
+  w.WriteU8(config.scc_mode == SccSpatialMode::kReplicate ? 0 : 1);
+  w.WriteU8(config.forest_strategy == ForestStrategy::kDfs ? 0 : 1);
+  w.WriteU8(config.soc_reach.stream_containment ? 1 : 0);
+  w.WriteU32(config.bfl.filter_words);
+  w.WriteI32(config.geo_reach.grid_depth);
+  w.WriteF64(config.geo_reach.max_rmbr_ratio);
+  w.WriteU32(config.geo_reach.max_reach_grids);
+  w.WriteI32(config.geo_reach.merge_count);
+  const GeoSocialNetwork& network = cn.network();
+  w.WriteU64(network.num_vertices());
+  w.WriteU64(network.num_edges());
+  w.WriteU64(cn.num_components());
+  w.WriteU64(network.num_spatial_vertices());
+}
+
+Result<MethodConfig> ReadMeta(BinaryReader& r, const CondensedNetwork& cn) {
+  MethodConfig config;
+  uint32_t kind = 0;
+  uint8_t scc_tag = 0;
+  uint8_t forest_tag = 0;
+  uint8_t stream_tag = 0;
+  GSR_RETURN_IF_ERROR(r.ReadU32(&kind));
+  GSR_RETURN_IF_ERROR(r.ReadU8(&scc_tag));
+  GSR_RETURN_IF_ERROR(r.ReadU8(&forest_tag));
+  GSR_RETURN_IF_ERROR(r.ReadU8(&stream_tag));
+  GSR_RETURN_IF_ERROR(r.ReadU32(&config.bfl.filter_words));
+  GSR_RETURN_IF_ERROR(r.ReadI32(&config.geo_reach.grid_depth));
+  GSR_RETURN_IF_ERROR(r.ReadF64(&config.geo_reach.max_rmbr_ratio));
+  GSR_RETURN_IF_ERROR(r.ReadU32(&config.geo_reach.max_reach_grids));
+  GSR_RETURN_IF_ERROR(r.ReadI32(&config.geo_reach.merge_count));
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint64_t num_components = 0;
+  uint64_t num_spatial = 0;
+  GSR_RETURN_IF_ERROR(r.ReadU64(&num_vertices));
+  GSR_RETURN_IF_ERROR(r.ReadU64(&num_edges));
+  GSR_RETURN_IF_ERROR(r.ReadU64(&num_components));
+  GSR_RETURN_IF_ERROR(r.ReadU64(&num_spatial));
+
+  if (kind == static_cast<uint32_t>(MethodKind::kNaiveBfs) ||
+      kind > static_cast<uint32_t>(MethodKind::kThreeDReachRev) ||
+      scc_tag > 1 || forest_tag > 1 || stream_tag > 1) {
+    return Status::InvalidArgument("snapshot meta: bad method tag");
+  }
+  // Config values that feed GSR_CHECKed constructors must be validated
+  // here so a corrupt meta section errors instead of aborting.
+  if (config.bfl.filter_words == 0 || config.geo_reach.grid_depth < 0 ||
+      config.geo_reach.grid_depth > 27) {
+    return Status::InvalidArgument("snapshot meta: bad method options");
+  }
+  config.kind = static_cast<MethodKind>(kind);
+  config.scc_mode = scc_tag == 0 ? SccSpatialMode::kReplicate
+                                 : SccSpatialMode::kMbr;
+  config.forest_strategy =
+      forest_tag == 0 ? ForestStrategy::kDfs : ForestStrategy::kBfs;
+  config.soc_reach.stream_containment = stream_tag != 0;
+
+  const GeoSocialNetwork& network = cn.network();
+  if (num_vertices != network.num_vertices() ||
+      num_edges != network.num_edges() ||
+      num_components != cn.num_components() ||
+      num_spatial != network.num_spatial_vertices()) {
+    return Status::FailedPrecondition(
+        "snapshot was built on a different dataset (fingerprint mismatch)");
+  }
+  return config;
+}
+
+/// A labeling loaded for a method over `cn` must label exactly the
+/// condensation's components.
+Status CheckLabelingSize(const IntervalLabeling& labeling,
+                         const CondensedNetwork& cn) {
+  if (labeling.num_vertices() != cn.num_components()) {
+    return Status::InvalidArgument(
+        "snapshot labeling does not match the condensation size");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+/// Friend of every method class: reads private index members for saving
+/// and invokes the private from-parts constructors for loading.
+struct MethodSnapshotAccess {
+  static Status Save(const RangeReachMethod& method,
+                     const MethodConfig& config, const CondensedNetwork& cn,
+                     const std::string& path, exec::ThreadPool* pool) {
+    SnapshotWriter writer;
+    WriteMeta(writer.BeginSection(SectionId::kMeta), config, cn);
+    switch (config.kind) {
+      case MethodKind::kNaiveBfs:
+        return Status::InvalidArgument(
+            "NaiveBFS is index-free and has no snapshot representation");
+      case MethodKind::kSocReach:
+        static_cast<const SocReach&>(method).labeling_.SerializeTo(
+            writer.BeginSection(SectionId::kLabeling));
+        break;
+      case MethodKind::kSpaReachBfl: {
+        const auto& m = static_cast<const SpaReachBfl&>(method);
+        m.spatial_index_.SerializeTo(
+            writer.BeginSection(SectionId::kSpatialIndex));
+        m.bfl_.SerializeTo(writer.BeginSection(SectionId::kBfl));
+        break;
+      }
+      case MethodKind::kSpaReachInt: {
+        const auto& m = static_cast<const SpaReachInt&>(method);
+        m.spatial_index_.SerializeTo(
+            writer.BeginSection(SectionId::kSpatialIndex));
+        m.labeling_.SerializeTo(writer.BeginSection(SectionId::kLabeling));
+        break;
+      }
+      case MethodKind::kSpaReachPll: {
+        const auto& m = static_cast<const SpaReachPll&>(method);
+        m.spatial_index_.SerializeTo(
+            writer.BeginSection(SectionId::kSpatialIndex));
+        m.pll_.SerializeTo(writer.BeginSection(SectionId::kPll));
+        break;
+      }
+      case MethodKind::kSpaReachFeline: {
+        const auto& m = static_cast<const SpaReachFeline&>(method);
+        m.spatial_index_.SerializeTo(
+            writer.BeginSection(SectionId::kSpatialIndex));
+        m.feline_.SerializeTo(writer.BeginSection(SectionId::kFeline));
+        break;
+      }
+      case MethodKind::kGeoReach:
+        SaveGeoReach(static_cast<const GeoReachMethod&>(method),
+                     writer.BeginSection(SectionId::kGeoReach));
+        break;
+      case MethodKind::kThreeDReach: {
+        const auto& m = static_cast<const ThreeDReach&>(method);
+        m.labeling_.SerializeTo(writer.BeginSection(SectionId::kLabeling));
+        BinaryWriter& s = writer.BeginSection(SectionId::kRTree);
+        if (config.scc_mode == SccSpatialMode::kReplicate) {
+          m.points_.SerializeTo(s);
+        } else {
+          m.boxes_.SerializeTo(s);
+        }
+        break;
+      }
+      case MethodKind::kThreeDReachRev: {
+        const auto& m = static_cast<const ThreeDReachRev&>(method);
+        m.labeling_.SerializeTo(writer.BeginSection(SectionId::kLabeling));
+        m.rtree_.SerializeTo(writer.BeginSection(SectionId::kRTree));
+        break;
+      }
+    }
+    return writer.WriteFile(path, pool);
+  }
+
+  static Result<LoadedMethod> Load(const CondensedNetwork* cn,
+                                   const std::string& path,
+                                   const SnapshotLoadOptions& options) {
+    auto reader = SnapshotReader::Open(
+        path, snapshot::OpenOptions{options.mode, options.pool});
+    if (!reader.ok()) return reader.status();
+    auto meta_reader = reader->Section(SectionId::kMeta);
+    if (!meta_reader.ok()) return meta_reader.status();
+    auto config = ReadMeta(*meta_reader, *cn);
+    if (!config.ok()) return config.status();
+    const BorrowContext ctx = reader->borrow_context();
+
+    LoadedMethod out;
+    out.config = *config;
+    switch (config->kind) {
+      case MethodKind::kNaiveBfs:
+        return Status::Internal("unreachable: meta rejects NaiveBFS");
+      case MethodKind::kSocReach: {
+        auto labeling = LoadLabeling(*reader, ctx, *cn);
+        if (!labeling.ok()) return labeling.status();
+        out.method.reset(
+            new SocReach(cn, config->soc_reach, std::move(*labeling)));
+        break;
+      }
+      case MethodKind::kSpaReachBfl: {
+        auto index = LoadSpatialIndex(*reader, ctx, config->scc_mode);
+        if (!index.ok()) return index.status();
+        auto section = reader->Section(SectionId::kBfl);
+        if (!section.ok()) return section.status();
+        auto bfl = BflIndex::Deserialize(*section, &cn->dag());
+        if (!bfl.ok()) return bfl.status();
+        out.method.reset(
+            new SpaReachBfl(cn, std::move(*index), std::move(*bfl)));
+        break;
+      }
+      case MethodKind::kSpaReachInt: {
+        auto index = LoadSpatialIndex(*reader, ctx, config->scc_mode);
+        if (!index.ok()) return index.status();
+        auto labeling = LoadLabeling(*reader, ctx, *cn);
+        if (!labeling.ok()) return labeling.status();
+        out.method.reset(
+            new SpaReachInt(cn, std::move(*index), std::move(*labeling)));
+        break;
+      }
+      case MethodKind::kSpaReachPll: {
+        auto index = LoadSpatialIndex(*reader, ctx, config->scc_mode);
+        if (!index.ok()) return index.status();
+        auto section = reader->Section(SectionId::kPll);
+        if (!section.ok()) return section.status();
+        auto pll = PllIndex::Deserialize(*section);
+        if (!pll.ok()) return pll.status();
+        if (pll->num_vertices() != cn->num_components()) {
+          return Status::InvalidArgument(
+              "snapshot PLL index does not match the condensation size");
+        }
+        out.method.reset(
+            new SpaReachPll(cn, std::move(*index), std::move(*pll)));
+        break;
+      }
+      case MethodKind::kSpaReachFeline: {
+        auto index = LoadSpatialIndex(*reader, ctx, config->scc_mode);
+        if (!index.ok()) return index.status();
+        auto section = reader->Section(SectionId::kFeline);
+        if (!section.ok()) return section.status();
+        auto feline = FelineIndex::Deserialize(*section, &cn->dag());
+        if (!feline.ok()) return feline.status();
+        out.method.reset(
+            new SpaReachFeline(cn, std::move(*index), std::move(*feline)));
+        break;
+      }
+      case MethodKind::kGeoReach: {
+        auto method = LoadGeoReach(*reader, cn, *config);
+        if (!method.ok()) return method.status();
+        out.method = std::move(*method);
+        break;
+      }
+      case MethodKind::kThreeDReach: {
+        auto labeling = LoadLabeling(*reader, ctx, *cn);
+        if (!labeling.ok()) return labeling.status();
+        auto section = reader->Section(SectionId::kRTree);
+        if (!section.ok()) return section.status();
+        const ThreeDReach::Options method_options{
+            .scc_mode = config->scc_mode,
+            .forest_strategy = config->forest_strategy};
+        if (config->scc_mode == SccSpatialMode::kReplicate) {
+          auto points = FrozenRTreePoints3D::Deserialize(*section, ctx);
+          if (!points.ok()) return points.status();
+          out.method.reset(new ThreeDReach(cn, method_options,
+                                           std::move(*labeling),
+                                           std::move(*points),
+                                           FrozenRTree3D()));
+        } else {
+          auto boxes = FrozenRTree3D::Deserialize(*section, ctx);
+          if (!boxes.ok()) return boxes.status();
+          out.method.reset(new ThreeDReach(cn, method_options,
+                                           std::move(*labeling),
+                                           FrozenRTreePoints3D(),
+                                           std::move(*boxes)));
+        }
+        break;
+      }
+      case MethodKind::kThreeDReachRev: {
+        auto labeling = LoadLabeling(*reader, ctx, *cn);
+        if (!labeling.ok()) return labeling.status();
+        auto section = reader->Section(SectionId::kRTree);
+        if (!section.ok()) return section.status();
+        auto rtree = FrozenRTree3D::Deserialize(*section, ctx);
+        if (!rtree.ok()) return rtree.status();
+        out.method.reset(new ThreeDReachRev(
+            cn, ThreeDReachRev::Options{.scc_mode = config->scc_mode},
+            std::move(*labeling), std::move(*rtree)));
+        break;
+      }
+    }
+    return out;
+  }
+
+ private:
+  static Result<IntervalLabeling> LoadLabeling(const SnapshotReader& reader,
+                                               const BorrowContext& ctx,
+                                               const CondensedNetwork& cn) {
+    auto section = reader.Section(SectionId::kLabeling);
+    if (!section.ok()) return section.status();
+    auto labeling = IntervalLabeling::Deserialize(*section, ctx);
+    if (!labeling.ok()) return labeling.status();
+    GSR_RETURN_IF_ERROR(CheckLabelingSize(*labeling, cn));
+    return labeling;
+  }
+
+  static Result<CondensedSpatialIndex> LoadSpatialIndex(
+      const SnapshotReader& reader, const BorrowContext& ctx,
+      SccSpatialMode expected_mode) {
+    auto section = reader.Section(SectionId::kSpatialIndex);
+    if (!section.ok()) return section.status();
+    auto index = CondensedSpatialIndex::Deserialize(*section, ctx);
+    if (!index.ok()) return index.status();
+    if (index->mode() != expected_mode) {
+      return Status::InvalidArgument(
+          "snapshot spatial index disagrees with the meta SCC mode");
+    }
+    return index;
+  }
+
+  /// GeoReach section: class tags, RMBRs, and the ReachGrids as a CSR of
+  /// cells. GridCell has internal padding, so cells are stored as three
+  /// parallel arrays (level/ix/iy) rather than raw structs.
+  static void SaveGeoReach(const GeoReachMethod& m, BinaryWriter& s) {
+    const size_t n = m.class_.size();
+    std::vector<uint8_t> classes(n);
+    for (size_t i = 0; i < n; ++i) {
+      classes[i] = static_cast<uint8_t>(m.class_[i]);
+    }
+    s.WriteVector(classes);
+    s.WriteVector(m.rmbr_);
+    std::vector<uint64_t> offsets;
+    offsets.reserve(n + 1);
+    offsets.push_back(0);
+    std::vector<uint8_t> levels;
+    std::vector<uint32_t> ixs;
+    std::vector<uint32_t> iys;
+    for (const std::vector<GridCell>& cells : m.reach_grid_) {
+      for (const GridCell& cell : cells) {
+        levels.push_back(cell.level);
+        ixs.push_back(cell.ix);
+        iys.push_back(cell.iy);
+      }
+      offsets.push_back(levels.size());
+    }
+    s.WriteVector(offsets);
+    s.WriteVector(levels);
+    s.WriteVector(ixs);
+    s.WriteVector(iys);
+  }
+
+  static Result<std::unique_ptr<RangeReachMethod>> LoadGeoReach(
+      const SnapshotReader& reader, const CondensedNetwork* cn,
+      const MethodConfig& config) {
+    auto section = reader.Section(SectionId::kGeoReach);
+    if (!section.ok()) return section.status();
+    BinaryReader& s = *section;
+    std::vector<uint8_t> classes;
+    std::vector<Rect> rmbr;
+    std::vector<uint64_t> offsets;
+    std::vector<uint8_t> levels;
+    std::vector<uint32_t> ixs;
+    std::vector<uint32_t> iys;
+    GSR_RETURN_IF_ERROR(s.ReadVector(&classes));
+    GSR_RETURN_IF_ERROR(s.ReadVector(&rmbr));
+    GSR_RETURN_IF_ERROR(s.ReadVector(&offsets));
+    GSR_RETURN_IF_ERROR(s.ReadVector(&levels));
+    GSR_RETURN_IF_ERROR(s.ReadVector(&ixs));
+    GSR_RETURN_IF_ERROR(s.ReadVector(&iys));
+
+    const size_t n = cn->num_components();
+    const int depth = config.geo_reach.grid_depth;
+    if (classes.size() != n || rmbr.size() != n || offsets.size() != n + 1 ||
+        offsets.front() != 0 || offsets.back() != levels.size() ||
+        ixs.size() != levels.size() || iys.size() != levels.size()) {
+      return Status::InvalidArgument("GeoReach snapshot: array sizes disagree");
+    }
+    std::vector<GeoReachMethod::SpaClass> spa_classes(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (classes[i] > static_cast<uint8_t>(GeoReachMethod::SpaClass::kG)) {
+        return Status::InvalidArgument("GeoReach snapshot: bad class tag");
+      }
+      spa_classes[i] = static_cast<GeoReachMethod::SpaClass>(classes[i]);
+    }
+    std::vector<std::vector<GridCell>> reach_grid(n);
+    for (size_t c = 0; c < n; ++c) {
+      if (offsets[c] > offsets[c + 1]) {
+        return Status::InvalidArgument(
+            "GeoReach snapshot: non-monotonic grid offsets");
+      }
+      reach_grid[c].reserve(offsets[c + 1] - offsets[c]);
+      for (uint64_t i = offsets[c]; i < offsets[c + 1]; ++i) {
+        if (levels[i] > depth ||
+            ixs[i] >= (1u << (depth - levels[i])) ||
+            iys[i] >= (1u << (depth - levels[i]))) {
+          return Status::InvalidArgument(
+              "GeoReach snapshot: grid cell out of range");
+        }
+        reach_grid[c].push_back(GridCell{levels[i], ixs[i], iys[i]});
+      }
+    }
+    return std::unique_ptr<RangeReachMethod>(
+        new GeoReachMethod(cn, config.geo_reach, std::move(spa_classes),
+                           std::move(rmbr), std::move(reach_grid)));
+  }
+};
+
+Status SaveMethodSnapshot(const RangeReachMethod& method,
+                          const MethodConfig& config,
+                          const CondensedNetwork& cn, const std::string& path,
+                          exec::ThreadPool* pool) {
+  return MethodSnapshotAccess::Save(method, config, cn, path, pool);
+}
+
+Result<LoadedMethod> LoadMethodSnapshot(const CondensedNetwork* cn,
+                                        const std::string& path,
+                                        const SnapshotLoadOptions& options) {
+  return MethodSnapshotAccess::Load(cn, path, options);
+}
+
+}  // namespace gsr

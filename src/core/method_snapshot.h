@@ -1,0 +1,59 @@
+#ifndef GSR_CORE_METHOD_SNAPSHOT_H_
+#define GSR_CORE_METHOD_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/method_factory.h"
+#include "snapshot/snapshot_reader.h"
+#include "snapshot/snapshot_writer.h"
+
+namespace gsr {
+
+/// Saves a built method to a versioned binary snapshot file. `method` must
+/// be the instance CreateMethod produced for `config` over `cn`; the
+/// snapshot records the config and a fingerprint of the dataset, and one
+/// section per index component (labeling, R-tree, filters, ...). Section
+/// checksums are computed on `pool` when it is non-null.
+///
+/// NaiveBFS is index-free and cannot be snapshotted (InvalidArgument).
+Status SaveMethodSnapshot(const RangeReachMethod& method,
+                          const MethodConfig& config,
+                          const CondensedNetwork& cn, const std::string& path,
+                          exec::ThreadPool* pool = nullptr);
+
+struct SnapshotLoadOptions {
+  /// kOwnedCopy reads and copies (portable); kMmap maps the file and keeps
+  /// the index arrays as zero-copy views into it (fast cold start).
+  snapshot::LoadMode mode = snapshot::LoadMode::kOwnedCopy;
+  /// When non-null, per-section checksum verification fans out here.
+  exec::ThreadPool* pool = nullptr;
+};
+
+/// A snapshot-loaded method together with the config it was built as.
+struct LoadedMethod {
+  std::unique_ptr<RangeReachMethod> method;
+  MethodConfig config;
+};
+
+/// Loads a method from a snapshot written by SaveMethodSnapshot. `cn` must
+/// be the condensation of the same dataset the snapshot was built on —
+/// validated against the stored fingerprint (vertex/edge/component/spatial
+/// counts), since the condensation itself is cheap to rebuild and is not
+/// persisted. The loaded method answers every query bit-identically to the
+/// originally built one.
+///
+/// All failure modes — missing file, bad magic, wrong format version,
+/// truncation, checksum mismatch, structural corruption, dataset mismatch —
+/// return a clean error Status; no snapshot input crashes the process.
+Result<LoadedMethod> LoadMethodSnapshot(const CondensedNetwork* cn,
+                                        const std::string& path,
+                                        const SnapshotLoadOptions& options);
+inline Result<LoadedMethod> LoadMethodSnapshot(const CondensedNetwork* cn,
+                                               const std::string& path) {
+  return LoadMethodSnapshot(cn, path, SnapshotLoadOptions{});
+}
+
+}  // namespace gsr
+
+#endif  // GSR_CORE_METHOD_SNAPSHOT_H_

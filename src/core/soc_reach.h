@@ -123,6 +123,13 @@ class SocReach : public RangeReachMethod {
   const IntervalLabeling& labeling() const { return labeling_; }
 
  private:
+  friend struct MethodSnapshotAccess;
+
+  /// From-parts constructor used by the snapshot loader.
+  SocReach(const CondensedNetwork* cn, const Options& options,
+           IntervalLabeling labeling)
+      : cn_(cn), options_(options), labeling_(std::move(labeling)) {}
+
   Counters& MutableCounters() const {
     return static_cast<Scratch&>(DefaultScratch()).counters;
   }

@@ -88,10 +88,19 @@ class SpaReachBase : public RangeReachMethod {
   }
 
  protected:
+  friend struct MethodSnapshotAccess;
+
   SpaReachBase(const CondensedNetwork* cn, SccSpatialMode mode,
                std::string base_name, exec::ThreadPool* pool = nullptr)
       : cn_(cn),
         spatial_index_(cn, mode, pool),
+        base_name_(std::move(base_name)) {}
+
+  /// Snapshot-load path: adopts an already-deserialized spatial index.
+  SpaReachBase(const CondensedNetwork* cn, CondensedSpatialIndex index,
+               std::string base_name)
+      : cn_(cn),
+        spatial_index_(std::move(index)),
         base_name_(std::move(base_name)) {}
 
   /// GReach over the condensation DAG. `scratch` is the one passed to
@@ -160,6 +169,13 @@ class SpaReachBfl : public SpaReachBase {
   }
 
  private:
+  friend struct MethodSnapshotAccess;
+
+  SpaReachBfl(const CondensedNetwork* cn, CondensedSpatialIndex index,
+              BflIndex bfl)
+      : SpaReachBase(cn, std::move(index), "SpaReach-BFL"),
+        bfl_(std::move(bfl)) {}
+
   BflIndex bfl_;
 };
 
@@ -191,6 +207,13 @@ class SpaReachInt : public SpaReachBase {
   }
 
  private:
+  friend struct MethodSnapshotAccess;
+
+  SpaReachInt(const CondensedNetwork* cn, CondensedSpatialIndex index,
+              IntervalLabeling labeling)
+      : SpaReachBase(cn, std::move(index), "SpaReach-INT"),
+        labeling_(std::move(labeling)) {}
+
   IntervalLabeling labeling_;
 };
 
@@ -220,6 +243,13 @@ class SpaReachPll : public SpaReachBase {
   }
 
  private:
+  friend struct MethodSnapshotAccess;
+
+  SpaReachPll(const CondensedNetwork* cn, CondensedSpatialIndex index,
+              PllIndex pll)
+      : SpaReachBase(cn, std::move(index), "SpaReach-PLL"),
+        pll_(std::move(pll)) {}
+
   PllIndex pll_;
 };
 
@@ -263,6 +293,13 @@ class SpaReachFeline : public SpaReachBase {
   }
 
  private:
+  friend struct MethodSnapshotAccess;
+
+  SpaReachFeline(const CondensedNetwork* cn, CondensedSpatialIndex index,
+                 FelineIndex feline)
+      : SpaReachBase(cn, std::move(index), "SpaReach-Feline"),
+        feline_(std::move(feline)) {}
+
   FelineIndex feline_;
 };
 

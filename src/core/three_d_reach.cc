@@ -30,7 +30,9 @@ ThreeDReach::ThreeDReach(const CondensedNetwork* cn, const Options& options,
       entries[i] = {Point3D{p.x, p.y, static_cast<double>(labeling_.post(c))},
                     c};
     });
-    points_.BulkLoad(std::move(entries), pool);
+    RTreePoints3D tree;
+    tree.BulkLoad(std::move(entries), pool);
+    points_ = FrozenRTreePoints3D::Freeze(tree);
   } else {
     // One flat box (MBR(c) x post(c)) per component with spatial members.
     std::vector<std::pair<Box3D, uint64_t>> entries;
@@ -40,7 +42,9 @@ ThreeDReach::ThreeDReach(const CondensedNetwork* cn, const Options& options,
       entries.emplace_back(
           Box3D::FromRectAndInterval(cn->MbrOf(c), z, z), c);
     }
-    boxes_.BulkLoad(std::move(entries), pool);
+    RTree3D tree;
+    tree.BulkLoad(std::move(entries), pool);
+    boxes_ = FrozenRTree3D::Freeze(tree);
   }
 }
 
@@ -138,7 +142,9 @@ ThreeDReachRev::ThreeDReachRev(const CondensedNetwork* cn,
       }
     }
   }
-  rtree_.BulkLoad(std::move(entries), pool);
+  RTree3D tree;
+  tree.BulkLoad(std::move(entries), pool);
+  rtree_ = FrozenRTree3D::Freeze(tree);
 }
 
 bool ThreeDReachRev::Evaluate(VertexId vertex, const Rect& region,

@@ -7,6 +7,7 @@
 #include "core/condensed_network.h"
 #include "core/range_reach.h"
 #include "labeling/interval_labeling.h"
+#include "spatial/frozen_rtree.h"
 #include "spatial/rtree.h"
 
 namespace gsr {
@@ -74,6 +75,19 @@ class ThreeDReach : public RangeReachMethod {
   void ResetCounters() const { MutableCounters() = Counters{}; }
 
  private:
+  friend struct MethodSnapshotAccess;
+
+  /// From-parts constructor used by the snapshot loader: no building, the
+  /// index structures come in already deserialized.
+  ThreeDReach(const CondensedNetwork* cn, const Options& options,
+              IntervalLabeling labeling, FrozenRTreePoints3D points,
+              FrozenRTree3D boxes)
+      : cn_(cn),
+        options_(options),
+        labeling_(std::move(labeling)),
+        points_(std::move(points)),
+        boxes_(std::move(boxes)) {}
+
   size_t RtreeSizeBytes() const {
     return options_.scc_mode == SccSpatialMode::kReplicate
                ? points_.SizeBytes()
@@ -87,8 +101,10 @@ class ThreeDReach : public RangeReachMethod {
   const CondensedNetwork* cn_;
   Options options_;
   IntervalLabeling labeling_;
-  RTreePoints3D points_;  // kReplicate: one 3-D point per spatial vertex.
-  RTree3D boxes_;         // kMbr: one flat box per spatial component.
+  // Both trees are built dynamically (STR bulk load) and frozen into the
+  // packed query-side layout; only the mode's tree is non-empty.
+  FrozenRTreePoints3D points_;  // kReplicate: one 3-D point per vertex.
+  FrozenRTree3D boxes_;         // kMbr: one flat box per component.
 };
 
 /// 3DReach-REV, the line-based variant (Section 4.2, second half). It uses
@@ -125,6 +141,18 @@ class ThreeDReachRev : public RangeReachMethod {
   const IntervalLabeling& labeling() const { return labeling_; }
 
  private:
+  friend struct MethodSnapshotAccess;
+
+  /// From-parts constructor used by the snapshot loader. The reversed DAG
+  /// is a construction-only artifact (Evaluate never touches it), so a
+  /// loaded method leaves it empty.
+  ThreeDReachRev(const CondensedNetwork* cn, const Options& options,
+                 IntervalLabeling labeling, FrozenRTree3D rtree)
+      : cn_(cn),
+        options_(options),
+        labeling_(std::move(labeling)),
+        rtree_(std::move(rtree)) {}
+
   const CondensedNetwork* cn_;
   Options options_;
   DiGraph reversed_dag_;
@@ -132,7 +160,7 @@ class ThreeDReachRev : public RangeReachMethod {
   // Vertical segments are stored as (degenerate) boxes in both SCC modes,
   // mirroring Boost ("segments and boxes are stored in a similar manner"),
   // which is why 3DReach-REV shows no MBR-variant overhead in Table 4.
-  RTree3D rtree_;
+  FrozenRTree3D rtree_;
 };
 
 }  // namespace gsr

@@ -210,4 +210,31 @@ SpanningForest BuildSpanningForest(const DiGraph& dag,
   return forest;
 }
 
+void SerializeSpanningForest(const SpanningForest& forest, BinaryWriter& w) {
+  w.WriteU32(static_cast<uint32_t>(forest.post.size()));
+  w.WriteVector(forest.parent);
+  w.WriteVector(forest.post);
+  w.WriteVector(forest.vertex_of_post);
+  w.WriteVector(forest.min_post_subtree);
+  w.WriteVector(forest.roots);
+}
+
+Result<SpanningForest> DeserializeSpanningForest(BinaryReader& r) {
+  uint32_t n = 0;
+  GSR_RETURN_IF_ERROR(r.ReadU32(&n));
+  SpanningForest forest;
+  GSR_RETURN_IF_ERROR(r.ReadVector(&forest.parent));
+  GSR_RETURN_IF_ERROR(r.ReadVector(&forest.post));
+  GSR_RETURN_IF_ERROR(r.ReadVector(&forest.vertex_of_post));
+  GSR_RETURN_IF_ERROR(r.ReadVector(&forest.min_post_subtree));
+  GSR_RETURN_IF_ERROR(r.ReadVector(&forest.roots));
+  if (forest.parent.size() != n || forest.post.size() != n ||
+      forest.min_post_subtree.size() != n ||
+      forest.vertex_of_post.size() != (n == 0 ? 0 : n + size_t{1}) ||
+      forest.roots.size() > n) {
+    return Status::InvalidArgument("spanning forest arrays disagree on size");
+  }
+  return forest;
+}
+
 }  // namespace gsr

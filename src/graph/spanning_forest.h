@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "graph/digraph.h"
 
 namespace gsr {
@@ -63,6 +64,16 @@ struct SpanningForest {
   /// Maximum tree depth over all vertices (roots have depth 0). O(n).
   uint32_t MaxDepth() const;
 };
+
+/// Serializes the query-relevant forest arrays (parent, post,
+/// vertex_of_post, min_post_subtree, roots). `non_tree_edges` is a
+/// construction-only artifact and is deliberately not persisted; a
+/// deserialized forest answers IsAncestorOrSelf/MaxDepth and backs label
+/// lookups, but cannot re-run label propagation.
+void SerializeSpanningForest(const SpanningForest& forest, BinaryWriter& w);
+
+/// Inverse of SerializeSpanningForest; validates array-length agreement.
+Result<SpanningForest> DeserializeSpanningForest(BinaryReader& r);
 
 /// Builds a spanning forest of `dag` rooted at its zero-in-degree vertices
 /// (ascending id order), using the requested strategy. `dag` must be

@@ -125,6 +125,35 @@ bool BflIndex::PrunedDfs(VertexId from, VertexId to,
   return false;
 }
 
+void BflIndex::SerializeTo(BinaryWriter& w) const {
+  w.WriteU32(filter_words_);
+  SerializeSpanningForest(forest_, w);
+  w.WriteVector(out_filters_);
+  w.WriteVector(in_filters_);
+}
+
+Result<BflIndex> BflIndex::Deserialize(BinaryReader& r, const DiGraph* dag) {
+  BflIndex index;
+  index.dag_ = dag;
+  GSR_RETURN_IF_ERROR(r.ReadU32(&index.filter_words_));
+  if (index.filter_words_ == 0) {
+    return Status::InvalidArgument("BFL: filter_words must be positive");
+  }
+  auto forest = DeserializeSpanningForest(r);
+  if (!forest.ok()) return forest.status();
+  index.forest_ = std::move(forest).value();
+  GSR_RETURN_IF_ERROR(r.ReadVector(&index.out_filters_));
+  GSR_RETURN_IF_ERROR(r.ReadVector(&index.in_filters_));
+  const size_t expected =
+      index.forest_.post.size() * static_cast<size_t>(index.filter_words_);
+  if (index.out_filters_.size() != expected ||
+      index.in_filters_.size() != expected ||
+      (dag != nullptr && index.forest_.post.size() != dag->num_vertices())) {
+    return Status::InvalidArgument("BFL: filter arrays disagree with forest");
+  }
+  return index;
+}
+
 size_t BflIndex::SizeBytes() const {
   size_t total = sizeof(*this);
   total += (out_filters_.size() + in_filters_.size()) * sizeof(uint64_t);

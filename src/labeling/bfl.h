@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "graph/digraph.h"
 #include "graph/spanning_forest.h"
 
@@ -58,6 +59,16 @@ class BflIndex {
   /// fallback of the Label+G scheme traverses it).
   static BflIndex Build(const DiGraph* dag, const Options& options);
   static BflIndex Build(const DiGraph* dag) { return Build(dag, Options{}); }
+
+  /// Writes the filter width, spanning forest and both filter arrays
+  /// (snapshot layer). The DAG itself is not persisted.
+  void SerializeTo(BinaryWriter& w) const;
+
+  /// Restores an index from `r`, rebinding the Label+G DFS fallback to
+  /// `dag` — which must be the graph the index was built over (the caller,
+  /// e.g. the method snapshot loader, validates that via the snapshot's
+  /// dataset fingerprint).
+  static Result<BflIndex> Deserialize(BinaryReader& r, const DiGraph* dag);
 
   /// True iff `to` is reachable from `from` (reflexive: CanReach(v,v)).
   /// Touches no index state except through `scratch`; thread-safe with

@@ -93,4 +93,23 @@ bool FelineIndex::GuidedDfs(VertexId from, VertexId to,
   return false;
 }
 
+void FelineIndex::SerializeTo(BinaryWriter& w) const {
+  w.WriteVector(x_);
+  w.WriteVector(y_);
+}
+
+Result<FelineIndex> FelineIndex::Deserialize(BinaryReader& r,
+                                             const DiGraph* dag) {
+  FelineIndex index;
+  index.dag_ = dag;
+  GSR_RETURN_IF_ERROR(r.ReadVector(&index.x_));
+  GSR_RETURN_IF_ERROR(r.ReadVector(&index.y_));
+  if (index.x_.size() != index.y_.size() ||
+      (dag != nullptr && index.x_.size() != dag->num_vertices())) {
+    return Status::InvalidArgument(
+        "Feline: coordinate arrays disagree with the graph");
+  }
+  return index;
+}
+
 }  // namespace gsr

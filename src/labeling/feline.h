@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "graph/digraph.h"
 
 namespace gsr {
@@ -27,6 +28,13 @@ class FelineIndex {
  public:
   /// Builds the index over `dag`.
   static FelineIndex Build(const DiGraph* dag);
+
+  /// Writes both coordinate arrays (snapshot layer).
+  void SerializeTo(BinaryWriter& w) const;
+
+  /// Restores an index from `r`, rebinding the guided-DFS fallback to
+  /// `dag` — which must be the graph the index was built over.
+  static Result<FelineIndex> Deserialize(BinaryReader& r, const DiGraph* dag);
 
   /// Counters observing how queries were answered.
   struct QueryCounters {

@@ -29,20 +29,56 @@ FlatLabelStore FlatLabelStore::Freeze(std::span<const LabelSet> sets,
                                       exec::ThreadPool* pool) {
   FlatLabelStore store;
   const size_t n = sets.size();
-  store.offsets_.resize(n + 1);
+  store.owned_offsets_.resize(n + 1);
   uint64_t total = 0;
-  store.offsets_[0] = 0;
+  store.owned_offsets_[0] = 0;
   for (size_t v = 0; v < n; ++v) {
     total += sets[v].size();
     GSR_CHECK(total <= std::numeric_limits<uint32_t>::max());
-    store.offsets_[v + 1] = static_cast<uint32_t>(total);
+    store.owned_offsets_[v + 1] = static_cast<uint32_t>(total);
   }
-  store.intervals_.resize(total);
+  store.owned_intervals_.resize(total);
   exec::ForEachIndex(pool, n, 1024, [&store, sets](size_t v) {
     const std::vector<Interval>& src = sets[v].intervals();
     std::copy(src.begin(), src.end(),
-              store.intervals_.begin() + store.offsets_[v]);
+              store.owned_intervals_.begin() + store.owned_offsets_[v]);
   });
+  store.offsets_ = store.owned_offsets_;
+  store.intervals_ = store.owned_intervals_;
+  return store;
+}
+
+void FlatLabelStore::SerializeTo(BinaryWriter& w) const {
+  w.WriteArray(offsets_);
+  w.WriteArray(intervals_);
+}
+
+Result<FlatLabelStore> FlatLabelStore::Deserialize(BinaryReader& r,
+                                                   const BorrowContext& ctx) {
+  FlatLabelStore store;
+  GSR_RETURN_IF_ERROR(
+      r.ReadArrayInto(ctx, &store.owned_offsets_, &store.offsets_));
+  GSR_RETURN_IF_ERROR(
+      r.ReadArrayInto(ctx, &store.owned_intervals_, &store.intervals_));
+  if (store.offsets_.empty()) {
+    if (!store.intervals_.empty()) {
+      return Status::InvalidArgument(
+          "flat label store: intervals without an offsets table");
+    }
+    return store;
+  }
+  if (store.offsets_.front() != 0 ||
+      store.offsets_.back() != store.intervals_.size()) {
+    return Status::InvalidArgument(
+        "flat label store: offsets table does not span the interval array");
+  }
+  for (size_t v = 0; v + 1 < store.offsets_.size(); ++v) {
+    if (store.offsets_[v] > store.offsets_[v + 1]) {
+      return Status::InvalidArgument(
+          "flat label store: offsets table is not monotonic");
+    }
+  }
+  if (ctx.borrow) store.keepalive_ = ctx.keepalive;
   return store;
 }
 

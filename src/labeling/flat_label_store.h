@@ -3,10 +3,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/check.h"
 #include "exec/thread_pool.h"
 #include "graph/digraph.h"
@@ -54,14 +56,37 @@ class LabelView {
 /// Contains is a binary search over a small contiguous range and label
 /// enumeration a linear scan, with no per-vertex pointer chase. Mutation
 /// stays in LabelSet during construction; Freeze converts once final.
+///
+/// The two arrays are addressed through spans so the store can either own
+/// them (Freeze, owned-copy Deserialize) or borrow them zero-copy from a
+/// memory-mapped snapshot section (Deserialize with BorrowContext::borrow;
+/// `keepalive_` then pins the mapping). Queries are identical either way.
+/// The store is move-only: copying would re-point borrowed views at the
+/// wrong owner.
 class FlatLabelStore {
  public:
   FlatLabelStore() = default;
+  FlatLabelStore(FlatLabelStore&&) = default;
+  FlatLabelStore& operator=(FlatLabelStore&&) = default;
+  FlatLabelStore(const FlatLabelStore&) = delete;
+  FlatLabelStore& operator=(const FlatLabelStore&) = delete;
 
   /// Packs sets[v] for every v into the flat layout. Per-vertex copies run
   /// on `pool` when given; the result is identical at any thread count.
   static FlatLabelStore Freeze(std::span<const LabelSet> sets,
                                exec::ThreadPool* pool = nullptr);
+
+  /// Writes the offsets table and packed interval array (snapshot layer).
+  void SerializeTo(BinaryWriter& w) const;
+
+  /// Restores a store from `r`. With `ctx.borrow` the arrays stay views
+  /// into the reader's buffer (zero-copy mmap load) and `ctx.keepalive`
+  /// is retained; otherwise they are copied into owned storage. The
+  /// offsets table is validated (monotonic, consistent with the interval
+  /// count) so a corrupt-but-checksum-colliding file cannot cause
+  /// out-of-bounds reads later.
+  static Result<FlatLabelStore> Deserialize(BinaryReader& r,
+                                            const BorrowContext& ctx);
 
   VertexId num_vertices() const {
     return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
@@ -96,15 +121,21 @@ class FlatLabelStore {
     return first > begin && intervals_[first - 1].hi >= value;
   }
 
-  /// Heap bytes used by the store.
+  /// Bytes referenced by the store (owned heap or borrowed mapping).
   size_t SizeBytes() const {
-    return offsets_.capacity() * sizeof(uint32_t) +
-           intervals_.capacity() * sizeof(Interval);
+    return offsets_.size() * sizeof(uint32_t) +
+           intervals_.size() * sizeof(Interval);
   }
 
  private:
-  std::vector<uint32_t> offsets_;
-  std::vector<Interval> intervals_;
+  // Query views; alias owned_* when the store owns its memory, or a
+  // mapped snapshot buffer pinned by keepalive_ when borrowed. Moves keep
+  // the views valid because vector moves transfer the heap buffer.
+  std::span<const uint32_t> offsets_;
+  std::span<const Interval> intervals_;
+  std::vector<uint32_t> owned_offsets_;
+  std::vector<Interval> owned_intervals_;
+  std::shared_ptr<const void> keepalive_;
 };
 
 }  // namespace gsr

@@ -245,6 +245,35 @@ std::vector<VertexId> IntervalLabeling::Descendants(VertexId v) const {
   return out;
 }
 
+void IntervalLabeling::SerializeTo(BinaryWriter& w) const {
+  SerializeSpanningForest(forest_, w);
+  w.WriteU64(stats_.uncompressed_labels);
+  w.WriteU64(stats_.compressed_labels);
+  w.WriteU64(stats_.non_tree_edges);
+  w.WriteU64(stats_.forest_trees);
+  flat_.SerializeTo(w);
+}
+
+Result<IntervalLabeling> IntervalLabeling::Deserialize(
+    BinaryReader& r, const BorrowContext& ctx) {
+  auto forest = DeserializeSpanningForest(r);
+  if (!forest.ok()) return forest.status();
+  IntervalLabeling labeling;
+  labeling.forest_ = std::move(forest).value();
+  GSR_RETURN_IF_ERROR(r.ReadU64(&labeling.stats_.uncompressed_labels));
+  GSR_RETURN_IF_ERROR(r.ReadU64(&labeling.stats_.compressed_labels));
+  GSR_RETURN_IF_ERROR(r.ReadU64(&labeling.stats_.non_tree_edges));
+  GSR_RETURN_IF_ERROR(r.ReadU64(&labeling.stats_.forest_trees));
+  auto flat = FlatLabelStore::Deserialize(r, ctx);
+  if (!flat.ok()) return flat.status();
+  labeling.flat_ = std::move(flat).value();
+  if (labeling.flat_.num_vertices() != labeling.forest_.post.size()) {
+    return Status::InvalidArgument(
+        "interval labeling: label store and forest disagree on vertex count");
+  }
+  return labeling;
+}
+
 size_t IntervalLabeling::SizeBytes() const {
   size_t total = sizeof(*this);
   total += flat_.SizeBytes();

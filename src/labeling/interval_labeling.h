@@ -74,6 +74,18 @@ class IntervalLabeling {
     return Build(dag, Options{}, nullptr);
   }
 
+  /// Writes the forest arrays, Table 6 stats and flat label store
+  /// (snapshot layer). The serialized labeling answers queries exactly
+  /// like the built one; the forest's non_tree_edges (a construction-only
+  /// artifact) are not persisted.
+  void SerializeTo(BinaryWriter& w) const;
+
+  /// Restores a labeling from `r`. With `ctx.borrow` the flat label
+  /// arrays stay zero-copy views into the reader's buffer; the (small)
+  /// forest arrays are always owned copies.
+  static Result<IntervalLabeling> Deserialize(BinaryReader& r,
+                                              const BorrowContext& ctx);
+
   VertexId num_vertices() const { return flat_.num_vertices(); }
 
   /// The 1-based post-order number of `v`.

@@ -121,6 +121,38 @@ bool PllIndex::CanReach(VertexId from, VertexId to) const {
   return IntersectsSorted(OutLabels(from), InLabels(to));
 }
 
+void PllIndex::SerializeTo(BinaryWriter& w) const {
+  w.WriteVector(rank_);
+  w.WriteVector(in_offsets_);
+  w.WriteVector(in_labels_);
+  w.WriteVector(out_offsets_);
+  w.WriteVector(out_labels_);
+}
+
+Result<PllIndex> PllIndex::Deserialize(BinaryReader& r) {
+  PllIndex index;
+  GSR_RETURN_IF_ERROR(r.ReadVector(&index.rank_));
+  GSR_RETURN_IF_ERROR(r.ReadVector(&index.in_offsets_));
+  GSR_RETURN_IF_ERROR(r.ReadVector(&index.in_labels_));
+  GSR_RETURN_IF_ERROR(r.ReadVector(&index.out_offsets_));
+  GSR_RETURN_IF_ERROR(r.ReadVector(&index.out_labels_));
+  const size_t n = index.rank_.size();
+  const auto csr_ok = [n](const std::vector<uint64_t>& offsets,
+                          const std::vector<uint32_t>& labels) {
+    if (offsets.size() != (n == 0 ? 0 : n + 1)) return n == 0 && labels.empty();
+    if (offsets.front() != 0 || offsets.back() != labels.size()) return false;
+    for (size_t v = 0; v + 1 < offsets.size(); ++v) {
+      if (offsets[v] > offsets[v + 1]) return false;
+    }
+    return true;
+  };
+  if (!csr_ok(index.in_offsets_, index.in_labels_) ||
+      !csr_ok(index.out_offsets_, index.out_labels_)) {
+    return Status::InvalidArgument("PLL: label CSR storage is inconsistent");
+  }
+  return index;
+}
+
 uint64_t PllIndex::TotalLabels() const {
   return in_labels_.size() + out_labels_.size();
 }

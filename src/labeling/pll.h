@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "graph/digraph.h"
 
 namespace gsr {
@@ -27,8 +28,19 @@ class PllIndex {
   /// Builds the index over `dag` (not retained after construction).
   static PllIndex Build(const DiGraph& dag);
 
+  /// Writes the rank array and CSR label storage (snapshot layer).
+  void SerializeTo(BinaryWriter& w) const;
+
+  /// Restores an index from `r`; validates CSR consistency.
+  static Result<PllIndex> Deserialize(BinaryReader& r);
+
   /// True iff `to` is reachable from `from` (reflexive).
   bool CanReach(VertexId from, VertexId to) const;
+
+  /// Number of labeled vertices.
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(rank_.size());
+  }
 
   /// Total number of labels over all vertices (index "size" in the 2-hop
   /// literature).

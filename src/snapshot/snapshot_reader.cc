@@ -1,0 +1,149 @@
+#include "snapshot/snapshot_reader.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+#include "common/checksum.h"
+#include "exec/parallel.h"
+#include "snapshot/mmap_file.h"
+
+namespace gsr::snapshot {
+
+namespace {
+
+Result<std::shared_ptr<std::vector<std::byte>>> ReadWholeFile(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open snapshot file: " + path);
+  }
+  auto buffer = std::make_shared<std::vector<std::byte>>();
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IoError("seek failed on snapshot file: " + path);
+  }
+  const long end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    return Status::IoError("tell failed on snapshot file: " + path);
+  }
+  std::rewind(f);
+  buffer->resize(static_cast<size_t>(end));
+  const size_t read = buffer->empty()
+                          ? 0
+                          : std::fread(buffer->data(), 1, buffer->size(), f);
+  std::fclose(f);
+  if (read != buffer->size()) {
+    return Status::IoError("short read on snapshot file: " + path);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+Result<SnapshotReader> SnapshotReader::Open(const std::string& path,
+                                            const OpenOptions& options) {
+  if (!HostIsLittleEndian()) {
+    return Status::FailedPrecondition(
+        "snapshot format is little-endian only; cannot load on a big-endian "
+        "host");
+  }
+
+  SnapshotReader reader;
+  reader.mode_ = options.mode;
+  if (options.mode == LoadMode::kMmap) {
+    auto mapped = MmapFile::Map(path);
+    if (!mapped.ok()) return mapped.status();
+    reader.bytes_ = (*mapped)->bytes();
+    reader.storage_ = std::shared_ptr<const void>(*mapped, (*mapped).get());
+  } else {
+    auto buffer = ReadWholeFile(path);
+    if (!buffer.ok()) return buffer.status();
+    reader.bytes_ = std::span<const std::byte>(**buffer);
+    reader.storage_ = std::shared_ptr<const void>(*buffer, (*buffer).get());
+  }
+
+  // Header checks: magic, version, endianness, declared size.
+  if (reader.bytes_.size() < sizeof(FileHeader)) {
+    return Status::InvalidArgument("snapshot file is truncated: " + path);
+  }
+  FileHeader header;
+  std::memcpy(&header, reader.bytes_.data(), sizeof(header));
+  if (!header.MagicMatches()) {
+    return Status::InvalidArgument("not a snapshot file (bad magic): " + path);
+  }
+  if (header.format_version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported snapshot format version " +
+        std::to_string(header.format_version) + " (expected " +
+        std::to_string(kFormatVersion) + "): " + path);
+  }
+  if (header.endian_tag != kEndianTag) {
+    return Status::InvalidArgument(
+        "snapshot was written on a host with different endianness: " + path);
+  }
+  if (header.file_size != reader.bytes_.size()) {
+    return Status::InvalidArgument("snapshot file is truncated: " + path);
+  }
+
+  // Section table: bounds, checksum, per-section placement.
+  const uint64_t table_bytes =
+      static_cast<uint64_t>(header.section_count) * sizeof(SectionEntry);
+  if (sizeof(FileHeader) + table_bytes > reader.bytes_.size()) {
+    return Status::InvalidArgument("snapshot section table is truncated: " +
+                                   path);
+  }
+  const std::byte* table_base = reader.bytes_.data() + sizeof(FileHeader);
+  if (XxHash64(table_base, table_bytes) != header.table_checksum) {
+    return Status::InvalidArgument(
+        "snapshot section table failed checksum verification: " + path);
+  }
+  reader.table_.resize(header.section_count);
+  std::memcpy(reader.table_.data(), table_base, table_bytes);
+  for (const SectionEntry& entry : reader.table_) {
+    if (entry.offset % kSectionAlignment != 0 ||
+        entry.offset > reader.bytes_.size() ||
+        entry.size > reader.bytes_.size() - entry.offset) {
+      return Status::InvalidArgument(
+          "snapshot section placement is out of bounds: " + path);
+    }
+  }
+
+  // Payload checksums, fanned out across sections when a pool is given.
+  std::atomic<size_t> bad_section{reader.table_.size()};
+  exec::ForEachIndex(options.pool, reader.table_.size(), 1, [&](size_t i) {
+    const SectionEntry& entry = reader.table_[i];
+    if (XxHash64(reader.bytes_.data() + entry.offset, entry.size) !=
+        entry.checksum) {
+      size_t cur = bad_section.load();
+      while (i < cur && !bad_section.compare_exchange_weak(cur, i)) {
+      }
+    }
+  });
+  if (bad_section.load() != reader.table_.size()) {
+    return Status::InvalidArgument(
+        "snapshot section " +
+        std::to_string(reader.table_[bad_section.load()].id) +
+        " failed checksum verification: " + path);
+  }
+  return reader;
+}
+
+bool SnapshotReader::HasSection(SectionId id) const {
+  for (const SectionEntry& entry : table_) {
+    if (entry.id == static_cast<uint32_t>(id)) return true;
+  }
+  return false;
+}
+
+Result<BinaryReader> SnapshotReader::Section(SectionId id) const {
+  for (const SectionEntry& entry : table_) {
+    if (entry.id != static_cast<uint32_t>(id)) continue;
+    return BinaryReader(bytes_.subspan(entry.offset, entry.size));
+  }
+  return Status::NotFound("snapshot has no section with id " +
+                          std::to_string(static_cast<uint32_t>(id)));
+}
+
+}  // namespace gsr::snapshot

@@ -1,0 +1,77 @@
+#ifndef GSR_SNAPSHOT_SNAPSHOT_READER_H_
+#define GSR_SNAPSHOT_SNAPSHOT_READER_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/status.h"
+#include "exec/thread_pool.h"
+#include "snapshot/format.h"
+
+namespace gsr::snapshot {
+
+/// How Open brings the snapshot bytes into memory.
+enum class LoadMode {
+  /// Read the file into an owned buffer; deserialized structures copy
+  /// their arrays out of it. Portable and independent of the file after
+  /// Open returns.
+  kOwnedCopy,
+  /// Memory-map the file; deserialized structures keep zero-copy views
+  /// into the mapping (pinned by the BorrowContext keepalive). Pages are
+  /// faulted in lazily, so cold-start load cost is near-constant.
+  kMmap,
+};
+
+struct OpenOptions {
+  LoadMode mode = LoadMode::kOwnedCopy;
+  /// When non-null, per-section checksum verification fans out here.
+  exec::ThreadPool* pool = nullptr;
+};
+
+/// Validated random access to a snapshot file's sections. Open performs
+/// every integrity check up front — magic, format version, endianness,
+/// declared vs actual file size, section bounds and alignment, table and
+/// payload checksums — so a reader that opens successfully can hand out
+/// sections without further verification. All failures are clean Status
+/// returns; no snapshot input crashes the process.
+class SnapshotReader {
+ public:
+  static Result<SnapshotReader> Open(const std::string& path,
+                                     const OpenOptions& options);
+  static Result<SnapshotReader> Open(const std::string& path) {
+    return Open(path, OpenOptions{});
+  }
+
+  SnapshotReader(SnapshotReader&&) = default;
+  SnapshotReader& operator=(SnapshotReader&&) = default;
+
+  bool HasSection(SectionId id) const;
+
+  /// A bounds-checked reader over one section's payload. Fails with
+  /// NotFound when the snapshot has no such section.
+  Result<BinaryReader> Section(SectionId id) const;
+
+  /// The context structures deserialize under: borrowing (with the file
+  /// mapping as keepalive) in kMmap mode, copying otherwise.
+  BorrowContext borrow_context() const {
+    return BorrowContext{mode_ == LoadMode::kMmap, storage_};
+  }
+
+  LoadMode mode() const { return mode_; }
+  size_t file_size() const { return bytes_.size(); }
+
+ private:
+  SnapshotReader() = default;
+
+  LoadMode mode_ = LoadMode::kOwnedCopy;
+  std::shared_ptr<const void> storage_;  // Owns bytes_ (buffer or mapping).
+  std::span<const std::byte> bytes_;
+  std::vector<SectionEntry> table_;
+};
+
+}  // namespace gsr::snapshot
+
+#endif  // GSR_SNAPSHOT_SNAPSHOT_READER_H_

@@ -1,0 +1,94 @@
+#include "snapshot/snapshot_writer.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/checksum.h"
+#include "exec/parallel.h"
+
+namespace gsr::snapshot {
+
+namespace {
+
+size_t AlignUp(size_t value, size_t alignment) {
+  const size_t rem = value % alignment;
+  return rem == 0 ? value : value + (alignment - rem);
+}
+
+}  // namespace
+
+BinaryWriter& SnapshotWriter::BeginSection(SectionId id) {
+  for (const auto& [existing, writer] : sections_) {
+    GSR_CHECK(existing != id);  // One section per id.
+  }
+  sections_.emplace_back(id, BinaryWriter());
+  return sections_.back().second;
+}
+
+Status SnapshotWriter::WriteFile(const std::string& path,
+                                 exec::ThreadPool* pool) const {
+  if (!HostIsLittleEndian()) {
+    return Status::FailedPrecondition(
+        "snapshot format is little-endian only; refusing to write on a "
+        "big-endian host");
+  }
+
+  // Lay out the file: header, table, then each payload at an aligned
+  // offset.
+  const size_t table_bytes = sections_.size() * sizeof(SectionEntry);
+  std::vector<SectionEntry> table(sections_.size());
+  size_t cursor = AlignUp(sizeof(FileHeader) + table_bytes, kSectionAlignment);
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    table[i].id = static_cast<uint32_t>(sections_[i].first);
+    table[i].offset = cursor;
+    table[i].size = sections_[i].second.size();
+    cursor = AlignUp(cursor + table[i].size, kSectionAlignment);
+  }
+  const size_t file_size = cursor;
+
+  // Payload checksums are independent per section — the one step of
+  // snapshot writing worth fanning out for multi-GB indexes.
+  exec::ForEachIndex(pool, sections_.size(), 1, [&](size_t i) {
+    const auto& bytes = sections_[i].second.bytes();
+    table[i].checksum = XxHash64(bytes.data(), bytes.size());
+  });
+
+  FileHeader header;
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.format_version = kFormatVersion;
+  header.endian_tag = kEndianTag;
+  header.section_count = static_cast<uint32_t>(sections_.size());
+  header.file_size = file_size;
+  header.table_checksum = XxHash64(table.data(), table_bytes);
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open snapshot file for writing: " + path);
+  }
+  const auto write_all = [f](const void* data, size_t len) {
+    return len == 0 || std::fwrite(data, 1, len, f) == len;
+  };
+  static constexpr char kZeros[kSectionAlignment] = {};
+  bool ok = write_all(&header, sizeof(header)) &&
+            write_all(table.data(), table_bytes);
+  size_t written = sizeof(header) + table_bytes;
+  for (size_t i = 0; ok && i < sections_.size(); ++i) {
+    GSR_CHECK(table[i].offset >= written);
+    ok = write_all(kZeros, table[i].offset - written);
+    const auto& bytes = sections_[i].second.bytes();
+    ok = ok && write_all(bytes.data(), bytes.size());
+    written = table[i].offset + table[i].size;
+  }
+  if (ok && written < file_size) {
+    ok = write_all(kZeros, file_size - written);
+  }
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(path.c_str());
+    return Status::IoError("short write while writing snapshot: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace gsr::snapshot

@@ -1,0 +1,46 @@
+#ifndef GSR_SNAPSHOT_SNAPSHOT_WRITER_H_
+#define GSR_SNAPSHOT_SNAPSHOT_WRITER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/status.h"
+#include "exec/thread_pool.h"
+#include "snapshot/format.h"
+
+namespace gsr::snapshot {
+
+/// Assembles a snapshot file section by section:
+///
+///   SnapshotWriter w;
+///   index.SerializeTo(w.BeginSection(SectionId::kLabeling));
+///   GSR_RETURN_IF_ERROR(w.WriteFile(path, pool));
+///
+/// Sections are buffered in memory; WriteFile lays them out with
+/// kSectionAlignment padding, checksums each payload (in parallel on
+/// `pool` when given), and writes header + table + payloads in one pass.
+class SnapshotWriter {
+ public:
+  /// Starts a new section and returns the serializer for its payload.
+  /// The reference stays valid until WriteFile; each id may appear once.
+  BinaryWriter& BeginSection(SectionId id);
+
+  /// Writes the complete snapshot file. Section checksums are computed on
+  /// `pool`'s workers when it is non-null. Returns IoError on filesystem
+  /// failures.
+  Status WriteFile(const std::string& path, exec::ThreadPool* pool) const;
+  Status WriteFile(const std::string& path) const {
+    return WriteFile(path, nullptr);
+  }
+
+  size_t num_sections() const { return sections_.size(); }
+
+ private:
+  std::vector<std::pair<SectionId, BinaryWriter>> sections_;
+};
+
+}  // namespace gsr::snapshot
+
+#endif  // GSR_SNAPSHOT_SNAPSHOT_WRITER_H_

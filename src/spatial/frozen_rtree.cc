@@ -1,0 +1,138 @@
+#include "spatial/frozen_rtree.h"
+
+#include "common/check.h"
+
+namespace gsr {
+
+template <typename BoxT, typename LeafT>
+FrozenRTree<BoxT, LeafT> FrozenRTree<BoxT, LeafT>::Freeze(
+    const RTree<BoxT, LeafT>& tree) {
+  FrozenRTree out;
+  out.size_ = tree.size_;
+  out.height_ = tree.height_;
+  if (tree.root_ == RTree<BoxT, LeafT>::kNoNode) return out;
+
+  // Breadth-first numbering: node 0 is the root and every child gets a
+  // higher index than its parent — a property Deserialize re-validates to
+  // reject cyclic (corrupt) node links.
+  std::vector<uint32_t> order;
+  std::vector<uint32_t> frozen_of(tree.nodes_.size(), 0);
+  order.reserve(tree.nodes_.size());
+  order.push_back(tree.root_);
+  for (size_t i = 0; i < order.size(); ++i) {
+    const auto& node = tree.nodes_[order[i]];
+    if (node.is_leaf) continue;
+    for (const uint32_t child : node.children) {
+      frozen_of[child] = static_cast<uint32_t>(order.size());
+      order.push_back(child);
+    }
+  }
+
+  out.owned_nodes_.reserve(order.size());
+  for (const uint32_t dyn : order) {
+    const auto& node = tree.nodes_[dyn];
+    Node packed;
+    packed.mbr = node.mbr;
+    packed.is_leaf = node.is_leaf ? 1 : 0;
+    if (node.is_leaf) {
+      packed.first = static_cast<uint32_t>(out.owned_leaf_ids_.size());
+      packed.count = static_cast<uint32_t>(node.ids.size());
+      out.owned_leaf_geoms_.insert(out.owned_leaf_geoms_.end(),
+                                   node.geoms.begin(), node.geoms.end());
+      out.owned_leaf_ids_.insert(out.owned_leaf_ids_.end(), node.ids.begin(),
+                                 node.ids.end());
+    } else {
+      packed.first = static_cast<uint32_t>(out.owned_child_nodes_.size());
+      packed.count = static_cast<uint32_t>(node.children.size());
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        out.owned_child_boxes_.push_back(node.boxes[i]);
+        out.owned_child_nodes_.push_back(frozen_of[node.children[i]]);
+      }
+    }
+    out.owned_nodes_.push_back(packed);
+  }
+  GSR_CHECK(out.owned_leaf_ids_.size() == out.size_);
+
+  out.nodes_ = out.owned_nodes_;
+  out.child_boxes_ = out.owned_child_boxes_;
+  out.child_nodes_ = out.owned_child_nodes_;
+  out.leaf_geoms_ = out.owned_leaf_geoms_;
+  out.leaf_ids_ = out.owned_leaf_ids_;
+  return out;
+}
+
+template <typename BoxT, typename LeafT>
+void FrozenRTree<BoxT, LeafT>::SerializeTo(BinaryWriter& w) const {
+  w.WriteU64(size_);
+  w.WriteI32(height_);
+  w.WriteArray(nodes_);
+  w.WriteArray(child_boxes_);
+  w.WriteArray(child_nodes_);
+  w.WriteArray(leaf_geoms_);
+  w.WriteArray(leaf_ids_);
+}
+
+template <typename BoxT, typename LeafT>
+Result<FrozenRTree<BoxT, LeafT>> FrozenRTree<BoxT, LeafT>::Deserialize(
+    BinaryReader& r, const BorrowContext& ctx) {
+  FrozenRTree out;
+  uint64_t size = 0;
+  GSR_RETURN_IF_ERROR(r.ReadU64(&size));
+  GSR_RETURN_IF_ERROR(r.ReadI32(&out.height_));
+  out.size_ = static_cast<size_t>(size);
+  GSR_RETURN_IF_ERROR(r.ReadArrayInto(ctx, &out.owned_nodes_, &out.nodes_));
+  GSR_RETURN_IF_ERROR(
+      r.ReadArrayInto(ctx, &out.owned_child_boxes_, &out.child_boxes_));
+  GSR_RETURN_IF_ERROR(
+      r.ReadArrayInto(ctx, &out.owned_child_nodes_, &out.child_nodes_));
+  GSR_RETURN_IF_ERROR(
+      r.ReadArrayInto(ctx, &out.owned_leaf_geoms_, &out.leaf_geoms_));
+  GSR_RETURN_IF_ERROR(
+      r.ReadArrayInto(ctx, &out.owned_leaf_ids_, &out.leaf_ids_));
+
+  // Structural validation: every index a query descent follows must be in
+  // range, and child links must point strictly forward (the BFS layout
+  // invariant), so corrupt files fail here instead of crashing later.
+  if (out.child_boxes_.size() != out.child_nodes_.size() ||
+      out.leaf_geoms_.size() != out.leaf_ids_.size() ||
+      out.leaf_ids_.size() != out.size_ ||
+      (out.nodes_.empty() && out.size_ != 0)) {
+    return Status::InvalidArgument("frozen rtree: array sizes disagree");
+  }
+  uint64_t leaf_entries = 0;
+  for (size_t idx = 0; idx < out.nodes_.size(); ++idx) {
+    const Node& node = out.nodes_[idx];
+    const uint64_t end = static_cast<uint64_t>(node.first) + node.count;
+    if (node.is_leaf > 1) {
+      return Status::InvalidArgument("frozen rtree: bad node tag");
+    }
+    if (node.is_leaf) {
+      if (end > out.leaf_ids_.size()) {
+        return Status::InvalidArgument("frozen rtree: leaf range out of bounds");
+      }
+      leaf_entries += node.count;
+      continue;
+    }
+    if (end > out.child_nodes_.size()) {
+      return Status::InvalidArgument("frozen rtree: child range out of bounds");
+    }
+    for (uint64_t i = node.first; i < end; ++i) {
+      if (out.child_nodes_[i] <= idx || out.child_nodes_[i] >= out.nodes_.size()) {
+        return Status::InvalidArgument("frozen rtree: invalid child link");
+      }
+    }
+  }
+  if (leaf_entries != out.size_) {
+    return Status::InvalidArgument(
+        "frozen rtree: leaf ranges do not cover the entry count");
+  }
+  if (ctx.borrow) out.keepalive_ = ctx.keepalive;
+  return out;
+}
+
+template class FrozenRTree<Rect, Rect>;
+template class FrozenRTree<Rect, Point2D>;
+template class FrozenRTree<Box3D, Box3D>;
+template class FrozenRTree<Box3D, Point3D>;
+
+}  // namespace gsr

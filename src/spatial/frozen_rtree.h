@@ -1,0 +1,155 @@
+#ifndef GSR_SPATIAL_FROZEN_RTREE_H_
+#define GSR_SPATIAL_FROZEN_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "spatial/rtree.h"
+
+namespace gsr {
+
+/// The immutable, cache-compact form of a built RTree: every node packed
+/// into one contiguous array in breadth-first order, with all child boxes,
+/// child links, leaf geometries and leaf ids pooled into four flat arrays
+/// (SoA) — the spatial analogue of FlatLabelStore. Five allocations for
+/// the whole tree instead of four vectors per node, so a query descent
+/// touches sequential memory and the tree serializes as raw byte ranges.
+///
+/// All five arrays are addressed through spans: they are owned after
+/// Freeze (and owned-copy Deserialize), or borrowed zero-copy from a
+/// memory-mapped snapshot section (Deserialize with BorrowContext::borrow,
+/// with `keepalive_` pinning the mapping).
+///
+/// Entry and child order are preserved exactly from the source RTree, and
+/// ForEachIntersecting recurses in the same order, so a frozen tree
+/// enumerates hits in the identical sequence — methods answer
+/// bit-identically whether they query the dynamic or the frozen form.
+template <typename BoxT, typename LeafT = BoxT>
+class FrozenRTree {
+ public:
+  /// One packed node. `first`/`count` index into the child arrays for
+  /// internal nodes and into the leaf arrays for leaves. Fixed-size and
+  /// padding-free so node arrays serialize/mmap as raw bytes.
+  struct Node {
+    BoxT mbr;
+    uint32_t first = 0;
+    uint32_t count = 0;
+    uint32_t is_leaf = 1;
+    uint32_t reserved = 0;  // Explicit padding, always zero on disk.
+  };
+  static_assert(std::is_trivially_copyable_v<Node>);
+  static_assert(sizeof(Node) == sizeof(BoxT) + 16);
+
+  FrozenRTree() = default;
+  FrozenRTree(FrozenRTree&&) = default;
+  FrozenRTree& operator=(FrozenRTree&&) = default;
+  FrozenRTree(const FrozenRTree&) = delete;
+  FrozenRTree& operator=(const FrozenRTree&) = delete;
+
+  /// Packs `tree` into the frozen layout (node 0 is the root; nodes are
+  /// laid out level by level). The dynamic tree is left untouched and is
+  /// typically discarded right after.
+  static FrozenRTree Freeze(const RTree<BoxT, LeafT>& tree);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int Height() const { return height_; }
+
+  BoxT Bounds() const { return nodes_.empty() ? BoxT() : nodes_[0].mbr; }
+
+  /// Calls `fn(geom, id)` for every entry intersecting `query` until `fn`
+  /// returns false, in exactly the order the source RTree would. Returns
+  /// true when the visit was stopped early.
+  template <typename Fn>
+  bool ForEachIntersecting(const BoxT& query, Fn&& fn) const {
+    if (nodes_.empty()) return false;
+    return VisitIntersecting(0, query, fn);
+  }
+
+  /// True iff at least one entry intersects `query`.
+  bool AnyIntersecting(const BoxT& query) const {
+    return ForEachIntersecting(query,
+                               [](const LeafT&, uint64_t) { return false; });
+  }
+
+  std::vector<uint64_t> CollectIntersecting(const BoxT& query) const {
+    std::vector<uint64_t> out;
+    ForEachIntersecting(query, [&out](const LeafT&, uint64_t id) {
+      out.push_back(id);
+      return true;
+    });
+    return out;
+  }
+
+  /// Bytes referenced by the packed arrays (owned heap or borrowed
+  /// mapping).
+  size_t SizeBytes() const {
+    return nodes_.size() * sizeof(Node) + child_boxes_.size() * sizeof(BoxT) +
+           child_nodes_.size() * sizeof(uint32_t) +
+           leaf_geoms_.size() * sizeof(LeafT) +
+           leaf_ids_.size() * sizeof(uint64_t);
+  }
+
+  /// Writes the header and the five packed arrays (snapshot layer).
+  void SerializeTo(BinaryWriter& w) const;
+
+  /// Restores a tree from `r`. With `ctx.borrow` all arrays stay
+  /// zero-copy views into the reader's buffer. Node ranges and child
+  /// links are validated so a structurally corrupt file errors out
+  /// instead of reading out of bounds at query time.
+  static Result<FrozenRTree> Deserialize(BinaryReader& r,
+                                         const BorrowContext& ctx);
+
+ private:
+  template <typename Fn>
+  bool VisitIntersecting(uint32_t node_idx, const BoxT& query, Fn& fn) const {
+    const Node& node = nodes_[node_idx];
+    if (node.is_leaf) {
+      for (uint32_t i = node.first; i < node.first + node.count; ++i) {
+        if (!GeomIntersects(query, leaf_geoms_[i])) continue;
+        if (!fn(leaf_geoms_[i], leaf_ids_[i])) return true;
+      }
+      return false;
+    }
+    for (uint32_t i = node.first; i < node.first + node.count; ++i) {
+      if (!child_boxes_[i].Intersects(query)) continue;
+      if (VisitIntersecting(child_nodes_[i], query, fn)) return true;
+    }
+    return false;
+  }
+
+  std::span<const Node> nodes_;
+  std::span<const BoxT> child_boxes_;
+  std::span<const uint32_t> child_nodes_;
+  std::span<const LeafT> leaf_geoms_;
+  std::span<const uint64_t> leaf_ids_;
+  size_t size_ = 0;
+  int height_ = 0;
+
+  // Backing storage when the tree owns its memory (empty when borrowed).
+  std::vector<Node> owned_nodes_;
+  std::vector<BoxT> owned_child_boxes_;
+  std::vector<uint32_t> owned_child_nodes_;
+  std::vector<LeafT> owned_leaf_geoms_;
+  std::vector<uint64_t> owned_leaf_ids_;
+  std::shared_ptr<const void> keepalive_;
+};
+
+/// Frozen counterparts of the four RTree instantiations.
+using FrozenRTree2D = FrozenRTree<Rect, Rect>;
+using FrozenRTreePoints2D = FrozenRTree<Rect, Point2D>;
+using FrozenRTree3D = FrozenRTree<Box3D, Box3D>;
+using FrozenRTreePoints3D = FrozenRTree<Box3D, Point3D>;
+
+extern template class FrozenRTree<Rect, Rect>;
+extern template class FrozenRTree<Rect, Point2D>;
+extern template class FrozenRTree<Box3D, Box3D>;
+extern template class FrozenRTree<Box3D, Point3D>;
+
+}  // namespace gsr
+
+#endif  // GSR_SPATIAL_FROZEN_RTREE_H_

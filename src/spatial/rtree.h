@@ -104,6 +104,9 @@ inline bool GeomIntersects(const Box3D& query, const Point3D& geom) {
 ///   node splitting.
 /// - All query entry points support early termination, which RangeReach
 ///   methods rely on (they only need *existence* of a matching entry).
+template <typename BoxT, typename LeafT>
+class FrozenRTree;
+
 template <typename BoxT, typename LeafT = BoxT>
 class RTree {
  public:
@@ -191,6 +194,10 @@ class RTree {
   bool CheckInvariants() const;
 
  private:
+  // FrozenRTree::Freeze packs the node storage into its contiguous layout.
+  template <typename B, typename L>
+  friend class FrozenRTree;
+
   static constexpr uint32_t kNoNode = std::numeric_limits<uint32_t>::max();
 
   /// Internal nodes store child boxes + child node indices; leaves store

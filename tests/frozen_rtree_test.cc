@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/rng.h"
+#include "spatial/frozen_rtree.h"
+#include "spatial/rtree.h"
+
+namespace gsr {
+namespace {
+
+/// FrozenRTree's contract: a frozen tree answers every query in exactly
+/// the order the source RTree would (the bit-identical-answers guarantee
+/// snapshot loading is built on), and survives a serialize round trip in
+/// both owned-copy and borrowed (mmap-style) modes.
+
+std::vector<std::pair<Point2D, uint64_t>> RandomPoints(size_t n,
+                                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<Point2D, uint64_t>> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries.emplace_back(Point2D{rng.NextDoubleInRange(0, 100),
+                                 rng.NextDoubleInRange(0, 100)},
+                         static_cast<uint64_t>(i));
+  }
+  return entries;
+}
+
+std::vector<std::pair<Box3D, uint64_t>> RandomSegments(size_t n,
+                                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<Box3D, uint64_t>> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double z_lo = rng.NextDoubleInRange(0, 50);
+    entries.emplace_back(
+        Box3D::VerticalSegment(rng.NextDoubleInRange(0, 100),
+                               rng.NextDoubleInRange(0, 100), z_lo,
+                               z_lo + rng.NextDoubleInRange(0, 50)),
+        static_cast<uint64_t>(i));
+  }
+  return entries;
+}
+
+Rect RandomQueryRect(Rng& rng) {
+  const double x = rng.NextDoubleInRange(-10, 100);
+  const double y = rng.NextDoubleInRange(-10, 100);
+  return Rect(x, y, x + rng.NextDoubleInRange(0, 40),
+              y + rng.NextDoubleInRange(0, 40));
+}
+
+template <typename BoxT, typename LeafT>
+void ExpectAgreesWithDynamic(const RTree<BoxT, LeafT>& dynamic,
+                             const FrozenRTree<BoxT, LeafT>& frozen,
+                             const std::vector<BoxT>& queries) {
+  EXPECT_EQ(frozen.size(), dynamic.size());
+  EXPECT_EQ(frozen.Height(), dynamic.Height());
+  EXPECT_EQ(frozen.SizeBytes() > 0, dynamic.size() > 0);
+  for (const BoxT& query : queries) {
+    EXPECT_EQ(frozen.AnyIntersecting(query), dynamic.AnyIntersecting(query));
+    // Same hits in the same order, not merely the same set.
+    EXPECT_EQ(frozen.CollectIntersecting(query),
+              dynamic.CollectIntersecting(query));
+  }
+}
+
+TEST(FrozenRTreeTest, AgreesWithBulkLoadedPoints2D) {
+  RTreePoints2D dynamic;
+  dynamic.BulkLoad(RandomPoints(500, 11));
+  const auto frozen = FrozenRTreePoints2D::Freeze(dynamic);
+  Rng rng(12);
+  std::vector<Rect> queries;
+  for (int q = 0; q < 200; ++q) queries.push_back(RandomQueryRect(rng));
+  ExpectAgreesWithDynamic(dynamic, frozen, queries);
+}
+
+TEST(FrozenRTreeTest, AgreesWithIncrementallyBuiltPoints2D) {
+  RTreePoints2D dynamic;
+  for (const auto& [point, id] : RandomPoints(400, 21)) {
+    dynamic.Insert(point, id);
+  }
+  const auto frozen = FrozenRTreePoints2D::Freeze(dynamic);
+  Rng rng(22);
+  std::vector<Rect> queries;
+  for (int q = 0; q < 200; ++q) queries.push_back(RandomQueryRect(rng));
+  ExpectAgreesWithDynamic(dynamic, frozen, queries);
+}
+
+TEST(FrozenRTreeTest, AgreesWithSegments3D) {
+  RTree3D dynamic;
+  dynamic.BulkLoad(RandomSegments(500, 31));
+  const auto frozen = FrozenRTree3D::Freeze(dynamic);
+  Rng rng(32);
+  std::vector<Box3D> queries;
+  for (int q = 0; q < 200; ++q) {
+    queries.push_back(Box3D::FromRectAndInterval(
+        RandomQueryRect(rng), rng.NextDoubleInRange(0, 50),
+        rng.NextDoubleInRange(50, 100)));
+  }
+  ExpectAgreesWithDynamic(dynamic, frozen, queries);
+}
+
+TEST(FrozenRTreeTest, EmptyTree) {
+  const auto frozen = FrozenRTreePoints2D::Freeze(RTreePoints2D());
+  EXPECT_TRUE(frozen.empty());
+  EXPECT_EQ(frozen.size(), 0u);
+  EXPECT_FALSE(frozen.AnyIntersecting(Rect(0, 0, 100, 100)));
+  EXPECT_TRUE(frozen.Bounds().IsEmpty());
+
+  BinaryWriter writer;
+  frozen.SerializeTo(writer);
+  BinaryReader reader(writer.bytes());
+  auto restored = FrozenRTreePoints2D::Deserialize(reader, BorrowContext{});
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(restored->empty());
+}
+
+TEST(FrozenRTreeTest, SerializeRoundTripBothModes) {
+  RTreePoints2D dynamic;
+  dynamic.BulkLoad(RandomPoints(600, 41));
+  const auto frozen = FrozenRTreePoints2D::Freeze(dynamic);
+
+  BinaryWriter writer;
+  frozen.SerializeTo(writer);
+  // Borrowed deserialization views into this buffer; the keepalive is what
+  // a real load would pin the file mapping with.
+  const auto buffer = std::make_shared<std::vector<std::byte>>(writer.bytes());
+
+  Rng rng(42);
+  std::vector<Rect> queries;
+  for (int q = 0; q < 150; ++q) queries.push_back(RandomQueryRect(rng));
+
+  {
+    BinaryReader reader(*buffer);
+    auto restored = FrozenRTreePoints2D::Deserialize(reader, BorrowContext{});
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    ExpectAgreesWithDynamic(dynamic, *restored, queries);
+  }
+  {
+    BinaryReader reader(*buffer);
+    auto restored = FrozenRTreePoints2D::Deserialize(
+        reader, BorrowContext{true, buffer});
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    ExpectAgreesWithDynamic(dynamic, *restored, queries);
+  }
+}
+
+TEST(FrozenRTreeTest, CorruptChildLinkIsRejected) {
+  RTreePoints2D dynamic;
+  dynamic.BulkLoad(RandomPoints(600, 51));
+  const auto frozen = FrozenRTreePoints2D::Freeze(dynamic);
+  ASSERT_GT(dynamic.Height(), 1);  // Need internal nodes to corrupt a link.
+
+  BinaryWriter writer;
+  frozen.SerializeTo(writer);
+  std::vector<std::byte> bytes = writer.TakeBytes();
+
+  // A back-link to node 0 would make the descent cyclic; Deserialize must
+  // reject it ("invalid child link") rather than loop or crash. The child
+  // node array follows size (u64), height (i32), the node array and the
+  // child box array; scan for the first child-link value instead of
+  // hand-computing the offset.
+  BinaryReader scan(bytes);
+  uint64_t size = 0;
+  int32_t height = 0;
+  ASSERT_TRUE(scan.ReadU64(&size).ok());
+  ASSERT_TRUE(scan.ReadI32(&height).ok());
+  std::span<const FrozenRTreePoints2D::Node> nodes;
+  std::span<const Rect> child_boxes;
+  ASSERT_TRUE(scan.ReadArrayView(&nodes).ok());
+  ASSERT_TRUE(scan.ReadArrayView(&child_boxes).ok());
+  std::span<const uint32_t> child_nodes;
+  const size_t links_at = [&] {
+    BinaryReader probe(bytes);
+    EXPECT_TRUE(probe.Skip(scan.offset()).ok());
+    EXPECT_TRUE(probe.ReadArrayView(&child_nodes).ok());
+    return probe.offset() - child_nodes.size() * sizeof(uint32_t);
+  }();
+  ASSERT_FALSE(child_nodes.empty());
+  const uint32_t zero = 0;
+  std::memcpy(bytes.data() + links_at, &zero, sizeof(zero));
+
+  BinaryReader reader(bytes);
+  auto restored = FrozenRTreePoints2D::Deserialize(reader, BorrowContext{});
+  ASSERT_FALSE(restored.ok());
+  EXPECT_NE(restored.status().message().find("child link"), std::string::npos)
+      << restored.status().ToString();
+}
+
+}  // namespace
+}  // namespace gsr

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/condensed_network.h"
+#include "core/method_factory.h"
+#include "core/method_snapshot.h"
+#include "core/naive_bfs.h"
+#include "exec/thread_pool.h"
+#include "tests/test_util.h"
+
+namespace gsr {
+namespace {
+
+/// Save/load round trips for every snapshot-able method. The loaded
+/// instance must answer every query exactly like the built one — in
+/// owned-copy mode and in zero-copy mmap mode.
+
+std::string TempPath(const std::string& name) {
+  std::string dir = ::testing::TempDir();
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  return dir + name;
+}
+
+std::vector<MethodConfig> SnapshotableConfigs() {
+  std::vector<MethodConfig> configs;
+  for (const MethodKind kind :
+       {MethodKind::kSpaReachBfl, MethodKind::kSpaReachInt,
+        MethodKind::kSpaReachPll, MethodKind::kSpaReachFeline,
+        MethodKind::kGeoReach, MethodKind::kSocReach, MethodKind::kThreeDReach,
+        MethodKind::kThreeDReachRev}) {
+    for (const SccSpatialMode mode :
+         {SccSpatialMode::kReplicate, SccSpatialMode::kMbr}) {
+      MethodConfig config;
+      config.kind = kind;
+      config.scc_mode = mode;
+      configs.push_back(config);
+      if (kind == MethodKind::kSocReach || kind == MethodKind::kGeoReach) {
+        break;
+      }
+    }
+  }
+  return configs;
+}
+
+void ExpectIdenticalAnswers(const RangeReachMethod& built,
+                            const RangeReachMethod& loaded,
+                            const GeoSocialNetwork& network, uint64_t seed) {
+  Rng rng(seed);
+  for (int q = 0; q < 200; ++q) {
+    const VertexId v =
+        static_cast<VertexId>(rng.NextBounded(network.num_vertices()));
+    const double x = rng.NextDoubleInRange(-10, 100);
+    const double y = rng.NextDoubleInRange(-10, 100);
+    const Rect region(x, y, x + rng.NextDoubleInRange(0, 60),
+                      y + rng.NextDoubleInRange(0, 60));
+    ASSERT_EQ(loaded.Evaluate(v, region), built.Evaluate(v, region))
+        << loaded.name() << " diverges on vertex " << v << " region "
+        << region.ToString();
+  }
+}
+
+TEST(MethodSnapshotTest, AllMethodsRoundTripBothLoadModes) {
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(250, 2.5, 0.4, 101);
+  const CondensedNetwork cn(&network);
+
+  int config_index = 0;
+  for (const MethodConfig& config : SnapshotableConfigs()) {
+    const auto built = CreateMethod(&cn, config);
+    const std::string path =
+        TempPath("method_" + std::to_string(config_index++) + ".snap");
+    ASSERT_TRUE(SaveMethodSnapshot(*built, config, cn, path).ok())
+        << built->name();
+
+    for (const snapshot::LoadMode mode :
+         {snapshot::LoadMode::kOwnedCopy, snapshot::LoadMode::kMmap}) {
+      auto loaded = LoadMethodSnapshot(&cn, path, {.mode = mode});
+      ASSERT_TRUE(loaded.ok())
+          << built->name() << ": " << loaded.status().ToString();
+      EXPECT_EQ(loaded->method->name(), built->name());
+      EXPECT_EQ(loaded->config.kind, config.kind);
+      EXPECT_EQ(loaded->config.scc_mode, config.scc_mode);
+      EXPECT_GT(loaded->method->IndexSizeBytes(), 0u);
+      ExpectIdenticalAnswers(*built, *loaded->method, network, 202);
+    }
+  }
+}
+
+TEST(MethodSnapshotTest, RoundTripWithThreadPool) {
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(150, 2.0, 0.5, 103);
+  const CondensedNetwork cn(&network);
+  exec::ThreadPool pool(2);
+
+  MethodConfig config;
+  config.kind = MethodKind::kThreeDReach;
+  const auto built = CreateMethod(&cn, config);
+  const std::string path = TempPath("method_pool.snap");
+  ASSERT_TRUE(SaveMethodSnapshot(*built, config, cn, path, &pool).ok());
+  auto loaded = LoadMethodSnapshot(
+      &cn, path, {.mode = snapshot::LoadMode::kOwnedCopy, .pool = &pool});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectIdenticalAnswers(*built, *loaded->method, network, 204);
+}
+
+TEST(MethodSnapshotTest, MmapLoadedMethodOutlivesTheFile) {
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(150, 2.0, 0.5, 105);
+  const CondensedNetwork cn(&network);
+
+  MethodConfig config;
+  config.kind = MethodKind::kSpaReachInt;
+  const auto built = CreateMethod(&cn, config);
+  const std::string path = TempPath("method_unlink.snap");
+  ASSERT_TRUE(SaveMethodSnapshot(*built, config, cn, path).ok());
+
+  auto loaded =
+      LoadMethodSnapshot(&cn, path, {.mode = snapshot::LoadMode::kMmap});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // POSIX keeps the mapping alive after the unlink; the loaded method's
+  // keepalive pins it, so queries must keep working.
+  ASSERT_EQ(std::remove(path.c_str()), 0);
+  ExpectIdenticalAnswers(*built, *loaded->method, network, 206);
+}
+
+TEST(MethodSnapshotTest, FingerprintMismatchIsRejected) {
+  const GeoSocialNetwork network_a =
+      testing::RandomGeoSocialNetwork(150, 2.0, 0.5, 107);
+  const GeoSocialNetwork network_b =
+      testing::RandomGeoSocialNetwork(151, 2.0, 0.5, 108);
+  const CondensedNetwork cn_a(&network_a);
+  const CondensedNetwork cn_b(&network_b);
+
+  MethodConfig config;
+  config.kind = MethodKind::kSocReach;
+  const auto built = CreateMethod(&cn_a, config);
+  const std::string path = TempPath("method_fingerprint.snap");
+  ASSERT_TRUE(SaveMethodSnapshot(*built, config, cn_a, path).ok());
+
+  auto loaded = LoadMethodSnapshot(&cn_b, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(loaded.status().message().find("fingerprint"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(MethodSnapshotTest, NaiveBfsCannotBeSnapshotted) {
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(50, 2.0, 0.5, 109);
+  const CondensedNetwork cn(&network);
+  const NaiveBfsMethod method(&network);
+  MethodConfig config;
+  config.kind = MethodKind::kNaiveBfs;
+  const Status status = SaveMethodSnapshot(
+      method, config, cn, TempPath("method_naive.snap"));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MethodSnapshotTest, MissingFileFails) {
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(50, 2.0, 0.5, 110);
+  const CondensedNetwork cn(&network);
+  auto loaded = LoadMethodSnapshot(&cn, TempPath("no_such_method.snap"));
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(MethodSnapshotTest, SaveToUnwritablePathFails) {
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(50, 2.0, 0.5, 111);
+  const CondensedNetwork cn(&network);
+  MethodConfig config;
+  config.kind = MethodKind::kSocReach;
+  const auto built = CreateMethod(&cn, config);
+  const Status status = SaveMethodSnapshot(
+      *built, config, cn, TempPath("missing_dir/method.snap"));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace gsr

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/condensed_network.h"
 #include "core/method_factory.h"
+#include "core/method_snapshot.h"
 #include "core/naive_bfs.h"
 #include "datagen/generator.h"
 #include "datagen/workload.h"
@@ -149,6 +151,52 @@ TEST(MethodsAgreementTest, QueryVertexItselfSpatial) {
     const auto method = CreateMethod(&cn, config);
     EXPECT_TRUE(method->Evaluate(0, Rect(0, 0, 10, 10))) << method->name();
     EXPECT_FALSE(method->Evaluate(1, Rect(0, 0, 10, 10))) << method->name();
+  }
+}
+
+TEST(MethodsAgreementTest, SnapshotLoadedMethodsMatchNaiveBfs) {
+  // The snapshot guarantee: a method loaded from disk — owned copy or
+  // zero-copy mmap — answers exactly like the ground truth, i.e. exactly
+  // like the instance it was saved from.
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(200, 2.5, 0.4, 77);
+  const CondensedNetwork cn(&network);
+  const NaiveBfsMethod oracle(&network);
+
+  std::string dir = ::testing::TempDir();
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+
+  std::vector<std::unique_ptr<RangeReachMethod>> methods;
+  int config_index = 0;
+  for (const MethodConfig& config : AllConfigs()) {
+    const auto built = CreateMethod(&cn, config);
+    const std::string path =
+        dir + "agreement_" + std::to_string(config_index++) + ".snap";
+    ASSERT_TRUE(SaveMethodSnapshot(*built, config, cn, path).ok())
+        << built->name();
+    for (const snapshot::LoadMode mode :
+         {snapshot::LoadMode::kOwnedCopy, snapshot::LoadMode::kMmap}) {
+      auto loaded = LoadMethodSnapshot(&cn, path, {.mode = mode});
+      ASSERT_TRUE(loaded.ok())
+          << built->name() << ": " << loaded.status().ToString();
+      methods.push_back(std::move(loaded->method));
+    }
+  }
+
+  Rng rng(0xFEED);
+  for (int q = 0; q < 150; ++q) {
+    const VertexId v =
+        static_cast<VertexId>(rng.NextBounded(network.num_vertices()));
+    const double x = rng.NextDoubleInRange(-10, 100);
+    const double y = rng.NextDoubleInRange(-10, 100);
+    const Rect region(x, y, x + rng.NextDoubleInRange(0, 60),
+                      y + rng.NextDoubleInRange(0, 60));
+    const bool expected = oracle.Evaluate(v, region);
+    for (const auto& method : methods) {
+      ASSERT_EQ(method->Evaluate(v, region), expected)
+          << "snapshot-loaded " << method->name() << " disagrees on vertex "
+          << v << " region " << region.ToString();
+    }
   }
 }
 

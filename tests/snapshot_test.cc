@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "exec/thread_pool.h"
+#include "snapshot/format.h"
+#include "snapshot/snapshot_reader.h"
+#include "snapshot/snapshot_writer.h"
+
+namespace gsr::snapshot {
+namespace {
+
+/// Robustness contract of the snapshot container (DESIGN.md, "Snapshot
+/// binary format"): any file — valid, truncated, or corrupted — either
+/// opens with every integrity check passed or fails with a clean Status.
+/// Nothing here may crash the process.
+
+std::string TempPath(const std::string& name) {
+  std::string dir = ::testing::TempDir();
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  return dir + name;
+}
+
+std::vector<char> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+std::vector<uint64_t> SampleValues() {
+  std::vector<uint64_t> values(1000);
+  for (size_t i = 0; i < values.size(); ++i) values[i] = i * i + 7;
+  return values;
+}
+
+/// Writes a two-section sample snapshot and returns its path.
+std::string WriteSample(const std::string& name,
+                        exec::ThreadPool* pool = nullptr) {
+  SnapshotWriter writer;
+  BinaryWriter& meta = writer.BeginSection(SectionId::kMeta);
+  meta.WriteU32(42);
+  meta.WriteU64(0xDEADBEEFull);
+  BinaryWriter& labeling = writer.BeginSection(SectionId::kLabeling);
+  labeling.WriteVector(SampleValues());
+  const std::string path = TempPath(name);
+  EXPECT_TRUE(writer.WriteFile(path, pool).ok());
+  return path;
+}
+
+void ExpectSampleReadsBack(const SnapshotReader& reader) {
+  EXPECT_TRUE(reader.HasSection(SectionId::kMeta));
+  EXPECT_TRUE(reader.HasSection(SectionId::kLabeling));
+  EXPECT_FALSE(reader.HasSection(SectionId::kBfl));
+
+  auto meta = reader.Section(SectionId::kMeta);
+  ASSERT_TRUE(meta.ok());
+  uint32_t small = 0;
+  uint64_t big = 0;
+  ASSERT_TRUE(meta->ReadU32(&small).ok());
+  ASSERT_TRUE(meta->ReadU64(&big).ok());
+  EXPECT_EQ(small, 42u);
+  EXPECT_EQ(big, 0xDEADBEEFull);
+
+  auto labeling = reader.Section(SectionId::kLabeling);
+  ASSERT_TRUE(labeling.ok());
+  std::vector<uint64_t> values;
+  ASSERT_TRUE(labeling->ReadVector(&values).ok());
+  EXPECT_EQ(values, SampleValues());
+
+  EXPECT_EQ(reader.Section(SectionId::kBfl).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SnapshotTest, RoundTripOwnedCopy) {
+  const std::string path = WriteSample("roundtrip_owned.snap");
+  auto reader = SnapshotReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->mode(), LoadMode::kOwnedCopy);
+  ExpectSampleReadsBack(*reader);
+}
+
+TEST(SnapshotTest, RoundTripMmap) {
+  const std::string path = WriteSample("roundtrip_mmap.snap");
+  auto reader = SnapshotReader::Open(path, {.mode = LoadMode::kMmap});
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->mode(), LoadMode::kMmap);
+  EXPECT_TRUE(reader->borrow_context().borrow);
+  EXPECT_NE(reader->borrow_context().keepalive, nullptr);
+  ExpectSampleReadsBack(*reader);
+}
+
+TEST(SnapshotTest, ParallelChecksumsMatchSerial) {
+  exec::ThreadPool pool(2);
+  const std::string parallel_path = WriteSample("parallel.snap", &pool);
+  const std::string serial_path = WriteSample("serial.snap");
+  // The file contents must be byte-identical regardless of who checksums.
+  EXPECT_EQ(ReadFileBytes(parallel_path), ReadFileBytes(serial_path));
+  auto reader =
+      SnapshotReader::Open(parallel_path, {.mode = LoadMode::kOwnedCopy,
+                                           .pool = &pool});
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  ExpectSampleReadsBack(*reader);
+}
+
+TEST(SnapshotTest, SectionPayloadsAreAligned) {
+  const std::string path = WriteSample("aligned.snap");
+  const std::vector<char> bytes = ReadFileBytes(path);
+  FileHeader header;
+  ASSERT_GE(bytes.size(), sizeof(header));
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  EXPECT_TRUE(header.MagicMatches());
+  EXPECT_EQ(header.format_version, kFormatVersion);
+  EXPECT_EQ(header.endian_tag, kEndianTag);
+  EXPECT_EQ(header.file_size, bytes.size());
+  ASSERT_EQ(header.section_count, 2u);
+  for (uint32_t i = 0; i < header.section_count; ++i) {
+    SectionEntry entry;
+    std::memcpy(&entry, bytes.data() + sizeof(header) + i * sizeof(entry),
+                sizeof(entry));
+    EXPECT_EQ(entry.offset % kSectionAlignment, 0u);
+    EXPECT_LE(entry.offset + entry.size, bytes.size());
+  }
+}
+
+TEST(SnapshotTest, MissingFileFails) {
+  auto reader = SnapshotReader::Open(TempPath("does_not_exist.snap"));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(SnapshotTest, EmptyFileFails) {
+  const std::string path = TempPath("empty.snap");
+  WriteFileBytes(path, {});
+  for (const LoadMode mode : {LoadMode::kOwnedCopy, LoadMode::kMmap}) {
+    auto reader = SnapshotReader::Open(path, {.mode = mode});
+    EXPECT_FALSE(reader.ok());
+  }
+}
+
+TEST(SnapshotTest, TruncatedFileFails) {
+  const std::string path = WriteSample("truncated.snap");
+  std::vector<char> bytes = ReadFileBytes(path);
+  bytes.resize(bytes.size() - 16);
+  WriteFileBytes(path, bytes);
+  for (const LoadMode mode : {LoadMode::kOwnedCopy, LoadMode::kMmap}) {
+    auto reader = SnapshotReader::Open(path, {.mode = mode});
+    ASSERT_FALSE(reader.ok());
+    EXPECT_NE(reader.status().message().find("truncated"), std::string::npos)
+        << reader.status().ToString();
+  }
+}
+
+TEST(SnapshotTest, TruncatedInsideHeaderFails) {
+  const std::string path = WriteSample("tiny.snap");
+  std::vector<char> bytes = ReadFileBytes(path);
+  bytes.resize(sizeof(FileHeader) / 2);
+  WriteFileBytes(path, bytes);
+  auto reader = SnapshotReader::Open(path);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(SnapshotTest, BadMagicFails) {
+  const std::string path = WriteSample("bad_magic.snap");
+  std::vector<char> bytes = ReadFileBytes(path);
+  bytes[0] ^= 0x01;
+  WriteFileBytes(path, bytes);
+  auto reader = SnapshotReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("magic"), std::string::npos)
+      << reader.status().ToString();
+}
+
+TEST(SnapshotTest, WrongFormatVersionFails) {
+  const std::string path = WriteSample("bad_version.snap");
+  std::vector<char> bytes = ReadFileBytes(path);
+  const uint32_t future_version = 99;
+  std::memcpy(bytes.data() + offsetof(FileHeader, format_version),
+              &future_version, sizeof(future_version));
+  WriteFileBytes(path, bytes);
+  auto reader = SnapshotReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("version"), std::string::npos)
+      << reader.status().ToString();
+}
+
+TEST(SnapshotTest, FlippedPayloadByteFailsChecksum) {
+  const std::string path = WriteSample("bad_payload.snap");
+  std::vector<char> bytes = ReadFileBytes(path);
+  SectionEntry entry;
+  std::memcpy(&entry, bytes.data() + sizeof(FileHeader), sizeof(entry));
+  ASSERT_GT(entry.size, 0u);
+  bytes[entry.offset] ^= 0x40;
+  WriteFileBytes(path, bytes);
+  for (const LoadMode mode : {LoadMode::kOwnedCopy, LoadMode::kMmap}) {
+    auto reader = SnapshotReader::Open(path, {.mode = mode});
+    ASSERT_FALSE(reader.ok());
+    EXPECT_NE(reader.status().message().find("checksum"), std::string::npos)
+        << reader.status().ToString();
+  }
+}
+
+TEST(SnapshotTest, FlippedTableByteFailsChecksum) {
+  const std::string path = WriteSample("bad_table.snap");
+  std::vector<char> bytes = ReadFileBytes(path);
+  bytes[sizeof(FileHeader) + offsetof(SectionEntry, checksum)] ^= 0x01;
+  WriteFileBytes(path, bytes);
+  auto reader = SnapshotReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("checksum"), std::string::npos)
+      << reader.status().ToString();
+}
+
+TEST(SnapshotTest, CorruptionDetectedWithParallelVerification) {
+  const std::string path = WriteSample("bad_payload_pool.snap");
+  std::vector<char> bytes = ReadFileBytes(path);
+  SectionEntry entry;
+  // Corrupt the second section so the bad index is not trivially 0.
+  std::memcpy(&entry, bytes.data() + sizeof(FileHeader) + sizeof(entry),
+              sizeof(entry));
+  ASSERT_GT(entry.size, 0u);
+  bytes[entry.offset + entry.size - 1] ^= 0x80;
+  WriteFileBytes(path, bytes);
+  exec::ThreadPool pool(2);
+  auto reader = SnapshotReader::Open(
+      path, {.mode = LoadMode::kOwnedCopy, .pool = &pool});
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("checksum"), std::string::npos)
+      << reader.status().ToString();
+}
+
+}  // namespace
+}  // namespace gsr::snapshot
