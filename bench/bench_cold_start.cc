@@ -207,6 +207,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  WriteJson(options.out_dir + "/BENCH_snapshot.json", all, options.scale);
+  const std::string json_path = options.out_dir + "/BENCH_snapshot.json";
+  WriteJson(json_path, all, options.scale);
+  MirrorBenchJson(json_path);
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "exec/batch_runner.h"
 
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
 
@@ -33,7 +34,8 @@ std::vector<std::string> SplitCommas(const std::string& value) {
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--scale f] [--queries n] [--out dir] "
-               "[--datasets a,b,...] [--threads n]\n",
+               "[--datasets a,b,...] [--threads n] "
+               "[--kernel scalar|sse42|avx2|native] [--baseline path]\n",
                argv0);
   std::exit(2);
 }
@@ -60,6 +62,13 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       options.datasets = SplitCommas(next());
     } else if (arg == "--threads") {
       options.threads = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--kernel") {
+      const char* name = next();
+      if (!simd::SetKernelLevelFromString(name)) Usage(argv[0]);
+      std::fprintf(stderr, "[bench] query kernels forced to %s\n",
+                   simd::KernelLevelName(simd::ActiveLevel()));
+    } else if (arg == "--baseline") {
+      options.baseline = next();
     } else {
       Usage(argv[0]);
     }
@@ -260,6 +269,26 @@ bool EnsureDir(const std::string& dir) {
     return false;
   }
   return true;
+}
+
+void MirrorBenchJson(const std::string& json_path) {
+  namespace fs = std::filesystem;
+  const fs::path src(json_path);
+  const fs::path dst = src.filename();
+  std::error_code ec;
+  // equivalent() errors when dst does not exist yet; that just means
+  // "not the same file", so fall through to the copy.
+  if (fs::equivalent(src, dst, ec)) return;
+  ec.clear();
+  fs::copy_file(src, dst, fs::copy_options::overwrite_existing, ec);
+  if (ec) {
+    std::fprintf(stderr, "warning: cannot mirror %s to %s: %s\n",
+                 json_path.c_str(), dst.string().c_str(),
+                 ec.message().c_str());
+    return;
+  }
+  std::fprintf(stderr, "[bench] mirrored %s -> %s\n", json_path.c_str(),
+               dst.string().c_str());
 }
 
 std::string Mb(size_t bytes) {

@@ -26,6 +26,11 @@ namespace gsr::bench {
 ///                  foursquare,gowalla,weeplaces,yelp
 ///   --threads <n>  worker threads for throughput harnesses; 0 (default)
 ///                  means hardware concurrency
+///   --kernel <k>   force the SIMD query-kernel level for the whole run:
+///                  scalar | sse42 | avx2 | native (default: native
+///                  dispatch, i.e. the strongest level the CPU supports)
+///   --baseline <p> tracked BENCH_throughput.json to compare against
+///                  (bench_throughput only; default the repo-root copy)
 struct BenchOptions {
   double scale = 0.25;
   uint32_t queries = 200;
@@ -33,8 +38,12 @@ struct BenchOptions {
   std::vector<std::string> datasets = {"foursquare", "gowalla", "weeplaces",
                                        "yelp"};
   unsigned threads = 0;
+  std::string baseline = "BENCH_throughput.json";
 
-  /// Parses argv; aborts with a usage message on unknown flags.
+  /// Parses argv; aborts with a usage message on unknown flags. A
+  /// --kernel override is installed immediately via
+  /// simd::SetKernelLevelFromString, so it applies to every measurement
+  /// the harness makes.
   static BenchOptions Parse(int argc, char** argv);
 };
 
@@ -94,6 +103,12 @@ ThroughputStats MeasureThroughput(const RangeReachMethod& method,
 /// Creates `dir` if needed; returns false (with a warning on stderr) when
 /// that fails — CSV output is then skipped.
 bool EnsureDir(const std::string& dir);
+
+/// Copies a freshly written <out>/BENCH_*.json over the tracked copy in
+/// the current working directory (the repo root when benches are run per
+/// README), so the two can never drift. No-op when the bench already
+/// wrote to the working directory; a failed copy only warns.
+void MirrorBenchJson(const std::string& json_path);
 
 /// One curve of a figure: a display label and the method answering it.
 struct FigureSeries {

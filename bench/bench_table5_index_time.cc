@@ -235,8 +235,9 @@ int main(int argc, char** argv) {
   }
 
   if (csv) {
-    WriteJson(options.out_dir + "/BENCH_build.json", all, dataset_names, sweep,
-              options.scale);
+    const std::string json_path = options.out_dir + "/BENCH_build.json";
+    WriteJson(json_path, all, dataset_names, sweep, options.scale);
+    MirrorBenchJson(json_path);
   }
   return 0;
 }

@@ -1,0 +1,96 @@
+#include "common/simd.h"
+
+#include <cstdlib>
+
+#include "common/simd_internal.h"
+
+namespace gsr::simd {
+
+namespace internal {
+std::atomic<const KernelTable*> active_table{nullptr};
+}  // namespace internal
+
+namespace {
+
+KernelLevel DetectMaxLevel() {
+#if GSR_SIMD_ENABLED && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx2")) return KernelLevel::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return KernelLevel::kSse42;
+#endif
+  return KernelLevel::kScalar;
+}
+
+}  // namespace
+
+KernelLevel MaxSupportedLevel() {
+  static const KernelLevel level = DetectMaxLevel();
+  return level;
+}
+
+const KernelTable& Table(KernelLevel level) {
+  // Requests above what the build/CPU supports clamp down, never up.
+  if (level > MaxSupportedLevel()) level = MaxSupportedLevel();
+#if GSR_SIMD_ENABLED
+  switch (level) {
+    case KernelLevel::kAvx2:
+      return internal::kAvx2Table;
+    case KernelLevel::kSse42:
+      return internal::kSse42Table;
+    case KernelLevel::kScalar:
+      break;
+  }
+#endif
+  return internal::kScalarTable;
+}
+
+KernelLevel ActiveLevel() { return Kernels().level; }
+
+KernelLevel SetKernelLevel(KernelLevel level) {
+  const KernelTable& table = Table(level);
+  internal::active_table.store(&table, std::memory_order_release);
+  return table.level;
+}
+
+bool SetKernelLevelFromString(std::string_view name) {
+  if (name == "scalar") {
+    SetKernelLevel(KernelLevel::kScalar);
+  } else if (name == "sse42") {
+    SetKernelLevel(KernelLevel::kSse42);
+  } else if (name == "avx2") {
+    SetKernelLevel(KernelLevel::kAvx2);
+  } else if (name == "native") {
+    SetKernelLevel(MaxSupportedLevel());
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* KernelLevelName(KernelLevel level) {
+  switch (level) {
+    case KernelLevel::kScalar:
+      return "scalar";
+    case KernelLevel::kSse42:
+      return "sse42";
+    case KernelLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+namespace internal {
+
+const KernelTable& ResolveAndInstallDefault() {
+  // First probe in this process: honor a GSR_KERNEL override, else run
+  // at the strongest level the CPU supports. Concurrent first probes
+  // race benignly — every contender installs the same table.
+  const char* env = std::getenv("GSR_KERNEL");
+  if (env == nullptr || !SetKernelLevelFromString(env)) {
+    SetKernelLevel(MaxSupportedLevel());
+  }
+  return *active_table.load(std::memory_order_acquire);
+}
+
+}  // namespace internal
+
+}  // namespace gsr::simd

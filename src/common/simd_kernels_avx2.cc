@@ -1,0 +1,325 @@
+// AVX2 kernels (256-bit). This TU is the only one compiled with -mavx2;
+// it is selected at runtime by CPUID dispatch (see simd.cc), so the rest
+// of the binary stays baseline-x86-64 and one build serves all hosts.
+//
+// Every kernel is a pure comparison network — no floating-point
+// arithmetic — so results are bit-identical to the scalar reference.
+
+#include "common/simd_internal.h"
+
+#if GSR_SIMD_ENABLED
+
+#include <immintrin.h>
+
+#include <limits>
+
+namespace gsr::simd::internal {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Hit lanes for 4 (lo, hi) pairs in the natural interleaving lo0 hi0
+/// lo1 hi1 ...: even 32-bit lanes carry lo, odd lanes hi. `lo <= value`
+/// lands in the even lanes of the min-compare, `hi >= value` in the odd
+/// lanes of the max-compare; shifting the latter down by a lane lines
+/// the two conditions up, so each even result lane is all-ones exactly
+/// when its interval contains `value` (odd lanes come out zero).
+inline __m256i HitLanes(__m256i d, __m256i vv) {
+  const __m256i le = _mm256_cmpeq_epi32(_mm256_min_epu32(d, vv), d);
+  const __m256i ge = _mm256_cmpeq_epi32(_mm256_max_epu32(d, vv), d);
+  return _mm256_and_si256(le, _mm256_srli_epi64(ge, 32));
+}
+
+/// Containment scan over intervals [begin, end) within an array of n.
+/// Branchless: hit lanes are OR-accumulated and a single testz extracts
+/// the verdict, so there is no per-block movemask/branch on the critical
+/// path. The ragged tail re-tests up to 3 earlier intervals through an
+/// overlapping in-bounds load — harmless, because scanning extra
+/// candidates of a normalized run never yields a false positive (see
+/// WindowScanRange).
+inline bool ScanIntervals(const Interval* intervals, size_t n, size_t begin,
+                          size_t end, uint32_t value) {
+  const __m256i vv = _mm256_set1_epi32(static_cast<int>(value));
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = begin;
+  for (; i + 8 <= end; i += 8) {
+    const __m256i d0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(intervals + i));
+    const __m256i d1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(intervals + i + 4));
+    acc = _mm256_or_si256(acc, _mm256_or_si256(HitLanes(d0, vv),
+                                               HitLanes(d1, vv)));
+  }
+  for (; i + 4 <= end; i += 4) {
+    const __m256i d = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(intervals + i));
+    acc = _mm256_or_si256(acc, HitLanes(d, vv));
+  }
+  if (i < end) {
+    // Clamp the final 4-wide load so it stays inside [0, n); callers
+    // guarantee n >= 4.
+    const size_t j = (i + 4 <= n) ? i : n - 4;
+    const __m256i d = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(intervals + j));
+    acc = _mm256_or_si256(acc, HitLanes(d, vv));
+  }
+  return _mm256_testz_si256(acc, acc) == 0;
+}
+
+bool IntervalContainsAvx2(const Interval* intervals, size_t n,
+                          uint32_t value) {
+  if (n < 4) {
+    bool hit = false;
+    for (size_t i = 0; i < n; ++i) {
+      hit |= (intervals[i].lo <= value) & (value <= intervals[i].hi);
+    }
+    return hit;
+  }
+  // Branchless galloping down to a short run, then the 8-wide scan.
+  const IntervalWindow w =
+      NarrowToWindow(intervals, n, value, /*window=*/16);
+  const ScanRange r = WindowScanRange(w);
+  return ScanIntervals(intervals, n, r.begin, r.end, value);
+}
+
+uint64_t IntervalContainsManyAvx2(const Interval* intervals, size_t n,
+                                  const uint32_t* values, size_t count) {
+  if (n == 0) return 0;
+  uint64_t mask = 0;
+  if (n <= 64) {
+    // Value-transposed: 8 candidate values per vector, swept against
+    // every interval of the run with per-interval broadcasts. For the
+    // short runs the labeling produces this turns the O(count * log n)
+    // search into O(count * n / 8) straight-line compares with no
+    // data-dependent branches at all.
+    size_t k = 0;
+    for (; k + 8 <= count; k += 8) {
+      const __m256i vals = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(values + k));
+      __m256i hit = _mm256_setzero_si256();
+      for (size_t j = 0; j < n; ++j) {
+        const __m256i lo = _mm256_set1_epi32(static_cast<int>(intervals[j].lo));
+        const __m256i hi = _mm256_set1_epi32(static_cast<int>(intervals[j].hi));
+        const __m256i ge =
+            _mm256_cmpeq_epi32(_mm256_max_epu32(vals, lo), vals);
+        const __m256i le =
+            _mm256_cmpeq_epi32(_mm256_min_epu32(vals, hi), vals);
+        hit = _mm256_or_si256(hit, _mm256_and_si256(ge, le));
+      }
+      const uint64_t bits = static_cast<uint64_t>(static_cast<unsigned>(
+          _mm256_movemask_ps(_mm256_castsi256_ps(hit))));
+      mask |= bits << k;
+    }
+    for (; k < count; ++k) {
+      mask |= static_cast<uint64_t>(
+                  IntervalContainsAvx2(intervals, n, values[k]))
+              << k;
+    }
+    return mask;
+  }
+  // Long runs: the per-value galloping probe already beats a full sweep;
+  // the batch still amortizes the dispatch call.
+  for (size_t k = 0; k < count; ++k) {
+    mask |= static_cast<uint64_t>(IntervalContainsAvx2(intervals, n, values[k]))
+            << k;
+  }
+  return mask;
+}
+
+bool Subset64Avx2(const uint64_t* super, const uint64_t* sub, size_t words) {
+  __m256i stray = _mm256_setzero_si256();
+  size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i a = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(super + w));
+    const __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(sub + w));
+    stray = _mm256_or_si256(stray, _mm256_andnot_si256(a, b));
+  }
+  // Fold to 128 bits and finish the <4-word remainder there, so the
+  // common BFL configurations (2-word filters) stay vectorized.
+  __m128i s = _mm_or_si128(_mm256_castsi256_si128(stray),
+                           _mm256_extracti128_si256(stray, 1));
+  if (w + 2 <= words) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(super + w));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(sub + w));
+    s = _mm_or_si128(s, _mm_andnot_si128(a, b));
+    w += 2;
+  }
+  const uint64_t tail = (w < words) ? (sub[w] & ~super[w]) : 0;
+  return _mm_testz_si128(s, s) != 0 && tail == 0;
+}
+
+uint64_t BflPruneMaskAvx2(const uint64_t* out_filters,
+                          const uint64_t* in_filters, size_t words,
+                          const uint32_t* ids, size_t count,
+                          const uint64_t* out_to, const uint64_t* in_to) {
+  uint64_t mask = 0;
+  for (size_t k = 0; k < count; ++k) {
+    const size_t off = static_cast<size_t>(ids[k]) * words;
+    if (k + 1 < count) {
+      const size_t next = static_cast<size_t>(ids[k + 1]) * words;
+      PrefetchRead(out_filters + next);
+      PrefetchRead(in_filters + next);
+    }
+    const uint64_t* out_w = out_filters + off;
+    const uint64_t* in_w = in_filters + off;
+    // Candidate k survives iff out_to ⊆ out_w and in_w ⊆ in_to; both
+    // strays accumulate in one register.
+    __m256i stray = _mm256_setzero_si256();
+    size_t w = 0;
+    for (; w + 4 <= words; w += 4) {
+      const __m256i ow = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(out_w + w));
+      const __m256i ot = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(out_to + w));
+      const __m256i iw = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(in_w + w));
+      const __m256i it = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(in_to + w));
+      stray = _mm256_or_si256(stray,
+                              _mm256_or_si256(_mm256_andnot_si256(ow, ot),
+                                              _mm256_andnot_si256(it, iw)));
+    }
+    __m128i s = _mm_or_si128(_mm256_castsi256_si128(stray),
+                             _mm256_extracti128_si256(stray, 1));
+    if (w + 2 <= words) {
+      const __m128i ow =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(out_w + w));
+      const __m128i ot =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(out_to + w));
+      const __m128i iw =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(in_w + w));
+      const __m128i it =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(in_to + w));
+      s = _mm_or_si128(s, _mm_or_si128(_mm_andnot_si128(ow, ot),
+                                       _mm_andnot_si128(it, iw)));
+      w += 2;
+    }
+    const uint64_t tail =
+        (w < words) ? ((out_to[w] & ~out_w[w]) | (in_w[w] & ~in_to[w])) : 0;
+    const uint64_t survive =
+        static_cast<uint64_t>(_mm_testz_si128(s, s) != 0) & (tail == 0);
+    mask |= survive << k;
+  }
+  return mask;
+}
+
+uint64_t RectIntersectMaskAvx2(const Rect* boxes, size_t n,
+                               const Rect& query) {
+  // One whole Rect (min_x, min_y, max_x, max_y) per 256-bit load. The
+  // min lanes must be <= the query max and the max lanes >= the query
+  // min; the off-duty lanes compare against ±inf and always pass.
+  const __m256d qhi = _mm256_setr_pd(query.max_x, query.max_y, kInf, kInf);
+  const __m256d qlo = _mm256_setr_pd(-kInf, -kInf, query.min_x, query.min_y);
+  uint64_t mask = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const __m256d b = _mm256_loadu_pd(&boxes[i].min_x);
+    const __m256d ok = _mm256_and_pd(_mm256_cmp_pd(b, qhi, _CMP_LE_OQ),
+                                     _mm256_cmp_pd(b, qlo, _CMP_GE_OQ));
+    const uint64_t hit =
+        static_cast<uint64_t>(_mm256_movemask_pd(ok) == 0xF);
+    mask |= hit << i;
+  }
+  return mask;
+}
+
+uint64_t RectContainsPointMaskAvx2(const Point2D* points, size_t n,
+                                   const Rect& query) {
+  // Two points (x0, y0, x1, y1) per 256-bit load.
+  const __m256d qlo =
+      _mm256_setr_pd(query.min_x, query.min_y, query.min_x, query.min_y);
+  const __m256d qhi =
+      _mm256_setr_pd(query.max_x, query.max_y, query.max_x, query.max_y);
+  uint64_t mask = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m256d p = _mm256_loadu_pd(&points[i].x);
+    const __m256d ok = _mm256_and_pd(_mm256_cmp_pd(p, qlo, _CMP_GE_OQ),
+                                     _mm256_cmp_pd(p, qhi, _CMP_LE_OQ));
+    const int m = _mm256_movemask_pd(ok);
+    mask |= static_cast<uint64_t>((m & 0x3) == 0x3) << i;
+    mask |= static_cast<uint64_t>((m >> 2) == 0x3) << (i + 1);
+  }
+  if (i < n) {
+    const Point2D& p = points[i];
+    const uint64_t hit = static_cast<uint64_t>(
+        (p.x >= query.min_x) & (p.x <= query.max_x) & (p.y >= query.min_y) &
+        (p.y <= query.max_y));
+    mask |= hit << i;
+  }
+  return mask;
+}
+
+uint64_t Box3IntersectMaskAvx2(const Box3D* boxes, size_t n,
+                               const Box3D& query) {
+  // A Box3D is 6 contiguous doubles m0 m1 m2 M0 M1 M2. Two overlapping
+  // 256-bit loads cover it without reading past the struct: the first
+  // tests the three mins (lane 3 pads against +inf), the second the
+  // three maxes (lane 0 pads against -inf).
+  const __m256d qle =
+      _mm256_setr_pd(query.max[0], query.max[1], query.max[2], kInf);
+  const __m256d qge =
+      _mm256_setr_pd(-kInf, query.min[0], query.min[1], query.min[2]);
+  uint64_t mask = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const __m256d lo = _mm256_loadu_pd(&boxes[i].min[0]);  // m0 m1 m2 M0
+    const __m256d hi = _mm256_loadu_pd(&boxes[i].min[2]);  // m2 M0 M1 M2
+    const int a = _mm256_movemask_pd(_mm256_cmp_pd(lo, qle, _CMP_LE_OQ));
+    const int b = _mm256_movemask_pd(_mm256_cmp_pd(hi, qge, _CMP_GE_OQ));
+    const uint64_t hit = static_cast<uint64_t>((a == 0xF) & (b == 0xF));
+    mask |= hit << i;
+  }
+  return mask;
+}
+
+uint64_t Box3ContainsPointMaskAvx2(const Point3D* points, size_t n,
+                                   const Box3D& query) {
+  // A 256-bit load of (x, y, z) reads one double into the next point,
+  // so the last point is tested scalar. The junk lane compares against
+  // ±inf and always passes (coordinates are finite).
+  const __m256d qlo =
+      _mm256_setr_pd(query.min[0], query.min[1], query.min[2], -kInf);
+  const __m256d qhi =
+      _mm256_setr_pd(query.max[0], query.max[1], query.max[2], kInf);
+  uint64_t mask = 0;
+  size_t i = 0;
+  if (n > 0) {
+    for (; i + 1 < n; ++i) {
+      const __m256d p = _mm256_loadu_pd(&points[i].x);
+      const __m256d ok = _mm256_and_pd(_mm256_cmp_pd(p, qlo, _CMP_GE_OQ),
+                                       _mm256_cmp_pd(p, qhi, _CMP_LE_OQ));
+      const uint64_t hit =
+          static_cast<uint64_t>(_mm256_movemask_pd(ok) == 0xF);
+      mask |= hit << i;
+    }
+    const Point3D& p = points[n - 1];
+    const uint64_t hit = static_cast<uint64_t>(
+        (p.x >= query.min[0]) & (p.x <= query.max[0]) &
+        (p.y >= query.min[1]) & (p.y <= query.max[1]) &
+        (p.z >= query.min[2]) & (p.z <= query.max[2]));
+    mask |= hit << (n - 1);
+  }
+  return mask;
+}
+
+}  // namespace
+
+const KernelTable kAvx2Table = {
+    KernelLevel::kAvx2,
+    "avx2",
+    &IntervalContainsAvx2,
+    &Subset64Avx2,
+    &IntervalContainsManyAvx2,
+    &BflPruneMaskAvx2,
+    &RectIntersectMaskAvx2,
+    &RectContainsPointMaskAvx2,
+    &Box3IntersectMaskAvx2,
+    &Box3ContainsPointMaskAvx2,
+};
+
+}  // namespace gsr::simd::internal
+
+#endif  // GSR_SIMD_ENABLED

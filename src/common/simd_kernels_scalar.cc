@@ -1,0 +1,132 @@
+// Portable scalar kernels — the reference semantics every SIMD level
+// must reproduce bit-for-bit, and the only level compiled when
+// GSR_SIMD=OFF or the target is not x86-64. Written as the idiomatic
+// portable implementations (the interval probe is the same
+// upper-bound-style search the labeling layer used before the kernel
+// table existed): the branchless-galloping and wide-compare
+// formulations live in the SIMD levels, which is exactly what forcing
+// kScalar is meant to measure them against.
+
+#include "common/simd_internal.h"
+
+namespace gsr::simd::internal {
+
+bool IntervalContainsScalar(const Interval* intervals, size_t n,
+                            uint32_t value) {
+  // Find the first interval with lo > value; only the one before it can
+  // contain value (the run is normalized: sorted by lo, disjoint).
+  size_t lo = 0;
+  size_t hi = n;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (intervals[mid].lo <= value) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo > 0 && intervals[lo - 1].hi >= value;
+}
+
+bool Subset64Scalar(const uint64_t* super, const uint64_t* sub,
+                    size_t words) {
+  uint64_t stray = 0;
+  for (size_t w = 0; w < words; ++w) stray |= sub[w] & ~super[w];
+  return stray == 0;
+}
+
+uint64_t IntervalContainsManyScalar(const Interval* intervals, size_t n,
+                                    const uint32_t* values, size_t count) {
+  uint64_t mask = 0;
+  for (size_t k = 0; k < count; ++k) {
+    const uint64_t hit =
+        static_cast<uint64_t>(IntervalContainsScalar(intervals, n, values[k]));
+    mask |= hit << k;
+  }
+  return mask;
+}
+
+uint64_t BflPruneMaskScalar(const uint64_t* out_filters,
+                            const uint64_t* in_filters, size_t words,
+                            const uint32_t* ids, size_t count,
+                            const uint64_t* out_to, const uint64_t* in_to) {
+  uint64_t mask = 0;
+  for (size_t k = 0; k < count; ++k) {
+    const uint64_t* out_w = out_filters + static_cast<size_t>(ids[k]) * words;
+    const uint64_t* in_w = in_filters + static_cast<size_t>(ids[k]) * words;
+    const uint64_t survive =
+        static_cast<uint64_t>(Subset64Scalar(out_w, out_to, words) &&
+                              Subset64Scalar(in_to, in_w, words));
+    mask |= survive << k;
+  }
+  return mask;
+}
+
+uint64_t RectIntersectMaskScalar(const Rect* boxes, size_t n,
+                                 const Rect& query) {
+  uint64_t mask = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Rect& b = boxes[i];
+    const uint64_t hit = static_cast<uint64_t>(
+        (b.min_x <= query.max_x) & (query.min_x <= b.max_x) &
+        (b.min_y <= query.max_y) & (query.min_y <= b.max_y));
+    mask |= hit << i;
+  }
+  return mask;
+}
+
+uint64_t RectContainsPointMaskScalar(const Point2D* points, size_t n,
+                                     const Rect& query) {
+  uint64_t mask = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Point2D& p = points[i];
+    const uint64_t hit = static_cast<uint64_t>(
+        (p.x >= query.min_x) & (p.x <= query.max_x) & (p.y >= query.min_y) &
+        (p.y <= query.max_y));
+    mask |= hit << i;
+  }
+  return mask;
+}
+
+uint64_t Box3IntersectMaskScalar(const Box3D* boxes, size_t n,
+                                 const Box3D& query) {
+  uint64_t mask = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Box3D& b = boxes[i];
+    const uint64_t hit = static_cast<uint64_t>(
+        (b.min[0] <= query.max[0]) & (query.min[0] <= b.max[0]) &
+        (b.min[1] <= query.max[1]) & (query.min[1] <= b.max[1]) &
+        (b.min[2] <= query.max[2]) & (query.min[2] <= b.max[2]));
+    mask |= hit << i;
+  }
+  return mask;
+}
+
+uint64_t Box3ContainsPointMaskScalar(const Point3D* points, size_t n,
+                                     const Box3D& query) {
+  uint64_t mask = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Point3D& p = points[i];
+    const uint64_t hit = static_cast<uint64_t>(
+        (p.x >= query.min[0]) & (p.x <= query.max[0]) &
+        (p.y >= query.min[1]) & (p.y <= query.max[1]) &
+        (p.z >= query.min[2]) & (p.z <= query.max[2]));
+    mask |= hit << i;
+  }
+  return mask;
+}
+
+const KernelTable kScalarTable = {
+    KernelLevel::kScalar,
+    "scalar",
+    &IntervalContainsScalar,
+    &Subset64Scalar,
+    &IntervalContainsManyScalar,
+    &BflPruneMaskScalar,
+    &RectIntersectMaskScalar,
+    &RectContainsPointMaskScalar,
+    &Box3IntersectMaskScalar,
+    &Box3ContainsPointMaskScalar,
+};
+
+}  // namespace gsr::simd::internal

@@ -1,0 +1,251 @@
+// SSE4.2 kernels (128-bit): the mid tier for x86-64 hosts without AVX2.
+// This TU is the only one compiled with -msse4.2; runtime CPUID dispatch
+// (simd.cc) selects it, so the default build stays baseline x86-64.
+//
+// Same exact-comparison contract as the scalar and AVX2 levels.
+
+#include "common/simd_internal.h"
+
+#if GSR_SIMD_ENABLED
+
+#include <nmmintrin.h>
+#include <smmintrin.h>
+
+#include <limits>
+
+namespace gsr::simd::internal {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Hit lanes for 2 (lo, hi) pairs: even lanes lo, odd lanes hi; see the
+/// AVX2 twin for the lane algebra.
+inline __m128i HitLanes(__m128i d, __m128i vv) {
+  const __m128i le = _mm_cmpeq_epi32(_mm_min_epu32(d, vv), d);
+  const __m128i ge = _mm_cmpeq_epi32(_mm_max_epu32(d, vv), d);
+  return _mm_and_si128(le, _mm_srli_epi64(ge, 32));
+}
+
+/// Branchless containment scan: OR-accumulated hit lanes, one testz at
+/// the end, and an overlapping in-bounds load for an odd tail interval
+/// (re-testing an earlier candidate of a normalized run is harmless —
+/// see WindowScanRange). Callers guarantee n >= 2.
+inline bool ScanIntervals(const Interval* intervals, size_t n, size_t begin,
+                          size_t end, uint32_t value) {
+  const __m128i vv = _mm_set1_epi32(static_cast<int>(value));
+  __m128i acc = _mm_setzero_si128();
+  size_t i = begin;
+  for (; i + 4 <= end; i += 4) {
+    const __m128i d0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(intervals + i));
+    const __m128i d1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(intervals + i + 2));
+    acc = _mm_or_si128(acc, _mm_or_si128(HitLanes(d0, vv), HitLanes(d1, vv)));
+  }
+  for (; i + 2 <= end; i += 2) {
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(intervals + i));
+    acc = _mm_or_si128(acc, HitLanes(d, vv));
+  }
+  if (i < end) {
+    const size_t j = (i + 2 <= n) ? i : n - 2;
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(intervals + j));
+    acc = _mm_or_si128(acc, HitLanes(d, vv));
+  }
+  return _mm_testz_si128(acc, acc) == 0;
+}
+
+bool IntervalContainsSse42(const Interval* intervals, size_t n,
+                           uint32_t value) {
+  if (n < 2) {
+    return n == 1 &&
+           ((intervals[0].lo <= value) & (value <= intervals[0].hi));
+  }
+  const IntervalWindow w = NarrowToWindow(intervals, n, value, /*window=*/8);
+  const ScanRange r = WindowScanRange(w);
+  return ScanIntervals(intervals, n, r.begin, r.end, value);
+}
+
+uint64_t IntervalContainsManySse42(const Interval* intervals, size_t n,
+                                   const uint32_t* values, size_t count) {
+  if (n == 0) return 0;
+  uint64_t mask = 0;
+  if (n <= 64) {
+    // Value-transposed: 4 candidate values per vector against every
+    // interval of the run (see the AVX2 twin).
+    size_t k = 0;
+    for (; k + 4 <= count; k += 4) {
+      const __m128i vals =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(values + k));
+      __m128i hit = _mm_setzero_si128();
+      for (size_t j = 0; j < n; ++j) {
+        const __m128i lo = _mm_set1_epi32(static_cast<int>(intervals[j].lo));
+        const __m128i hi = _mm_set1_epi32(static_cast<int>(intervals[j].hi));
+        const __m128i ge = _mm_cmpeq_epi32(_mm_max_epu32(vals, lo), vals);
+        const __m128i le = _mm_cmpeq_epi32(_mm_min_epu32(vals, hi), vals);
+        hit = _mm_or_si128(hit, _mm_and_si128(ge, le));
+      }
+      const uint64_t bits = static_cast<uint64_t>(
+          static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(hit))));
+      mask |= bits << k;
+    }
+    for (; k < count; ++k) {
+      mask |= static_cast<uint64_t>(
+                  IntervalContainsSse42(intervals, n, values[k]))
+              << k;
+    }
+    return mask;
+  }
+  for (size_t k = 0; k < count; ++k) {
+    mask |= static_cast<uint64_t>(
+                IntervalContainsSse42(intervals, n, values[k]))
+            << k;
+  }
+  return mask;
+}
+
+uint64_t BflPruneMaskSse42(const uint64_t* out_filters,
+                           const uint64_t* in_filters, size_t words,
+                           const uint32_t* ids, size_t count,
+                           const uint64_t* out_to, const uint64_t* in_to) {
+  uint64_t mask = 0;
+  for (size_t k = 0; k < count; ++k) {
+    const size_t off = static_cast<size_t>(ids[k]) * words;
+    if (k + 1 < count) {
+      const size_t next = static_cast<size_t>(ids[k + 1]) * words;
+      PrefetchRead(out_filters + next);
+      PrefetchRead(in_filters + next);
+    }
+    const uint64_t* out_w = out_filters + off;
+    const uint64_t* in_w = in_filters + off;
+    __m128i stray = _mm_setzero_si128();
+    size_t w = 0;
+    for (; w + 2 <= words; w += 2) {
+      const __m128i ow =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(out_w + w));
+      const __m128i ot =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(out_to + w));
+      const __m128i iw =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(in_w + w));
+      const __m128i it =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(in_to + w));
+      stray = _mm_or_si128(stray, _mm_or_si128(_mm_andnot_si128(ow, ot),
+                                               _mm_andnot_si128(it, iw)));
+    }
+    const uint64_t tail =
+        (w < words) ? ((out_to[w] & ~out_w[w]) | (in_w[w] & ~in_to[w])) : 0;
+    const uint64_t survive =
+        static_cast<uint64_t>(_mm_testz_si128(stray, stray) != 0) &
+        (tail == 0);
+    mask |= survive << k;
+  }
+  return mask;
+}
+
+bool Subset64Sse42(const uint64_t* super, const uint64_t* sub, size_t words) {
+  __m128i stray = _mm_setzero_si128();
+  size_t w = 0;
+  for (; w + 2 <= words; w += 2) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(super + w));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(sub + w));
+    stray = _mm_or_si128(stray, _mm_andnot_si128(a, b));
+  }
+  uint64_t tail = 0;
+  for (; w < words; ++w) tail |= sub[w] & ~super[w];
+  return _mm_testz_si128(stray, stray) != 0 && tail == 0;
+}
+
+uint64_t RectIntersectMaskSse42(const Rect* boxes, size_t n,
+                                const Rect& query) {
+  const __m128d qmax = _mm_setr_pd(query.max_x, query.max_y);
+  const __m128d qmin = _mm_setr_pd(query.min_x, query.min_y);
+  uint64_t mask = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const __m128d lo = _mm_loadu_pd(&boxes[i].min_x);  // min_x min_y
+    const __m128d hi = _mm_loadu_pd(&boxes[i].max_x);  // max_x max_y
+    const int a = _mm_movemask_pd(_mm_cmple_pd(lo, qmax));
+    const int b = _mm_movemask_pd(_mm_cmpge_pd(hi, qmin));
+    const uint64_t hit = static_cast<uint64_t>((a == 0x3) & (b == 0x3));
+    mask |= hit << i;
+  }
+  return mask;
+}
+
+uint64_t RectContainsPointMaskSse42(const Point2D* points, size_t n,
+                                    const Rect& query) {
+  const __m128d qlo = _mm_setr_pd(query.min_x, query.min_y);
+  const __m128d qhi = _mm_setr_pd(query.max_x, query.max_y);
+  uint64_t mask = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const __m128d p = _mm_loadu_pd(&points[i].x);
+    const __m128d ok =
+        _mm_and_pd(_mm_cmpge_pd(p, qlo), _mm_cmple_pd(p, qhi));
+    const uint64_t hit = static_cast<uint64_t>(_mm_movemask_pd(ok) == 0x3);
+    mask |= hit << i;
+  }
+  return mask;
+}
+
+uint64_t Box3IntersectMaskSse42(const Box3D* boxes, size_t n,
+                                const Box3D& query) {
+  // Three 128-bit loads per box: (m0 m1), (m2 M0), (M1 M2). The mixed
+  // middle pair pads its off-duty lane against ±inf.
+  const __m128d q01 = _mm_setr_pd(query.max[0], query.max[1]);
+  const __m128d qmid_le = _mm_setr_pd(query.max[2], kInf);
+  const __m128d qmid_ge = _mm_setr_pd(-kInf, query.min[0]);
+  const __m128d q12 = _mm_setr_pd(query.min[1], query.min[2]);
+  uint64_t mask = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const __m128d lo = _mm_loadu_pd(&boxes[i].min[0]);
+    const __m128d mid = _mm_loadu_pd(&boxes[i].min[2]);
+    const __m128d hi = _mm_loadu_pd(&boxes[i].max[1]);
+    const int a = _mm_movemask_pd(_mm_cmple_pd(lo, q01));
+    const int b = _mm_movemask_pd(_mm_cmple_pd(mid, qmid_le));
+    const int c = _mm_movemask_pd(_mm_cmpge_pd(mid, qmid_ge));
+    const int d = _mm_movemask_pd(_mm_cmpge_pd(hi, q12));
+    const uint64_t hit = static_cast<uint64_t>(
+        (a == 0x3) & (b == 0x3) & (c == 0x3) & (d == 0x3));
+    mask |= hit << i;
+  }
+  return mask;
+}
+
+uint64_t Box3ContainsPointMaskSse42(const Point3D* points, size_t n,
+                                    const Box3D& query) {
+  const __m128d qlo = _mm_setr_pd(query.min[0], query.min[1]);
+  const __m128d qhi = _mm_setr_pd(query.max[0], query.max[1]);
+  uint64_t mask = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const __m128d p = _mm_loadu_pd(&points[i].x);
+    const __m128d ok =
+        _mm_and_pd(_mm_cmpge_pd(p, qlo), _mm_cmple_pd(p, qhi));
+    const double z = points[i].z;
+    const uint64_t hit =
+        static_cast<uint64_t>((_mm_movemask_pd(ok) == 0x3) &
+                              (z >= query.min[2]) & (z <= query.max[2]));
+    mask |= hit << i;
+  }
+  return mask;
+}
+
+}  // namespace
+
+const KernelTable kSse42Table = {
+    KernelLevel::kSse42,
+    "sse42",
+    &IntervalContainsSse42,
+    &Subset64Sse42,
+    &IntervalContainsManySse42,
+    &BflPruneMaskSse42,
+    &RectIntersectMaskSse42,
+    &RectContainsPointMaskSse42,
+    &Box3IntersectMaskSse42,
+    &Box3ContainsPointMaskSse42,
+};
+
+}  // namespace gsr::simd::internal
+
+#endif  // GSR_SIMD_ENABLED

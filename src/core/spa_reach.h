@@ -1,11 +1,14 @@
 #ifndef GSR_CORE_SPA_REACH_H_
 #define GSR_CORE_SPA_REACH_H_
 
+#include <algorithm>
+#include <bit>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/simd.h"
 #include "core/condensed_network.h"
 #include "core/condensed_spatial_index.h"
 #include "core/range_reach.h"
@@ -57,6 +60,33 @@ class SpaReachBase : public RangeReachMethod {
     // positive answer.
     s.counters.candidates += s.candidates.size();
     const ComponentId source = cn_->ComponentOf(vertex);
+    if (HasBatchProbe()) {
+      // Backends with a batched kernel answer a whole chunk of
+      // candidates per dispatch; reachable candidates are then verified
+      // in the original order, so the answer is identical to the serial
+      // loop (a positive chunk may probe a few candidates past the one
+      // that answers the query — greach_calls counts them honestly).
+      ComponentId targets[simd::kMaskWidth];
+      for (size_t base = 0; base < s.candidates.size();
+           base += simd::kMaskWidth) {
+        const size_t chunk =
+            std::min(simd::kMaskWidth, s.candidates.size() - base);
+        for (size_t k = 0; k < chunk; ++k) {
+          targets[k] = s.candidates[base + k].first;
+        }
+        s.counters.greach_calls += chunk;
+        uint64_t mask = CanReachComponentMask(source, targets, chunk, s);
+        while (mask != 0) {
+          const size_t k = base + static_cast<size_t>(std::countr_zero(mask));
+          mask &= mask - 1;
+          const auto& [candidate, verified] = s.candidates[k];
+          if (verified || cn_->AnyMemberPointIn(candidate, region)) {
+            return true;
+          }
+        }
+      }
+      return false;
+    }
     for (const auto& [candidate, verified] : s.candidates) {
       ++s.counters.greach_calls;
       if (!CanReachComponent(source, candidate, s)) continue;
@@ -107,6 +137,19 @@ class SpaReachBase : public RangeReachMethod {
   /// Evaluate; backends with search state downcast it to their own type.
   virtual bool CanReachComponent(ComponentId from, ComponentId to,
                                  Scratch& scratch) const = 0;
+
+  /// Batch GReach: bit k answers targets[k] (count <= simd::kMaskWidth).
+  /// Backends whose probe is a pure label lookup (SpaReach-INT) opt in
+  /// by returning true from HasBatchProbe and dispatching a batched
+  /// kernel here; stateful searches (BFL, Feline) keep the serial loop
+  /// with its per-candidate early exit.
+  virtual bool HasBatchProbe() const { return false; }
+  virtual uint64_t CanReachComponentMask(ComponentId /*from*/,
+                                         const ComponentId* /*targets*/,
+                                         size_t /*count*/,
+                                         Scratch& /*scratch*/) const {
+    return 0;
+  }
 
   /// Folds backend counters (e.g. BFL's) out of `scratch`; default none.
   virtual void DrainBackendCounters(Scratch& scratch) const {
@@ -204,6 +247,13 @@ class SpaReachInt : public SpaReachBase {
   bool CanReachComponent(ComponentId from, ComponentId to,
                          Scratch& /*scratch*/) const override {
     return labeling_.CanReach(from, to);  // Pure label lookup.
+  }
+
+  bool HasBatchProbe() const override { return true; }
+  uint64_t CanReachComponentMask(ComponentId from, const ComponentId* targets,
+                                 size_t count,
+                                 Scratch& /*scratch*/) const override {
+    return labeling_.CanReachMask(from, targets, count);
   }
 
  private:

@@ -16,6 +16,15 @@ struct Point2D {
   friend bool operator==(const Point2D&, const Point2D&) = default;
 };
 
+/// A point in the 3-D transformation space of 3DReach (x, y, post).
+struct Point3D {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend bool operator==(const Point3D&, const Point3D&) = default;
+};
+
 /// An axis-aligned rectangle [min_x,max_x] x [min_y,max_y].
 ///
 /// The default-constructed Rect is *empty* (inverted bounds): it contains
@@ -40,6 +49,14 @@ struct Rect {
   bool IsEmpty() const { return min_x > max_x || min_y > max_y; }
 
   /// True when point `p` lies inside (boundary inclusive).
+  ///
+  /// The scalar predicates below short-circuit deliberately: the
+  /// first-hit descent (FrozenRTree::AnyIntersecting) and the member
+  /// verification loops test mostly-missing candidates, and a miss
+  /// resolving on the first compare beats evaluating all of them
+  /// (measured ~2x on 3DReach throughput). The branchless formulations
+  /// live in the SIMD mask kernels (src/common/simd.h), which test
+  /// whole batches where per-lane short-circuiting is meaningless.
   bool Contains(const Point2D& p) const {
     return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/simd.h"
 #include "graph/traversal.h"
 
 namespace gsr {
@@ -70,10 +71,8 @@ bool BflIndex::FilterContains(const std::vector<uint64_t>& filters, VertexId a,
                               VertexId b) const {
   const uint64_t* fa = filters.data() + static_cast<size_t>(a) * filter_words_;
   const uint64_t* fb = filters.data() + static_cast<size_t>(b) * filter_words_;
-  for (uint32_t w = 0; w < filter_words_; ++w) {
-    if ((fb[w] & ~fa[w]) != 0) return false;
-  }
-  return true;
+  // Subset test fb ⊆ fa as wide andnot+test (see src/common/simd.h).
+  return simd::Subset64(fa, fb, filter_words_);
 }
 
 bool BflIndex::CanReach(VertexId from, VertexId to,
@@ -107,19 +106,35 @@ bool BflIndex::PrunedDfs(VertexId from, VertexId to,
   scratch.stack.clear();
   scratch.stack.push_back(from);
   scratch.mark[from] = scratch.epoch;
+  const uint64_t* out_to =
+      out_filters_.data() + static_cast<size_t>(to) * filter_words_;
+  const uint64_t* in_to =
+      in_filters_.data() + static_cast<size_t>(to) * filter_words_;
   while (!scratch.stack.empty()) {
     const VertexId v = scratch.stack.back();
     scratch.stack.pop_back();
     if (InSubtree(v, to)) return true;  // Covers v == to as well.
-    for (const VertexId w : dag_->OutNeighbors(v)) {
-      if (scratch.mark[w] == scratch.epoch) continue;
-      scratch.mark[w] = scratch.epoch;
-      // Prune w when its labels prove it cannot reach `to`.
-      if (!FilterContains(out_filters_, w, to) ||
-          !FilterContains(in_filters_, to, w)) {
-        continue;
+    // Both Bloom prunes for the whole neighbor span in one dispatched
+    // kernel call; bits are then consumed in span order, so marks and
+    // pushes land exactly as the per-neighbor loop produced them. The
+    // kernel also tests already-marked neighbors — wasted lanes are
+    // cheaper than a data-dependent branch per candidate.
+    const std::span<const VertexId> neighbors = dag_->OutNeighbors(v);
+    for (size_t base = 0; base < neighbors.size();
+         base += simd::kMaskWidth) {
+      const size_t chunk =
+          std::min(simd::kMaskWidth, neighbors.size() - base);
+      const uint64_t survivors = simd::BflPruneMask(
+          out_filters_.data(), in_filters_.data(), filter_words_,
+          neighbors.data() + base, chunk, out_to, in_to);
+      for (size_t k = 0; k < chunk; ++k) {
+        const VertexId w = neighbors[base + k];
+        if (scratch.mark[w] == scratch.epoch) continue;
+        scratch.mark[w] = scratch.epoch;
+        // Prune w when its labels prove it cannot reach `to`.
+        if (((survivors >> k) & 1) == 0) continue;
+        scratch.stack.push_back(w);
       }
-      scratch.stack.push_back(w);
     }
   }
   return false;

@@ -8,11 +8,9 @@
 namespace gsr {
 
 bool LabelView::Contains(uint32_t value) const {
-  // Normalized: only the last interval with lo <= value can contain it.
-  const auto it = std::upper_bound(
-      intervals_.begin(), intervals_.end(), value,
-      [](uint32_t v, const Interval& interval) { return v < interval.lo; });
-  return it != intervals_.begin() && std::prev(it)->hi >= value;
+  // Normalized intervals are exactly the kernel's precondition; same
+  // dispatch as FlatLabelStore::Contains so both paths answer alike.
+  return simd::IntervalContains(intervals_.data(), intervals_.size(), value);
 }
 
 uint64_t LabelView::CoveredValues() const {

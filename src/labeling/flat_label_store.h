@@ -10,6 +10,7 @@
 
 #include "common/binary_io.h"
 #include "common/check.h"
+#include "common/simd.h"
 #include "exec/thread_pool.h"
 #include "graph/digraph.h"
 #include "labeling/label_set.h"
@@ -102,23 +103,15 @@ class FlatLabelStore {
   LabelView View(VertexId v) const { return LabelView(Intervals(v)); }
 
   /// True when some label of v contains `value` — the Lemma 3.1 lookup.
-  /// Branch-light binary search over the packed (lo, hi) pairs.
+  /// Dispatches to the active SIMD kernel: a branchless galloping search
+  /// that finishes with a vectorized linear scan over the short
+  /// candidate run (see src/common/simd.h). The normalized (sorted,
+  /// disjoint) interval layout is exactly the kernel's precondition.
   bool Contains(VertexId v, uint32_t value) const {
+    GSR_DCHECK(v + 1 < offsets_.size());
     const uint32_t begin = offsets_[v];
-    size_t first = begin;
-    size_t count = offsets_[v + 1] - begin;
-    // Invariant: intervals before `first` have lo <= value.
-    while (count > 0) {
-      const size_t step = count / 2;
-      const size_t mid = first + step;
-      if (intervals_[mid].lo <= value) {
-        first = mid + 1;
-        count -= step + 1;
-      } else {
-        count = step;
-      }
-    }
-    return first > begin && intervals_[first - 1].hi >= value;
+    return simd::IntervalContains(intervals_.data() + begin,
+                                  offsets_[v + 1] - begin, value);
   }
 
   /// Bytes referenced by the store (owned heap or borrowed mapping).

@@ -102,6 +102,17 @@ class IntervalLabeling {
     return flat_.Contains(v, forest_.post[u]);
   }
 
+  /// Batched Lemma 3.1 probe: bit k set iff v reaches targets[k]
+  /// (count <= simd::kMaskWidth). One dispatched kernel call answers the
+  /// whole batch — the SpaReach-INT candidate-loop shape.
+  uint64_t CanReachMask(VertexId v, const VertexId* targets,
+                        size_t count) const {
+    uint32_t posts[simd::kMaskWidth];
+    for (size_t k = 0; k < count; ++k) posts[k] = forest_.post[targets[k]];
+    const auto run = flat_.Intervals(v);
+    return simd::IntervalContainsMany(run.data(), run.size(), posts, count);
+  }
+
   /// Enumerates the descendants D(v) (including v itself, Equation 1),
   /// calling `fn(vertex)` until it returns false. Each label [l,h] is a
   /// relational range scan over the post -> vertex array. Returns true

@@ -1,6 +1,8 @@
 #ifndef GSR_SPATIAL_FROZEN_RTREE_H_
 #define GSR_SPATIAL_FROZEN_RTREE_H_
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -8,6 +10,7 @@
 #include <vector>
 
 #include "common/binary_io.h"
+#include "common/simd.h"
 #include "spatial/rtree.h"
 
 namespace gsr {
@@ -70,10 +73,15 @@ class FrozenRTree {
     return VisitIntersecting(0, query, fn);
   }
 
-  /// True iff at least one entry intersects `query`.
+  /// True iff at least one entry intersects `query`. Existence probes
+  /// take a dedicated branchy descent instead of the SIMD batch pass:
+  /// positive probes typically resolve on the first intersecting entry,
+  /// and a per-entry test exits there, where the batch kernel would pay
+  /// for the whole node before looking at a single bit (3DReach issues
+  /// millions of these per second; see EXPERIMENTS.md).
   bool AnyIntersecting(const BoxT& query) const {
-    return ForEachIntersecting(query,
-                               [](const LeafT&, uint64_t) { return false; });
+    if (nodes_.empty()) return false;
+    return VisitAny(0, query);
   }
 
   std::vector<uint64_t> CollectIntersecting(const BoxT& query) const {
@@ -105,19 +113,59 @@ class FrozenRTree {
                                          const BorrowContext& ctx);
 
  private:
+  /// SIMD descent: tests a whole node's entries in one mask-kernel call
+  /// per <= kMaskWidth chunk instead of one predicate per entry. Set bits
+  /// are consumed low-to-high, so entries are still visited in exactly
+  /// the packed (source RTree) order — the bit-identical-answers
+  /// contract. Before recursing, the matched children's node records are
+  /// software-prefetched so the next level is (mostly) in cache by the
+  /// time the recursion reaches it.
   template <typename Fn>
   bool VisitIntersecting(uint32_t node_idx, const BoxT& query, Fn& fn) const {
     const Node& node = nodes_[node_idx];
+    const uint32_t end = node.first + node.count;
     if (node.is_leaf) {
-      for (uint32_t i = node.first; i < node.first + node.count; ++i) {
-        if (!GeomIntersects(query, leaf_geoms_[i])) continue;
-        if (!fn(leaf_geoms_[i], leaf_ids_[i])) return true;
+      for (uint32_t base = node.first; base < end; base += simd::kMaskWidth) {
+        const uint32_t chunk =
+            std::min<uint32_t>(simd::kMaskWidth, end - base);
+        uint64_t mask = simd::IntersectMask(query, &leaf_geoms_[base], chunk);
+        while (mask != 0) {
+          const uint32_t i = base + static_cast<uint32_t>(std::countr_zero(mask));
+          mask &= mask - 1;
+          if (!fn(leaf_geoms_[i], leaf_ids_[i])) return true;
+        }
       }
       return false;
     }
-    for (uint32_t i = node.first; i < node.first + node.count; ++i) {
+    for (uint32_t base = node.first; base < end; base += simd::kMaskWidth) {
+      const uint32_t chunk = std::min<uint32_t>(simd::kMaskWidth, end - base);
+      uint64_t mask = simd::IntersectMask(query, &child_boxes_[base], chunk);
+      for (uint64_t m = mask; m != 0; m &= m - 1) {
+        simd::PrefetchRead(
+            &nodes_[child_nodes_[base + std::countr_zero(m)]]);
+      }
+      while (mask != 0) {
+        const uint32_t i = base + static_cast<uint32_t>(std::countr_zero(mask));
+        mask &= mask - 1;
+        if (VisitIntersecting(child_nodes_[i], query, fn)) return true;
+      }
+    }
+    return false;
+  }
+
+  /// First-hit existence descent (see AnyIntersecting).
+  bool VisitAny(uint32_t node_idx, const BoxT& query) const {
+    const Node& node = nodes_[node_idx];
+    const uint32_t end = node.first + node.count;
+    if (node.is_leaf) {
+      for (uint32_t i = node.first; i < end; ++i) {
+        if (GeomIntersects(query, leaf_geoms_[i])) return true;
+      }
+      return false;
+    }
+    for (uint32_t i = node.first; i < end; ++i) {
       if (!child_boxes_[i].Intersects(query)) continue;
-      if (VisitIntersecting(child_nodes_[i], query, fn)) return true;
+      if (VisitAny(child_nodes_[i], query)) return true;
     }
     return false;
   }

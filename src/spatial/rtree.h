@@ -13,15 +13,6 @@
 
 namespace gsr {
 
-/// A point in the 3-D transformation space of 3DReach (x, y, post).
-struct Point3D {
-  double x = 0.0;
-  double y = 0.0;
-  double z = 0.0;
-
-  friend bool operator==(const Point3D&, const Point3D&) = default;
-};
-
 /// Geometry traits used by RTree. A box type needs Measure/BoxDims/
 /// CenterAlong/BoxMargin; a leaf geometry additionally needs GeomToBox and
 /// GeomIntersects against its box type.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "core/condensed_network.h"
 #include "core/method_factory.h"
 #include "core/method_snapshot.h"
@@ -196,6 +197,44 @@ TEST(MethodsAgreementTest, SnapshotLoadedMethodsMatchNaiveBfs) {
       ASSERT_EQ(method->Evaluate(v, region), expected)
           << "snapshot-loaded " << method->name() << " disagrees on vertex "
           << v << " region " << region.ToString();
+    }
+  }
+}
+
+TEST(MethodsAgreementTest, AllKernelLevelsMatchNaiveBfs) {
+  // The SIMD contract: every method answers bit-identically to the BFS
+  // ground truth whichever kernel level (scalar / SSE4.2 / AVX2) is
+  // forced. Levels above what this machine supports clamp down, so the
+  // loop is safe everywhere and exercises every level the host has.
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(250, 2.5, 0.4, 31);
+  const CondensedNetwork cn(&network);
+  const NaiveBfsMethod oracle(&network);
+
+  std::vector<std::unique_ptr<RangeReachMethod>> methods;
+  for (const MethodConfig& config : AllConfigs()) {
+    methods.push_back(CreateMethod(&cn, config));
+  }
+
+  for (const simd::KernelLevel level :
+       {simd::KernelLevel::kScalar, simd::KernelLevel::kSse42,
+        simd::KernelLevel::kAvx2}) {
+    simd::ScopedKernelLevel scoped(level);
+    Rng rng(0xC0DE);  // Same query stream at every level.
+    for (int q = 0; q < 120; ++q) {
+      const VertexId v =
+          static_cast<VertexId>(rng.NextBounded(network.num_vertices()));
+      const double x = rng.NextDoubleInRange(-10, 100);
+      const double y = rng.NextDoubleInRange(-10, 100);
+      const Rect region(x, y, x + rng.NextDoubleInRange(0, 60),
+                        y + rng.NextDoubleInRange(0, 60));
+      const bool expected = oracle.Evaluate(v, region);
+      for (const auto& method : methods) {
+        ASSERT_EQ(method->Evaluate(v, region), expected)
+            << method->name() << " disagrees at kernel level "
+            << simd::KernelLevelName(simd::ActiveLevel()) << " on vertex "
+            << v << " region " << region.ToString();
+      }
     }
   }
 }
