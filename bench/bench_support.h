@@ -100,6 +100,40 @@ ThroughputStats MeasureThroughput(const RangeReachMethod& method,
                                   const std::vector<RangeReachQuery>& queries,
                                   exec::ThreadPool& pool);
 
+/// Work-sharing counterpart of MeasureThroughput: the same warmup + timed
+/// batch, but through BatchRunner::RunShared (the query scheduler).
+/// Latency of a query is the wall time of its group — all members of a
+/// group complete together. Answers are bit-identical to MeasureThroughput
+/// on the same batch.
+ThroughputStats MeasureThroughputShared(
+    const RangeReachMethod& method,
+    const std::vector<RangeReachQuery>& queries, exec::ThreadPool& pool);
+
+/// Open-loop (arrival-driven) measurement. Queries arrive on a Poisson
+/// process at `offered_qps` regardless of completion progress, the way a
+/// production feed would; the dispatcher admits every arrived query as one
+/// batch (shared or unshared) and each query's latency runs from its
+/// *intended arrival time* to its batch's completion. This is the
+/// coordinated-omission fix: the closed-loop percentiles of
+/// MeasureThroughput time each query's own service only, so queueing
+/// delay behind a slow query is silently dropped from the distribution;
+/// here a backlog penalizes every query stuck behind it.
+struct OpenLoopStats {
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;  // completions / wall; < offered when behind.
+  double wall_seconds = 0.0;
+  double p50_us = 0.0;  // Latency from intended arrival, not service time.
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  size_t true_answers = 0;
+  size_t dispatches = 0;  // Admitted batches.
+  size_t max_batch = 0;   // Largest admitted backlog (queue depth proxy).
+};
+OpenLoopStats MeasureOpenLoop(const RangeReachMethod& method,
+                              const std::vector<RangeReachQuery>& queries,
+                              exec::ThreadPool& pool, double offered_qps,
+                              bool shared, uint64_t seed = 20250807);
+
 /// Creates `dir` if needed; returns false (with a warning on stderr) when
 /// that fails — CSV output is then skipped.
 bool EnsureDir(const std::string& dir);

@@ -2,8 +2,10 @@
 #define GSR_CORE_RANGE_REACH_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "geometry/geometry.h"
@@ -49,6 +51,28 @@ class RangeReachMethod {
   /// come from this method's NewScratch() — for all mutable state.
   virtual bool Evaluate(VertexId vertex, const Rect& region,
                         QueryScratch& scratch) const = 0;
+
+  /// Answers a shared-work group: every query of the group has the same
+  /// query vertex, query k is (vertex, regions[k]) and its answer lands
+  /// in out[k]. Groups of any size are legal; implementations chunk
+  /// internally (the work-sharing scheduler caps groups at the kernel
+  /// mask width, but the hook must not rely on that).
+  ///
+  /// The contract is strictly bit-identical answers: out[k] must equal
+  /// what Evaluate(vertex, regions[k], scratch) returns, for every k.
+  /// Cost *counters* may legitimately differ from the serial loop — the
+  /// whole point of an override is doing less work per region (one
+  /// descendant enumeration, one labeling probe, one R-tree descent for
+  /// many regions). The default implementation is the serial loop, so
+  /// every method is scheduler-ready; SocReach, SpaReach-INT and the two
+  /// 3DReach variants override it with genuinely shared execution.
+  virtual void EvaluateGroup(VertexId vertex, std::span<const Rect> regions,
+                             std::span<bool> out,
+                             QueryScratch& scratch) const {
+    for (size_t k = 0; k < regions.size(); ++k) {
+      out[k] = Evaluate(vertex, regions[k], scratch);
+    }
+  }
 
   /// Creates a scratch for this method. One per thread.
   virtual std::unique_ptr<QueryScratch> NewScratch() const {

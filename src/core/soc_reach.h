@@ -1,7 +1,10 @@
 #ifndef GSR_CORE_SOC_REACH_H_
 #define GSR_CORE_SOC_REACH_H_
 
+#include <algorithm>
+#include <bit>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -97,6 +100,45 @@ class SocReach : public RangeReachMethod {
       }
     }
     return false;
+  }
+
+  /// Work-sharing form: one descendant enumeration — the expensive
+  /// relational range scans over the post-order domain — answers up to 64
+  /// regions at once. Each enumerated descendant is tested against every
+  /// still-pending region of the chunk and the enumeration stops as soon
+  /// as all of them are answered, so a group of k regions costs one scan
+  /// of D(v) instead of k. Answers are exactly those of the serial
+  /// Evaluate (containment of a fixed point set is order-independent);
+  /// counters reflect the shared work honestly (descendants counted once
+  /// per enumeration, containment tests once per (descendant, pending
+  /// region) pair).
+  void EvaluateGroup(VertexId vertex, std::span<const Rect> regions,
+                     std::span<bool> out,
+                     QueryScratch& scratch) const override {
+    Scratch& s = static_cast<Scratch&>(scratch);
+    const ComponentId source = cn_->ComponentOf(vertex);
+    for (size_t base = 0; base < regions.size(); base += 64) {
+      const size_t chunk = std::min<size_t>(64, regions.size() - base);
+      s.counters.queries += chunk;
+      uint64_t pending =
+          chunk == 64 ? ~uint64_t{0} : (uint64_t{1} << chunk) - 1;
+      labeling_.ForEachDescendant(source, [&](VertexId descendant) {
+        ++s.counters.descendants;
+        const ComponentId c = static_cast<ComponentId>(descendant);
+        for (uint64_t m = pending; m != 0; m &= m - 1) {
+          const size_t k = static_cast<size_t>(std::countr_zero(m));
+          ++s.counters.containment_tests;
+          if (cn_->AnyMemberPointIn(c, regions[base + k])) {
+            out[base + k] = true;
+            pending &= ~(m & (~m + 1));
+          }
+        }
+        return pending != 0;
+      });
+      for (uint64_t m = pending; m != 0; m &= m - 1) {
+        out[base + static_cast<size_t>(std::countr_zero(m))] = false;
+      }
+    }
   }
 
   using RangeReachMethod::Evaluate;

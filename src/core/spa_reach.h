@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <bit>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -42,6 +43,12 @@ class SpaReachBase : public RangeReachMethod {
   struct Scratch : QueryScratch {
     std::vector<std::pair<ComponentId, bool>> candidates;
     Counters counters;
+    /// Group-shared GReach memo (SpaReachInt::EvaluateGroup): the probe
+    /// result per component, epoch-stamped so resetting between groups is
+    /// O(1) instead of O(#components). Lazily sized on first grouped call.
+    std::vector<uint32_t> probe_epoch;
+    std::vector<uint8_t> probe_reachable;
+    uint32_t probe_generation = 0;
   };
 
   std::unique_ptr<QueryScratch> NewScratch() const override {
@@ -255,6 +262,74 @@ class SpaReachInt : public SpaReachBase {
                                  Scratch& /*scratch*/) const override {
     return labeling_.CanReachMask(from, targets, count);
   }
+
+ public:
+  /// Work-sharing form: regions of one group share the source's GReach
+  /// probes through an epoch-stamped per-component memo, so a component
+  /// that appears in the candidate set of many regions (overlapping or
+  /// duplicate rectangles) is probed once per group instead of once per
+  /// region. Unknown components are gathered per candidate chunk and
+  /// answered with one CanReachManyInto dispatch — the labeling's label
+  /// run is fetched once per call and the per-region early exit of the
+  /// serial path is preserved. Answers are bit-identical to the serial
+  /// Evaluate; greach_calls counts only the probes actually issued, which
+  /// is the sharing being measured.
+  void EvaluateGroup(VertexId vertex, std::span<const Rect> regions,
+                     std::span<bool> out,
+                     QueryScratch& scratch) const override {
+    Scratch& s = static_cast<Scratch&>(scratch);
+    if (s.probe_epoch.size() < cn_->num_components()) {
+      s.probe_epoch.assign(cn_->num_components(), 0);
+      s.probe_reachable.assign(cn_->num_components(), 0);
+    }
+    if (++s.probe_generation == 0) {
+      // Epoch counter wrapped: stale stamps could alias the new
+      // generation, so clear once and restart at 1.
+      std::fill(s.probe_epoch.begin(), s.probe_epoch.end(), 0u);
+      s.probe_generation = 1;
+    }
+    const uint32_t generation = s.probe_generation;
+    const ComponentId source = cn_->ComponentOf(vertex);
+    ComponentId targets[simd::kMaskWidth];
+    uint8_t reach[simd::kMaskWidth];
+    for (size_t i = 0; i < regions.size(); ++i) {
+      ++s.counters.queries;
+      spatial_index_.CollectCandidates(regions[i], s.candidates);
+      s.counters.candidates += s.candidates.size();
+      bool found = false;
+      for (size_t base = 0; base < s.candidates.size() && !found;
+           base += simd::kMaskWidth) {
+        const size_t chunk =
+            std::min(simd::kMaskWidth, s.candidates.size() - base);
+        size_t unknown = 0;
+        for (size_t k = 0; k < chunk; ++k) {
+          const ComponentId c = s.candidates[base + k].first;
+          if (s.probe_epoch[c] != generation) {
+            s.probe_epoch[c] = generation;  // Also dedups within the chunk.
+            targets[unknown++] = c;
+          }
+        }
+        if (unknown != 0) {
+          s.counters.greach_calls += unknown;
+          labeling_.CanReachManyInto(source, targets, unknown, reach);
+          for (size_t j = 0; j < unknown; ++j) {
+            s.probe_reachable[targets[j]] = reach[j];
+          }
+        }
+        for (size_t k = 0; k < chunk; ++k) {
+          const auto& [candidate, verified] = s.candidates[base + k];
+          if (s.probe_reachable[candidate] == 0) continue;
+          if (verified || cn_->AnyMemberPointIn(candidate, regions[i])) {
+            found = true;
+            break;
+          }
+        }
+      }
+      out[i] = found;
+    }
+  }
+
+ protected:
 
  private:
   friend struct MethodSnapshotAccess;

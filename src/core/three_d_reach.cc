@@ -1,11 +1,28 @@
 #include "core/three_d_reach.h"
 
+#include <algorithm>
+#include <bit>
 #include <utility>
 #include <vector>
 
+#include "common/simd.h"
 #include "exec/parallel.h"
 
 namespace gsr {
+
+namespace {
+
+/// Minimum distinct regions before the grouped paths switch from the
+/// serial Evaluate loop to the masked R-tree descent. A near-singleton
+/// group gains nothing from mask bookkeeping (chunk transposes, pending
+/// masks) while the branchy first-hit descent resolves each probe at its
+/// first intersecting entry — the same reasoning as the single-bit
+/// fallback inside VisitAnyMasked, one level up. The scheduler's dedup
+/// win (one probe per distinct region, however many members) is
+/// unaffected: it happens before EvaluateGroup is called.
+constexpr size_t kMinMaskedGroup = 8;
+
+}  // namespace
 
 ThreeDReach::ThreeDReach(const CondensedNetwork* cn, const Options& options,
                          exec::ThreadPool* pool)
@@ -78,6 +95,50 @@ bool ThreeDReach::Evaluate(VertexId vertex, const Rect& region,
     if (found) return true;
   }
   return false;
+}
+
+void ThreeDReach::EvaluateGroup(VertexId vertex,
+                                std::span<const Rect> regions,
+                                std::span<bool> out,
+                                QueryScratch& scratch) const {
+  if (options_.scc_mode != SccSpatialMode::kReplicate ||
+      regions.size() < kMinMaskedGroup) {
+    RangeReachMethod::EvaluateGroup(vertex, regions, out, scratch);
+    return;
+  }
+  Counters& counters = static_cast<Scratch&>(scratch).counters;
+  const ComponentId source = cn_->ComponentOf(vertex);
+  const auto labels = labeling_.Labels(source).intervals();
+  Box3D cuboids[simd::kMaskWidth];
+  for (size_t base = 0; base < regions.size(); base += simd::kMaskWidth) {
+    const size_t chunk = std::min(simd::kMaskWidth, regions.size() - base);
+    counters.queries += chunk;
+    uint64_t pending = chunk == simd::kMaskWidth
+                           ? ~uint64_t{0}
+                           : (uint64_t{1} << chunk) - 1;
+    for (const Interval& label : labels) {
+      if (pending == 0) break;
+      // All cuboids of this round share the label's z-interval; only the
+      // xy rectangle differs per region — the shape the masked descent
+      // amortizes.
+      const double lo = static_cast<double>(label.lo);
+      const double hi = static_cast<double>(label.hi);
+      for (uint64_t m = pending; m != 0; m &= m - 1) {
+        const size_t k = static_cast<size_t>(std::countr_zero(m));
+        cuboids[k] = Box3D::FromRectAndInterval(regions[base + k], lo, hi);
+      }
+      counters.range_queries +=
+          static_cast<uint64_t>(std::popcount(pending));
+      const uint64_t hits = points_.AnyIntersectingMasked(cuboids, pending);
+      for (uint64_t m = hits; m != 0; m &= m - 1) {
+        out[base + static_cast<size_t>(std::countr_zero(m))] = true;
+      }
+      pending &= ~hits;
+    }
+    for (uint64_t m = pending; m != 0; m &= m - 1) {
+      out[base + static_cast<size_t>(std::countr_zero(m))] = false;
+    }
+  }
 }
 
 void ThreeDReach::DrainScratchCounters(QueryScratch& scratch) const {
@@ -173,6 +234,36 @@ bool ThreeDReachRev::Evaluate(VertexId vertex, const Rect& region,
     return true;
   });
   return found;
+}
+
+void ThreeDReachRev::EvaluateGroup(VertexId vertex,
+                                   std::span<const Rect> regions,
+                                   std::span<bool> out,
+                                   QueryScratch& scratch) const {
+  if (options_.scc_mode != SccSpatialMode::kReplicate ||
+      regions.size() < kMinMaskedGroup) {
+    RangeReachMethod::EvaluateGroup(vertex, regions, out, scratch);
+    return;
+  }
+  // Every plane of the group sits at the same height z = post(v); only
+  // the xy rectangle varies, so a single masked descent over the segment
+  // tree answers the whole group.
+  const ComponentId source = cn_->ComponentOf(vertex);
+  const double z = static_cast<double>(labeling_.post(source));
+  Box3D planes[simd::kMaskWidth];
+  for (size_t base = 0; base < regions.size(); base += simd::kMaskWidth) {
+    const size_t chunk = std::min(simd::kMaskWidth, regions.size() - base);
+    const uint64_t pending = chunk == simd::kMaskWidth
+                                 ? ~uint64_t{0}
+                                 : (uint64_t{1} << chunk) - 1;
+    for (size_t k = 0; k < chunk; ++k) {
+      planes[k] = Box3D::FromRectAndInterval(regions[base + k], z, z);
+    }
+    const uint64_t hits = rtree_.AnyIntersectingMasked(planes, pending);
+    for (size_t k = 0; k < chunk; ++k) {
+      out[base + k] = ((hits >> k) & 1) != 0;
+    }
+  }
 }
 
 std::string ThreeDReachRev::name() const {

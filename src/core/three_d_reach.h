@@ -2,6 +2,7 @@
 #define GSR_CORE_THREE_D_REACH_H_
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "core/condensed_network.h"
@@ -58,6 +59,14 @@ class ThreeDReach : public RangeReachMethod {
 
   bool Evaluate(VertexId vertex, const Rect& region,
                 QueryScratch& scratch) const override;
+
+  /// Work-sharing form (replicate mode): per label of the query vertex,
+  /// the cuboids of every still-pending region share one masked R-tree
+  /// descent instead of one descent each. The MBR variant needs
+  /// per-region hit verification mid-descent and keeps the serial loop.
+  void EvaluateGroup(VertexId vertex, std::span<const Rect> regions,
+                     std::span<bool> out,
+                     QueryScratch& scratch) const override;
 
   using RangeReachMethod::Evaluate;
 
@@ -128,6 +137,13 @@ class ThreeDReachRev : public RangeReachMethod {
   /// NewScratch suffices.
   bool Evaluate(VertexId vertex, const Rect& region,
                 QueryScratch& scratch) const override;
+
+  /// Work-sharing form (replicate mode): all planes of a group sit at the
+  /// same z = post(v), so one masked descent answers the whole group. The
+  /// MBR variant keeps the serial loop (per-hit verification).
+  void EvaluateGroup(VertexId vertex, std::span<const Rect> regions,
+                     std::span<bool> out,
+                     QueryScratch& scratch) const override;
 
   using RangeReachMethod::Evaluate;
 

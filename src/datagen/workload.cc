@@ -40,13 +40,59 @@ std::vector<RangeReachQuery> WorkloadGenerator::Generate(
   for (uint32_t i = 0; i < spec.count; ++i) {
     RangeReachQuery query;
     query.vertex =
-        RandomVertexWithDegree(spec.min_out_degree, spec.max_out_degree);
-    query.region = spec.selectivity_percent >= 0.0
-                       ? RandomRegionBySelectivity(spec.selectivity_percent)
-                       : RandomRegionByExtent(spec.extent_percent);
+        spec.vertex_zipf > 0.0
+            ? ZipfVertexWithDegree(spec.min_out_degree, spec.max_out_degree,
+                                   spec.vertex_zipf)
+            : RandomVertexWithDegree(spec.min_out_degree,
+                                     spec.max_out_degree);
+    query.region = RegionFor(query.vertex, spec);
     queries.push_back(query);
   }
   return queries;
+}
+
+VertexId WorkloadGenerator::ZipfVertexWithDegree(uint32_t lo, uint32_t hi,
+                                                 double theta) {
+  const std::vector<VertexId>& vertices = BucketVertices(lo, hi);
+  const std::pair<size_t, double> key{vertices.size(), theta};
+  std::vector<double>* cdf = nullptr;
+  for (auto& [cached_key, weights] : zipf_cache_) {
+    if (cached_key == key) {
+      cdf = &weights;
+      break;
+    }
+  }
+  if (cdf == nullptr) {
+    // Cumulative weights 1/rank^theta over the bucket; a binary search on
+    // a uniform draw then samples the Zipf rank exactly.
+    std::vector<double> weights(vertices.size());
+    double total = 0.0;
+    for (size_t rank = 0; rank < vertices.size(); ++rank) {
+      total += 1.0 / std::pow(static_cast<double>(rank + 1), theta);
+      weights[rank] = total;
+    }
+    zipf_cache_.push_back({key, std::move(weights)});
+    cdf = &zipf_cache_.back().second;
+  }
+  const double u = rng_.NextDouble() * cdf->back();
+  const size_t rank = static_cast<size_t>(
+      std::lower_bound(cdf->begin(), cdf->end(), u) - cdf->begin());
+  return vertices[std::min(rank, vertices.size() - 1)];
+}
+
+Rect WorkloadGenerator::RegionFor(VertexId vertex, const QuerySpec& spec) {
+  auto fresh = [&]() {
+    return spec.selectivity_percent >= 0.0
+               ? RandomRegionBySelectivity(spec.selectivity_percent)
+               : RandomRegionByExtent(spec.extent_percent);
+  };
+  if (spec.regions_per_vertex == 0) return fresh();
+  std::vector<Rect>& pool = region_pools_[vertex];
+  if (pool.size() < spec.regions_per_vertex) {
+    pool.push_back(fresh());
+    return pool.back();
+  }
+  return pool[rng_.NextBounded(pool.size())];
 }
 
 Rect WorkloadGenerator::RandomRegionByExtent(double extent_percent) {

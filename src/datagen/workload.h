@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -44,6 +46,17 @@ struct QuerySpec {
   /// When >= 0: size regions so that about this percentage of |V| vertices
   /// (counted over spatial vertices) fall inside, regardless of area.
   double selectivity_percent = -1.0;
+  /// When > 0, query vertices follow a Zipf(theta) rank distribution over
+  /// the degree bucket (rank = position in the bucket's vertex list)
+  /// instead of the paper's uniform draw — the skewed production feed the
+  /// work-sharing scheduler targets. 0 keeps the uniform choice.
+  double vertex_zipf = 0.0;
+  /// When > 0, each query vertex draws its region from a per-vertex pool
+  /// of at most this many regions (generated on first use), the way real
+  /// users re-issue the same few query shapes. Hot vertices then repeat
+  /// identical regions, which is what grouped execution dedups. 0 keeps a
+  /// fresh region per query.
+  uint32_t regions_per_vertex = 0;
 };
 
 /// Generates RangeReach query batches against a fixed network. Regions are
@@ -74,12 +87,25 @@ class WorkloadGenerator {
  private:
   const std::vector<VertexId>& BucketVertices(uint32_t lo, uint32_t hi);
 
+  /// A vertex from the bucket at Zipf(theta)-distributed rank.
+  VertexId ZipfVertexWithDegree(uint32_t lo, uint32_t hi, double theta);
+
+  /// The region for `vertex` under `spec`: pooled when
+  /// spec.regions_per_vertex > 0, fresh otherwise.
+  Rect RegionFor(VertexId vertex, const QuerySpec& spec);
+
   const GeoSocialNetwork* network_;
   Rng rng_;
   RTreePoints2D points_rtree_;  // Exact selectivity counting.
   // Cache of degree-bucket vertex lists, keyed by (lo, hi).
   std::vector<std::pair<std::pair<uint32_t, uint32_t>, std::vector<VertexId>>>
       bucket_cache_;
+  // Zipf cumulative weights, keyed by (bucket size, theta); reused across
+  // queries so a batch costs one CDF build.
+  std::vector<std::pair<std::pair<size_t, double>, std::vector<double>>>
+      zipf_cache_;
+  // Per-vertex region pools (regions_per_vertex mode), filled lazily.
+  std::unordered_map<VertexId, std::vector<Rect>> region_pools_;
 };
 
 }  // namespace gsr

@@ -2,7 +2,12 @@
 
 #include <chrono>
 
+#include "exec/query_scheduler.h"
+
 namespace gsr::exec {
+
+BatchRunner::BatchRunner(ThreadPool* pool) : pool_(pool) {}
+BatchRunner::~BatchRunner() = default;
 
 BatchResult BatchRunner::Run(const RangeReachMethod& method,
                              const std::vector<RangeReachQuery>& queries,
@@ -48,6 +53,13 @@ BatchResult BatchRunner::Run(const RangeReachMethod& method,
 
   for (const uint8_t answer : result.answers) result.true_count += answer;
   return result;
+}
+
+BatchResult BatchRunner::RunShared(const RangeReachMethod& method,
+                                   const std::vector<RangeReachQuery>& queries,
+                                   const SchedulerOptions& options) {
+  if (!scheduler_) scheduler_ = std::make_unique<QueryScheduler>(pool_);
+  return scheduler_->Run(method, queries, options);
 }
 
 size_t BatchRunner::cached_scratch_count() const { return scratches_.size(); }

@@ -7,9 +7,12 @@
 #include <vector>
 
 #include "core/range_reach.h"
+#include "exec/query_group.h"
 #include "exec/thread_pool.h"
 
 namespace gsr::exec {
+
+class QueryScheduler;
 
 /// Tuning knobs for one batch evaluation.
 struct BatchOptions {
@@ -47,14 +50,30 @@ struct BatchResult {
 /// buffers stay warm); switching methods re-creates them.
 class BatchRunner {
  public:
-  /// The pool must outlive the runner.
-  explicit BatchRunner(ThreadPool* pool) : pool_(pool) {}
+  /// The pool must outlive the runner. Constructor and destructor are
+  /// out of line: QueryScheduler is an incomplete type here.
+  explicit BatchRunner(ThreadPool* pool);
+  ~BatchRunner();
 
   /// Evaluates all queries; blocks until the batch is done. Rethrows the
   /// first exception any query evaluation threw.
   BatchResult Run(const RangeReachMethod& method,
                   const std::vector<RangeReachQuery>& queries,
                   const BatchOptions& options = {});
+
+  /// Evaluates all queries through the work-sharing QueryScheduler:
+  /// queries sharing a query vertex (and, within a vertex, spatially
+  /// close regions) execute as one group via the method's EvaluateGroup
+  /// hook. Answers are bit-identical to Run; shared probes/descents make
+  /// it faster on skewed streams. The scheduler (and its scratch cache)
+  /// persists across calls, like Run's.
+  BatchResult RunShared(const RangeReachMethod& method,
+                        const std::vector<RangeReachQuery>& queries,
+                        const SchedulerOptions& options = {});
+
+  /// The scheduler behind RunShared (sharing stats); nullptr until the
+  /// first RunShared call.
+  const QueryScheduler* scheduler() const { return scheduler_.get(); }
 
   /// Number of per-worker scratches currently cached (test hook).
   size_t cached_scratch_count() const;
@@ -67,6 +86,9 @@ class BatchRunner {
   /// scratch layout differs.
   uint64_t scratch_method_id_ = 0;
   std::vector<std::unique_ptr<QueryScratch>> scratches_;
+  /// Lazily created by RunShared (incomplete type here; the destructor
+  /// is out of line for the same reason).
+  std::unique_ptr<QueryScheduler> scheduler_;
 };
 
 }  // namespace gsr::exec

@@ -1,0 +1,137 @@
+#include "exec/query_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <span>
+
+#include "common/check.h"
+#include "common/simd.h"
+
+namespace gsr::exec {
+
+BatchResult QueryScheduler::Run(const RangeReachMethod& method,
+                                const std::vector<RangeReachQuery>& queries,
+                                const SchedulerOptions& options) {
+  if (scratch_method_id_ != method.instance_id()) {
+    scratches_.clear();
+    scratches_.reserve(pool_->size());
+    for (unsigned i = 0; i < pool_->size(); ++i) {
+      scratches_.push_back(method.NewScratch());
+    }
+    scratch_method_id_ = method.instance_id();
+  }
+
+  BatchResult result;
+  result.answers.assign(queries.size(), 0);
+  if (options.record_latencies) {
+    result.latencies_us.assign(queries.size(), 0.0);
+  }
+  last_share_stats_ = ShareStats{};
+
+  const size_t window = std::max<size_t>(1, options.grouping.window);
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (size_t start = 0; start < queries.size(); start += window) {
+    const size_t count = std::min(window, queries.size() - start);
+
+    if (count < options.min_window_to_group) {
+      // A window this small has (almost) nothing to share; skip the
+      // grouping pass and run one query per pool task, exactly like
+      // BatchRunner::Run. Under open-loop serving this is the common
+      // dispatch shape whenever the backlog is small, and the grouping
+      // pass would be pure added latency there; a real backlog exceeds
+      // the threshold and gets grouped as usual.
+      last_share_stats_.groups += count;
+      last_share_stats_.queries += count;
+      last_share_stats_.distinct_regions += count;
+      // Match BatchRunner::Run's per-query cost exactly: same claim
+      // chunk, and no clock read unless latencies were asked for — at
+      // sub-microsecond methods a steady_clock call per query is
+      // measurable drag on a backlog drain.
+      pool_->ParallelFor(count, BatchOptions{}.chunk, [&](size_t i,
+                                                          unsigned worker) {
+        const RangeReachQuery& query = queries[start + i];
+        std::chrono::steady_clock::time_point begin;
+        if (options.record_latencies) begin = std::chrono::steady_clock::now();
+        bool answer = false;
+        try {
+          answer = method.Evaluate(query.vertex, query.region,
+                                   *scratches_[worker]);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          return;
+        }
+        result.answers[start + i] = answer ? 1 : 0;
+        if (options.record_latencies) {
+          result.latencies_us[start + i] =
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - begin)
+                  .count();
+        }
+      });
+      continue;
+    }
+
+    const std::span<const QueryGroup> groups = arena_.Build(
+        std::span<const RangeReachQuery>(queries.data() + start, count),
+        options.grouping);
+    for (const QueryGroup& group : groups) {
+      ++last_share_stats_.groups;
+      last_share_stats_.queries += group.member_query.size();
+      last_share_stats_.distinct_regions += group.regions.size();
+    }
+
+    pool_->ParallelFor(groups.size(), 1, [&](size_t g, unsigned worker) {
+      const QueryGroup& group = groups[g];
+      // BuildGroups clamps groups to the kernel mask width, so a stack
+      // answer buffer suffices.
+      GSR_CHECK(group.regions.size() <= simd::kMaskWidth);
+      bool answers[simd::kMaskWidth];
+      // Clock reads only when asked: a low-dedup window degenerates into
+      // hundreds of singleton groups, and a steady_clock call per group
+      // is real overhead against sub-microsecond evaluations.
+      std::chrono::steady_clock::time_point begin;
+      if (options.record_latencies) begin = std::chrono::steady_clock::now();
+      try {
+        method.EvaluateGroup(
+            group.vertex, std::span<const Rect>(group.regions),
+            std::span<bool>(answers, group.regions.size()),
+            *scratches_[worker]);
+      } catch (...) {
+        // Swallow here so this worker keeps draining its remaining
+        // groups (ParallelFor would otherwise abandon them); the first
+        // exception is rethrown after the batch.
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+      double micros = 0.0;
+      if (options.record_latencies) {
+        micros = std::chrono::duration<double, std::micro>(
+                     std::chrono::steady_clock::now() - begin)
+                     .count();
+      }
+      for (size_t m = 0; m < group.member_query.size(); ++m) {
+        const size_t slot = start + group.member_query[m];
+        result.answers[slot] = answers[group.member_region[m]] ? 1 : 0;
+        if (options.record_latencies) result.latencies_us[slot] = micros;
+      }
+    });
+  }
+
+  // Pool idle: drain per-worker counters into the method aggregate, even
+  // on the error path (the scratches are still healthy).
+  for (const std::unique_ptr<QueryScratch>& scratch : scratches_) {
+    method.DrainScratchCounters(*scratch);
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  for (const uint8_t answer : result.answers) result.true_count += answer;
+  return result;
+}
+
+}  // namespace gsr::exec

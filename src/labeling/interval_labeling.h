@@ -1,6 +1,7 @@
 #ifndef GSR_LABELING_INTERVAL_LABELING_H_
 #define GSR_LABELING_INTERVAL_LABELING_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -111,6 +112,28 @@ class IntervalLabeling {
     for (size_t k = 0; k < count; ++k) posts[k] = forest_.post[targets[k]];
     const auto run = flat_.Intervals(v);
     return simd::IntervalContainsMany(run.data(), run.size(), posts, count);
+  }
+
+  /// Arbitrary-count batched Lemma 3.1 probe: out[k] = 1 iff v reaches
+  /// targets[k]. The label run of v is fetched once and re-dispatched
+  /// against simd::kMaskWidth posts at a time, so a caller holding many
+  /// targets (the work-sharing scheduler's grouped SpaReach-INT path)
+  /// pays one flat-store lookup for the whole batch.
+  void CanReachManyInto(VertexId v, const VertexId* targets, size_t count,
+                        uint8_t* out) const {
+    const auto run = flat_.Intervals(v);
+    uint32_t posts[simd::kMaskWidth];
+    for (size_t base = 0; base < count; base += simd::kMaskWidth) {
+      const size_t chunk = std::min(simd::kMaskWidth, count - base);
+      for (size_t k = 0; k < chunk; ++k) {
+        posts[k] = forest_.post[targets[base + k]];
+      }
+      const uint64_t mask =
+          simd::IntervalContainsMany(run.data(), run.size(), posts, chunk);
+      for (size_t k = 0; k < chunk; ++k) {
+        out[base + k] = static_cast<uint8_t>((mask >> k) & 1);
+      }
+    }
   }
 
   /// Enumerates the descendants D(v) (including v itself, Equation 1),

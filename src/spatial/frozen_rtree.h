@@ -84,6 +84,24 @@ class FrozenRTree {
     return VisitAny(0, query);
   }
 
+  /// Multi-query existence probe, the work-sharing form of
+  /// AnyIntersecting: queries[k] participates iff bit k of `pending` is
+  /// set (k < simd::kMaskWidth); the returned mask has bit k set iff at
+  /// least one entry intersects queries[k]. One descent answers the whole
+  /// mask — a node is entered once for the subset of still-unanswered
+  /// queries that overlap it, and a visited leaf tests its entries with
+  /// the batch mask kernel once per live query instead of once per
+  /// (query, descent). Answers are exactly those of per-query
+  /// AnyIntersecting calls. Subtrees down to a single live query drop
+  /// into the branchy first-hit descent, which is the faster shape there
+  /// (see AnyIntersecting).
+  uint64_t AnyIntersectingMasked(const BoxT* queries, uint64_t pending) const {
+    if (nodes_.empty() || pending == 0) return 0;
+    uint64_t found = 0;
+    VisitAnyMasked(0, queries, pending, pending, found);
+    return found;
+  }
+
   std::vector<uint64_t> CollectIntersecting(const BoxT& query) const {
     std::vector<uint64_t> out;
     ForEachIntersecting(query, [&out](const LeafT&, uint64_t id) {
@@ -168,6 +186,67 @@ class FrozenRTree {
       if (VisitAny(child_nodes_[i], query)) return true;
     }
     return false;
+  }
+
+  /// Shared descent behind AnyIntersectingMasked. `mask` is the set of
+  /// queries whose box intersects this node (an overestimate is fine:
+  /// the root starts with all of them); `pending`/`found` are the global
+  /// not-yet-answered and answered sets, updated as hits come in.
+  void VisitAnyMasked(uint32_t node_idx, const BoxT* queries, uint64_t mask,
+                      uint64_t& pending, uint64_t& found) const {
+    mask &= pending;
+    if (mask == 0) return;
+    if (std::has_single_bit(mask)) {
+      // One live query left in this subtree: the branchy first-hit
+      // descent beats the batch kernels (positive probes resolve on the
+      // first intersecting entry).
+      if (VisitAny(node_idx, queries[std::countr_zero(mask)])) {
+        found |= mask;
+        pending &= ~mask;
+      }
+      return;
+    }
+    const Node& node = nodes_[node_idx];
+    const uint32_t end = node.first + node.count;
+    if (node.is_leaf) {
+      for (uint32_t base = node.first; base < end; base += simd::kMaskWidth) {
+        const uint32_t chunk = std::min<uint32_t>(simd::kMaskWidth, end - base);
+        for (uint64_t m = mask & pending; m != 0; m &= m - 1) {
+          const uint64_t bit = m & (~m + 1);
+          const int k = std::countr_zero(m);
+          if (simd::IntersectMask(queries[k], &leaf_geoms_[base], chunk) != 0) {
+            found |= bit;
+            pending &= ~bit;
+          }
+        }
+        if ((mask & pending) == 0) return;
+      }
+      return;
+    }
+    // Internal node: one batch-kernel call per (live query, child chunk)
+    // yields that query's intersecting children; transposing the results
+    // gives each child its query mask. Children are then entered in
+    // packed order, so the visit order (and with it every answer) is
+    // identical to the scalar double loop.
+    for (uint32_t base = node.first; base < end; base += simd::kMaskWidth) {
+      const uint32_t chunk = std::min<uint32_t>(simd::kMaskWidth, end - base);
+      uint64_t child_masks[simd::kMaskWidth] = {};
+      for (uint64_t m = mask & pending; m != 0; m &= m - 1) {
+        const int k = std::countr_zero(m);
+        uint64_t hits =
+            simd::IntersectMask(queries[k], &child_boxes_[base], chunk);
+        while (hits != 0) {
+          child_masks[std::countr_zero(hits)] |= uint64_t{1} << k;
+          hits &= hits - 1;
+        }
+      }
+      for (uint32_t c = 0; c < chunk; ++c) {
+        if (child_masks[c] == 0) continue;
+        VisitAnyMasked(child_nodes_[base + c], queries, child_masks[c],
+                       pending, found);
+        if ((mask & pending) == 0) return;
+      }
+    }
   }
 
   std::span<const Node> nodes_;

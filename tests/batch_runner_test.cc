@@ -129,6 +129,56 @@ TEST(BatchRunnerTest, ScratchesAreReusedAcrossRunsAndRebuiltOnMethodSwitch) {
   EXPECT_EQ(runner.cached_scratch_count(), pool.size());
 }
 
+TEST(BatchRunnerTest, MethodSwitchMidStreamRebuildsScratchesAndDrainsOnce) {
+  // Alternating between two method instances through one runner: every
+  // switch must rebuild the scratch cache for the new instance (keyed by
+  // instance_id, not type — both are SocReach) and drain the outgoing
+  // batch's counters exactly once, never double-counting across rounds.
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(150, 2.5, 0.4, 67);
+  const CondensedNetwork cn(&network);
+  const std::vector<RangeReachQuery> queries =
+      MixedWorkload(network, 200, 91);
+
+  const SocReach serial_twin(&cn);
+  const SocReach parallel_a(&cn);
+  const SocReach parallel_b(&cn);
+
+  exec::ThreadPool pool(4);
+  exec::BatchRunner runner(&pool);
+  for (int round = 0; round < 3; ++round) {
+    (void)runner.Run(parallel_a, queries);
+    EXPECT_EQ(runner.cached_scratch_count(), pool.size());
+    (void)runner.Run(parallel_b, queries);
+    EXPECT_EQ(runner.cached_scratch_count(), pool.size());
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (const RangeReachQuery& query : queries) {
+      (void)serial_twin.EvaluateQuery(query);
+    }
+  }
+  EXPECT_EQ(parallel_a.counters().queries, serial_twin.counters().queries);
+  EXPECT_EQ(parallel_a.counters().descendants,
+            serial_twin.counters().descendants);
+  EXPECT_EQ(parallel_a.counters().containment_tests,
+            serial_twin.counters().containment_tests);
+  EXPECT_EQ(parallel_b.counters().queries, parallel_a.counters().queries);
+
+  // The scheduler path keeps the exactly-once drain too. Shared execution
+  // may amortize probes (descendants/containment_tests shrink), but this
+  // workload has no duplicate (vertex, region) pair — regions are fresh
+  // random rectangles — so each RunShared adds exactly |batch| to the
+  // grouped query counter. Grouping is forced: 200 queries sit below the
+  // adaptive small-window bypass, which drains through the per-query
+  // path instead of the grouped one.
+  exec::SchedulerOptions scheduler_options;
+  scheduler_options.min_window_to_group = 1;
+  const uint64_t before = parallel_a.counters().queries;
+  (void)runner.RunShared(parallel_a, queries, scheduler_options);
+  (void)runner.RunShared(parallel_a, queries, scheduler_options);
+  EXPECT_EQ(parallel_a.counters().queries, before + 2 * queries.size());
+}
+
 TEST(BatchRunnerTest, StreamingSocReachAgreesInParallel) {
   const GeoSocialNetwork network =
       testing::RandomGeoSocialNetwork(180, 2.5, 0.4, 41);

@@ -9,6 +9,7 @@
 
 #include "common/binary_io.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "spatial/frozen_rtree.h"
 #include "spatial/rtree.h"
 
@@ -105,6 +106,48 @@ TEST(FrozenRTreeTest, AgreesWithSegments3D) {
         rng.NextDoubleInRange(50, 100)));
   }
   ExpectAgreesWithDynamic(dynamic, frozen, queries);
+}
+
+TEST(FrozenRTreeTest, MaskedDescentMatchesPerQueryExistence) {
+  // AnyIntersectingMasked (one shared descent answering up to 64
+  // existence queries) must return exactly the per-query AnyIntersecting
+  // bits, for every pending-mask shape and at every kernel level.
+  RTree3D dynamic;
+  dynamic.BulkLoad(RandomSegments(700, 61));
+  const auto frozen = FrozenRTree3D::Freeze(dynamic);
+
+  Rng rng(62);
+  for (const simd::KernelLevel level :
+       {simd::KernelLevel::kScalar, simd::KernelLevel::kSse42,
+        simd::KernelLevel::kAvx2}) {
+    simd::ScopedKernelLevel scoped(level);
+    for (const size_t count : {size_t{1}, size_t{3}, size_t{17}, size_t{64}}) {
+      Box3D queries[64];
+      uint64_t expected = 0;
+      for (size_t k = 0; k < count; ++k) {
+        queries[k] = Box3D::FromRectAndInterval(
+            RandomQueryRect(rng), rng.NextDoubleInRange(0, 50),
+            rng.NextDoubleInRange(50, 100));
+        if (frozen.AnyIntersecting(queries[k])) expected |= uint64_t{1} << k;
+      }
+      const uint64_t full =
+          count == 64 ? ~uint64_t{0} : (uint64_t{1} << count) - 1;
+      EXPECT_EQ(frozen.AnyIntersectingMasked(queries, full), expected)
+          << "count " << count << " level "
+          << simd::KernelLevelName(simd::ActiveLevel());
+
+      // A sparse pending mask only answers its own bits.
+      const uint64_t sparse = full & 0x5555555555555555ull;
+      EXPECT_EQ(frozen.AnyIntersectingMasked(queries, sparse),
+                expected & sparse);
+    }
+  }
+
+  // Empty pending mask and empty tree are both no-ops.
+  Box3D one = Box3D::FromRectAndInterval(Rect(0, 0, 100, 100), 0, 100);
+  EXPECT_EQ(frozen.AnyIntersectingMasked(&one, 0), 0u);
+  const auto empty = FrozenRTree3D::Freeze(RTree3D());
+  EXPECT_EQ(empty.AnyIntersectingMasked(&one, ~uint64_t{0}), 0u);
 }
 
 TEST(FrozenRTreeTest, EmptyTree) {

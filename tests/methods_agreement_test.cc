@@ -12,6 +12,8 @@
 #include "core/naive_bfs.h"
 #include "datagen/generator.h"
 #include "datagen/workload.h"
+#include "exec/batch_runner.h"
+#include "exec/thread_pool.h"
 #include "tests/test_util.h"
 
 namespace gsr {
@@ -234,6 +236,57 @@ TEST(MethodsAgreementTest, AllKernelLevelsMatchNaiveBfs) {
             << method->name() << " disagrees at kernel level "
             << simd::KernelLevelName(simd::ActiveLevel()) << " on vertex "
             << v << " region " << region.ToString();
+      }
+    }
+  }
+}
+
+TEST(MethodsAgreementTest, SchedulerSharedExecutionMatchesSerial) {
+  // The work-sharing scheduler's core promise: RunShared (grouped
+  // EvaluateGroup execution) answers bit-identically to the serial
+  // Evaluate loop — for every method and SCC mode, at every thread count
+  // and forced kernel level. The workload is skewed (hot query vertices
+  // re-issuing pooled regions) so real multi-member groups, duplicate
+  // collapse and 64-slot splitting all actually execute.
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(220, 2.5, 0.4, 91);
+  const CondensedNetwork cn(&network);
+
+  WorkloadGenerator workload(&network, 321);
+  QuerySpec spec;
+  spec.count = 250;
+  spec.min_out_degree = 0;
+  spec.max_out_degree = 1u << 30;
+  spec.vertex_zipf = 1.1;
+  spec.regions_per_vertex = 3;
+  const std::vector<RangeReachQuery> queries = workload.Generate(spec);
+
+  for (const MethodConfig& config : AllConfigs()) {
+    const auto method = CreateMethod(&cn, config);
+    std::vector<uint8_t> serial;
+    serial.reserve(queries.size());
+    for (const RangeReachQuery& query : queries) {
+      serial.push_back(method->EvaluateQuery(query) ? 1 : 0);
+    }
+
+    for (const unsigned threads :
+         {1u, 4u, exec::ThreadPool::DefaultThreads()}) {
+      exec::ThreadPool pool(threads);
+      exec::BatchRunner runner(&pool);
+      for (const simd::KernelLevel level :
+           {simd::KernelLevel::kScalar, simd::KernelLevel::kSse42,
+            simd::KernelLevel::kAvx2}) {
+        simd::ScopedKernelLevel scoped(level);
+        // Force grouping: 250 queries sit below the adaptive small-window
+        // bypass, which would run the per-query path we are not testing.
+        exec::SchedulerOptions options;
+        options.min_window_to_group = 1;
+        const exec::BatchResult shared =
+            runner.RunShared(*method, queries, options);
+        ASSERT_EQ(shared.answers, serial)
+            << method->name() << " diverges under the scheduler at "
+            << threads << " threads, kernel level "
+            << simd::KernelLevelName(simd::ActiveLevel());
       }
     }
   }

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
 #include "datagen/generator.h"
 
 namespace gsr {
@@ -112,6 +117,72 @@ TEST(WorkloadTest, DeterministicForSeed) {
   spec.count = 50;
   const auto qa = a.Generate(spec);
   const auto qb = b.Generate(spec);
+  for (size_t i = 0; i < qa.size(); ++i) {
+    EXPECT_EQ(qa[i].vertex, qb[i].vertex);
+    EXPECT_EQ(qa[i].region, qb[i].region);
+  }
+}
+
+TEST(WorkloadTest, ZipfSkewConcentratesOnFewVertices) {
+  const GeoSocialNetwork network = TestNetwork();
+  WorkloadGenerator workload(&network, 37);
+  QuerySpec spec;
+  spec.count = 2000;
+  spec.min_out_degree = 1;
+  spec.max_out_degree = 1u << 30;
+
+  auto top_share = [&](double zipf) {
+    spec.vertex_zipf = zipf;
+    std::map<VertexId, size_t> hits;
+    size_t max_hits = 0;
+    for (const RangeReachQuery& query : workload.Generate(spec)) {
+      max_hits = std::max(max_hits, ++hits[query.vertex]);
+    }
+    return static_cast<double>(max_hits) / spec.count;
+  };
+
+  // Uniform: the hottest vertex of a large bucket gets a sliver; under
+  // Zipf(1.2) rank 1 alone carries a large share of the batch.
+  EXPECT_LT(top_share(0.0), 0.05);
+  EXPECT_GT(top_share(1.2), 0.10);
+
+  // Skewed batches still respect the degree bucket.
+  spec.vertex_zipf = 1.2;
+  spec.min_out_degree = 1;
+  spec.max_out_degree = 49;
+  for (const RangeReachQuery& query : workload.Generate(spec)) {
+    const uint32_t degree = network.graph().OutDegree(query.vertex);
+    EXPECT_GE(degree, 1u);
+    EXPECT_LE(degree, 49u);
+  }
+}
+
+TEST(WorkloadTest, RegionPoolsBoundDistinctRegionsPerVertex) {
+  const GeoSocialNetwork network = TestNetwork();
+  WorkloadGenerator workload(&network, 41);
+  QuerySpec spec;
+  spec.count = 1500;
+  spec.min_out_degree = 1;
+  spec.max_out_degree = 1u << 30;
+  spec.vertex_zipf = 1.2;  // Hot vertices, so pools are actually re-hit.
+  spec.regions_per_vertex = 4;
+
+  std::map<VertexId, std::set<std::string>> distinct;
+  for (const RangeReachQuery& query : workload.Generate(spec)) {
+    distinct[query.vertex].insert(query.region.ToString());
+  }
+  size_t repeats = 0;
+  for (const auto& [vertex, regions] : distinct) {
+    EXPECT_LE(regions.size(), 4u) << "vertex " << vertex;
+    if (regions.size() > 1) ++repeats;
+  }
+  // The skew must actually produce vertices that cycled their pool.
+  EXPECT_GT(repeats, 0u);
+
+  // Pooled generation stays deterministic for a seed.
+  const auto qa = WorkloadGenerator(&network, 43).Generate(spec);
+  const auto qb = WorkloadGenerator(&network, 43).Generate(spec);
+  ASSERT_EQ(qa.size(), qb.size());
   for (size_t i = 0; i < qa.size(); ++i) {
     EXPECT_EQ(qa[i].vertex, qb[i].vertex);
     EXPECT_EQ(qa[i].region, qb[i].region);
