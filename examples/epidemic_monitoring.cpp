@@ -8,6 +8,7 @@
 // Run:  ./build/examples/epidemic_monitoring
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "common/stopwatch.h"
@@ -47,13 +48,19 @@ int main() {
   std::printf("monitoring %zu districts for %zu index cases\n",
               districts.size(), cases.size());
 
+  // Explicit scratches: these loops are the hot path, and the two-argument
+  // convenience Evaluate would funnel every query through each method's
+  // shared default scratch.
+  const std::unique_ptr<QueryScratch> rev_scratch = index.NewScratch();
+  const std::unique_ptr<QueryScratch> soc_scratch = soc.NewScratch();
+
   uint64_t exposed_pairs = 0;
   Stopwatch watch;
   for (const VertexId patient : cases) {
     std::printf("case %5u can seed districts:", patient);
     bool any = false;
     for (size_t d = 0; d < districts.size(); ++d) {
-      if (index.Evaluate(patient, districts[d])) {
+      if (index.Evaluate(patient, districts[d], *rev_scratch)) {
         std::printf(" %zu", d);
         any = true;
         ++exposed_pairs;
@@ -72,8 +79,8 @@ int main() {
   // Cross-check against SocReach (descendant enumeration + point tests).
   for (const VertexId patient : cases) {
     for (const Rect& district : districts) {
-      if (index.Evaluate(patient, district) !=
-          soc.Evaluate(patient, district)) {
+      if (index.Evaluate(patient, district, *rev_scratch) !=
+          soc.Evaluate(patient, district, *soc_scratch)) {
         std::fprintf(stderr, "methods disagree - bug!\n");
         return 1;
       }

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "core/condensed_network.h"
@@ -58,10 +59,14 @@ int main() {
   }
 
   // Score every candidate by the number of influencers that geosocially
-  // reach it.
+  // reach it. An explicit scratch keeps this hot loop off the method-owned
+  // default scratch the convenience overload shares.
+  const std::unique_ptr<QueryScratch> scratch = index.NewScratch();
   for (Candidate& candidate : candidates) {
     for (const VertexId influencer : influencers) {
-      if (index.Evaluate(influencer, candidate.area)) ++candidate.reach;
+      if (index.Evaluate(influencer, candidate.area, *scratch)) {
+        ++candidate.reach;
+      }
     }
   }
   std::sort(candidates.begin(), candidates.end(),
@@ -69,14 +74,28 @@ int main() {
               return a.reach > b.reach;
             });
 
+  // The most-followed influencer anchors a depth metric for the ranking:
+  // RangeReachCount gives the number of distinct venues their circle
+  // touches in each winning area — "reached" areas are not all equal.
+  VertexId top_influencer = influencers.empty() ? 0 : influencers.front();
+  for (const VertexId v : influencers) {
+    if (network.graph().OutDegree(v) >
+        network.graph().OutDegree(top_influencer)) {
+      top_influencer = v;
+    }
+  }
+
   std::printf("top 5 advertising locations (of %zu candidates):\n",
               candidates.size());
   for (size_t i = 0; i < 5 && i < candidates.size(); ++i) {
     const Candidate& c = candidates[i];
+    const uint64_t depth =
+        index.EvaluateCount(top_influencer, c.area, *scratch);
     std::printf("  %zu. area [%.1f,%.1f]x[%.1f,%.1f]  reached by %llu/%zu "
-                "influencers\n",
+                "influencers; top influencer touches %llu venues there\n",
                 i + 1, c.area.min_x, c.area.max_x, c.area.min_y, c.area.max_y,
-                static_cast<unsigned long long>(c.reach), influencers.size());
+                static_cast<unsigned long long>(c.reach), influencers.size(),
+                static_cast<unsigned long long>(depth));
   }
   const uint64_t queries =
       static_cast<uint64_t>(candidates.size()) * influencers.size();

@@ -1,13 +1,16 @@
 // Points-of-Interest recommendation (the paper's first motivating
 // application): "are there restaurants in this part of the city that my
-// friends, or friends of my friends, have visited?" Each RangeReach query
-// asks whether the user geosocially reaches a city district; we compare
-// the paper's 3DReach against the SpaReach-BFL baseline on the same
-// workload and report the answers and the speedup.
+// friends, or friends of my friends, have visited?" RangeReachEnum
+// answers with the venues themselves — one reachability pass per
+// district, instead of the one-boolean-probe-per-venue loop an app would
+// otherwise write. We then compare the paper's 3DReach against the
+// SpaReach-BFL baseline on the same boolean workload and report the
+// answers and the speedup.
 //
 // Run:  ./build/examples/poi_recommendation
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -53,15 +56,21 @@ int main() {
       {"suburbs", Rect(0, 85, 15, 100)},
   };
 
-  // Recommend districts to the first few users: a district is worth
-  // suggesting when the user's (transitive) social circle has activity
-  // there.
+  // Recommend venues to the first few users: RangeReachEnum returns the
+  // actual venues the user's (transitive) social circle has visited in a
+  // district — one reachability pass per district, where the boolean API
+  // could only say "somewhere in old town". The arena is reused across
+  // queries, so steady state allocates nothing.
+  const std::unique_ptr<QueryScratch> scratch = threed.NewScratch();
+  std::vector<VertexId> venues;
   for (VertexId user = 0; user < 5; ++user) {
     std::printf("user %u can ask friends about:", user);
     bool any = false;
     for (const District& district : districts) {
-      if (threed.Evaluate(user, district.area)) {
-        std::printf(" %s", district.name);
+      threed.EvaluateEnumInto(user, district.area, *scratch, venues);
+      if (!venues.empty()) {
+        std::printf(" %s (%zu venues, e.g. #%u)", district.name,
+                    venues.size(), venues.front());
         any = true;
       }
     }
@@ -69,6 +78,10 @@ int main() {
   }
 
   // Same workload through both methods: answers must agree; time differs.
+  // Explicit scratches keep the hot loop off the method-owned default
+  // scratch (a shared mutable the convenience API uses).
+  const std::unique_ptr<QueryScratch> spareach_scratch =
+      spareach.NewScratch();
   uint64_t agree = 0;
   uint64_t total = 0;
   Stopwatch threed_watch;
@@ -77,10 +90,11 @@ int main() {
   for (VertexId user = 0; user < 500; ++user) {
     for (const District& district : districts) {
       threed_watch.Restart();
-      const bool a = threed.Evaluate(user, district.area);
+      const bool a = threed.Evaluate(user, district.area, *scratch);
       threed_micros += threed_watch.ElapsedMicros();
       threed_watch.Restart();
-      const bool b = spareach.Evaluate(user, district.area);
+      const bool b =
+          spareach.Evaluate(user, district.area, *spareach_scratch);
       spareach_micros += threed_watch.ElapsedMicros();
       agree += (a == b);
       ++total;

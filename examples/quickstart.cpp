@@ -62,7 +62,21 @@ int main() {
                 index.Evaluate(user, uptown) ? "yes" : "no");
   }
 
-  // 5. Sanity: the index-free oracle agrees.
+  // 5. Richer questions on the same index: RangeReachCount/Enum project
+  //    the full result set, and AnyReach asks over several sources at
+  //    once — "does anyone alice or carol follows reach uptown?"
+  const std::vector<VertexId> friends = {0, 2};  // alice and carol
+  std::printf("alice's downtown venues: %llu (enum:",
+              static_cast<unsigned long long>(index.EvaluateCount(0,
+                                                                  downtown)));
+  for (const VertexId venue : index.EvaluateEnum(0, downtown)) {
+    std::printf(" #%u", venue);
+  }
+  std::printf(")\n");
+  std::printf("any of {alice, carol} reaches uptown: %s\n",
+              index.EvaluateAny(friends, uptown) ? "yes" : "no");
+
+  // 6. Sanity: the index-free oracle agrees.
   const NaiveBfsMethod oracle(&*network);
   for (VertexId user = 0; user < 3; ++user) {
     if (index.Evaluate(user, downtown) != oracle.Evaluate(user, downtown)) {

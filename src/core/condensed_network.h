@@ -74,6 +74,21 @@ class CondensedNetwork {
   /// True when at least one point of component `c` lies inside `region`.
   bool AnyMemberPointIn(ComponentId c, const Rect& region) const;
 
+  /// Calls fn(v) for every spatial member of `c` whose point lies inside
+  /// `region`, in member order — the enumeration form of
+  /// AnyMemberPointIn, with the same MBR pre-check. This is how the
+  /// collection paths turn "component c is reachable" into result
+  /// vertices: every member of a reachable component is reachable, so
+  /// methods dedup components and enumerate members here exactly once.
+  template <typename Fn>
+  void ForEachSpatialMemberIn(ComponentId c, const Rect& region,
+                              Fn&& fn) const {
+    if (!region.Intersects(mbr_[c])) return;
+    for (const VertexId v : SpatialMembersOf(c)) {
+      if (region.Contains(network_->PointOf(v))) fn(v);
+    }
+  }
+
   /// Main-memory footprint in bytes (excluding the underlying network).
   size_t SizeBytes() const;
 

@@ -214,6 +214,100 @@ bool GeoReachMethod::Evaluate(VertexId vertex, const Rect& region,
   return false;
 }
 
+bool GeoReachMethod::PruneForCollect(ComponentId c, const Rect& region) const {
+  switch (class_[c]) {
+    case SpaClass::kBFalse:
+      return true;  // Reaches no spatial vertex at all.
+    case SpaClass::kBTrue:
+      return false;  // No geometry to prune with.
+    case SpaClass::kR:
+      // RMBR encloses every reachable point: disjoint => none in region.
+      return !rmbr_[c].Intersects(region);
+    case SpaClass::kG:
+      // Every reachable point lies in some ReachGrid cell.
+      for (const GridCell& cell : reach_grid_[c]) {
+        if (grid_.CellRect(cell).Intersects(region)) return false;
+      }
+      return true;
+  }
+  return true;
+}
+
+void GeoReachMethod::CollectInto(VertexId vertex, const Rect& region,
+                                 ResultSink& sink,
+                                 QueryScratch& scratch) const {
+  Scratch& s = static_cast<Scratch&>(scratch);
+  ++s.counters.queries;
+  if (++s.epoch == 0) {
+    std::fill(s.mark.begin(), s.mark.end(), 0);
+    s.epoch = 1;
+  }
+  s.queue.clear();
+  const ComponentId source = cn_->ComponentOf(vertex);
+  s.queue.push_back(source);
+  s.mark[source] = s.epoch;
+  for (size_t head = 0; head < s.queue.size(); ++head) {
+    const ComponentId c = s.queue[head];
+    ++s.counters.vertices_visited;
+    if (PruneForCollect(c, region)) {
+      ++s.counters.pruned;
+      continue;
+    }
+    cn_->ForEachSpatialMemberIn(c, region, [&](VertexId v) { sink.Add(v); });
+    for (const VertexId raw : cn_->dag().OutNeighbors(c)) {
+      const ComponentId succ = static_cast<ComponentId>(raw);
+      if (s.mark[succ] != s.epoch) {
+        s.mark[succ] = s.epoch;
+        s.queue.push_back(succ);
+      }
+    }
+  }
+}
+
+bool GeoReachMethod::EvaluateAny(std::span<const VertexId> sources,
+                                 const Rect& region,
+                                 QueryScratch& scratch) const {
+  if (sources.empty()) return false;
+  Scratch& s = static_cast<Scratch&>(scratch);
+  ++s.counters.queries;
+  if (++s.epoch == 0) {
+    std::fill(s.mark.begin(), s.mark.end(), 0);
+    s.epoch = 1;
+  }
+  // Seed the frontier with every distinct source component; from there
+  // the traversal is exactly the single-source BFS over the union of the
+  // reachable sets, with each component visited once.
+  s.queue.clear();
+  for (const VertexId vertex : sources) {
+    const ComponentId c = cn_->ComponentOf(vertex);
+    if (s.mark[c] != s.epoch) {
+      s.mark[c] = s.epoch;
+      s.queue.push_back(c);
+    }
+  }
+  for (size_t head = 0; head < s.queue.size(); ++head) {
+    const ComponentId c = s.queue[head];
+    ++s.counters.vertices_visited;
+    switch (Visit(c, region)) {
+      case VisitAction::kAnswerTrue:
+        return true;
+      case VisitAction::kPrune:
+        ++s.counters.pruned;
+        break;
+      case VisitAction::kExpand:
+        for (const VertexId raw : cn_->dag().OutNeighbors(c)) {
+          const ComponentId succ = static_cast<ComponentId>(raw);
+          if (s.mark[succ] != s.epoch) {
+            s.mark[succ] = s.epoch;
+            s.queue.push_back(succ);
+          }
+        }
+        break;
+    }
+  }
+  return false;
+}
+
 void GeoReachMethod::DrainScratchCounters(QueryScratch& scratch) const {
   if (IsDefaultScratch(scratch)) return;
   Scratch& s = static_cast<Scratch&>(scratch);

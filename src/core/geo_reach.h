@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -84,7 +85,23 @@ class GeoReachMethod : public RangeReachMethod {
   bool Evaluate(VertexId vertex, const Rect& region,
                 QueryScratch& scratch) const override;
 
+  /// Collection form: the same pruned BFS without the kAnswerTrue early
+  /// exit — every visited component emits its own member points inside
+  /// the region, and a component is pruned only when its SPA-graph entry
+  /// proves nothing reachable from it lies in the region (B-false; RMBR
+  /// disjoint; no ReachGrid cell intersecting). The BFS visits each
+  /// component once, so members are emitted exactly once.
+  void CollectInto(VertexId vertex, const Rect& region, ResultSink& sink,
+                   QueryScratch& scratch) const override;
+
+  /// Multi-source AnyReach: one multi-seed pruned BFS over the union of
+  /// the sources' reachable components, instead of k independent
+  /// traversals — overlapping friend circles share every visit.
+  bool EvaluateAny(std::span<const VertexId> sources, const Rect& region,
+                   QueryScratch& scratch) const override;
+
   using RangeReachMethod::Evaluate;
+  using RangeReachMethod::EvaluateAny;
 
   void DrainScratchCounters(QueryScratch& scratch) const override;
 
@@ -128,6 +145,10 @@ class GeoReachMethod : public RangeReachMethod {
   /// Visit outcome for one component during the query BFS.
   enum class VisitAction { kPrune, kExpand, kAnswerTrue };
   VisitAction Visit(ComponentId c, const Rect& region) const;
+
+  /// Collection-BFS prune test: true only when the SPA-graph entry of
+  /// `c` proves no spatial vertex reachable from `c` lies in `region`.
+  bool PruneForCollect(ComponentId c, const Rect& region) const;
 
   Counters& MutableCounters() const {
     return static_cast<Scratch&>(DefaultScratch()).counters;

@@ -44,7 +44,23 @@ class NaiveBfsMethod : public RangeReachMethod {
     return found;
   }
 
+  /// Same BFS without the early exit, delivering every spatial vertex
+  /// inside the region. BFS visits each vertex once, so the sink's
+  /// exactly-once contract holds for free — this is the count/enum
+  /// ground truth, like Evaluate is for boolean.
+  void CollectInto(VertexId vertex, const Rect& region, ResultSink& sink,
+                   QueryScratch& scratch) const override {
+    BfsTraversal& bfs = static_cast<Scratch&>(scratch).bfs;
+    bfs.ForEachReachable(vertex, [&](VertexId v) {
+      if (network_->IsSpatial(v) && region.Contains(network_->PointOf(v))) {
+        return sink.Add(v);
+      }
+      return true;
+    });
+  }
+
   using RangeReachMethod::Evaluate;
+  using RangeReachMethod::EvaluateAny;
 
   std::string name() const override { return "NaiveBFS"; }
 

@@ -6,8 +6,11 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "core/result_sink.h"
 #include "geometry/geometry.h"
 #include "graph/digraph.h"
 
@@ -17,6 +20,16 @@ namespace gsr {
 /// vertex whose point lies inside `region`? (Problem 1 of the paper.)
 struct RangeReachQuery {
   VertexId vertex = 0;
+  Rect region;
+};
+
+/// One multi-source AnyReach(G, S, R) query: does *any* vertex of
+/// `sources` reach a spatial vertex whose point lies inside `region`?
+/// The "do any of my k friends reach the region" scenario; equivalent to
+/// OR-ing k RangeReach queries, which is exactly how the oracle answers
+/// it (methods answer it with shared candidate scans and k-way probes).
+struct AnyReachQuery {
+  std::vector<VertexId> sources;
   Rect region;
 };
 
@@ -74,6 +87,66 @@ class RangeReachMethod {
     }
   }
 
+  /// Delivers every distinct reachable spatial vertex inside `region` to
+  /// `sink` — the collection form behind RangeReachCount/RangeReachEnum.
+  /// Only count/enum sinks reach this hook (EvaluateInto routes boolean
+  /// sinks through Evaluate, keeping that path bit-identical). Contract:
+  /// each qualifying vertex is Add()ed exactly once, in unspecified
+  /// order; callers needing the canonical ascending order sort via
+  /// ResultSink::Finalize. The base implementation refuses — every real
+  /// method overrides it; the default only exists so minimal test
+  /// doubles that never see count/enum queries still compile.
+  virtual void CollectInto(VertexId vertex, const Rect& region,
+                           ResultSink& sink, QueryScratch& scratch) const {
+    (void)vertex;
+    (void)region;
+    (void)sink;
+    (void)scratch;
+    throw std::logic_error(name() + " does not implement count/enum queries");
+  }
+
+  /// Grouped collection, the sink analogue of EvaluateGroup: every query
+  /// shares the group's vertex, query k is (vertex, regions[k]) and its
+  /// results land in sinks[k]. Same answer contract per slot as
+  /// CollectInto (exactly-once delivery, unspecified order); cost
+  /// counters may differ from the serial loop, the whole point of an
+  /// override is one shared scan feeding many sinks. Default is the
+  /// serial loop, so every method is scheduler-ready for all kinds.
+  virtual void CollectGroupInto(VertexId vertex, std::span<const Rect> regions,
+                                std::span<ResultSink> sinks,
+                                QueryScratch& scratch) const {
+    for (size_t k = 0; k < regions.size(); ++k) {
+      CollectInto(vertex, regions[k], sinks[k], scratch);
+    }
+  }
+
+  /// Answers AnyReach(G, sources, region): true when any source reaches
+  /// a spatial vertex inside the region. This short-circuiting loop over
+  /// Evaluate *defines* the semantics (and is what the oracle runs);
+  /// SpaReach and the 3DReach variants override it with one shared
+  /// candidate collection / R-tree descent probed k ways, GeoReach with
+  /// a multi-seed traversal. Empty `sources` answers false.
+  virtual bool EvaluateAny(std::span<const VertexId> sources,
+                           const Rect& region, QueryScratch& scratch) const {
+    for (VertexId source : sources) {
+      if (Evaluate(source, region, scratch)) return true;
+    }
+    return false;
+  }
+
+  /// Single-query sink dispatch: boolean sinks route through Evaluate
+  /// (the existing optimized path, bit-identical answers), count/enum
+  /// through CollectInto. Non-virtual on purpose — the kind dispatch
+  /// lives in exactly one place so the boolean fast path cannot drift.
+  void EvaluateInto(VertexId vertex, const Rect& region, ResultSink& sink,
+                    QueryScratch& scratch) const {
+    if (sink.kind() == QueryKind::kBool) {
+      if (Evaluate(vertex, region, scratch)) sink.MarkFound();
+      return;
+    }
+    CollectInto(vertex, region, sink, scratch);
+  }
+
   /// Creates a scratch for this method. One per thread.
   virtual std::unique_ptr<QueryScratch> NewScratch() const {
     return std::make_unique<QueryScratch>();
@@ -101,11 +174,67 @@ class RangeReachMethod {
     return Evaluate(query.vertex, query.region);
   }
 
+  /// Scratch form for callers that already hold one (the batch layer and
+  /// hot example loops — the method-owned default scratch is a shared
+  /// mutable, so hot paths should pass their own).
+  bool EvaluateQuery(const RangeReachQuery& query, QueryScratch& scratch) const {
+    return Evaluate(query.vertex, query.region, scratch);
+  }
+
+  /// RangeReachCount on the method-owned scratch: how many distinct
+  /// spatial vertices inside `region` does `vertex` reach?
+  uint64_t EvaluateCount(VertexId vertex, const Rect& region) const {
+    return EvaluateCount(vertex, region, DefaultScratch());
+  }
+
+  uint64_t EvaluateCount(VertexId vertex, const Rect& region,
+                         QueryScratch& scratch) const {
+    ResultSink sink = ResultSink::Count();
+    CollectInto(vertex, region, sink, scratch);
+    return sink.count();
+  }
+
+  /// RangeReachEnum on the method-owned scratch: the reachable spatial
+  /// vertices inside `region`, in canonical (ascending) order.
+  std::vector<VertexId> EvaluateEnum(VertexId vertex,
+                                     const Rect& region) const {
+    std::vector<VertexId> out;
+    EvaluateEnumInto(vertex, region, DefaultScratch(), out);
+    return out;
+  }
+
+  /// Allocation-reusing enum form: `out` is cleared, filled, and sorted;
+  /// steady-state callers keep its capacity across queries.
+  void EvaluateEnumInto(VertexId vertex, const Rect& region,
+                        QueryScratch& scratch,
+                        std::vector<VertexId>& out) const {
+    ResultSink sink = ResultSink::Enum(&out);
+    CollectInto(vertex, region, sink, scratch);
+    sink.Finalize();
+  }
+
+  /// AnyReach on the method-owned scratch.
+  bool EvaluateAny(std::span<const VertexId> sources,
+                   const Rect& region) const {
+    return EvaluateAny(sources, region, DefaultScratch());
+  }
+
+  /// Convenience form (non-overload so derived overrides don't hide it).
+  bool EvaluateAnyQuery(const AnyReachQuery& query) const {
+    return EvaluateAny(query.sources, query.region, DefaultScratch());
+  }
+
   /// The scratch behind the single-threaded API, lazily created. Concrete
   /// methods keep their aggregate counters here, which is what makes
-  /// counters() reflect both serial calls and drained batch runs.
+  /// counters() reflect both serial calls and drained batch runs. The
+  /// create check is a single predicted-not-taken branch, so convenience
+  /// calls pay no lazy-init cost after the first (no lock, no per-call
+  /// allocation) — but the scratch itself is shared mutable state, which
+  /// is why hot multi-threaded paths pass an explicit NewScratch().
   QueryScratch& DefaultScratch() const {
-    if (!default_scratch_) default_scratch_ = NewScratch();
+    if (default_scratch_ == nullptr) [[unlikely]] {
+      default_scratch_ = NewScratch();
+    }
     return *default_scratch_;
   }
 

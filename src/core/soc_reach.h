@@ -141,6 +141,48 @@ class SocReach : public RangeReachMethod {
     }
   }
 
+  /// Collection form: one descendant scan, delivering each descendant's
+  /// member points inside the region. The labels of a vertex are
+  /// disjoint normalized intervals, so the scan yields every descendant
+  /// exactly once and the sink's exactly-once contract is free — no
+  /// dedup marks needed. Counters: one containment test per descendant
+  /// (the MBR-gated member enumeration), mirroring the boolean path.
+  void CollectInto(VertexId vertex, const Rect& region, ResultSink& sink,
+                   QueryScratch& scratch) const override {
+    Scratch& s = static_cast<Scratch&>(scratch);
+    ++s.counters.queries;
+    const ComponentId source = cn_->ComponentOf(vertex);
+    labeling_.ForEachDescendant(source, [&](VertexId descendant) {
+      ++s.counters.descendants;
+      ++s.counters.containment_tests;
+      cn_->ForEachSpatialMemberIn(static_cast<ComponentId>(descendant), region,
+                                  [&](VertexId v) { sink.Add(v); });
+      return true;
+    });
+  }
+
+  /// Grouped collection: the count/enum analogue of EvaluateGroup — one
+  /// descendant enumeration feeds every sink of the group. There is no
+  /// pending mask here: a collection query is never answered early, so
+  /// each descendant is tested against all regions.
+  void CollectGroupInto(VertexId vertex, std::span<const Rect> regions,
+                        std::span<ResultSink> sinks,
+                        QueryScratch& scratch) const override {
+    Scratch& s = static_cast<Scratch&>(scratch);
+    s.counters.queries += regions.size();
+    const ComponentId source = cn_->ComponentOf(vertex);
+    labeling_.ForEachDescendant(source, [&](VertexId descendant) {
+      ++s.counters.descendants;
+      const ComponentId c = static_cast<ComponentId>(descendant);
+      for (size_t k = 0; k < regions.size(); ++k) {
+        ++s.counters.containment_tests;
+        cn_->ForEachSpatialMemberIn(c, regions[k],
+                                    [&](VertexId v) { sinks[k].Add(v); });
+      }
+      return true;
+    });
+  }
+
   using RangeReachMethod::Evaluate;
 
   void DrainScratchCounters(QueryScratch& scratch) const override {

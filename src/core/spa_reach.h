@@ -49,6 +49,11 @@ class SpaReachBase : public RangeReachMethod {
     std::vector<uint32_t> probe_epoch;
     std::vector<uint8_t> probe_reachable;
     uint32_t probe_generation = 0;
+    /// Collection/AnyReach state: component dedup marks (the replicate
+    /// tree yields one candidate per member point, collection must probe
+    /// and emit each component once) and the deduplicated id buffer.
+    SeenMarks seen;
+    std::vector<ComponentId> distinct;
   };
 
   std::unique_ptr<QueryScratch> NewScratch() const override {
@@ -102,7 +107,115 @@ class SpaReachBase : public RangeReachMethod {
     return false;
   }
 
+  /// Collection form: SRange once, then the candidate components are
+  /// deduplicated (replicate indexes yield one candidate per member
+  /// point) and each *distinct* component probed exactly once — batched
+  /// through the backend's mask kernel when it has one. Reachable
+  /// components enumerate their member points inside the region; every
+  /// spatial vertex belongs to exactly one component, so the sink's
+  /// exactly-once contract holds by construction.
+  void CollectInto(VertexId vertex, const Rect& region, ResultSink& sink,
+                   QueryScratch& scratch) const override {
+    Scratch& s = static_cast<Scratch&>(scratch);
+    ++s.counters.queries;
+    spatial_index_.CollectCandidates(region, s.candidates);
+    s.counters.candidates += s.candidates.size();
+    s.seen.BeginPass(cn_->num_components());
+    s.distinct.clear();
+    for (const auto& [candidate, verified] : s.candidates) {
+      (void)verified;
+      if (s.seen.TestAndSet(candidate)) s.distinct.push_back(candidate);
+    }
+    const ComponentId source = cn_->ComponentOf(vertex);
+    if (HasBatchProbe()) {
+      for (size_t base = 0; base < s.distinct.size();
+           base += simd::kMaskWidth) {
+        const size_t chunk =
+            std::min(simd::kMaskWidth, s.distinct.size() - base);
+        s.counters.greach_calls += chunk;
+        uint64_t mask =
+            CanReachComponentMask(source, s.distinct.data() + base, chunk, s);
+        while (mask != 0) {
+          const ComponentId c =
+              s.distinct[base + static_cast<size_t>(std::countr_zero(mask))];
+          mask &= mask - 1;
+          cn_->ForEachSpatialMemberIn(c, region,
+                                      [&](VertexId v) { sink.Add(v); });
+        }
+      }
+      return;
+    }
+    for (const ComponentId c : s.distinct) {
+      ++s.counters.greach_calls;
+      if (!CanReachComponent(source, c, s)) continue;
+      cn_->ForEachSpatialMemberIn(c, region, [&](VertexId v) { sink.Add(v); });
+    }
+  }
+
+  /// Multi-source AnyReach: the SRange pass — the dominating spatial
+  /// cost — runs once for all k sources, then candidates are probed from
+  /// each *distinct* source component (friends sharing an SCC collapse
+  /// to one probe). Batch backends issue one mask dispatch per source
+  /// per chunk and OR the masks; the answer is the same predicate the
+  /// default per-source loop computes, so answers are identical.
+  bool EvaluateAny(std::span<const VertexId> sources, const Rect& region,
+                   QueryScratch& scratch) const override {
+    if (sources.empty()) return false;
+    Scratch& s = static_cast<Scratch&>(scratch);
+    ++s.counters.queries;
+    spatial_index_.CollectCandidates(region, s.candidates);
+    s.counters.candidates += s.candidates.size();
+    s.seen.BeginPass(cn_->num_components());
+    s.distinct.clear();
+    for (const VertexId source : sources) {
+      const ComponentId c = cn_->ComponentOf(source);
+      if (s.seen.TestAndSet(c)) s.distinct.push_back(c);
+    }
+    if (HasBatchProbe()) {
+      ComponentId targets[simd::kMaskWidth];
+      for (size_t base = 0; base < s.candidates.size();
+           base += simd::kMaskWidth) {
+        const size_t chunk =
+            std::min(simd::kMaskWidth, s.candidates.size() - base);
+        const uint64_t full =
+            chunk == 64 ? ~uint64_t{0} : (uint64_t{1} << chunk) - 1;
+        for (size_t k = 0; k < chunk; ++k) {
+          targets[k] = s.candidates[base + k].first;
+        }
+        uint64_t mask = 0;
+        for (const ComponentId source : s.distinct) {
+          s.counters.greach_calls += chunk;
+          mask |= CanReachComponentMask(source, targets, chunk, s);
+          if (mask == full) break;
+        }
+        while (mask != 0) {
+          const size_t k = base + static_cast<size_t>(std::countr_zero(mask));
+          mask &= mask - 1;
+          const auto& [candidate, verified] = s.candidates[k];
+          if (verified || cn_->AnyMemberPointIn(candidate, region)) {
+            return true;
+          }
+        }
+      }
+      return false;
+    }
+    for (const auto& [candidate, verified] : s.candidates) {
+      bool reachable = false;
+      for (const ComponentId source : s.distinct) {
+        ++s.counters.greach_calls;
+        if (CanReachComponent(source, candidate, s)) {
+          reachable = true;
+          break;
+        }
+      }
+      if (!reachable) continue;
+      if (verified || cn_->AnyMemberPointIn(candidate, region)) return true;
+    }
+    return false;
+  }
+
   using RangeReachMethod::Evaluate;
+  using RangeReachMethod::EvaluateAny;
 
   void DrainScratchCounters(QueryScratch& scratch) const override {
     if (IsDefaultScratch(scratch)) return;
@@ -326,6 +439,63 @@ class SpaReachInt : public SpaReachBase {
         }
       }
       out[i] = found;
+    }
+  }
+
+  /// Grouped collection: the count/enum analogue of EvaluateGroup above.
+  /// Regions of one group share the source's probe memo — a component in
+  /// many regions' candidate sets is probed once per group — and each
+  /// region's distinct reachable components enumerate their members into
+  /// that region's sink (per-region dedup via the epoch-stamped seen
+  /// marks, reset O(1) between regions).
+  void CollectGroupInto(VertexId vertex, std::span<const Rect> regions,
+                        std::span<ResultSink> sinks,
+                        QueryScratch& scratch) const override {
+    Scratch& s = static_cast<Scratch&>(scratch);
+    if (s.probe_epoch.size() < cn_->num_components()) {
+      s.probe_epoch.assign(cn_->num_components(), 0);
+      s.probe_reachable.assign(cn_->num_components(), 0);
+    }
+    if (++s.probe_generation == 0) {
+      std::fill(s.probe_epoch.begin(), s.probe_epoch.end(), 0u);
+      s.probe_generation = 1;
+    }
+    const uint32_t generation = s.probe_generation;
+    const ComponentId source = cn_->ComponentOf(vertex);
+    ComponentId targets[simd::kMaskWidth];
+    uint8_t reach[simd::kMaskWidth];
+    for (size_t i = 0; i < regions.size(); ++i) {
+      ++s.counters.queries;
+      spatial_index_.CollectCandidates(regions[i], s.candidates);
+      s.counters.candidates += s.candidates.size();
+      s.seen.BeginPass(cn_->num_components());
+      for (size_t base = 0; base < s.candidates.size();
+           base += simd::kMaskWidth) {
+        const size_t chunk =
+            std::min(simd::kMaskWidth, s.candidates.size() - base);
+        size_t unknown = 0;
+        for (size_t k = 0; k < chunk; ++k) {
+          const ComponentId c = s.candidates[base + k].first;
+          if (s.probe_epoch[c] != generation) {
+            s.probe_epoch[c] = generation;
+            targets[unknown++] = c;
+          }
+        }
+        if (unknown != 0) {
+          s.counters.greach_calls += unknown;
+          labeling_.CanReachManyInto(source, targets, unknown, reach);
+          for (size_t j = 0; j < unknown; ++j) {
+            s.probe_reachable[targets[j]] = reach[j];
+          }
+        }
+        for (size_t k = 0; k < chunk; ++k) {
+          const ComponentId c = s.candidates[base + k].first;
+          if (s.probe_reachable[c] == 0) continue;
+          if (!s.seen.TestAndSet(c)) continue;
+          cn_->ForEachSpatialMemberIn(c, regions[i],
+                                      [&](VertexId v) { sinks[i].Add(v); });
+        }
+      }
     }
   }
 

@@ -141,6 +141,127 @@ void ThreeDReach::EvaluateGroup(VertexId vertex,
   }
 }
 
+void ThreeDReach::CollectInto(VertexId vertex, const Rect& region,
+                              ResultSink& sink, QueryScratch& scratch) const {
+  Scratch& s = static_cast<Scratch&>(scratch);
+  ++s.counters.queries;
+  const ComponentId source = cn_->ComponentOf(vertex);
+  const bool replicate = options_.scc_mode == SccSpatialMode::kReplicate;
+  // A component's post number lies in exactly one (disjoint) label, but
+  // the replicate tree holds one point per member, so a multi-member
+  // component hits several times within a cuboid — dedup before emitting.
+  s.seen.BeginPass(cn_->num_components());
+  auto emit = [&](uint64_t id) {
+    const ComponentId c = static_cast<ComponentId>(id);
+    if (!s.seen.TestAndSet(c)) return;
+    cn_->ForEachSpatialMemberIn(c, region, [&](VertexId v) { sink.Add(v); });
+  };
+  for (const Interval& label : labeling_.Labels(source).intervals()) {
+    ++s.counters.range_queries;
+    const Box3D cuboid = Box3D::FromRectAndInterval(
+        region, static_cast<double>(label.lo), static_cast<double>(label.hi));
+    if (replicate) {
+      points_.ForEachIntersecting(cuboid, [&](const Point3D&, uint64_t id) {
+        emit(id);
+        return true;
+      });
+    } else {
+      boxes_.ForEachIntersecting(cuboid, [&](const Box3D&, uint64_t id) {
+        emit(id);
+        return true;
+      });
+    }
+  }
+}
+
+void ThreeDReach::CollectGroupInto(VertexId vertex,
+                                   std::span<const Rect> regions,
+                                   std::span<ResultSink> sinks,
+                                   QueryScratch& scratch) const {
+  if (regions.size() < kMinMaskedGroup) {
+    RangeReachMethod::CollectGroupInto(vertex, regions, sinks, scratch);
+    return;
+  }
+  Scratch& s = static_cast<Scratch&>(scratch);
+  const ComponentId source = cn_->ComponentOf(vertex);
+  const bool replicate = options_.scc_mode == SccSpatialMode::kReplicate;
+  const auto labels = labeling_.Labels(source).intervals();
+  Box3D cuboids[simd::kMaskWidth];
+  for (size_t base = 0; base < regions.size(); base += simd::kMaskWidth) {
+    const size_t chunk = std::min(simd::kMaskWidth, regions.size() - base);
+    s.counters.queries += chunk;
+    const uint64_t live = chunk == simd::kMaskWidth
+                              ? ~uint64_t{0}
+                              : (uint64_t{1} << chunk) - 1;
+    s.group_seen.BeginPass(cn_->num_components());
+    auto emit = [&](size_t k, uint64_t id) {
+      const ComponentId c = static_cast<ComponentId>(id);
+      if (!s.group_seen.TestAndSet(c, static_cast<unsigned>(k))) return;
+      cn_->ForEachSpatialMemberIn(
+          c, regions[base + k], [&](VertexId v) { sinks[base + k].Add(v); });
+    };
+    for (const Interval& label : labels) {
+      // All cuboids of this round share the label's z-interval; the
+      // masked descent amortizes the shared subtree walks across the
+      // group's xy rectangles. No pending mask: collection never
+      // finishes a region early.
+      const double lo = static_cast<double>(label.lo);
+      const double hi = static_cast<double>(label.hi);
+      for (size_t k = 0; k < chunk; ++k) {
+        cuboids[k] = Box3D::FromRectAndInterval(regions[base + k], lo, hi);
+      }
+      s.counters.range_queries += chunk;
+      if (replicate) {
+        points_.ForEachIntersectingMasked(
+            cuboids, live,
+            [&](size_t k, const Point3D&, uint64_t id) { emit(k, id); });
+      } else {
+        boxes_.ForEachIntersectingMasked(
+            cuboids, live,
+            [&](size_t k, const Box3D&, uint64_t id) { emit(k, id); });
+      }
+    }
+  }
+}
+
+bool ThreeDReach::EvaluateAny(std::span<const VertexId> sources,
+                              const Rect& region,
+                              QueryScratch& scratch) const {
+  if (options_.scc_mode != SccSpatialMode::kReplicate) {
+    return RangeReachMethod::EvaluateAny(sources, region, scratch);
+  }
+  if (sources.empty()) return false;
+  Scratch& s = static_cast<Scratch&>(scratch);
+  ++s.counters.queries;
+  // Friends inside one SCC share their whole label set — dedup source
+  // components, then batch every remaining label's cuboid into masked
+  // existence descents: one k-way probe instead of k label loops.
+  s.seen.BeginPass(cn_->num_components());
+  Box3D cuboids[simd::kMaskWidth];
+  size_t filled = 0;
+  auto flush = [&]() {
+    if (filled == 0) return false;
+    const uint64_t pending = filled == simd::kMaskWidth
+                                 ? ~uint64_t{0}
+                                 : (uint64_t{1} << filled) - 1;
+    s.counters.range_queries += filled;
+    const bool hit = points_.AnyIntersectingMasked(cuboids, pending) != 0;
+    filled = 0;
+    return hit;
+  };
+  for (const VertexId vertex : sources) {
+    const ComponentId c = cn_->ComponentOf(vertex);
+    if (!s.seen.TestAndSet(c)) continue;
+    for (const Interval& label : labeling_.Labels(c).intervals()) {
+      cuboids[filled++] = Box3D::FromRectAndInterval(
+          region, static_cast<double>(label.lo),
+          static_cast<double>(label.hi));
+      if (filled == simd::kMaskWidth && flush()) return true;
+    }
+  }
+  return flush();
+}
+
 void ThreeDReach::DrainScratchCounters(QueryScratch& scratch) const {
   if (IsDefaultScratch(scratch)) return;
   Counters& from = static_cast<Scratch&>(scratch).counters;
@@ -264,6 +385,91 @@ void ThreeDReachRev::EvaluateGroup(VertexId vertex,
       out[base + k] = ((hits >> k) & 1) != 0;
     }
   }
+}
+
+void ThreeDReachRev::CollectInto(VertexId vertex, const Rect& region,
+                                 ResultSink& sink,
+                                 QueryScratch& scratch) const {
+  Scratch& s = static_cast<Scratch&>(scratch);
+  const ComponentId source = cn_->ComponentOf(vertex);
+  const double z = static_cast<double>(labeling_.post(source));
+  const Box3D plane = Box3D::FromRectAndInterval(region, z, z);
+  // One enumerating plane descent serves both SCC variants: a cut
+  // segment/box proves its component reachable (the z test is exact),
+  // and the member enumeration verifies the xy containment per point.
+  // Replicate entries repeat the component once per member, hence dedup.
+  s.seen.BeginPass(cn_->num_components());
+  rtree_.ForEachIntersecting(plane, [&](const Box3D&, uint64_t id) {
+    const ComponentId c = static_cast<ComponentId>(id);
+    if (s.seen.TestAndSet(c)) {
+      cn_->ForEachSpatialMemberIn(c, region, [&](VertexId v) { sink.Add(v); });
+    }
+    return true;
+  });
+}
+
+void ThreeDReachRev::CollectGroupInto(VertexId vertex,
+                                      std::span<const Rect> regions,
+                                      std::span<ResultSink> sinks,
+                                      QueryScratch& scratch) const {
+  if (regions.size() < kMinMaskedGroup) {
+    RangeReachMethod::CollectGroupInto(vertex, regions, sinks, scratch);
+    return;
+  }
+  Scratch& s = static_cast<Scratch&>(scratch);
+  const ComponentId source = cn_->ComponentOf(vertex);
+  const double z = static_cast<double>(labeling_.post(source));
+  Box3D planes[simd::kMaskWidth];
+  for (size_t base = 0; base < regions.size(); base += simd::kMaskWidth) {
+    const size_t chunk = std::min(simd::kMaskWidth, regions.size() - base);
+    const uint64_t live = chunk == simd::kMaskWidth
+                              ? ~uint64_t{0}
+                              : (uint64_t{1} << chunk) - 1;
+    for (size_t k = 0; k < chunk; ++k) {
+      planes[k] = Box3D::FromRectAndInterval(regions[base + k], z, z);
+    }
+    s.group_seen.BeginPass(cn_->num_components());
+    rtree_.ForEachIntersectingMasked(
+        planes, live, [&](size_t k, const Box3D&, uint64_t id) {
+          const ComponentId c = static_cast<ComponentId>(id);
+          if (!s.group_seen.TestAndSet(c, static_cast<unsigned>(k))) return;
+          cn_->ForEachSpatialMemberIn(
+              c, regions[base + k],
+              [&](VertexId v) { sinks[base + k].Add(v); });
+        });
+  }
+}
+
+bool ThreeDReachRev::EvaluateAny(std::span<const VertexId> sources,
+                                 const Rect& region,
+                                 QueryScratch& scratch) const {
+  if (options_.scc_mode != SccSpatialMode::kReplicate) {
+    return RangeReachMethod::EvaluateAny(sources, region, scratch);
+  }
+  if (sources.empty()) return false;
+  Scratch& s = static_cast<Scratch&>(scratch);
+  // One plane per distinct source component, each at its own height
+  // z = post(source), batched into masked existence descents.
+  s.seen.BeginPass(cn_->num_components());
+  Box3D planes[simd::kMaskWidth];
+  size_t filled = 0;
+  auto flush = [&]() {
+    if (filled == 0) return false;
+    const uint64_t pending = filled == simd::kMaskWidth
+                                 ? ~uint64_t{0}
+                                 : (uint64_t{1} << filled) - 1;
+    const bool hit = rtree_.AnyIntersectingMasked(planes, pending) != 0;
+    filled = 0;
+    return hit;
+  };
+  for (const VertexId vertex : sources) {
+    const ComponentId c = cn_->ComponentOf(vertex);
+    if (!s.seen.TestAndSet(c)) continue;
+    const double z = static_cast<double>(labeling_.post(c));
+    planes[filled++] = Box3D::FromRectAndInterval(region, z, z);
+    if (filled == simd::kMaskWidth && flush()) return true;
+  }
+  return flush();
 }
 
 std::string ThreeDReachRev::name() const {

@@ -47,10 +47,13 @@ class ThreeDReach : public RangeReachMethod {
     uint64_t range_queries = 0;  // Cuboids issued.
   };
 
-  /// Per-thread state: only counters — the R-tree descent itself is
-  /// recursive and touches no shared mutable state.
+  /// Per-thread state: counters plus the collection-path dedup marks
+  /// (the replicate tree yields one hit per member point, but a
+  /// component's members must be emitted once).
   struct Scratch : QueryScratch {
     Counters counters;
+    SeenMarks seen;
+    GroupSeenMarks group_seen;
   };
 
   std::unique_ptr<QueryScratch> NewScratch() const override {
@@ -68,7 +71,31 @@ class ThreeDReach : public RangeReachMethod {
                      std::span<bool> out,
                      QueryScratch& scratch) const override;
 
+  /// Collection form: per label, one *enumerating* descent over the
+  /// mode's tree; hit components are deduplicated and emit their member
+  /// points inside the region. Works identically for both SCC variants —
+  /// the member enumeration is also the MBR variant's verification.
+  void CollectInto(VertexId vertex, const Rect& region, ResultSink& sink,
+                   QueryScratch& scratch) const override;
+
+  /// Grouped collection: per label, the cuboids of all regions share one
+  /// masked enumerating descent (ForEachIntersectingMasked), with
+  /// per-(region, component) dedup marks. Unlike the boolean group path
+  /// this serves both SCC variants — collection verifies through the
+  /// member enumeration, so no mid-descent verification is needed.
+  void CollectGroupInto(VertexId vertex, std::span<const Rect> regions,
+                        std::span<ResultSink> sinks,
+                        QueryScratch& scratch) const override;
+
+  /// Multi-source AnyReach (replicate mode): the cuboids of *all* the
+  /// sources' labels are batched into masked existence descents — one
+  /// k-way probe instead of k independent label loops. The MBR variant
+  /// keeps the default per-source loop (per-hit verification).
+  bool EvaluateAny(std::span<const VertexId> sources, const Rect& region,
+                   QueryScratch& scratch) const override;
+
   using RangeReachMethod::Evaluate;
+  using RangeReachMethod::EvaluateAny;
 
   void DrainScratchCounters(QueryScratch& scratch) const override;
 
@@ -133,8 +160,19 @@ class ThreeDReachRev : public RangeReachMethod {
   explicit ThreeDReachRev(const CondensedNetwork* cn)
       : ThreeDReachRev(cn, Options{}) {}
 
-  /// Stateless per query: the base QueryScratch from the default
-  /// NewScratch suffices.
+  /// Per-thread state: only the collection/AnyReach dedup marks — the
+  /// boolean paths remain stateless per query.
+  struct Scratch : QueryScratch {
+    SeenMarks seen;
+    GroupSeenMarks group_seen;
+  };
+
+  std::unique_ptr<QueryScratch> NewScratch() const override {
+    return std::make_unique<Scratch>();
+  }
+
+  /// The boolean paths never touch the scratch (the plane probe is
+  /// stateless); collection paths use its dedup marks.
   bool Evaluate(VertexId vertex, const Rect& region,
                 QueryScratch& scratch) const override;
 
@@ -145,7 +183,26 @@ class ThreeDReachRev : public RangeReachMethod {
                      std::span<bool> out,
                      QueryScratch& scratch) const override;
 
+  /// Collection form: one enumerating plane descent; hit components are
+  /// deduplicated and emit their member points inside the region (both
+  /// SCC variants — the member enumeration doubles as verification).
+  void CollectInto(VertexId vertex, const Rect& region, ResultSink& sink,
+                   QueryScratch& scratch) const override;
+
+  /// Grouped collection: all planes share z = post(v), so one masked
+  /// enumerating descent feeds every sink of the group (both variants).
+  void CollectGroupInto(VertexId vertex, std::span<const Rect> regions,
+                        std::span<ResultSink> sinks,
+                        QueryScratch& scratch) const override;
+
+  /// Multi-source AnyReach (replicate mode): one plane per distinct
+  /// source component — each at its own z = post(source) — batched into
+  /// masked existence descents. The MBR variant keeps the default loop.
+  bool EvaluateAny(std::span<const VertexId> sources, const Rect& region,
+                   QueryScratch& scratch) const override;
+
   using RangeReachMethod::Evaluate;
+  using RangeReachMethod::EvaluateAny;
 
   std::string name() const override;
 

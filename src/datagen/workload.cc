@@ -22,6 +22,35 @@ std::vector<double> PaperExtents() { return {1.0, 2.0, 5.0, 10.0, 20.0}; }
 
 std::vector<double> PaperSelectivities() { return {0.001, 0.01, 0.1, 1.0}; }
 
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kBool:
+      return "bool";
+    case WorkloadKind::kCount:
+      return "count";
+    case WorkloadKind::kEnum:
+      return "enum";
+    case WorkloadKind::kAnyOfK:
+      return "any_of_k";
+  }
+  return "unknown";
+}
+
+bool ParseWorkloadKind(const std::string& name, WorkloadKind* out) {
+  if (name == "bool") {
+    *out = WorkloadKind::kBool;
+  } else if (name == "count") {
+    *out = WorkloadKind::kCount;
+  } else if (name == "enum") {
+    *out = WorkloadKind::kEnum;
+  } else if (name == "any_of_k") {
+    *out = WorkloadKind::kAnyOfK;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 WorkloadGenerator::WorkloadGenerator(const GeoSocialNetwork* network,
                                      uint64_t seed)
     : network_(network), rng_(seed) {
@@ -47,6 +76,43 @@ std::vector<RangeReachQuery> WorkloadGenerator::Generate(
                                      spec.max_out_degree);
     query.region = RegionFor(query.vertex, spec);
     queries.push_back(query);
+  }
+  return queries;
+}
+
+std::vector<AnyReachQuery> WorkloadGenerator::GenerateAnyReach(
+    const QuerySpec& spec) {
+  GSR_CHECK(spec.kind == WorkloadKind::kAnyOfK);
+  GSR_CHECK(spec.any_k > 0);
+  std::vector<AnyReachQuery> queries;
+  queries.reserve(spec.count);
+  auto draw = [&]() {
+    return spec.vertex_zipf > 0.0
+               ? ZipfVertexWithDegree(spec.min_out_degree, spec.max_out_degree,
+                                      spec.vertex_zipf)
+               : RandomVertexWithDegree(spec.min_out_degree,
+                                        spec.max_out_degree);
+  };
+  for (uint32_t i = 0; i < spec.count; ++i) {
+    AnyReachQuery query;
+    query.sources.reserve(spec.any_k);
+    // Distinct sources (a friend list has no duplicates), with a bounded
+    // retry so a bucket smaller than k still terminates — the remaining
+    // draws then pad with whatever the bucket can give, duplicates and
+    // all, which EvaluateAny tolerates by contract.
+    uint32_t attempts = 0;
+    const uint32_t max_attempts = spec.any_k * 16;
+    while (query.sources.size() < spec.any_k) {
+      const VertexId v = draw();
+      const bool duplicate =
+          std::find(query.sources.begin(), query.sources.end(), v) !=
+          query.sources.end();
+      if (!duplicate || ++attempts >= max_attempts) {
+        query.sources.push_back(v);
+      }
+    }
+    query.region = RegionFor(query.sources.front(), spec);
+    queries.push_back(std::move(query));
   }
   return queries;
 }

@@ -34,6 +34,19 @@ inline constexpr double kDefaultExtentPercent = 5.0;
 inline constexpr uint32_t kDefaultDegreeLo = 50;
 inline constexpr uint32_t kDefaultDegreeHi = 99;
 
+/// What each query of a workload computes. kBool/kCount/kEnum map onto
+/// QueryKind (same vertex+region shape, different result); kAnyOfK is the
+/// multi-source AnyReach workload ("do any of my k friends reach R"),
+/// generated via GenerateAnyReach.
+enum class WorkloadKind : uint8_t { kBool, kCount, kEnum, kAnyOfK };
+
+/// Lower-case name, for CLI flags and bench JSON ("bool", "count",
+/// "enum", "any_of_k").
+const char* WorkloadKindName(WorkloadKind kind);
+
+/// Inverse of WorkloadKindName; returns false on an unknown name.
+bool ParseWorkloadKind(const std::string& name, WorkloadKind* out);
+
 /// What one batch of queries should look like.
 struct QuerySpec {
   uint32_t count = 1000;
@@ -57,6 +70,12 @@ struct QuerySpec {
   /// identical regions, which is what grouped execution dedups. 0 keeps a
   /// fresh region per query.
   uint32_t regions_per_vertex = 0;
+  /// What each query computes. Generate() ignores this (the
+  /// vertex/region draw is kind-independent, so one batch can be replayed
+  /// under every kind); GenerateAnyReach() requires kAnyOfK.
+  WorkloadKind kind = WorkloadKind::kBool;
+  /// Sources per AnyReach query (the "k friends"); kAnyOfK only.
+  uint32_t any_k = 4;
 };
 
 /// Generates RangeReach query batches against a fixed network. Regions are
@@ -72,6 +91,14 @@ class WorkloadGenerator {
 
   /// Generates `spec.count` queries.
   std::vector<RangeReachQuery> Generate(const QuerySpec& spec);
+
+  /// Generates `spec.count` multi-source AnyReach queries: each draws
+  /// `spec.any_k` distinct sources from the degree bucket (Zipf-skewed
+  /// when spec.vertex_zipf > 0) and one region. Pooled regions
+  /// (regions_per_vertex mode) key off the first source, so a hot user's
+  /// friend-set queries repeat the same few shapes the way boolean
+  /// workloads do. Requires spec.kind == WorkloadKind::kAnyOfK.
+  std::vector<AnyReachQuery> GenerateAnyReach(const QuerySpec& spec);
 
   /// A square region of the given area percentage at a random center.
   Rect RandomRegionByExtent(double extent_percent);

@@ -9,17 +9,89 @@ namespace gsr::exec {
 BatchRunner::BatchRunner(ThreadPool* pool) : pool_(pool) {}
 BatchRunner::~BatchRunner() = default;
 
+void BatchRunner::EnsureScratches(const RangeReachMethod& method) {
+  if (scratch_method_id_ == method.instance_id()) return;
+  scratches_.clear();
+  scratches_.reserve(pool_->size());
+  for (unsigned i = 0; i < pool_->size(); ++i) {
+    scratches_.push_back(method.NewScratch());
+  }
+  scratch_method_id_ = method.instance_id();
+}
+
 BatchResult BatchRunner::Run(const RangeReachMethod& method,
                              const std::vector<RangeReachQuery>& queries,
                              const BatchOptions& options) {
-  if (scratch_method_id_ != method.instance_id()) {
-    scratches_.clear();
-    scratches_.reserve(pool_->size());
-    for (unsigned i = 0; i < pool_->size(); ++i) {
-      scratches_.push_back(method.NewScratch());
+  EnsureScratches(method);
+
+  BatchResult result;
+  result.answers.assign(queries.size(), 0);
+  if (options.kind != QueryKind::kBool) {
+    result.counts.assign(queries.size(), 0);
+    if (options.kind == QueryKind::kEnum) {
+      result.enums.assign(queries.size(), {});
     }
-    scratch_method_id_ = method.instance_id();
   }
+  if (options.record_latencies) {
+    result.latencies_us.assign(queries.size(), 0.0);
+  }
+
+  // One evaluation, kind-dispatched; workers write disjoint slots of the
+  // result arrays, so no synchronization is needed.
+  auto eval_one = [&](size_t i, QueryScratch& scratch) {
+    const RangeReachQuery& query = queries[i];
+    switch (options.kind) {
+      case QueryKind::kBool:
+        result.answers[i] =
+            method.Evaluate(query.vertex, query.region, scratch) ? 1 : 0;
+        break;
+      case QueryKind::kCount: {
+        ResultSink sink = ResultSink::Count();
+        method.CollectInto(query.vertex, query.region, sink, scratch);
+        result.counts[i] = sink.count();
+        result.answers[i] = sink.found() ? 1 : 0;
+        break;
+      }
+      case QueryKind::kEnum: {
+        ResultSink sink = ResultSink::Enum(&result.enums[i]);
+        method.CollectInto(query.vertex, query.region, sink, scratch);
+        sink.Finalize();
+        result.counts[i] = sink.count();
+        result.answers[i] = sink.found() ? 1 : 0;
+        break;
+      }
+    }
+  };
+
+  pool_->ParallelFor(
+      queries.size(), options.chunk,
+      [&](size_t i, unsigned worker) {
+        QueryScratch& scratch = *scratches_[worker];
+        if (options.record_latencies) {
+          const auto start = std::chrono::steady_clock::now();
+          eval_one(i, scratch);
+          const auto stop = std::chrono::steady_clock::now();
+          result.latencies_us[i] =
+              std::chrono::duration<double, std::micro>(stop - start).count();
+        } else {
+          eval_one(i, scratch);
+        }
+      });
+
+  // Fold per-worker counters into the method aggregate on this thread;
+  // the pool is idle now, so no query races with the drain.
+  for (const std::unique_ptr<QueryScratch>& scratch : scratches_) {
+    method.DrainScratchCounters(*scratch);
+  }
+
+  for (const uint8_t answer : result.answers) result.true_count += answer;
+  return result;
+}
+
+BatchResult BatchRunner::RunAny(const RangeReachMethod& method,
+                                const std::vector<AnyReachQuery>& queries,
+                                const BatchOptions& options) {
+  EnsureScratches(method);
 
   BatchResult result;
   result.answers.assign(queries.size(), 0);
@@ -30,23 +102,21 @@ BatchResult BatchRunner::Run(const RangeReachMethod& method,
   pool_->ParallelFor(
       queries.size(), options.chunk,
       [&](size_t i, unsigned worker) {
-        const RangeReachQuery& query = queries[i];
+        const AnyReachQuery& query = queries[i];
         QueryScratch& scratch = *scratches_[worker];
         if (options.record_latencies) {
           const auto start = std::chrono::steady_clock::now();
           result.answers[i] =
-              method.Evaluate(query.vertex, query.region, scratch) ? 1 : 0;
+              method.EvaluateAny(query.sources, query.region, scratch) ? 1 : 0;
           const auto stop = std::chrono::steady_clock::now();
           result.latencies_us[i] =
               std::chrono::duration<double, std::micro>(stop - start).count();
         } else {
           result.answers[i] =
-              method.Evaluate(query.vertex, query.region, scratch) ? 1 : 0;
+              method.EvaluateAny(query.sources, query.region, scratch) ? 1 : 0;
         }
       });
 
-  // Fold per-worker counters into the method aggregate on this thread;
-  // the pool is idle now, so no query races with the drain.
   for (const std::unique_ptr<QueryScratch>& scratch : scratches_) {
     method.DrainScratchCounters(*scratch);
   }

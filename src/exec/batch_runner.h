@@ -23,15 +23,27 @@ struct BatchOptions {
   /// When set, BatchResult::latencies_us gets one entry per query
   /// (steady-clock wall time of that query on its worker).
   bool record_latencies = false;
+  /// What every query of the batch computes: boolean RangeReach (the
+  /// default, the paper's Problem 1), RangeReachCount, or RangeReachEnum.
+  /// Count/enum batches run the methods' collection paths and fill
+  /// BatchResult::counts / ::enums alongside the answers.
+  QueryKind kind = QueryKind::kBool;
 };
 
 /// Answers for one batch.
 struct BatchResult {
-  /// answers[i] == 1 iff queries[i] is TRUE. uint8_t (not vector<bool>)
-  /// so concurrent writes to distinct indices are race-free.
+  /// answers[i] == 1 iff queries[i] is TRUE (for count/enum kinds: iff
+  /// the result set is non-empty). uint8_t (not vector<bool>) so
+  /// concurrent writes to distinct indices are race-free.
   std::vector<uint8_t> answers;
   /// Number of TRUE answers (== sum of answers).
   size_t true_count = 0;
+  /// counts[i] == |result set of queries[i]|; filled for kCount and
+  /// kEnum batches, empty for kBool.
+  std::vector<uint64_t> counts;
+  /// enums[i] == the result vertices of queries[i] in canonical
+  /// (ascending) order; filled for kEnum batches only.
+  std::vector<std::vector<VertexId>> enums;
   /// Per-query latencies in microseconds, parallel to answers; empty
   /// unless BatchOptions::record_latencies.
   std::vector<double> latencies_us;
@@ -71,6 +83,14 @@ class BatchRunner {
                         const std::vector<RangeReachQuery>& queries,
                         const SchedulerOptions& options = {});
 
+  /// Evaluates a batch of multi-source AnyReach queries (one per pool
+  /// task, through the method's EvaluateAny hook — k-way batched probes
+  /// where the method has them). Only answers/true_count are produced;
+  /// BatchOptions::kind is ignored.
+  BatchResult RunAny(const RangeReachMethod& method,
+                     const std::vector<AnyReachQuery>& queries,
+                     const BatchOptions& options = {});
+
   /// The scheduler behind RunShared (sharing stats); nullptr until the
   /// first RunShared call.
   const QueryScheduler* scheduler() const { return scheduler_.get(); }
@@ -79,6 +99,9 @@ class BatchRunner {
   size_t cached_scratch_count() const;
 
  private:
+  /// (Re)fills the per-worker scratch cache for `method`.
+  void EnsureScratches(const RangeReachMethod& method);
+
   ThreadPool* pool_;
   /// Scratch cache, one slot per pool worker, valid for the method whose
   /// instance_id() this holds (0 = empty). Keyed by id, not address: a

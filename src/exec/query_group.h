@@ -102,6 +102,11 @@ std::vector<QueryGroup> BuildGroups(std::span<const RangeReachQuery> window,
 /// Scheduler knobs: the grouping policy plus result options.
 struct SchedulerOptions {
   GroupingOptions grouping;
+  /// What every query of the batch computes (see BatchOptions::kind).
+  /// Count/enum windows group exactly like boolean ones — the shared
+  /// probes and descents are the same — but execute through the
+  /// methods' CollectGroupInto hook into per-region-slot sinks.
+  QueryKind kind = QueryKind::kBool;
   /// When set, BatchResult::latencies_us gets one entry per query: the
   /// wall time of the query's whole *group* on its worker — all members
   /// of a group complete together, so that is each member's service time

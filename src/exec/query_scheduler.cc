@@ -25,6 +25,12 @@ BatchResult QueryScheduler::Run(const RangeReachMethod& method,
 
   BatchResult result;
   result.answers.assign(queries.size(), 0);
+  if (options.kind != QueryKind::kBool) {
+    result.counts.assign(queries.size(), 0);
+    if (options.kind == QueryKind::kEnum) {
+      result.enums.assign(queries.size(), {});
+    }
+  }
   if (options.record_latencies) {
     result.latencies_us.assign(queries.size(), 0.0);
   }
@@ -56,16 +62,38 @@ BatchResult QueryScheduler::Run(const RangeReachMethod& method,
         const RangeReachQuery& query = queries[start + i];
         std::chrono::steady_clock::time_point begin;
         if (options.record_latencies) begin = std::chrono::steady_clock::now();
-        bool answer = false;
         try {
-          answer = method.Evaluate(query.vertex, query.region,
-                                   *scratches_[worker]);
+          switch (options.kind) {
+            case QueryKind::kBool:
+              result.answers[start + i] =
+                  method.Evaluate(query.vertex, query.region,
+                                  *scratches_[worker])
+                      ? 1
+                      : 0;
+              break;
+            case QueryKind::kCount: {
+              ResultSink sink = ResultSink::Count();
+              method.CollectInto(query.vertex, query.region, sink,
+                                 *scratches_[worker]);
+              result.counts[start + i] = sink.count();
+              result.answers[start + i] = sink.found() ? 1 : 0;
+              break;
+            }
+            case QueryKind::kEnum: {
+              ResultSink sink = ResultSink::Enum(&result.enums[start + i]);
+              method.CollectInto(query.vertex, query.region, sink,
+                                 *scratches_[worker]);
+              sink.Finalize();
+              result.counts[start + i] = sink.count();
+              result.answers[start + i] = sink.found() ? 1 : 0;
+              break;
+            }
+          }
         } catch (...) {
           const std::lock_guard<std::mutex> lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
           return;
         }
-        result.answers[start + i] = answer ? 1 : 0;
         if (options.record_latencies) {
           result.latencies_us[start + i] =
               std::chrono::duration<double, std::micro>(
@@ -87,20 +115,47 @@ BatchResult QueryScheduler::Run(const RangeReachMethod& method,
 
     pool_->ParallelFor(groups.size(), 1, [&](size_t g, unsigned worker) {
       const QueryGroup& group = groups[g];
-      // BuildGroups clamps groups to the kernel mask width, so a stack
-      // answer buffer suffices.
+      // BuildGroups clamps groups to the kernel mask width, so stack
+      // answer/sink buffers suffice.
       GSR_CHECK(group.regions.size() <= simd::kMaskWidth);
+      const size_t slots = group.regions.size();
       bool answers[simd::kMaskWidth];
+      ResultSink sinks[simd::kMaskWidth];
+      // Per-region-slot enum arenas; duplicate queries of a slot copy
+      // from it when the answers scatter. Sized only for enum groups.
+      std::vector<std::vector<VertexId>> slot_vertices;
       // Clock reads only when asked: a low-dedup window degenerates into
       // hundreds of singleton groups, and a steady_clock call per group
       // is real overhead against sub-microsecond evaluations.
       std::chrono::steady_clock::time_point begin;
       if (options.record_latencies) begin = std::chrono::steady_clock::now();
       try {
-        method.EvaluateGroup(
-            group.vertex, std::span<const Rect>(group.regions),
-            std::span<bool>(answers, group.regions.size()),
-            *scratches_[worker]);
+        switch (options.kind) {
+          case QueryKind::kBool:
+            method.EvaluateGroup(group.vertex,
+                                 std::span<const Rect>(group.regions),
+                                 std::span<bool>(answers, slots),
+                                 *scratches_[worker]);
+            break;
+          case QueryKind::kCount:
+            for (size_t k = 0; k < slots; ++k) sinks[k] = ResultSink::Count();
+            method.CollectGroupInto(group.vertex,
+                                    std::span<const Rect>(group.regions),
+                                    std::span<ResultSink>(sinks, slots),
+                                    *scratches_[worker]);
+            break;
+          case QueryKind::kEnum:
+            slot_vertices.resize(slots);
+            for (size_t k = 0; k < slots; ++k) {
+              sinks[k] = ResultSink::Enum(&slot_vertices[k]);
+            }
+            method.CollectGroupInto(group.vertex,
+                                    std::span<const Rect>(group.regions),
+                                    std::span<ResultSink>(sinks, slots),
+                                    *scratches_[worker]);
+            for (size_t k = 0; k < slots; ++k) sinks[k].Finalize();
+            break;
+        }
       } catch (...) {
         // Swallow here so this worker keeps draining its remaining
         // groups (ParallelFor would otherwise abandon them); the first
@@ -117,7 +172,16 @@ BatchResult QueryScheduler::Run(const RangeReachMethod& method,
       }
       for (size_t m = 0; m < group.member_query.size(); ++m) {
         const size_t slot = start + group.member_query[m];
-        result.answers[slot] = answers[group.member_region[m]] ? 1 : 0;
+        const uint32_t r = group.member_region[m];
+        if (options.kind == QueryKind::kBool) {
+          result.answers[slot] = answers[r] ? 1 : 0;
+        } else {
+          result.counts[slot] = sinks[r].count();
+          result.answers[slot] = sinks[r].found() ? 1 : 0;
+          if (options.kind == QueryKind::kEnum) {
+            result.enums[slot] = slot_vertices[r];
+          }
+        }
         if (options.record_latencies) result.latencies_us[slot] = micros;
       }
     });

@@ -111,6 +111,38 @@ class FrozenRTree {
     return out;
   }
 
+  /// Multi-query *enumeration*, the collection analogue of
+  /// AnyIntersectingMasked: calls `fn(k, geom, id)` for every pair of a
+  /// live query k (bit k of `mask` set, k < simd::kMaskWidth) and an
+  /// entry intersecting queries[k]. One descent serves the whole mask —
+  /// a node is entered once for the subset of queries overlapping it,
+  /// and a leaf chunk runs one mask-kernel call per live query instead
+  /// of once per (query, descent). Unlike the existence probe there is
+  /// no early exit: collection sinks consume every hit, so the whole
+  /// intersecting subtree is walked. For any fixed k, hits arrive in
+  /// exactly ForEachIntersecting(queries[k]) order (chunks in packed
+  /// order, set bits consumed low-to-high); hits of different queries
+  /// interleave.
+  template <typename Fn>
+  void ForEachIntersectingMasked(const BoxT* queries, uint64_t mask,
+                                 Fn&& fn) const {
+    if (nodes_.empty() || mask == 0) return;
+    VisitIntersectingMasked(0, queries, mask, fn);
+  }
+
+  /// Materializing form of ForEachIntersectingMasked for tests and
+  /// simple callers: entry ids of query k land in out[k], in the same
+  /// order CollectIntersecting(queries[k]) would produce.
+  void CollectIntersectingMasked(const BoxT* queries, uint64_t mask,
+                                 std::span<std::vector<uint64_t>> out) const {
+    for (uint64_t m = mask; m != 0; m &= m - 1) {
+      out[static_cast<size_t>(std::countr_zero(m))].clear();
+    }
+    ForEachIntersectingMasked(
+        queries, mask,
+        [&out](size_t k, const LeafT&, uint64_t id) { out[k].push_back(id); });
+  }
+
   /// Bytes referenced by the packed arrays (owned heap or borrowed
   /// mapping).
   size_t SizeBytes() const {
@@ -169,6 +201,59 @@ class FrozenRTree {
       }
     }
     return false;
+  }
+
+  /// Shared descent behind ForEachIntersectingMasked. `mask` is the set
+  /// of queries whose box intersects this node (an overestimate is fine:
+  /// the root starts with all live queries). Leaves run the batch
+  /// intersect kernel once per live query per chunk and hand every set
+  /// bit to `fn`; internal nodes transpose per-query child masks exactly
+  /// like VisitAnyMasked, then enter children in packed order with the
+  /// matched node records prefetched.
+  template <typename Fn>
+  void VisitIntersectingMasked(uint32_t node_idx, const BoxT* queries,
+                               uint64_t mask, Fn& fn) const {
+    const Node& node = nodes_[node_idx];
+    const uint32_t end = node.first + node.count;
+    if (node.is_leaf) {
+      for (uint32_t base = node.first; base < end; base += simd::kMaskWidth) {
+        const uint32_t chunk = std::min<uint32_t>(simd::kMaskWidth, end - base);
+        for (uint64_t m = mask; m != 0; m &= m - 1) {
+          const size_t k = static_cast<size_t>(std::countr_zero(m));
+          uint64_t hits =
+              simd::IntersectMask(queries[k], &leaf_geoms_[base], chunk);
+          while (hits != 0) {
+            const uint32_t i =
+                base + static_cast<uint32_t>(std::countr_zero(hits));
+            hits &= hits - 1;
+            fn(k, leaf_geoms_[i], leaf_ids_[i]);
+          }
+        }
+      }
+      return;
+    }
+    for (uint32_t base = node.first; base < end; base += simd::kMaskWidth) {
+      const uint32_t chunk = std::min<uint32_t>(simd::kMaskWidth, end - base);
+      uint64_t child_masks[simd::kMaskWidth] = {};
+      for (uint64_t m = mask; m != 0; m &= m - 1) {
+        const int k = std::countr_zero(m);
+        uint64_t hits =
+            simd::IntersectMask(queries[k], &child_boxes_[base], chunk);
+        while (hits != 0) {
+          child_masks[std::countr_zero(hits)] |= uint64_t{1} << k;
+          hits &= hits - 1;
+        }
+      }
+      for (uint32_t c = 0; c < chunk; ++c) {
+        if (child_masks[c] == 0) continue;
+        simd::PrefetchRead(&nodes_[child_nodes_[base + c]]);
+      }
+      for (uint32_t c = 0; c < chunk; ++c) {
+        if (child_masks[c] == 0) continue;
+        VisitIntersectingMasked(child_nodes_[base + c], queries,
+                                child_masks[c], fn);
+      }
+    }
   }
 
   /// First-hit existence descent (see AnyIntersecting).

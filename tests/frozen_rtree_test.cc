@@ -195,6 +195,93 @@ TEST(FrozenRTreeTest, SerializeRoundTripBothModes) {
   }
 }
 
+TEST(FrozenRTreeTest, MaskedEnumerationMatchesPerQueryOrder) {
+  // ForEachIntersectingMasked's contract: for every live query k, hits
+  // arrive in exactly ForEachIntersecting(queries[k]) order, whatever
+  // the mask shape and kernel level. Dead mask bits must never fire.
+  RTreePoints2D dynamic;
+  dynamic.BulkLoad(RandomPoints(900, 61));
+  const auto frozen = FrozenRTreePoints2D::Freeze(dynamic);
+
+  Rng rng(62);
+  std::vector<Rect> queries;
+  for (int k = 0; k < 64; ++k) queries.push_back(RandomQueryRect(rng));
+  // Degenerate queries among live bits: inverted/empty and far away.
+  queries[3] = Rect();
+  queries[17] = Rect(500, 500, 600, 600);
+
+  for (const simd::KernelLevel level :
+       {simd::KernelLevel::kScalar, simd::KernelLevel::kSse42,
+        simd::KernelLevel::kAvx2}) {
+    simd::ScopedKernelLevel scoped(level);
+    for (const uint64_t mask :
+         {~uint64_t{0}, uint64_t{1}, uint64_t{0xAAAAAAAAAAAAAAAA},
+          uint64_t{0x8000000000000001}, uint64_t{0}}) {
+      std::vector<std::vector<uint64_t>> got(64);
+      frozen.CollectIntersectingMasked(queries.data(), mask,
+                                       std::span<std::vector<uint64_t>>(got));
+      for (int k = 0; k < 64; ++k) {
+        if ((mask >> k) & 1) {
+          EXPECT_EQ(got[k], frozen.CollectIntersecting(queries[k]))
+              << "query " << k << " mask " << mask << " level "
+              << simd::KernelLevelName(simd::ActiveLevel());
+        } else {
+          EXPECT_TRUE(got[k].empty()) << "dead bit " << k << " fired";
+        }
+      }
+      // Degenerate live queries collect nothing.
+      if ((mask >> 3) & 1) {
+        EXPECT_TRUE(got[3].empty());
+      }
+      if ((mask >> 17) & 1) {
+        EXPECT_TRUE(got[17].empty());
+      }
+    }
+  }
+}
+
+TEST(FrozenRTreeTest, MaskedEnumerationBoxesVariant) {
+  // Same contract on the Box3D tree (the 3DReach MBR-mode shape).
+  RTree<Box3D, Box3D> dynamic;
+  std::vector<std::pair<Box3D, uint64_t>> entries;
+  for (auto& [segment, id] : RandomSegments(700, 71)) {
+    entries.emplace_back(segment, id);
+  }
+  dynamic.BulkLoad(std::move(entries));
+  const auto frozen = FrozenRTree<Box3D, Box3D>::Freeze(dynamic);
+
+  Rng rng(72);
+  std::vector<Box3D> queries;
+  for (int k = 0; k < 64; ++k) {
+    const Rect rect = RandomQueryRect(rng);
+    const double z_lo = rng.NextDoubleInRange(0, 60);
+    queries.push_back(Box3D::FromRectAndInterval(
+        rect, z_lo, z_lo + rng.NextDoubleInRange(0, 40)));
+  }
+
+  const uint64_t mask = 0xF0F0F0F0F0F0F0F0;
+  std::vector<std::vector<uint64_t>> got(64);
+  frozen.CollectIntersectingMasked(queries.data(), mask,
+                                   std::span<std::vector<uint64_t>>(got));
+  for (int k = 0; k < 64; ++k) {
+    if ((mask >> k) & 1) {
+      EXPECT_EQ(got[k], frozen.CollectIntersecting(queries[k])) << k;
+    } else {
+      EXPECT_TRUE(got[k].empty()) << k;
+    }
+  }
+}
+
+TEST(FrozenRTreeTest, MaskedEnumerationOnEmptyTree) {
+  const FrozenRTreePoints2D frozen;
+  std::vector<Rect> queries(64, Rect(0, 0, 100, 100));
+  std::vector<std::vector<uint64_t>> got(64, {1, 2, 3});
+  frozen.CollectIntersectingMasked(queries.data(), ~uint64_t{0},
+                                   std::span<std::vector<uint64_t>>(got));
+  // Live slots are cleared even when the tree has nothing to deliver.
+  for (const auto& ids : got) EXPECT_TRUE(ids.empty());
+}
+
 TEST(FrozenRTreeTest, CorruptChildLinkIsRejected) {
   RTreePoints2D dynamic;
   dynamic.BulkLoad(RandomPoints(600, 51));

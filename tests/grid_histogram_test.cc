@@ -41,6 +41,32 @@ TEST(GridHistogramTest, DisjointQueryIsZero) {
   EXPECT_EQ(hist.EstimateCount(Rect(10, 10, 20, 20)), 0.0);
 }
 
+TEST(GridHistogramTest, DegenerateRegions) {
+  Rng rng(7);
+  std::vector<Point2D> points;
+  for (int i = 0; i < 1000; ++i) {
+    points.push_back(
+        {rng.NextDoubleInRange(0, 50), rng.NextDoubleInRange(0, 50)});
+  }
+  points.push_back({25.0, 25.0});
+  const GridHistogram hist(points, 32);
+
+  // The default-constructed (inverted) rectangle contains nothing.
+  EXPECT_EQ(hist.EstimateCount(Rect()), 0.0);
+  EXPECT_EQ(hist.EstimateSelectivity(Rect()), 0.0);
+  // An explicitly inverted rectangle behaves the same.
+  EXPECT_EQ(hist.EstimateCount(Rect(30, 30, 10, 10)), 0.0);
+  // A zero-area region has zero cell-area overlap, so the interpolated
+  // estimate is zero even where points sit — estimates, not counts.
+  EXPECT_GE(hist.EstimateCount(Rect(25, 25, 25, 25)), 0.0);
+  EXPECT_LE(hist.EstimateCount(Rect(25, 25, 25, 25)),
+            static_cast<double>(points.size()));
+  // A sliver region (zero height) stays within the global bounds too.
+  const double sliver = hist.EstimateCount(Rect(0, 25, 50, 25));
+  EXPECT_GE(sliver, 0.0);
+  EXPECT_LE(sliver, static_cast<double>(points.size()));
+}
+
 TEST(GridHistogramTest, UniformDataEstimatesWithinTolerance) {
   Rng rng(11);
   std::vector<Point2D> points;

@@ -292,6 +292,161 @@ TEST(MethodsAgreementTest, SchedulerSharedExecutionMatchesSerial) {
   }
 }
 
+TEST_P(MethodsAgreementTest, CountEnumAndAnyReachMatchNaiveBfs) {
+  // The collection contract extends the boolean one: for every method
+  // and SCC mode, RangeReachCount / RangeReachEnum / AnyReach must equal
+  // the index-free BFS ground truth — same sets, not just same booleans.
+  const AgreementCase& param = GetParam();
+  const GeoSocialNetwork network = testing::RandomGeoSocialNetwork(
+      param.n, param.density, param.spatial_fraction, param.seed);
+  const CondensedNetwork cn(&network);
+  const NaiveBfsMethod oracle(&network);
+
+  std::vector<std::unique_ptr<RangeReachMethod>> methods;
+  for (const MethodConfig& config : AllConfigs()) {
+    methods.push_back(CreateMethod(&cn, config));
+  }
+
+  Rng rng(param.seed ^ 0x5EED);
+  for (int q = 0; q < 80; ++q) {
+    const VertexId v =
+        static_cast<VertexId>(rng.NextBounded(network.num_vertices()));
+    const double x = rng.NextDoubleInRange(-10, 100);
+    const double y = rng.NextDoubleInRange(-10, 100);
+    const Rect region(x, y, x + rng.NextDoubleInRange(0, 60),
+                      y + rng.NextDoubleInRange(0, 60));
+    const std::vector<VertexId> expected_enum = oracle.EvaluateEnum(v, region);
+    const uint64_t expected_count = oracle.EvaluateCount(v, region);
+    ASSERT_EQ(expected_count, expected_enum.size());
+
+    std::vector<VertexId> sources;
+    for (int s = 0; s < 4; ++s) {
+      sources.push_back(
+          static_cast<VertexId>(rng.NextBounded(network.num_vertices())));
+    }
+    const bool expected_any = oracle.EvaluateAny(sources, region);
+
+    for (const auto& method : methods) {
+      ASSERT_EQ(method->EvaluateCount(v, region), expected_count)
+          << method->name() << " count disagrees on vertex " << v
+          << " region " << region.ToString();
+      ASSERT_EQ(method->EvaluateEnum(v, region), expected_enum)
+          << method->name() << " enum disagrees on vertex " << v
+          << " region " << region.ToString();
+      ASSERT_EQ(method->EvaluateAny(sources, region), expected_any)
+          << method->name() << " AnyReach disagrees on region "
+          << region.ToString();
+    }
+  }
+}
+
+TEST(MethodsAgreementTest, CountEnumMatrixMatchesOracleEverywhere) {
+  // The full execution matrix for the collection kinds: every method
+  // config x {1, 4, max} threads x every forced kernel level x scheduler
+  // off/on must produce the oracle's exact counts and (sorted) result
+  // sets. The workload is skewed so the scheduler's grouped collection
+  // (multi-member groups, duplicate collapse) actually executes.
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(200, 2.5, 0.4, 137);
+  const CondensedNetwork cn(&network);
+  const NaiveBfsMethod oracle(&network);
+
+  WorkloadGenerator workload(&network, 555);
+  QuerySpec spec;
+  spec.count = 120;
+  spec.min_out_degree = 0;
+  spec.max_out_degree = 1u << 30;
+  spec.vertex_zipf = 1.1;
+  spec.regions_per_vertex = 3;
+  const std::vector<RangeReachQuery> queries = workload.Generate(spec);
+
+  std::vector<uint64_t> expected_counts;
+  std::vector<std::vector<VertexId>> expected_enums;
+  for (const RangeReachQuery& query : queries) {
+    expected_counts.push_back(
+        oracle.EvaluateCount(query.vertex, query.region));
+    expected_enums.push_back(oracle.EvaluateEnum(query.vertex, query.region));
+  }
+
+  for (const MethodConfig& config : AllConfigs()) {
+    const auto method = CreateMethod(&cn, config);
+    for (const unsigned threads :
+         {1u, 4u, exec::ThreadPool::DefaultThreads()}) {
+      exec::ThreadPool pool(threads);
+      exec::BatchRunner runner(&pool);
+      for (const simd::KernelLevel level :
+           {simd::KernelLevel::kScalar, simd::KernelLevel::kSse42,
+            simd::KernelLevel::kAvx2}) {
+        simd::ScopedKernelLevel scoped(level);
+        const std::string where =
+            method->name() + " at " + std::to_string(threads) +
+            " threads, kernel level " +
+            simd::KernelLevelName(simd::ActiveLevel());
+
+        exec::BatchOptions batch;
+        batch.kind = QueryKind::kCount;
+        ASSERT_EQ(runner.Run(*method, queries, batch).counts,
+                  expected_counts)
+            << where << " (batch count)";
+        batch.kind = QueryKind::kEnum;
+        ASSERT_EQ(runner.Run(*method, queries, batch).enums, expected_enums)
+            << where << " (batch enum)";
+
+        exec::SchedulerOptions shared;
+        shared.min_window_to_group = 1;  // Force the grouped path.
+        shared.kind = QueryKind::kCount;
+        ASSERT_EQ(runner.RunShared(*method, queries, shared).counts,
+                  expected_counts)
+            << where << " (scheduler count)";
+        shared.kind = QueryKind::kEnum;
+        ASSERT_EQ(runner.RunShared(*method, queries, shared).enums,
+                  expected_enums)
+            << where << " (scheduler enum)";
+      }
+    }
+  }
+}
+
+TEST(MethodsAgreementTest, AnyReachMatrixMatchesOracleEverywhere) {
+  // Same matrix for multi-source AnyReach through BatchRunner::RunAny.
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(200, 2.5, 0.4, 149);
+  const CondensedNetwork cn(&network);
+  const NaiveBfsMethod oracle(&network);
+
+  WorkloadGenerator workload(&network, 777);
+  QuerySpec spec;
+  spec.count = 100;
+  spec.min_out_degree = 0;
+  spec.max_out_degree = 1u << 30;
+  spec.kind = WorkloadKind::kAnyOfK;
+  spec.any_k = 4;
+  const std::vector<AnyReachQuery> queries = workload.GenerateAnyReach(spec);
+
+  std::vector<uint8_t> expected;
+  for (const AnyReachQuery& query : queries) {
+    expected.push_back(oracle.EvaluateAnyQuery(query) ? 1 : 0);
+  }
+
+  for (const MethodConfig& config : AllConfigs()) {
+    const auto method = CreateMethod(&cn, config);
+    for (const unsigned threads :
+         {1u, 4u, exec::ThreadPool::DefaultThreads()}) {
+      exec::ThreadPool pool(threads);
+      exec::BatchRunner runner(&pool);
+      for (const simd::KernelLevel level :
+           {simd::KernelLevel::kScalar, simd::KernelLevel::kSse42,
+            simd::KernelLevel::kAvx2}) {
+        simd::ScopedKernelLevel scoped(level);
+        ASSERT_EQ(runner.RunAny(*method, queries).answers, expected)
+            << method->name() << " AnyReach diverges at " << threads
+            << " threads, kernel level "
+            << simd::KernelLevelName(simd::ActiveLevel());
+      }
+    }
+  }
+}
+
 TEST(MethodsAgreementTest, IndexSizesArePositive) {
   const GeoSocialNetwork network =
       testing::RandomGeoSocialNetwork(100, 2.0, 0.5, 55);
