@@ -1,6 +1,8 @@
 #include "core/method_factory.h"
 
+#include "common/check.h"
 #include "core/naive_bfs.h"
+#include "core/query_planner.h"
 #include "core/soc_reach.h"
 #include "core/spa_reach.h"
 #include "core/three_d_reach.h"
@@ -27,6 +29,8 @@ const char* MethodKindName(MethodKind kind) {
       return "3DReach";
     case MethodKind::kThreeDReachRev:
       return "3DReach-REV";
+    case MethodKind::kPlanner:
+      return "Planner";
   }
   return "Unknown";
 }
@@ -62,6 +66,15 @@ std::unique_ptr<RangeReachMethod> CreateMethod(const CondensedNetwork* cn,
     case MethodKind::kThreeDReachRev:
       return std::make_unique<ThreeDReachRev>(
           cn, ThreeDReachRev::Options{.scc_mode = config.scc_mode}, pool);
+    case MethodKind::kPlanner:
+      GSR_CHECK(!config.planner.portfolio.empty());
+      for (const MethodKind member : config.planner.portfolio) {
+        GSR_CHECK(member != MethodKind::kPlanner &&
+                  member != MethodKind::kNaiveBfs);
+      }
+      // The planner builds its members through CreateMethod itself, so
+      // each member gets its own scoped build pool.
+      return std::make_unique<PlannedMethod>(cn, config);
   }
   return nullptr;
 }

@@ -14,7 +14,8 @@
 namespace gsr {
 
 /// The RangeReach evaluation methods of the experimental analysis
-/// (Section 6.1), plus the index-free ground truth.
+/// (Section 6.1), plus the index-free ground truth and the cost-based
+/// planner that routes each query across a portfolio of them.
 enum class MethodKind {
   kNaiveBfs,
   kSpaReachBfl,
@@ -25,10 +26,36 @@ enum class MethodKind {
   kSocReach,
   kThreeDReach,
   kThreeDReachRev,
+  kPlanner,
 };
 
 /// Returns e.g. "SpaReach-BFL".
 const char* MethodKindName(MethodKind kind);
+
+/// Configuration of the cost-based planner (src/core/query_planner.h):
+/// which fixed methods form the portfolio, the selectivity histogram
+/// resolution, the observation pre-check sizes and the build-time
+/// calibration budget. Lives here (not in query_planner.h) so
+/// MethodConfig can embed it without an include cycle.
+struct PlannerOptions {
+  /// The candidate methods the planner builds and routes between. Must be
+  /// non-empty and must not contain kPlanner or kNaiveBfs.
+  std::vector<MethodKind> portfolio = {
+      MethodKind::kSpaReachBfl, MethodKind::kSocReach,
+      MethodKind::kThreeDReach};
+  /// Grid resolution of the selectivity histogram (cells per axis).
+  int histogram_resolution = 128;
+  /// Timed sample queries per selectivity stratum used to fit each
+  /// member's cost coefficients at build time; 0 keeps the deterministic
+  /// built-in defaults. Calibration affects routing only — answers are
+  /// bit-identical either way.
+  uint32_t calibration_samples = 48;
+  /// Seed for calibration workload generation (and nothing else).
+  uint64_t seed = 0x9E370001ULL;
+  /// Observation pre-check sizes (see Observations::Options).
+  uint32_t observation_intervals = 2;
+  uint32_t observation_supportive = 16;
+};
 
 /// Everything needed to instantiate one method.
 struct MethodConfig {
@@ -46,6 +73,8 @@ struct MethodConfig {
   /// Index-construction parallelism (see exec::BuildOptions). Defaults to
   /// serial; any thread count builds the identical index.
   exec::BuildOptions build;
+  /// Planner portfolio and calibration (kind == kPlanner only).
+  PlannerOptions planner;
 };
 
 /// Instantiates a method over a prebuilt condensation. Building the index

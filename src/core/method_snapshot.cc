@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/geo_reach.h"
+#include "core/query_planner.h"
 #include "core/soc_reach.h"
 #include "core/spa_reach.h"
 #include "core/three_d_reach.h"
@@ -32,6 +33,15 @@ void WriteMeta(BinaryWriter& w, const MethodConfig& config,
   w.WriteF64(config.geo_reach.max_rmbr_ratio);
   w.WriteU32(config.geo_reach.max_reach_grids);
   w.WriteI32(config.geo_reach.merge_count);
+  w.WriteU32(static_cast<uint32_t>(config.planner.portfolio.size()));
+  for (const MethodKind member : config.planner.portfolio) {
+    w.WriteU32(static_cast<uint32_t>(member));
+  }
+  w.WriteI32(config.planner.histogram_resolution);
+  w.WriteU32(config.planner.calibration_samples);
+  w.WriteU64(config.planner.seed);
+  w.WriteU32(config.planner.observation_intervals);
+  w.WriteU32(config.planner.observation_supportive);
   const GeoSocialNetwork& network = cn.network();
   w.WriteU64(network.num_vertices());
   w.WriteU64(network.num_edges());
@@ -54,6 +64,26 @@ Result<MethodConfig> ReadMeta(BinaryReader& r, const CondensedNetwork& cn) {
   GSR_RETURN_IF_ERROR(r.ReadF64(&config.geo_reach.max_rmbr_ratio));
   GSR_RETURN_IF_ERROR(r.ReadU32(&config.geo_reach.max_reach_grids));
   GSR_RETURN_IF_ERROR(r.ReadI32(&config.geo_reach.merge_count));
+  uint32_t portfolio_size = 0;
+  GSR_RETURN_IF_ERROR(r.ReadU32(&portfolio_size));
+  if (portfolio_size > 16) {
+    return Status::InvalidArgument("snapshot meta: oversized planner portfolio");
+  }
+  config.planner.portfolio.clear();
+  for (uint32_t i = 0; i < portfolio_size; ++i) {
+    uint32_t member = 0;
+    GSR_RETURN_IF_ERROR(r.ReadU32(&member));
+    if (member == static_cast<uint32_t>(MethodKind::kNaiveBfs) ||
+        member >= static_cast<uint32_t>(MethodKind::kPlanner)) {
+      return Status::InvalidArgument("snapshot meta: bad portfolio member");
+    }
+    config.planner.portfolio.push_back(static_cast<MethodKind>(member));
+  }
+  GSR_RETURN_IF_ERROR(r.ReadI32(&config.planner.histogram_resolution));
+  GSR_RETURN_IF_ERROR(r.ReadU32(&config.planner.calibration_samples));
+  GSR_RETURN_IF_ERROR(r.ReadU64(&config.planner.seed));
+  GSR_RETURN_IF_ERROR(r.ReadU32(&config.planner.observation_intervals));
+  GSR_RETURN_IF_ERROR(r.ReadU32(&config.planner.observation_supportive));
   uint64_t num_vertices = 0;
   uint64_t num_edges = 0;
   uint64_t num_components = 0;
@@ -64,7 +94,7 @@ Result<MethodConfig> ReadMeta(BinaryReader& r, const CondensedNetwork& cn) {
   GSR_RETURN_IF_ERROR(r.ReadU64(&num_spatial));
 
   if (kind == static_cast<uint32_t>(MethodKind::kNaiveBfs) ||
-      kind > static_cast<uint32_t>(MethodKind::kThreeDReachRev) ||
+      kind > static_cast<uint32_t>(MethodKind::kPlanner) ||
       scc_tag > 1 || forest_tag > 1 || stream_tag > 1) {
     return Status::InvalidArgument("snapshot meta: bad method tag");
   }
@@ -73,6 +103,14 @@ Result<MethodConfig> ReadMeta(BinaryReader& r, const CondensedNetwork& cn) {
   if (config.bfl.filter_words == 0 || config.geo_reach.grid_depth < 0 ||
       config.geo_reach.grid_depth > 27) {
     return Status::InvalidArgument("snapshot meta: bad method options");
+  }
+  if (kind == static_cast<uint32_t>(MethodKind::kPlanner) &&
+      (config.planner.portfolio.empty() ||
+       config.planner.histogram_resolution < 1 ||
+       config.planner.histogram_resolution > 4096 ||
+       config.planner.observation_intervals > 8 ||
+       config.planner.observation_supportive > 32)) {
+    return Status::InvalidArgument("snapshot meta: bad planner options");
   }
   config.kind = static_cast<MethodKind>(kind);
   config.scc_mode = scc_tag == 0 ? SccSpatialMode::kReplicate
@@ -168,6 +206,26 @@ struct MethodSnapshotAccess {
         const auto& m = static_cast<const ThreeDReachRev&>(method);
         m.labeling_.SerializeTo(writer.BeginSection(SectionId::kLabeling));
         m.rtree_.SerializeTo(writer.BeginSection(SectionId::kRTree));
+        break;
+      }
+      case MethodKind::kPlanner: {
+        // One section holds the whole portfolio inline: section ids
+        // identify structures, and a planner may own several labelings /
+        // spatial indexes, so per-structure sections would collide.
+        const auto& m = static_cast<const PlannedMethod&>(method);
+        BinaryWriter& s = writer.BeginSection(SectionId::kPlanner);
+        s.WriteU32(static_cast<uint32_t>(m.members_.size()));
+        for (size_t i = 0; i < m.members_.size(); ++i) {
+          s.WriteU32(static_cast<uint32_t>(m.member_kinds_[i]));
+          SaveMemberInline(*m.members_[i], m.member_kinds_[i],
+                           config.scc_mode, s);
+        }
+        m.observations_.SerializeTo(s);
+        m.histogram_.SerializeTo(s);
+        for (const PlannedMethod::CostModel& cm : m.cost_models_) {
+          s.WriteF64(cm.base_ns);
+          s.WriteF64(cm.per_unit_ns);
+        }
         break;
       }
     }
@@ -287,6 +345,51 @@ struct MethodSnapshotAccess {
             std::move(*labeling), std::move(*rtree)));
         break;
       }
+      case MethodKind::kPlanner: {
+        auto section = reader->Section(SectionId::kPlanner);
+        if (!section.ok()) return section.status();
+        BinaryReader& s = *section;
+        uint32_t member_count = 0;
+        GSR_RETURN_IF_ERROR(s.ReadU32(&member_count));
+        if (member_count != config->planner.portfolio.size()) {
+          return Status::InvalidArgument(
+              "planner snapshot: member count disagrees with meta portfolio");
+        }
+        std::vector<std::unique_ptr<RangeReachMethod>> members;
+        std::vector<MethodKind> kinds;
+        for (uint32_t i = 0; i < member_count; ++i) {
+          uint32_t kind_tag = 0;
+          GSR_RETURN_IF_ERROR(s.ReadU32(&kind_tag));
+          if (kind_tag !=
+              static_cast<uint32_t>(config->planner.portfolio[i])) {
+            return Status::InvalidArgument(
+                "planner snapshot: member kind disagrees with meta portfolio");
+          }
+          const MethodKind member_kind = static_cast<MethodKind>(kind_tag);
+          auto member = LoadMemberInline(s, ctx, cn, *config, member_kind);
+          if (!member.ok()) return member.status();
+          members.push_back(std::move(*member));
+          kinds.push_back(member_kind);
+        }
+        auto observations = Observations::Deserialize(s);
+        if (!observations.ok()) return observations.status();
+        if (observations->num_components() != cn->num_components()) {
+          return Status::InvalidArgument(
+              "planner snapshot: observations do not match the condensation");
+        }
+        auto histogram = GridHistogram::Deserialize(s);
+        if (!histogram.ok()) return histogram.status();
+        std::vector<PlannedMethod::CostModel> cost_models(member_count);
+        for (PlannedMethod::CostModel& cm : cost_models) {
+          GSR_RETURN_IF_ERROR(s.ReadF64(&cm.base_ns));
+          GSR_RETURN_IF_ERROR(s.ReadF64(&cm.per_unit_ns));
+        }
+        out.method.reset(new PlannedMethod(
+            cn, config->planner, std::move(members), std::move(kinds),
+            std::move(*observations), std::move(*histogram),
+            std::move(cost_models)));
+        break;
+      }
     }
     return out;
   }
@@ -301,6 +404,175 @@ struct MethodSnapshotAccess {
     if (!labeling.ok()) return labeling.status();
     GSR_RETURN_IF_ERROR(CheckLabelingSize(*labeling, cn));
     return labeling;
+  }
+
+  /// Planner members live inline in the kPlanner section stream, in a
+  /// fixed per-kind structure order mirrored by LoadMemberInline.
+  static void SaveMemberInline(const RangeReachMethod& method,
+                               MethodKind kind, SccSpatialMode scc_mode,
+                               BinaryWriter& s) {
+    switch (kind) {
+      case MethodKind::kSocReach:
+        static_cast<const SocReach&>(method).labeling_.SerializeTo(s);
+        break;
+      case MethodKind::kSpaReachBfl: {
+        const auto& m = static_cast<const SpaReachBfl&>(method);
+        m.spatial_index_.SerializeTo(s);
+        m.bfl_.SerializeTo(s);
+        break;
+      }
+      case MethodKind::kSpaReachInt: {
+        const auto& m = static_cast<const SpaReachInt&>(method);
+        m.spatial_index_.SerializeTo(s);
+        m.labeling_.SerializeTo(s);
+        break;
+      }
+      case MethodKind::kSpaReachPll: {
+        const auto& m = static_cast<const SpaReachPll&>(method);
+        m.spatial_index_.SerializeTo(s);
+        m.pll_.SerializeTo(s);
+        break;
+      }
+      case MethodKind::kSpaReachFeline: {
+        const auto& m = static_cast<const SpaReachFeline&>(method);
+        m.spatial_index_.SerializeTo(s);
+        m.feline_.SerializeTo(s);
+        break;
+      }
+      case MethodKind::kGeoReach:
+        SaveGeoReach(static_cast<const GeoReachMethod&>(method), s);
+        break;
+      case MethodKind::kThreeDReach: {
+        const auto& m = static_cast<const ThreeDReach&>(method);
+        m.labeling_.SerializeTo(s);
+        if (scc_mode == SccSpatialMode::kReplicate) {
+          m.points_.SerializeTo(s);
+        } else {
+          m.boxes_.SerializeTo(s);
+        }
+        break;
+      }
+      case MethodKind::kThreeDReachRev: {
+        const auto& m = static_cast<const ThreeDReachRev&>(method);
+        m.labeling_.SerializeTo(s);
+        m.rtree_.SerializeTo(s);
+        break;
+      }
+      case MethodKind::kNaiveBfs:
+      case MethodKind::kPlanner:
+        break;  // Excluded from portfolios by construction.
+    }
+  }
+
+  static Result<std::unique_ptr<RangeReachMethod>> LoadMemberInline(
+      BinaryReader& s, const BorrowContext& ctx, const CondensedNetwork* cn,
+      const MethodConfig& config, MethodKind kind) {
+    std::unique_ptr<RangeReachMethod> method;
+    switch (kind) {
+      case MethodKind::kSocReach: {
+        auto labeling = IntervalLabeling::Deserialize(s, ctx);
+        if (!labeling.ok()) return labeling.status();
+        GSR_RETURN_IF_ERROR(CheckLabelingSize(*labeling, *cn));
+        method.reset(new SocReach(cn, config.soc_reach, std::move(*labeling)));
+        break;
+      }
+      case MethodKind::kSpaReachBfl: {
+        auto index = LoadSpatialIndexInline(s, ctx, config.scc_mode);
+        if (!index.ok()) return index.status();
+        auto bfl = BflIndex::Deserialize(s, &cn->dag());
+        if (!bfl.ok()) return bfl.status();
+        method.reset(new SpaReachBfl(cn, std::move(*index), std::move(*bfl)));
+        break;
+      }
+      case MethodKind::kSpaReachInt: {
+        auto index = LoadSpatialIndexInline(s, ctx, config.scc_mode);
+        if (!index.ok()) return index.status();
+        auto labeling = IntervalLabeling::Deserialize(s, ctx);
+        if (!labeling.ok()) return labeling.status();
+        GSR_RETURN_IF_ERROR(CheckLabelingSize(*labeling, *cn));
+        method.reset(
+            new SpaReachInt(cn, std::move(*index), std::move(*labeling)));
+        break;
+      }
+      case MethodKind::kSpaReachPll: {
+        auto index = LoadSpatialIndexInline(s, ctx, config.scc_mode);
+        if (!index.ok()) return index.status();
+        auto pll = PllIndex::Deserialize(s);
+        if (!pll.ok()) return pll.status();
+        if (pll->num_vertices() != cn->num_components()) {
+          return Status::InvalidArgument(
+              "snapshot PLL index does not match the condensation size");
+        }
+        method.reset(new SpaReachPll(cn, std::move(*index), std::move(*pll)));
+        break;
+      }
+      case MethodKind::kSpaReachFeline: {
+        auto index = LoadSpatialIndexInline(s, ctx, config.scc_mode);
+        if (!index.ok()) return index.status();
+        auto feline = FelineIndex::Deserialize(s, &cn->dag());
+        if (!feline.ok()) return feline.status();
+        method.reset(
+            new SpaReachFeline(cn, std::move(*index), std::move(*feline)));
+        break;
+      }
+      case MethodKind::kGeoReach: {
+        auto loaded = LoadGeoReachFrom(s, cn, config);
+        if (!loaded.ok()) return loaded.status();
+        method = std::move(*loaded);
+        break;
+      }
+      case MethodKind::kThreeDReach: {
+        auto labeling = IntervalLabeling::Deserialize(s, ctx);
+        if (!labeling.ok()) return labeling.status();
+        GSR_RETURN_IF_ERROR(CheckLabelingSize(*labeling, *cn));
+        const ThreeDReach::Options method_options{
+            .scc_mode = config.scc_mode,
+            .forest_strategy = config.forest_strategy};
+        if (config.scc_mode == SccSpatialMode::kReplicate) {
+          auto points = FrozenRTreePoints3D::Deserialize(s, ctx);
+          if (!points.ok()) return points.status();
+          method.reset(new ThreeDReach(cn, method_options,
+                                       std::move(*labeling),
+                                       std::move(*points), FrozenRTree3D()));
+        } else {
+          auto boxes = FrozenRTree3D::Deserialize(s, ctx);
+          if (!boxes.ok()) return boxes.status();
+          method.reset(new ThreeDReach(cn, method_options,
+                                       std::move(*labeling),
+                                       FrozenRTreePoints3D(),
+                                       std::move(*boxes)));
+        }
+        break;
+      }
+      case MethodKind::kThreeDReachRev: {
+        auto labeling = IntervalLabeling::Deserialize(s, ctx);
+        if (!labeling.ok()) return labeling.status();
+        GSR_RETURN_IF_ERROR(CheckLabelingSize(*labeling, *cn));
+        auto rtree = FrozenRTree3D::Deserialize(s, ctx);
+        if (!rtree.ok()) return rtree.status();
+        method.reset(new ThreeDReachRev(
+            cn, ThreeDReachRev::Options{.scc_mode = config.scc_mode},
+            std::move(*labeling), std::move(*rtree)));
+        break;
+      }
+      case MethodKind::kNaiveBfs:
+      case MethodKind::kPlanner:
+        return Status::InvalidArgument(
+            "planner snapshot: unsupported portfolio member");
+    }
+    return method;
+  }
+
+  static Result<CondensedSpatialIndex> LoadSpatialIndexInline(
+      BinaryReader& s, const BorrowContext& ctx,
+      SccSpatialMode expected_mode) {
+    auto index = CondensedSpatialIndex::Deserialize(s, ctx);
+    if (!index.ok()) return index.status();
+    if (index->mode() != expected_mode) {
+      return Status::InvalidArgument(
+          "snapshot spatial index disagrees with the meta SCC mode");
+    }
+    return index;
   }
 
   static Result<CondensedSpatialIndex> LoadSpatialIndex(
@@ -353,7 +625,12 @@ struct MethodSnapshotAccess {
       const MethodConfig& config) {
     auto section = reader.Section(SectionId::kGeoReach);
     if (!section.ok()) return section.status();
-    BinaryReader& s = *section;
+    return LoadGeoReachFrom(*section, cn, config);
+  }
+
+  static Result<std::unique_ptr<RangeReachMethod>> LoadGeoReachFrom(
+      BinaryReader& s, const CondensedNetwork* cn,
+      const MethodConfig& config) {
     std::vector<uint8_t> classes;
     std::vector<Rect> rmbr;
     std::vector<uint64_t> offsets;

@@ -1,0 +1,204 @@
+#ifndef GSR_CORE_QUERY_PLANNER_H_
+#define GSR_CORE_QUERY_PLANNER_H_
+
+#include <array>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/condensed_network.h"
+#include "core/method_factory.h"
+#include "core/range_reach.h"
+#include "labeling/observations.h"
+#include "spatial/grid_histogram.h"
+
+namespace gsr {
+
+/// Builds the observation pre-checks for `cn`: one entry per condensation
+/// component, has_spatial from HasSpatialMember and the representative
+/// witness point from the first spatial member. Exposed standalone so
+/// fixed methods (and tests) can attach pre-checks without a planner.
+Observations BuildNetworkObservations(const CondensedNetwork& cn,
+                                      const Observations::Options& options);
+
+/// The cost-based query planner (ROADMAP item 4): a RangeReachMethod that
+/// owns several fixed methods — the *portfolio* — and answers each query
+/// through a two-stage fast path.
+///
+/// Stage 1, O(1) observation pre-checks: the selectivity histogram's exact
+/// DefinitelyEmpty rejection and the Observations whole-query settles
+/// (no reachable spatial vertex -> FALSE for every kind; a reachable
+/// witness point inside the region -> TRUE for boolean kinds) answer a
+/// query before any index is touched. The same Observations object is
+/// attached to every member, so queries that do get routed still skip
+/// per-candidate reachability probes a tri-state TestReach already proves.
+///
+/// Stage 2, cost-based routing: each member's per-query cost is estimated
+/// as base_ns + per_unit_ns * feature, where the feature is the method's
+/// dominating cost driver — the histogram's O(1) block-sum point count
+/// over the region for the spatial-first methods (SpaReach*, GeoReach),
+/// the
+/// descendant-set size |D(v)| for SocReach, the label count |L(v)| for
+/// 3DReach, and a constant single plane probe for 3DReach-REV. The
+/// coefficients are fitted at build time from a small timed calibration
+/// workload (PlannerOptions::calibration_samples; deterministic defaults
+/// when disabled). The cheapest member answers the query.
+///
+/// Both stages are proofs or pure routing, so answers are bit-identical
+/// to every portfolio member (and the NaiveBFS oracle) for all query
+/// kinds; only the work per query changes. All RangeReachMethod hooks are
+/// implemented — grouped, collection and multi-source forms included — so
+/// the planner drops into BatchRunner, the work-sharing scheduler and the
+/// snapshot layer like any fixed method.
+class PlannedMethod : public RangeReachMethod {
+ public:
+  /// One entry past the last MethodKind, for routed-query histograms.
+  static constexpr size_t kKindCount =
+      static_cast<size_t>(MethodKind::kPlanner) + 1;
+
+  /// Fitted cost model of one portfolio member:
+  /// cost_ns(query) = base_ns + per_unit_ns * feature(query).
+  struct CostModel {
+    double base_ns = 0.0;
+    double per_unit_ns = 0.0;
+  };
+
+  /// Planner-level counters. Member-level counters (probe counts, their
+  /// own settles on routed queries) stay on the members and are drained
+  /// through them.
+  struct Counters {
+    uint64_t queries = 0;
+    /// Queries answered FALSE by stage 1 (empty region or no reachable
+    /// spatial vertex) without routing.
+    uint64_t settled_negative = 0;
+    /// Boolean queries answered TRUE by a reachable witness point.
+    uint64_t settled_positive = 0;
+    /// Routed queries per member kind (indexed by MethodKind).
+    std::array<uint64_t, kKindCount> routed{};
+  };
+
+  /// Composite per-thread state: one scratch per member plus the
+  /// planner's own counters and gather buffers for the grouped paths.
+  struct Scratch : QueryScratch {
+    Counters counters;
+    std::vector<std::unique_ptr<QueryScratch>> member_scratch;
+    // Grouped-path staging: per-region route, gathered regions/slots of
+    // the member currently executing, and its boolean answer buffer
+    // (span<bool> needs real bools, so no vector<bool>).
+    std::vector<uint32_t> route_of;
+    std::vector<Rect> gather_regions;
+    std::vector<size_t> gather_slots;
+    std::unique_ptr<bool[]> gather_out;
+    size_t gather_capacity = 0;
+    // AnyReach staging: the sources stage 1 could not settle.
+    std::vector<VertexId> pending_sources;
+  };
+
+  /// Builds the portfolio members (via CreateMethod, one per
+  /// config.planner.portfolio entry with the kind swapped in), the
+  /// selectivity histogram, the observations, and the calibrated cost
+  /// models. `config.kind` is ignored; everything else applies to the
+  /// members as usual.
+  PlannedMethod(const CondensedNetwork* cn, const MethodConfig& config);
+
+  std::unique_ptr<QueryScratch> NewScratch() const override;
+
+  bool Evaluate(VertexId vertex, const Rect& region,
+                QueryScratch& scratch) const override;
+  void EvaluateGroup(VertexId vertex, std::span<const Rect> regions,
+                     std::span<bool> out,
+                     QueryScratch& scratch) const override;
+  void CollectInto(VertexId vertex, const Rect& region, ResultSink& sink,
+                   QueryScratch& scratch) const override;
+  void CollectGroupInto(VertexId vertex, std::span<const Rect> regions,
+                        std::span<ResultSink> sinks,
+                        QueryScratch& scratch) const override;
+  bool EvaluateAny(std::span<const VertexId> sources, const Rect& region,
+                   QueryScratch& scratch) const override;
+
+  using RangeReachMethod::Evaluate;
+  using RangeReachMethod::EvaluateAny;
+
+  void DrainScratchCounters(QueryScratch& scratch) const override;
+
+  std::string name() const override { return "Planner"; }
+
+  size_t IndexSizeBytes() const override;
+
+  const Counters& counters() const { return MutableCounters(); }
+  void ResetCounters() const { MutableCounters() = Counters{}; }
+
+  size_t num_members() const { return members_.size(); }
+  const RangeReachMethod& member(size_t i) const { return *members_[i]; }
+  MethodKind member_kind(size_t i) const { return member_kinds_[i]; }
+  const CostModel& cost_model(size_t i) const { return cost_models_[i]; }
+
+  const GridHistogram& histogram() const { return histogram_; }
+  const Observations& network_observations() const { return observations_; }
+
+  /// The member index Route() would pick for (vertex, region) — exposed
+  /// so tests and the bench can interrogate routing decisions without
+  /// running the query.
+  size_t RouteForTest(VertexId vertex, const Rect& region) const {
+    return Route(cn_->ComponentOf(vertex), region);
+  }
+
+ private:
+  friend struct MethodSnapshotAccess;
+
+  /// From-parts constructor used by the snapshot loader: members,
+  /// observations, histogram and cost models come in deserialized; the
+  /// routing features are recomputed (deterministic from the members).
+  PlannedMethod(const CondensedNetwork* cn, const PlannerOptions& options,
+                std::vector<std::unique_ptr<RangeReachMethod>> members,
+                std::vector<MethodKind> member_kinds,
+                Observations observations, GridHistogram histogram,
+                std::vector<CostModel> cost_models);
+
+  /// Attaches observations to the members and derives the per-component
+  /// routing features (descendant counts from a SocReach member's
+  /// labeling, label counts from a 3DReach member's) — shared by both
+  /// constructors.
+  void FinishSetup();
+
+  /// The cost driver of member `m` for a query from `source` over
+  /// `region`; `spatial_estimate` caches the histogram lookup across
+  /// members (pass a negative to force a fresh one).
+  double Feature(size_t m, ComponentId source, const Rect& region,
+                 double& spatial_estimate) const;
+
+  /// argmin over members of base_ns + per_unit_ns * feature. Callers on
+  /// the query path already paid the emptiness block sum; they pass it
+  /// as `spatial_estimate` so routing never recomputes it (negative
+  /// means "not known yet").
+  size_t Route(ComponentId source, const Rect& region,
+               double spatial_estimate = -1.0) const;
+  size_t RouteAny(std::span<const VertexId> sources, const Rect& region,
+                  double spatial_estimate = -1.0) const;
+
+  /// Fits cost_models_ from a timed three-strata calibration workload
+  /// (no-op without spatial vertices or with calibration_samples == 0 —
+  /// the deterministic defaults stay).
+  void Calibrate();
+
+  Counters& MutableCounters() const {
+    return static_cast<Scratch&>(DefaultScratch()).counters;
+  }
+
+  const CondensedNetwork* cn_;
+  PlannerOptions options_;
+  std::vector<std::unique_ptr<RangeReachMethod>> members_;
+  std::vector<MethodKind> member_kinds_;
+  Observations observations_;
+  GridHistogram histogram_;
+  std::vector<CostModel> cost_models_;
+  // Routing features, indexed by component; empty unless a member needs
+  // them (see FinishSetup).
+  std::vector<uint32_t> desc_count_;   // |D(c)|, for SocReach.
+  std::vector<uint32_t> label_count_;  // |L(c)|, for 3DReach.
+};
+
+}  // namespace gsr
+
+#endif  // GSR_CORE_QUERY_PLANNER_H_

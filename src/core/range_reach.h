@@ -16,6 +16,8 @@
 
 namespace gsr {
 
+class Observations;
+
 /// One RangeReach(G, v, R) query: does vertex `vertex` reach any spatial
 /// vertex whose point lies inside `region`? (Problem 1 of the paper.)
 struct RangeReachQuery {
@@ -238,6 +240,24 @@ class RangeReachMethod {
     return *default_scratch_;
   }
 
+  /// Attaches the O(1) observation pre-checks (src/labeling/observations)
+  /// consulted by the wired query paths: SocReach, SpaReach and the
+  /// 3DReach variants settle whole queries (no spatial descendant, or a
+  /// reachable witness point inside the region) and skip per-candidate
+  /// reachability probes that a tri-state TestReach already proves. The
+  /// observations must describe this method's condensation and outlive
+  /// the method; pre-checks are proofs, so answers are bit-identical
+  /// with or without them. Methods that never consult the pointer
+  /// (NaiveBFS, GeoReach) simply ignore the attachment. Not thread-safe
+  /// against concurrent Evaluate calls — attach before querying.
+  void AttachObservations(const Observations* observations) {
+    observations_ = observations;
+  }
+
+  /// The attached pre-checks, or nullptr (the default: standalone
+  /// methods behave exactly as before).
+  const Observations* observations() const { return observations_; }
+
   /// Process-unique id of this method instance, assigned at construction
   /// and never reused. Caches keyed by method (like BatchRunner's scratch
   /// cache) use it instead of the object address, which a later instance
@@ -267,6 +287,7 @@ class RangeReachMethod {
 
   uint64_t instance_id_ = NextInstanceId();
   mutable std::unique_ptr<QueryScratch> default_scratch_;
+  const Observations* observations_ = nullptr;
 };
 
 }  // namespace gsr

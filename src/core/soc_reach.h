@@ -11,6 +11,7 @@
 #include "core/condensed_network.h"
 #include "core/range_reach.h"
 #include "labeling/interval_labeling.h"
+#include "labeling/observations.h"
 
 namespace gsr {
 
@@ -46,6 +47,8 @@ class SocReach : public RangeReachMethod {
     uint64_t queries = 0;
     uint64_t descendants = 0;        // |D(v)| summed over queries.
     uint64_t containment_tests = 0;  // Spatial tests until the first hit.
+    uint64_t settled_negative = 0;   // Queries proven FALSE by pre-checks.
+    uint64_t settled_positive = 0;   // Queries proven TRUE by pre-checks.
   };
 
   /// Per-thread state: the reusable D(v) buffer plus counters.
@@ -63,6 +66,20 @@ class SocReach : public RangeReachMethod {
     Scratch& s = static_cast<Scratch&>(scratch);
     ++s.counters.queries;
     const ComponentId source = cn_->ComponentOf(vertex);
+    // Observation pre-checks settle the whole query — the descendant
+    // enumeration (SocReach's dominating cost) is skipped entirely.
+    if (const Observations* obs = observations()) {
+      switch (obs->SettleRange(source, region)) {
+        case Observations::Verdict::kNo:
+          ++s.counters.settled_negative;
+          return false;
+        case Observations::Verdict::kYes:
+          ++s.counters.settled_positive;
+          return true;
+        case Observations::Verdict::kUnknown:
+          break;
+      }
+    }
     if (options_.stream_containment) {
       // Fused variant: each enumerated descendant is tested immediately,
       // so a positive answer stops the relational range scans early.
@@ -152,6 +169,15 @@ class SocReach : public RangeReachMethod {
     Scratch& s = static_cast<Scratch&>(scratch);
     ++s.counters.queries;
     const ComponentId source = cn_->ComponentOf(vertex);
+    // Only the negative settle applies to collection: no reachable
+    // spatial vertex at all proves the result set empty for every
+    // region. (A witness hit says "non-empty", which still requires the
+    // full enumeration.)
+    if (const Observations* obs = observations();
+        obs != nullptr && !obs->ReachesAnySpatial(source)) {
+      ++s.counters.settled_negative;
+      return;
+    }
     labeling_.ForEachDescendant(source, [&](VertexId descendant) {
       ++s.counters.descendants;
       ++s.counters.containment_tests;
@@ -192,6 +218,8 @@ class SocReach : public RangeReachMethod {
     into.queries += s.counters.queries;
     into.descendants += s.counters.descendants;
     into.containment_tests += s.counters.containment_tests;
+    into.settled_negative += s.counters.settled_negative;
+    into.settled_positive += s.counters.settled_positive;
     s.counters = Counters{};
   }
 

@@ -16,6 +16,7 @@
 #include "labeling/bfl.h"
 #include "labeling/feline.h"
 #include "labeling/interval_labeling.h"
+#include "labeling/observations.h"
 #include "labeling/pll.h"
 
 namespace gsr {
@@ -35,6 +36,10 @@ class SpaReachBase : public RangeReachMethod {
     uint64_t queries = 0;
     uint64_t candidates = 0;    // SRange results materialized.
     uint64_t greach_calls = 0;  // Reachability probes issued.
+    /// Pre-check hits (attached observations): whole queries *and*
+    /// per-candidate probes settled without touching the backend.
+    uint64_t settled_negative = 0;
+    uint64_t settled_positive = 0;
   };
 
   /// Per-thread state shared by every spatial-first method: the SRange
@@ -64,6 +69,22 @@ class SpaReachBase : public RangeReachMethod {
                 QueryScratch& scratch) const override {
     Scratch& s = static_cast<Scratch&>(scratch);
     ++s.counters.queries;
+    const Observations* obs = observations();
+    // Observation pre-checks settle the whole query before SRange: no
+    // spatial descendant at all, or a reachable witness point inside
+    // the region.
+    if (obs != nullptr) {
+      switch (obs->SettleRange(cn_->ComponentOf(vertex), region)) {
+        case Observations::Verdict::kNo:
+          ++s.counters.settled_negative;
+          return false;
+        case Observations::Verdict::kYes:
+          ++s.counters.settled_positive;
+          return true;
+        case Observations::Verdict::kUnknown:
+          break;
+      }
+    }
     // Step 1 (SRange): materialize every spatial vertex inside the region,
     // as the SpaReach algorithm prescribes. This is what makes the method
     // sensitive to the spatial selectivity of the query.
@@ -99,7 +120,24 @@ class SpaReachBase : public RangeReachMethod {
       }
       return false;
     }
+    // Serial probe path (BFL, PLL, Feline — per-probe graph searches):
+    // a tri-state TestReach settles most candidates in O(1), so the
+    // expensive backend probe only runs on genuinely unknown pairs.
     for (const auto& [candidate, verified] : s.candidates) {
+      if (obs != nullptr) {
+        const auto verdict = obs->TestReach(source, candidate);
+        if (verdict == Observations::Verdict::kNo) {
+          ++s.counters.settled_negative;
+          continue;
+        }
+        if (verdict == Observations::Verdict::kYes) {
+          ++s.counters.settled_positive;
+          if (verified || cn_->AnyMemberPointIn(candidate, region)) {
+            return true;
+          }
+          continue;
+        }
+      }
       ++s.counters.greach_calls;
       if (!CanReachComponent(source, candidate, s)) continue;
       if (verified || cn_->AnyMemberPointIn(candidate, region)) return true;
@@ -118,6 +156,14 @@ class SpaReachBase : public RangeReachMethod {
                    QueryScratch& scratch) const override {
     Scratch& s = static_cast<Scratch&>(scratch);
     ++s.counters.queries;
+    const Observations* obs = observations();
+    const ComponentId source = cn_->ComponentOf(vertex);
+    // Collection settles only negatively: an empty reachable spatial
+    // set proves the result empty for every region.
+    if (obs != nullptr && !obs->ReachesAnySpatial(source)) {
+      ++s.counters.settled_negative;
+      return;
+    }
     spatial_index_.CollectCandidates(region, s.candidates);
     s.counters.candidates += s.candidates.size();
     s.seen.BeginPass(cn_->num_components());
@@ -126,7 +172,6 @@ class SpaReachBase : public RangeReachMethod {
       (void)verified;
       if (s.seen.TestAndSet(candidate)) s.distinct.push_back(candidate);
     }
-    const ComponentId source = cn_->ComponentOf(vertex);
     if (HasBatchProbe()) {
       for (size_t base = 0; base < s.distinct.size();
            base += simd::kMaskWidth) {
@@ -146,6 +191,19 @@ class SpaReachBase : public RangeReachMethod {
       return;
     }
     for (const ComponentId c : s.distinct) {
+      if (obs != nullptr) {
+        const auto verdict = obs->TestReach(source, c);
+        if (verdict == Observations::Verdict::kNo) {
+          ++s.counters.settled_negative;
+          continue;
+        }
+        if (verdict == Observations::Verdict::kYes) {
+          ++s.counters.settled_positive;
+          cn_->ForEachSpatialMemberIn(c, region,
+                                      [&](VertexId v) { sink.Add(v); });
+          continue;
+        }
+      }
       ++s.counters.greach_calls;
       if (!CanReachComponent(source, c, s)) continue;
       cn_->ForEachSpatialMemberIn(c, region, [&](VertexId v) { sink.Add(v); });
@@ -163,14 +221,33 @@ class SpaReachBase : public RangeReachMethod {
     if (sources.empty()) return false;
     Scratch& s = static_cast<Scratch&>(scratch);
     ++s.counters.queries;
-    spatial_index_.CollectCandidates(region, s.candidates);
-    s.counters.candidates += s.candidates.size();
+    const Observations* obs = observations();
     s.seen.BeginPass(cn_->num_components());
     s.distinct.clear();
+    // Per-source settles before SRange: a witness point inside the
+    // region answers TRUE outright; sources without any reachable
+    // spatial vertex drop out of the probe set (all dropped = FALSE,
+    // without the candidate collection).
     for (const VertexId source : sources) {
       const ComponentId c = cn_->ComponentOf(source);
-      if (s.seen.TestAndSet(c)) s.distinct.push_back(c);
+      if (!s.seen.TestAndSet(c)) continue;
+      if (obs != nullptr) {
+        switch (obs->SettleRange(c, region)) {
+          case Observations::Verdict::kYes:
+            ++s.counters.settled_positive;
+            return true;
+          case Observations::Verdict::kNo:
+            ++s.counters.settled_negative;
+            continue;
+          case Observations::Verdict::kUnknown:
+            break;
+        }
+      }
+      s.distinct.push_back(c);
     }
+    if (s.distinct.empty()) return false;
+    spatial_index_.CollectCandidates(region, s.candidates);
+    s.counters.candidates += s.candidates.size();
     if (HasBatchProbe()) {
       ComponentId targets[simd::kMaskWidth];
       for (size_t base = 0; base < s.candidates.size();
@@ -224,6 +301,8 @@ class SpaReachBase : public RangeReachMethod {
     into.queries += s.counters.queries;
     into.candidates += s.counters.candidates;
     into.greach_calls += s.counters.greach_calls;
+    into.settled_negative += s.counters.settled_negative;
+    into.settled_positive += s.counters.settled_positive;
     s.counters = Counters{};
     DrainBackendCounters(s);
   }

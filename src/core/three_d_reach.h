@@ -44,7 +44,9 @@ class ThreeDReach : public RangeReachMethod {
   /// vertex (until a hit).
   struct Counters {
     uint64_t queries = 0;
-    uint64_t range_queries = 0;  // Cuboids issued.
+    uint64_t range_queries = 0;   // Cuboids issued.
+    uint64_t settled_negative = 0;  // Queries proven FALSE by pre-checks.
+    uint64_t settled_positive = 0;  // Queries proven TRUE by pre-checks.
   };
 
   /// Per-thread state: counters plus the collection-path dedup marks
@@ -160,9 +162,19 @@ class ThreeDReachRev : public RangeReachMethod {
   explicit ThreeDReachRev(const CondensedNetwork* cn)
       : ThreeDReachRev(cn, Options{}) {}
 
-  /// Per-thread state: only the collection/AnyReach dedup marks — the
-  /// boolean paths remain stateless per query.
+  /// Per-query counters: pre-check settles only — the plane probe
+  /// itself issues exactly one 3-D query per RangeReach, so there is
+  /// nothing else to count.
+  struct Counters {
+    uint64_t queries = 0;
+    uint64_t settled_negative = 0;
+    uint64_t settled_positive = 0;
+  };
+
+  /// Per-thread state: counters plus the collection/AnyReach dedup
+  /// marks — the boolean probe itself is stateless per query.
   struct Scratch : QueryScratch {
+    Counters counters;
     SeenMarks seen;
     GroupSeenMarks group_seen;
   };
@@ -204,6 +216,8 @@ class ThreeDReachRev : public RangeReachMethod {
   using RangeReachMethod::Evaluate;
   using RangeReachMethod::EvaluateAny;
 
+  void DrainScratchCounters(QueryScratch& scratch) const override;
+
   std::string name() const override;
 
   size_t IndexSizeBytes() const override {
@@ -213,8 +227,15 @@ class ThreeDReachRev : public RangeReachMethod {
   /// The reversed labeling (post numbers refer to the reversed forest).
   const IntervalLabeling& labeling() const { return labeling_; }
 
+  const Counters& counters() const { return MutableCounters(); }
+  void ResetCounters() const { MutableCounters() = Counters{}; }
+
  private:
   friend struct MethodSnapshotAccess;
+
+  Counters& MutableCounters() const {
+    return static_cast<Scratch&>(DefaultScratch()).counters;
+  }
 
   /// From-parts constructor used by the snapshot loader. The reversed DAG
   /// is a construction-only artifact (Evaluate never touches it), so a

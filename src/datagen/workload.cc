@@ -22,6 +22,14 @@ std::vector<double> PaperExtents() { return {1.0, 2.0, 5.0, 10.0, 20.0}; }
 
 std::vector<double> PaperSelectivities() { return {0.001, 0.01, 0.1, 1.0}; }
 
+std::vector<SelectivityStratum> DefaultMixedStrata() {
+  return {
+      {0.5, 0.01},  // Tiny: ~point lookups, often empty regions.
+      {0.3, 1.0},   // Medium: the paper's low-extent regime.
+      {0.2, 20.0},  // Huge: the paper's largest extent.
+  };
+}
+
 const char* WorkloadKindName(WorkloadKind kind) {
   switch (kind) {
     case WorkloadKind::kBool:
@@ -148,6 +156,17 @@ VertexId WorkloadGenerator::ZipfVertexWithDegree(uint32_t lo, uint32_t hi,
 
 Rect WorkloadGenerator::RegionFor(VertexId vertex, const QuerySpec& spec) {
   auto fresh = [&]() {
+    if (!spec.strata.empty()) {
+      // Weighted stratum draw (linear scan: strata lists are tiny).
+      double total = 0.0;
+      for (const SelectivityStratum& st : spec.strata) total += st.weight;
+      double u = rng_.NextDouble() * total;
+      for (const SelectivityStratum& st : spec.strata) {
+        u -= st.weight;
+        if (u <= 0.0) return RandomRegionByExtent(st.extent_percent);
+      }
+      return RandomRegionByExtent(spec.strata.back().extent_percent);
+    }
     return spec.selectivity_percent >= 0.0
                ? RandomRegionBySelectivity(spec.selectivity_percent)
                : RandomRegionByExtent(spec.extent_percent);

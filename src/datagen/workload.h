@@ -47,6 +47,19 @@ const char* WorkloadKindName(WorkloadKind kind);
 /// Inverse of WorkloadKindName; returns false on an unknown name.
 bool ParseWorkloadKind(const std::string& name, WorkloadKind* out);
 
+/// One stratum of a selectivity-mixed workload: regions of this extent
+/// are drawn with probability weight / sum(weights).
+struct SelectivityStratum {
+  double weight = 1.0;
+  /// Region area as a percentage of the whole space area.
+  double extent_percent = kDefaultExtentPercent;
+};
+
+/// The planner-bench mix: mostly tiny point-ish lookups, some mid-size
+/// regions, a tail of huge scans — the spread where no fixed method wins
+/// every stratum (tiny favors SpaReach, huge favors SocReach/3DReach).
+std::vector<SelectivityStratum> DefaultMixedStrata();
+
 /// What one batch of queries should look like.
 struct QuerySpec {
   uint32_t count = 1000;
@@ -59,6 +72,11 @@ struct QuerySpec {
   /// When >= 0: size regions so that about this percentage of |V| vertices
   /// (counted over spatial vertices) fall inside, regardless of area.
   double selectivity_percent = -1.0;
+  /// When non-empty: each fresh region draws a stratum by weight and uses
+  /// its extent, overriding extent_percent/selectivity_percent. The draw
+  /// comes from the generator's seeded Rng, so a given seed reproduces
+  /// the identical mixed batch.
+  std::vector<SelectivityStratum> strata;
   /// When > 0, query vertices follow a Zipf(theta) rank distribution over
   /// the degree bucket (rank = position in the bucket's vertex list)
   /// instead of the paper's uniform draw — the skewed production feed the

@@ -1,0 +1,254 @@
+#include "labeling/observations.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace gsr {
+
+namespace {
+
+/// One randomized DFS over the whole DAG: every vertex gets a post-order
+/// number in [1, n], children are visited in CSR order rotated by a
+/// per-vertex pseudo-random offset and start vertices follow `starts`.
+/// Any DFS post-order of a DAG satisfies post[v] < post[u] for every
+/// edge u -> v (v can never be on the active stack when the edge is
+/// explored — that would close a cycle), which is what the interval
+/// containment test relies on.
+void RandomizedDfsPost(const DiGraph& dag, std::span<const VertexId> starts,
+                       uint64_t salt, std::vector<uint32_t>& post) {
+  const VertexId n = dag.num_vertices();
+  post.assign(n, 0);
+  std::vector<uint8_t> visited(n, 0);
+  // Frame: (vertex, next child slot); the rotation offset is recomputed
+  // from the salt, so frames stay two words.
+  std::vector<std::pair<VertexId, uint32_t>> stack;
+  uint32_t counter = 0;
+  auto rotation = [salt](VertexId v, uint32_t degree) -> uint32_t {
+    if (degree <= 1) return 0;
+    uint64_t h = (static_cast<uint64_t>(v) + 1) * 0x9E3779B97F4A7C15ULL ^ salt;
+    h ^= h >> 29;
+    return static_cast<uint32_t>(h % degree);
+  };
+  for (const VertexId start : starts) {
+    if (visited[start]) continue;
+    visited[start] = 1;
+    stack.emplace_back(start, 0);
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      const auto out = dag.OutNeighbors(v);
+      const uint32_t degree = static_cast<uint32_t>(out.size());
+      if (next == degree) {
+        post[v] = ++counter;
+        stack.pop_back();
+        continue;
+      }
+      const uint32_t slot = (next + rotation(v, degree)) % degree;
+      ++next;
+      const VertexId child = out[slot];
+      if (!visited[child]) {
+        visited[child] = 1;
+        stack.emplace_back(child, 0);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Observations Observations::Build(const DiGraph& dag,
+                                 std::span<const uint8_t> has_spatial,
+                                 std::span<const Point2D> rep_point,
+                                 const Options& options) {
+  const VertexId n = dag.num_vertices();
+  GSR_CHECK(has_spatial.size() == n);
+  GSR_CHECK(rep_point.size() == n);
+  GSR_CHECK(options.num_supportive <= 32);
+  Observations obs;
+  obs.num_components_ = n;
+  obs.num_intervals_ = options.num_intervals;
+  Rng rng(options.seed);
+
+  // Random-tie-break topological rank: Kahn's algorithm, ready vertices
+  // popped by seeded random priority. Every edge u -> v yields
+  // rank[u] < rank[v]; the tie-breaks make the order independent of the
+  // (already topological) id order.
+  obs.rank_.assign(n, 0);
+  {
+    std::vector<uint64_t> priority(n);
+    for (VertexId v = 0; v < n; ++v) priority[v] = rng.NextUint64();
+    std::vector<uint32_t> pending_in(n);
+    using Entry = std::pair<uint64_t, VertexId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> ready;
+    for (VertexId v = 0; v < n; ++v) {
+      pending_in[v] = dag.InDegree(v);
+      if (pending_in[v] == 0) ready.emplace(priority[v], v);
+    }
+    uint32_t next_rank = 0;
+    while (!ready.empty()) {
+      const VertexId v = ready.top().second;
+      ready.pop();
+      obs.rank_[v] = next_rank++;
+      for (const VertexId w : dag.OutNeighbors(v)) {
+        if (--pending_in[w] == 0) ready.emplace(priority[w], w);
+      }
+    }
+    GSR_CHECK(next_rank == n);  // The condensation is acyclic.
+  }
+
+  // GRAIL intervals: per randomized DFS, post numbers plus
+  // lo[c] = min post over the reachable set of c. Ascending id order is
+  // reverse-topological (out-neighbors have smaller ids), so the lo
+  // minimization is a single linear pass.
+  obs.grail_lo_.assign(static_cast<size_t>(obs.num_intervals_) * n, 0);
+  obs.grail_post_.assign(static_cast<size_t>(obs.num_intervals_) * n, 0);
+  {
+    std::vector<VertexId> starts(n);
+    for (VertexId v = 0; v < n; ++v) starts[v] = v;
+    std::vector<uint32_t> post;
+    for (uint32_t i = 0; i < obs.num_intervals_; ++i) {
+      // Fisher-Yates start order, fresh per traversal.
+      for (VertexId v = n; v > 1; --v) {
+        std::swap(starts[v - 1], starts[rng.NextBounded(v)]);
+      }
+      RandomizedDfsPost(dag, starts, rng.NextUint64(), post);
+      const size_t base = static_cast<size_t>(i) * n;
+      for (VertexId c = 0; c < n; ++c) {
+        uint32_t lo = post[c];
+        for (const VertexId w : dag.OutNeighbors(c)) {
+          lo = std::min(lo, obs.grail_lo_[base + w]);
+        }
+        obs.grail_lo_[base + c] = lo;
+        obs.grail_post_[base + c] = post[c];
+      }
+    }
+  }
+
+  // Supportive vertices: the top-k components by (in+1)*(out+1) degree
+  // product — the pairs they settle are the ones routed through hubs,
+  // which is most pairs on scale-free social graphs. Forward and
+  // backward BFS from each computes the exact reach sets as bitmasks.
+  obs.fwd_mask_.assign(n, 0);
+  obs.bwd_mask_.assign(n, 0);
+  {
+    const uint32_t k =
+        std::min<uint32_t>(options.num_supportive, static_cast<uint32_t>(n));
+    std::vector<std::pair<uint64_t, VertexId>> score(n);
+    for (VertexId v = 0; v < n; ++v) {
+      score[v] = {static_cast<uint64_t>(dag.InDegree(v) + 1) *
+                      (dag.OutDegree(v) + 1),
+                  v};
+    }
+    std::partial_sort(score.begin(), score.begin() + k, score.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first != b.first ? a.first > b.first
+                                                  : a.second < b.second;
+                      });
+    std::vector<VertexId> frontier;
+    for (uint32_t s = 0; s < k; ++s) {
+      const VertexId root = score[s].second;
+      const uint32_t bit = uint32_t{1} << s;
+      // Forward: everything root reaches gets fwd bit s ("s reaches c").
+      frontier.assign(1, root);
+      obs.fwd_mask_[root] |= bit;
+      while (!frontier.empty()) {
+        const VertexId v = frontier.back();
+        frontier.pop_back();
+        for (const VertexId w : dag.OutNeighbors(v)) {
+          if ((obs.fwd_mask_[w] & bit) == 0) {
+            obs.fwd_mask_[w] |= bit;
+            frontier.push_back(w);
+          }
+        }
+      }
+      // Backward: everything reaching root gets bwd bit s ("c reaches s").
+      frontier.assign(1, root);
+      obs.bwd_mask_[root] |= bit;
+      while (!frontier.empty()) {
+        const VertexId v = frontier.back();
+        frontier.pop_back();
+        for (const VertexId w : dag.InNeighbors(v)) {
+          if ((obs.bwd_mask_[w] & bit) == 0) {
+            obs.bwd_mask_[w] |= bit;
+            frontier.push_back(w);
+          }
+        }
+      }
+    }
+    obs.num_supportive_ = k;
+  }
+
+  // Spatial reachability + witness points, by the same reverse-topo
+  // linear pass: a component reaches a spatial vertex iff it has one
+  // itself or any out-neighbor does; the witness is its own member
+  // point when it has one, else the first witnessing neighbor's.
+  obs.reaches_spatial_.assign(n, 0);
+  obs.witness_.assign(n, Point2D{});
+  for (VertexId c = 0; c < n; ++c) {
+    if (has_spatial[c]) {
+      obs.reaches_spatial_[c] = 1;
+      obs.witness_[c] = rep_point[c];
+      continue;
+    }
+    for (const VertexId w : dag.OutNeighbors(c)) {
+      if (obs.reaches_spatial_[w]) {
+        obs.reaches_spatial_[c] = 1;
+        obs.witness_[c] = obs.witness_[w];
+        break;
+      }
+    }
+  }
+  return obs;
+}
+
+size_t Observations::SizeBytes() const {
+  return rank_.size() * sizeof(uint32_t) +
+         grail_lo_.size() * sizeof(uint32_t) +
+         grail_post_.size() * sizeof(uint32_t) +
+         fwd_mask_.size() * sizeof(uint32_t) +
+         bwd_mask_.size() * sizeof(uint32_t) +
+         reaches_spatial_.size() * sizeof(uint8_t) +
+         witness_.size() * sizeof(Point2D);
+}
+
+void Observations::SerializeTo(BinaryWriter& w) const {
+  w.WriteU32(num_components_);
+  w.WriteU32(num_intervals_);
+  w.WriteU32(num_supportive_);
+  w.WriteVector(rank_);
+  w.WriteVector(grail_lo_);
+  w.WriteVector(grail_post_);
+  w.WriteVector(fwd_mask_);
+  w.WriteVector(bwd_mask_);
+  w.WriteVector(reaches_spatial_);
+  w.WriteVector(witness_);
+}
+
+Result<Observations> Observations::Deserialize(BinaryReader& r) {
+  Observations obs;
+  GSR_RETURN_IF_ERROR(r.ReadU32(&obs.num_components_));
+  GSR_RETURN_IF_ERROR(r.ReadU32(&obs.num_intervals_));
+  GSR_RETURN_IF_ERROR(r.ReadU32(&obs.num_supportive_));
+  GSR_RETURN_IF_ERROR(r.ReadVector(&obs.rank_));
+  GSR_RETURN_IF_ERROR(r.ReadVector(&obs.grail_lo_));
+  GSR_RETURN_IF_ERROR(r.ReadVector(&obs.grail_post_));
+  GSR_RETURN_IF_ERROR(r.ReadVector(&obs.fwd_mask_));
+  GSR_RETURN_IF_ERROR(r.ReadVector(&obs.bwd_mask_));
+  GSR_RETURN_IF_ERROR(r.ReadVector(&obs.reaches_spatial_));
+  GSR_RETURN_IF_ERROR(r.ReadVector(&obs.witness_));
+  const size_t n = obs.num_components_;
+  if (obs.num_supportive_ > 32 || obs.rank_.size() != n ||
+      obs.grail_lo_.size() != obs.num_intervals_ * n ||
+      obs.grail_post_.size() != obs.num_intervals_ * n ||
+      obs.fwd_mask_.size() != n || obs.bwd_mask_.size() != n ||
+      obs.reaches_spatial_.size() != n || obs.witness_.size() != n) {
+    return Status::InvalidArgument("observations snapshot: bad array sizes");
+  }
+  return obs;
+}
+
+}  // namespace gsr

@@ -1,0 +1,139 @@
+#ifndef GSR_LABELING_OBSERVATIONS_H_
+#define GSR_LABELING_OBSERVATIONS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/status.h"
+#include "geometry/geometry.h"
+#include "graph/digraph.h"
+#include "graph/scc.h"
+
+namespace gsr {
+
+/// O(1) observation pre-checks over a condensation DAG, in the spirit of
+/// O'Reach: a bundle of cheap, build-once structures that settle most
+/// CanReach(u, v) pairs — and most whole RangeReach queries — without
+/// touching any index. Every test is a *proof*, never a heuristic: a kNo
+/// or kYes verdict is exact, and kUnknown means "fall through to the real
+/// method". Wired in front of the label probes, Bloom prunes and R-tree
+/// descents, and consulted by the cost-based query planner.
+///
+/// The observations, per component c of the DAG:
+///  - The component ids themselves: ComputeScc guarantees an edge
+///    c1 -> c2 implies c1 > c2, so u can only reach v when u >= v.
+///  - One extra random-tie-break topological rank (Kahn with seeded
+///    random priorities): u reaches v implies rank[u] < rank[v]. An
+///    order independent of the id order, so it rejects different pairs.
+///  - A handful of GRAIL-style (lo, post] intervals from randomized DFS
+///    orders: u reaches v implies lo_i[u] <= lo_i[v] and
+///    post_i[v] <= post_i[u] for every traversal i.
+///  - Supportive vertices: k high-centrality components s with fully
+///    known forward/backward reach sets, packed as per-component
+///    bitmasks. A shared s with u -> s -> v proves kYes; a witness s
+///    that reaches u but not v (or is reached by v but not u) proves
+///    kNo.
+///  - Spatial reachability: whether c reaches *any* component with a
+///    spatial member, plus one concrete reachable witness point. These
+///    settle whole RangeReach queries: no spatial descendant means NO
+///    for every region and every query kind; a witness point inside the
+///    region means YES for the boolean kinds.
+class Observations {
+ public:
+  struct Options {
+    /// GRAIL interval pairs from independent randomized DFS orders.
+    uint32_t num_intervals = 2;
+    /// Supportive vertices (<= 32; masks are packed into one uint32).
+    uint32_t num_supportive = 16;
+    /// Seed for every randomized choice; equal seeds build identical
+    /// observations at any thread count.
+    uint64_t seed = 0x0B5E5EEDULL;
+  };
+
+  enum class Verdict : uint8_t { kNo, kYes, kUnknown };
+
+  /// Builds the observations for `dag` (a condensation: edges must go
+  /// from larger to smaller component ids). `has_spatial[c]` flags
+  /// components owning spatial members and `rep_point[c]` holds one
+  /// member point for each flagged component (ignored otherwise).
+  static Observations Build(const DiGraph& dag,
+                            std::span<const uint8_t> has_spatial,
+                            std::span<const Point2D> rep_point,
+                            const Options& options);
+
+  /// O(1) tri-state reachability test for component pair (u, v).
+  Verdict TestReach(ComponentId u, ComponentId v) const {
+    if (u == v) return Verdict::kYes;
+    if (u < v) return Verdict::kNo;  // Ids are reverse-topological.
+    // Supportive positive: some s with u -> s and s -> v.
+    if ((bwd_mask_[u] & fwd_mask_[v]) != 0) return Verdict::kYes;
+    // Supportive negatives: s -> u but not s -> v would contradict
+    // u -> v (fwd sets only grow along edges); dually for v -> s.
+    if ((fwd_mask_[u] & ~fwd_mask_[v]) != 0) return Verdict::kNo;
+    if ((bwd_mask_[v] & ~bwd_mask_[u]) != 0) return Verdict::kNo;
+    // Independent topological order.
+    if (rank_[u] > rank_[v]) return Verdict::kNo;
+    // GRAIL interval containment, one pair per randomized DFS.
+    const uint32_t n = num_intervals_;
+    for (uint32_t i = 0; i < n; ++i) {
+      const size_t iu = static_cast<size_t>(i) * num_components_ + u;
+      const size_t iv = static_cast<size_t>(i) * num_components_ + v;
+      if (grail_lo_[iu] > grail_lo_[iv] || grail_post_[iv] > grail_post_[iu]) {
+        return Verdict::kNo;
+      }
+    }
+    return Verdict::kUnknown;
+  }
+
+  /// True when component `c` reaches at least one spatial vertex.
+  bool ReachesAnySpatial(ComponentId c) const {
+    return reaches_spatial_[c] != 0;
+  }
+
+  /// Whole-query settle for RangeReach(v in c, region): kNo when c
+  /// provably reaches no spatial vertex at all (settles *every* query
+  /// kind with the empty answer), kYes when c's witness point — a point
+  /// of a concrete reachable spatial vertex — lies inside the region
+  /// (settles the boolean kinds; count/enum must still enumerate).
+  Verdict SettleRange(ComponentId c, const Rect& region) const {
+    if (reaches_spatial_[c] == 0) return Verdict::kNo;
+    if (region.Contains(witness_[c])) return Verdict::kYes;
+    return Verdict::kUnknown;
+  }
+
+  uint32_t num_components() const { return num_components_; }
+  uint32_t num_intervals() const { return num_intervals_; }
+  uint32_t num_supportive() const { return num_supportive_; }
+
+  /// Main-memory footprint in bytes.
+  size_t SizeBytes() const;
+
+  /// Snapshot layer: writes every array; Deserialize restores an
+  /// identical (owned) instance.
+  void SerializeTo(BinaryWriter& w) const;
+  static Result<Observations> Deserialize(BinaryReader& r);
+
+ private:
+  // The planner embeds an Observations by value and fills it after its
+  // members are built, so it may default-construct one.
+  friend class PlannedMethod;
+
+  Observations() = default;
+
+  uint32_t num_components_ = 0;
+  uint32_t num_intervals_ = 0;
+  uint32_t num_supportive_ = 0;
+  std::vector<uint32_t> rank_;        // Random-tie-break topological rank.
+  std::vector<uint32_t> grail_lo_;    // num_intervals x num_components.
+  std::vector<uint32_t> grail_post_;  // num_intervals x num_components.
+  std::vector<uint32_t> fwd_mask_;    // Bit s: supportive s reaches c.
+  std::vector<uint32_t> bwd_mask_;    // Bit s: c reaches supportive s.
+  std::vector<uint8_t> reaches_spatial_;
+  std::vector<Point2D> witness_;  // Valid where reaches_spatial_.
+};
+
+}  // namespace gsr
+
+#endif  // GSR_LABELING_OBSERVATIONS_H_

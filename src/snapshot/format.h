@@ -42,6 +42,8 @@ enum class SectionId : uint32_t {
   kGeoReach = 6,      // GeoReach grid + vertex metadata.
   kPll = 7,           // PllIndex.
   kFeline = 8,        // FelineIndex.
+  kPlanner = 9,       // Planner portfolio: members, observations,
+                      // histogram and cost models, inline in one stream.
 };
 
 /// Fixed 40-byte file header. Field-by-field layout is frozen; all fields

@@ -98,16 +98,81 @@ double GridHistogram::EstimateCount(const Rect& query) const {
                                     PrefixAt(fx1, fy0 - 1) +
                                     PrefixAt(fx0 - 1, fy0 - 1));
   }
-  // Boundary cells, weighted by area overlap.
+  // Boundary cells, weighted by area overlap. Only the perimeter of the
+  // touched block is partially covered, so walk exactly it — O(W+H), not
+  // the O(W*H) full-block scan that made large-region estimates cost
+  // thousands of iterations (the planner pays this on every routed
+  // query's cost estimate).
+  auto add_boundary = [&](int ix, int iy) {
+    estimate +=
+        static_cast<double>(cell_count(ix, iy)) * overlap_fraction(ix, iy);
+  };
   for (int ix = ix0; ix <= ix1; ++ix) {
-    for (int iy = iy0; iy <= iy1; ++iy) {
-      const bool interior = ix >= fx0 && ix <= fx1 && iy >= fy0 && iy <= fy1;
-      if (interior) continue;
-      estimate +=
-          static_cast<double>(cell_count(ix, iy)) * overlap_fraction(ix, iy);
-    }
+    add_boundary(ix, iy0);
+    if (iy1 != iy0) add_boundary(ix, iy1);
+  }
+  for (int iy = iy0 + 1; iy <= iy1 - 1; ++iy) {
+    add_boundary(ix0, iy);
+    if (ix1 != ix0) add_boundary(ix1, iy);
   }
   return estimate;
+}
+
+uint64_t GridHistogram::BlockCount(const Rect& query) const {
+  if (query.IsEmpty()) return 0;
+  // Every indexed point lies inside bounds_ (it is the point MBR), so a
+  // disjoint query provably contains none.
+  if (!query.Intersects(bounds_)) return 0;
+  // Cell range the clamped query touches. Both the construction-time
+  // point bucketing and this clamp use the same floor-then-clamp
+  // mapping, which is monotone: a point inside the query always lands
+  // in a cell of [ix0..ix1] x [iy0..iy1], so a zero block count is an
+  // exact emptiness proof.
+  const double qx0 = std::max(query.min_x, bounds_.min_x);
+  const double qy0 = std::max(query.min_y, bounds_.min_y);
+  const double qx1 = std::min(query.max_x, bounds_.max_x);
+  const double qy1 = std::min(query.max_y, bounds_.max_y);
+  const int ix0 = std::clamp(
+      static_cast<int>((qx0 - bounds_.min_x) / cell_w_), 0, resolution_ - 1);
+  const int iy0 = std::clamp(
+      static_cast<int>((qy0 - bounds_.min_y) / cell_h_), 0, resolution_ - 1);
+  const int ix1 = std::clamp(
+      static_cast<int>((qx1 - bounds_.min_x) / cell_w_), 0, resolution_ - 1);
+  const int iy1 = std::clamp(
+      static_cast<int>((qy1 - bounds_.min_y) / cell_h_), 0, resolution_ - 1);
+  return PrefixAt(ix1, iy1) - PrefixAt(ix0 - 1, iy1) -
+         PrefixAt(ix1, iy0 - 1) + PrefixAt(ix0 - 1, iy0 - 1);
+}
+
+void GridHistogram::SerializeTo(BinaryWriter& w) const {
+  w.WriteF64(bounds_.min_x);
+  w.WriteF64(bounds_.min_y);
+  w.WriteF64(bounds_.max_x);
+  w.WriteF64(bounds_.max_y);
+  w.WriteI32(resolution_);
+  w.WriteF64(cell_w_);
+  w.WriteF64(cell_h_);
+  w.WriteU64(total_);
+  w.WriteVector(prefix_);
+}
+
+Result<GridHistogram> GridHistogram::Deserialize(BinaryReader& r) {
+  GridHistogram h;
+  GSR_RETURN_IF_ERROR(r.ReadF64(&h.bounds_.min_x));
+  GSR_RETURN_IF_ERROR(r.ReadF64(&h.bounds_.min_y));
+  GSR_RETURN_IF_ERROR(r.ReadF64(&h.bounds_.max_x));
+  GSR_RETURN_IF_ERROR(r.ReadF64(&h.bounds_.max_y));
+  GSR_RETURN_IF_ERROR(r.ReadI32(&h.resolution_));
+  GSR_RETURN_IF_ERROR(r.ReadF64(&h.cell_w_));
+  GSR_RETURN_IF_ERROR(r.ReadF64(&h.cell_h_));
+  GSR_RETURN_IF_ERROR(r.ReadU64(&h.total_));
+  GSR_RETURN_IF_ERROR(r.ReadVector(&h.prefix_));
+  if (h.resolution_ < 1 || h.cell_w_ <= 0.0 || h.cell_h_ <= 0.0 ||
+      h.prefix_.size() != static_cast<size_t>(h.resolution_) *
+                              static_cast<size_t>(h.resolution_)) {
+    return Status::InvalidArgument("grid histogram snapshot: bad geometry");
+  }
+  return h;
 }
 
 }  // namespace gsr

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/binary_io.h"
+#include "common/status.h"
 #include "geometry/geometry.h"
 
 namespace gsr {
@@ -11,7 +13,9 @@ namespace gsr {
 /// A uniform-grid equi-width histogram over a point set, with prefix sums
 /// for O(1) rectangle-count estimation. The workload generator uses it to
 /// size query regions for a target spatial selectivity before refining with
-/// the exact R-tree count.
+/// the exact R-tree count; the query planner uses it both as the cost-model
+/// selectivity input and — through DefinitelyEmpty — as an exact
+/// empty-region rejection in front of every method.
 class GridHistogram {
  public:
   /// Builds a `resolution x resolution` histogram over the MBR of `points`.
@@ -31,7 +35,40 @@ class GridHistogram {
     return EstimateCount(query) / static_cast<double>(total_);
   }
 
+  /// O(1) upper-bound count via the same four-prefix block sum as
+  /// DefinitelyEmpty: every cell the query touches is counted in full,
+  /// so boundary cells over-contribute (by up to their contents) but the
+  /// bound is monotone in the query and never below the exact count.
+  /// This is the planner's per-query routing feature — EstimateCount's
+  /// boundary interpolation walks the block perimeter, too slow to pay
+  /// on every routed query.
+  uint64_t BlockCount(const Rect& query) const;
+
+  /// Exact O(1) emptiness proof: true only when *no* indexed point can
+  /// lie inside `query`. Unlike EstimateCount this never interpolates —
+  /// it block-sums every cell the query touches via four prefix lookups,
+  /// so a true verdict settles the query (the planner answers FALSE for
+  /// every query kind without routing). False only means "some touched
+  /// cell is occupied", which is not a containment proof.
+  bool DefinitelyEmpty(const Rect& query) const { return BlockCount(query) == 0; }
+
+  /// Main-memory footprint in bytes.
+  size_t SizeBytes() const {
+    return sizeof(*this) + prefix_.size() * sizeof(uint64_t);
+  }
+
+  /// Snapshot layer: writes bounds, geometry and the prefix table;
+  /// Deserialize restores an identical (owned) instance.
+  void SerializeTo(BinaryWriter& w) const;
+  static Result<GridHistogram> Deserialize(BinaryReader& r);
+
  private:
+  // The planner embeds a GridHistogram by value and fills it after its
+  // members are built, so it may default-construct one.
+  friend class PlannedMethod;
+
+  GridHistogram() = default;
+
   /// Exact count of points in the cell block [0..ix] x [0..iy] via the
   /// inclusive 2-D prefix-sum table.
   uint64_t PrefixAt(int ix, int iy) const;

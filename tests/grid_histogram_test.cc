@@ -110,5 +110,143 @@ TEST(GridHistogramTest, SinglePoint) {
   EXPECT_EQ(hist.total_count(), 1u);
 }
 
+TEST(GridHistogramTest, EstimationErrorBoundsAcrossScalesAndSkews) {
+  // The planner's cost model consumes EstimateCount directly, so the
+  // estimation error must stay bounded across dataset scales, query
+  // extents and skew. Uniform data: relative error under 20% (plus an
+  // absolute floor of one cell's worth for tiny queries). Clustered
+  // data: the estimate must stay within the same order of magnitude.
+  struct Scale {
+    int num_points;
+    int resolution;
+  };
+  for (const Scale scale : {Scale{2000, 32}, Scale{20000, 64},
+                            Scale{100000, 128}}) {
+    Rng rng(static_cast<uint64_t>(scale.num_points));
+    std::vector<Point2D> points;
+    points.reserve(scale.num_points);
+    for (int i = 0; i < scale.num_points; ++i) {
+      points.push_back(
+          {rng.NextDoubleInRange(0, 100), rng.NextDoubleInRange(0, 100)});
+    }
+    const GridHistogram hist(points, scale.resolution);
+    const double cell_points = static_cast<double>(scale.num_points) /
+                               (scale.resolution * scale.resolution);
+    Rng qrng(static_cast<uint64_t>(scale.num_points) * 31);
+    for (const double side : {2.0, 10.0, 40.0}) {
+      for (int q = 0; q < 25; ++q) {
+        const double x = qrng.NextDoubleInRange(0, 100 - side);
+        const double y = qrng.NextDoubleInRange(0, 100 - side);
+        const Rect query(x, y, x + side, y + side);
+        const double exact = static_cast<double>(ExactCount(points, query));
+        const double estimate = hist.EstimateCount(query);
+        const double bound = std::max(8.0 * cell_points, exact * 0.20);
+        EXPECT_NEAR(estimate, exact, bound)
+            << scale.num_points << " points, res " << scale.resolution
+            << ", query " << query.ToString();
+      }
+    }
+  }
+}
+
+TEST(GridHistogramTest, ClusteredDataKeepsEstimatesOrdered) {
+  // Gaussian clusters (venue hot spots): the estimate may smear inside a
+  // cluster but must still order a dense query region above a sparse one
+  // — that ordering is all the cost-based router needs to stay correct.
+  Rng rng(404);
+  std::vector<Point2D> points;
+  for (int c = 0; c < 4; ++c) {
+    const double cx = 20.0 + 20.0 * c;
+    const double cy = 25.0 + 15.0 * c;
+    for (int i = 0; i < 4000; ++i) {
+      points.push_back({cx + rng.NextGaussian() * 2.0,
+                        cy + rng.NextGaussian() * 2.0});
+    }
+  }
+  const GridHistogram hist(points, 64);
+  // A query on the first cluster core vs an equal-size query in the gap.
+  const Rect dense(14, 19, 26, 31);
+  const Rect sparse(30, 60, 42, 72);
+  EXPECT_GT(hist.EstimateCount(dense), 10.0 * hist.EstimateCount(sparse) + 1.0);
+  const double exact_dense = static_cast<double>(ExactCount(points, dense));
+  EXPECT_NEAR(hist.EstimateCount(dense), exact_dense, exact_dense * 0.30);
+}
+
+TEST(GridHistogramTest, DefinitelyEmptyIsAnExactProof) {
+  // DefinitelyEmpty feeds the planner's stage-1 FALSE settle, so a true
+  // verdict must *never* contradict the exact count — over random data,
+  // random queries, and the boundary/degenerate cases.
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    std::vector<Point2D> points;
+    const int n = 500 << seed;
+    for (int i = 0; i < n; ++i) {
+      // Leave deliberate holes: points avoid a band around y in [40, 60).
+      double y = rng.NextDoubleInRange(0, 80);
+      if (y >= 40.0) y += 20.0;
+      points.push_back({rng.NextDoubleInRange(0, 100), y});
+    }
+    const GridHistogram hist(points, 64);
+    Rng qrng(seed * 77);
+    int empties = 0;
+    for (int q = 0; q < 400; ++q) {
+      const double x = qrng.NextDoubleInRange(-20, 110);
+      const double y = qrng.NextDoubleInRange(-20, 110);
+      const Rect query(x, y, x + qrng.NextDoubleInRange(0, 30),
+                       y + qrng.NextDoubleInRange(0, 30));
+      if (hist.DefinitelyEmpty(query)) {
+        ++empties;
+        EXPECT_EQ(ExactCount(points, query), 0u)
+            << "false emptiness proof on " << query.ToString();
+      }
+    }
+    // The band hole and the outside margin guarantee some true verdicts —
+    // otherwise the settle path is untested.
+    EXPECT_GT(empties, 0) << "seed " << seed;
+  }
+}
+
+TEST(GridHistogramTest, DefinitelyEmptyHandlesBoundariesAndDegenerates) {
+  std::vector<Point2D> points = {{10, 10}, {20, 20}, {90, 90}};
+  const GridHistogram hist(points, 16);
+  // Inverted and default rectangles hold nothing.
+  EXPECT_TRUE(hist.DefinitelyEmpty(Rect()));
+  EXPECT_TRUE(hist.DefinitelyEmpty(Rect(30, 30, 10, 10)));
+  // Fully outside the bounds on every side.
+  EXPECT_TRUE(hist.DefinitelyEmpty(Rect(-50, -50, -1, -1)));
+  EXPECT_TRUE(hist.DefinitelyEmpty(Rect(91, -50, 200, 9)));
+  // A query containing a point must never be declared empty, including
+  // the degenerate point-rectangle exactly on it.
+  EXPECT_FALSE(hist.DefinitelyEmpty(Rect(5, 5, 15, 15)));
+  EXPECT_FALSE(hist.DefinitelyEmpty(Rect(10, 10, 10, 10)));
+  EXPECT_FALSE(hist.DefinitelyEmpty(Rect(-100, -100, 100, 100)));
+}
+
+TEST(GridHistogramTest, SerializationRoundTripPreservesEstimates) {
+  Rng rng(17);
+  std::vector<Point2D> points;
+  for (int i = 0; i < 3000; ++i) {
+    points.push_back(
+        {rng.NextDoubleInRange(0, 100), rng.NextDoubleInRange(0, 100)});
+  }
+  const GridHistogram original(points, 32);
+  BinaryWriter writer;
+  original.SerializeTo(writer);
+  BinaryReader reader(writer.bytes());
+  auto restored = GridHistogram::Deserialize(reader);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->total_count(), original.total_count());
+  EXPECT_EQ(restored->resolution(), original.resolution());
+  Rng qrng(18);
+  for (int q = 0; q < 100; ++q) {
+    const double x = qrng.NextDoubleInRange(-10, 100);
+    const double y = qrng.NextDoubleInRange(-10, 100);
+    const Rect query(x, y, x + qrng.NextDoubleInRange(0, 50),
+                     y + qrng.NextDoubleInRange(0, 50));
+    EXPECT_EQ(restored->EstimateCount(query), original.EstimateCount(query));
+    EXPECT_EQ(restored->DefinitelyEmpty(query), original.DefinitelyEmpty(query));
+  }
+}
+
 }  // namespace
 }  // namespace gsr

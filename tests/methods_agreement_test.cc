@@ -36,7 +36,7 @@ std::vector<MethodConfig> AllConfigs() {
        {MethodKind::kSpaReachBfl, MethodKind::kSpaReachInt,
         MethodKind::kSpaReachPll, MethodKind::kSpaReachFeline,
         MethodKind::kGeoReach, MethodKind::kSocReach, MethodKind::kThreeDReach,
-        MethodKind::kThreeDReachRev}) {
+        MethodKind::kThreeDReachRev, MethodKind::kPlanner}) {
     for (const SccSpatialMode mode :
          {SccSpatialMode::kReplicate, SccSpatialMode::kMbr}) {
       MethodConfig config;
@@ -49,6 +49,17 @@ std::vector<MethodConfig> AllConfigs() {
       }
     }
   }
+  // A second planner portfolio covering the member kinds the default
+  // ({BFL, SocReach, 3DReach}) leaves out, so agreement and the snapshot
+  // round-trip exercise every inline member representation.
+  MethodConfig wide;
+  wide.kind = MethodKind::kPlanner;
+  wide.planner.portfolio = {
+      MethodKind::kSpaReachInt, MethodKind::kSpaReachPll,
+      MethodKind::kSpaReachFeline, MethodKind::kGeoReach,
+      MethodKind::kThreeDReachRev};
+  wide.planner.calibration_samples = 8;  // Keep test builds quick.
+  configs.push_back(wide);
   return configs;
 }
 

@@ -1,0 +1,275 @@
+#include "labeling/observations.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/rng.h"
+#include "core/condensed_network.h"
+#include "core/query_planner.h"
+#include "graph/digraph.h"
+#include "tests/test_util.h"
+
+namespace gsr {
+namespace {
+
+/// BFS ground truth: full reachability matrix of a small DAG.
+std::vector<std::vector<bool>> ReachMatrix(const DiGraph& dag) {
+  const uint32_t n = dag.num_vertices();
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (uint32_t s = 0; s < n; ++s) {
+    std::queue<VertexId> frontier;
+    frontier.push(s);
+    reach[s][s] = true;  // Reachability is reflexive (Equation 1).
+    while (!frontier.empty()) {
+      const VertexId u = frontier.front();
+      frontier.pop();
+      for (const VertexId v : dag.OutNeighbors(u)) {
+        if (!reach[s][v]) {
+          reach[s][v] = true;
+          frontier.push(v);
+        }
+      }
+    }
+  }
+  return reach;
+}
+
+/// Condensation-shaped DAG: RandomDag emits edges low -> high, but
+/// condensations guarantee edges high -> low (ComputeScc ids are reverse
+/// topological). Reverse every edge to match.
+DiGraph CondensationShapedDag(uint32_t n, double density, uint64_t seed) {
+  const DiGraph forward = testing::RandomDag(n, density, seed);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < forward.num_vertices(); ++u) {
+    for (const VertexId v : forward.OutNeighbors(u)) {
+      edges.emplace_back(v, u);
+    }
+  }
+  auto graph = DiGraph::FromEdges(n, std::move(edges));
+  GSR_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+Observations BuildOn(const DiGraph& dag, std::vector<uint8_t>& has_spatial,
+                     std::vector<Point2D>& points,
+                     const Observations::Options& options = {}) {
+  return Observations::Build(dag, has_spatial, points, options);
+}
+
+TEST(ObservationsTest, VerdictsAreProofsOnRandomDags) {
+  // The core soundness property: a kYes/kNo verdict must agree with the
+  // BFS ground truth on every pair — across sizes, densities and option
+  // settings. kUnknown is always legal.
+  for (const uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const uint32_t n = 40 + 37 * static_cast<uint32_t>(seed);
+    const DiGraph dag = CondensationShapedDag(n, 2.0 + 0.4 * seed, seed);
+    const auto reach = ReachMatrix(dag);
+
+    Rng rng(seed * 17);
+    std::vector<uint8_t> has_spatial(n, 0);
+    std::vector<Point2D> points(n);
+    for (uint32_t c = 0; c < n; ++c) {
+      if (rng.NextBernoulli(0.3)) {
+        has_spatial[c] = 1;
+        points[c] = Point2D{rng.NextDoubleInRange(0, 100),
+                            rng.NextDoubleInRange(0, 100)};
+      }
+    }
+    Observations::Options options;
+    options.num_intervals = 1 + static_cast<uint32_t>(seed % 3);
+    options.num_supportive = 4 * static_cast<uint32_t>(1 + seed % 4);
+    options.seed = seed * 0x9E3779B9ULL;
+    const Observations obs = BuildOn(dag, has_spatial, points, options);
+
+    for (uint32_t u = 0; u < n; ++u) {
+      for (uint32_t v = 0; v < n; ++v) {
+        const auto verdict = obs.TestReach(u, v);
+        if (verdict == Observations::Verdict::kYes) {
+          EXPECT_TRUE(reach[u][v]) << "false positive " << u << "->" << v;
+        } else if (verdict == Observations::Verdict::kNo) {
+          EXPECT_FALSE(reach[u][v]) << "false negative " << u << "->" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(ObservationsTest, SettlesMostPairsOnSparseDags) {
+  // The point of the pre-checks: on sparse DAGs (the geosocial regime,
+  // where most pairs are unreachable) the vast majority of pairs must be
+  // settled without touching an index. This is a strength guarantee, not
+  // just soundness — if it regresses, the planner's fast path is dead
+  // weight.
+  const uint32_t n = 300;
+  const DiGraph dag = CondensationShapedDag(n, 1.5, 99);
+  const auto reach = ReachMatrix(dag);
+  std::vector<uint8_t> has_spatial(n, 1);
+  std::vector<Point2D> points(n, Point2D{1.0, 1.0});
+  const Observations obs = BuildOn(dag, has_spatial, points);
+
+  uint64_t settled = 0;
+  uint64_t total = 0;
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = 0; v < n; ++v) {
+      ++total;
+      if (obs.TestReach(u, v) != Observations::Verdict::kUnknown) ++settled;
+    }
+  }
+  EXPECT_GT(settled, total * 80 / 100)
+      << "settled only " << settled << "/" << total;
+}
+
+TEST(ObservationsTest, SettleRangeMatchesGroundTruth) {
+  // SettleRange's kNo must mean "no reachable spatial vertex" exactly;
+  // its kYes must be certified by a reachable witness inside the region.
+  const uint32_t n = 120;
+  const DiGraph dag = CondensationShapedDag(n, 2.5, 7);
+  const auto reach = ReachMatrix(dag);
+
+  Rng rng(123);
+  std::vector<uint8_t> has_spatial(n, 0);
+  std::vector<Point2D> points(n);
+  for (uint32_t c = 0; c < n; ++c) {
+    if (rng.NextBernoulli(0.25)) {
+      has_spatial[c] = 1;
+      points[c] = Point2D{rng.NextDoubleInRange(0, 100),
+                          rng.NextDoubleInRange(0, 100)};
+    }
+  }
+  const Observations obs = BuildOn(dag, has_spatial, points);
+
+  auto reaches_spatial = [&](uint32_t c) {
+    for (uint32_t d = 0; d < n; ++d) {
+      if (reach[c][d] && has_spatial[d]) return true;
+    }
+    return false;
+  };
+  auto reaches_in_region = [&](uint32_t c, const Rect& region) {
+    for (uint32_t d = 0; d < n; ++d) {
+      if (reach[c][d] && has_spatial[d] && region.Contains(points[d])) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (uint32_t c = 0; c < n; ++c) {
+    EXPECT_EQ(obs.ReachesAnySpatial(c), reaches_spatial(c)) << c;
+  }
+  Rng qrng(321);
+  for (int q = 0; q < 200; ++q) {
+    const uint32_t c = static_cast<uint32_t>(qrng.NextBounded(n));
+    const double x = qrng.NextDoubleInRange(-10, 100);
+    const double y = qrng.NextDoubleInRange(-10, 100);
+    const Rect region(x, y, x + qrng.NextDoubleInRange(0, 60),
+                      y + qrng.NextDoubleInRange(0, 60));
+    switch (obs.SettleRange(c, region)) {
+      case Observations::Verdict::kYes:
+        EXPECT_TRUE(reaches_in_region(c, region))
+            << "false YES for " << c << " in " << region.ToString();
+        break;
+      case Observations::Verdict::kNo:
+        EXPECT_FALSE(reaches_in_region(c, region))
+            << "false NO for " << c << " in " << region.ToString();
+        break;
+      case Observations::Verdict::kUnknown:
+        break;
+    }
+  }
+}
+
+TEST(ObservationsTest, DeterministicAcrossRebuilds) {
+  const uint32_t n = 80;
+  const DiGraph dag = CondensationShapedDag(n, 2.0, 13);
+  std::vector<uint8_t> has_spatial(n, 1);
+  std::vector<Point2D> points(n, Point2D{2.0, 3.0});
+  const Observations a = BuildOn(dag, has_spatial, points);
+  const Observations b = BuildOn(dag, has_spatial, points);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = 0; v < n; ++v) {
+      EXPECT_EQ(a.TestReach(u, v), b.TestReach(u, v));
+    }
+  }
+}
+
+TEST(ObservationsTest, SerializationRoundTrip) {
+  const uint32_t n = 100;
+  const DiGraph dag = CondensationShapedDag(n, 2.2, 29);
+  Rng rng(5);
+  std::vector<uint8_t> has_spatial(n, 0);
+  std::vector<Point2D> points(n);
+  for (uint32_t c = 0; c < n; ++c) {
+    if (rng.NextBernoulli(0.4)) {
+      has_spatial[c] = 1;
+      points[c] = Point2D{rng.NextDoubleInRange(0, 10),
+                          rng.NextDoubleInRange(0, 10)};
+    }
+  }
+  const Observations original = BuildOn(dag, has_spatial, points);
+
+  BinaryWriter writer;
+  original.SerializeTo(writer);
+  BinaryReader reader(writer.bytes());
+  auto restored = Observations::Deserialize(reader);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  EXPECT_EQ(restored->num_components(), original.num_components());
+  EXPECT_EQ(restored->num_intervals(), original.num_intervals());
+  EXPECT_EQ(restored->num_supportive(), original.num_supportive());
+  for (uint32_t u = 0; u < n; ++u) {
+    EXPECT_EQ(restored->ReachesAnySpatial(u), original.ReachesAnySpatial(u));
+    for (uint32_t v = 0; v < n; ++v) {
+      EXPECT_EQ(restored->TestReach(u, v), original.TestReach(u, v));
+    }
+  }
+  const Rect region(2, 2, 8, 8);
+  for (uint32_t u = 0; u < n; ++u) {
+    EXPECT_EQ(restored->SettleRange(u, region), original.SettleRange(u, region));
+  }
+}
+
+TEST(ObservationsTest, DeserializeRejectsTruncation) {
+  const uint32_t n = 30;
+  const DiGraph dag = CondensationShapedDag(n, 2.0, 3);
+  std::vector<uint8_t> has_spatial(n, 1);
+  std::vector<Point2D> points(n, Point2D{0, 0});
+  const Observations original = BuildOn(dag, has_spatial, points);
+  BinaryWriter writer;
+  original.SerializeTo(writer);
+  const std::vector<std::byte>& bytes = writer.bytes();
+  BinaryReader truncated(
+      std::span<const std::byte>(bytes.data(), bytes.size() / 2));
+  EXPECT_FALSE(Observations::Deserialize(truncated).ok());
+}
+
+TEST(ObservationsTest, NetworkObservationsAgreeWithOracleOnCondensations) {
+  // End-to-end on real (cyclic) networks through BuildNetworkObservations:
+  // verdicts must respect condensation reachability, including the
+  // intra-component (same id) reflexive case.
+  for (const uint64_t seed : {11u, 22u, 33u}) {
+    const GeoSocialNetwork network =
+        testing::RandomGeoSocialNetwork(150, 2.5, 0.4, seed);
+    const CondensedNetwork cn(&network);
+    const Observations obs = BuildNetworkObservations(cn, {});
+    const auto reach = ReachMatrix(cn.dag());
+    const uint32_t n = cn.num_components();
+    for (uint32_t u = 0; u < n; ++u) {
+      for (uint32_t v = 0; v < n; ++v) {
+        const auto verdict = obs.TestReach(u, v);
+        if (verdict == Observations::Verdict::kYes) {
+          EXPECT_TRUE(reach[u][v]);
+        }
+        if (verdict == Observations::Verdict::kNo) {
+          EXPECT_FALSE(reach[u][v]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gsr
