@@ -8,74 +8,356 @@
 
 namespace gsr {
 
-DynamicRangeReach::DynamicRangeReach(GeoSocialNetwork network) {
-  RebuildFrom(std::move(network));
+namespace {
+
+std::string BadVertexMessage(const char* what, VertexId a, VertexId b,
+                             VertexId n) {
+  return std::string(what) + " (" + std::to_string(a) + ", " +
+         std::to_string(b) + ") references a vertex >= " + std::to_string(n);
 }
 
-void DynamicRangeReach::RebuildFrom(GeoSocialNetwork network) {
-  network_ = std::make_unique<GeoSocialNetwork>(std::move(network));
-  cn_ = std::make_unique<CondensedNetwork>(network_.get());
-  index_ = std::make_unique<ThreeDReach>(cn_.get());
-  base_vertices_ = network_->num_vertices();
-  added_vertices_.clear();
-  delta_edges_.clear();
-  delta_nodes_.clear();
+/// Binary search in a sorted (from, to) edge list.
+bool ContainsEdge(const std::vector<std::pair<VertexId, VertexId>>& edges,
+                  VertexId from, VertexId to) {
+  return std::binary_search(edges.begin(), edges.end(),
+                            std::make_pair(from, to));
+}
+
+void InsertSortedEdge(std::vector<std::pair<VertexId, VertexId>>& edges,
+                      VertexId from, VertexId to) {
+  const auto e = std::make_pair(from, to);
+  edges.insert(std::lower_bound(edges.begin(), edges.end(), e), e);
+}
+
+void EraseSortedEdge(std::vector<std::pair<VertexId, VertexId>>& edges,
+                     VertexId from, VertexId to) {
+  const auto e = std::make_pair(from, to);
+  const auto it = std::lower_bound(edges.begin(), edges.end(), e);
+  GSR_DCHECK(it != edges.end() && *it == e);
+  edges.erase(it);
+}
+
+/// The sorted sub-range of `edges` with the given source vertex.
+std::span<const std::pair<VertexId, VertexId>> EdgesFrom(
+    const std::vector<std::pair<VertexId, VertexId>>& edges, VertexId from) {
+  const auto lo = std::lower_bound(
+      edges.begin(), edges.end(), std::make_pair(from, VertexId{0}));
+  auto hi = lo;
+  while (hi != edges.end() && hi->first == from) ++hi;
+  return {edges.data() + (lo - edges.begin()), static_cast<size_t>(hi - lo)};
+}
+
+}  // namespace
+
+// --- Base -----------------------------------------------------------------
+
+std::shared_ptr<const DynamicRangeReach::Base> DynamicRangeReach::Base::Build(
+    GeoSocialNetwork network, uint64_t position, exec::ThreadPool* pool) {
+  auto base = std::make_shared<Base>();
+  auto net = std::make_shared<GeoSocialNetwork>(std::move(network));
+  base->network = net;
+  base->cn = std::make_shared<CondensedNetwork>(net.get());
+  auto index = std::make_unique<ThreeDReach>(base->cn.get(),
+                                             ThreeDReach::Options{}, pool);
+  base->index = index.get();
+  base->method = std::move(index);
+  base->position = position;
+  return base;
+}
+
+Result<std::shared_ptr<const DynamicRangeReach::Base>>
+DynamicRangeReach::Base::RoundTripThroughSnapshot(
+    const std::shared_ptr<const Base>& built, const std::string& path,
+    snapshot::LoadMode mode) {
+  MethodConfig config;
+  config.kind = MethodKind::kThreeDReach;
+  GSR_RETURN_IF_ERROR(
+      SaveMethodSnapshot(*built->method, config, *built->cn, path));
+  SnapshotLoadOptions options;
+  options.mode = mode;
+  auto loaded = LoadMethodSnapshot(built->cn.get(), path, options);
+  if (!loaded.ok()) return loaded.status();
+
+  auto base = std::make_shared<Base>();
+  base->network = built->network;
+  base->cn = built->cn;
+  base->method = std::move(loaded.value().method);
+  base->index = static_cast<const ThreeDReach*>(base->method.get());
+  base->position = built->position;
+  base->from_snapshot = true;
+  return std::shared_ptr<const Base>(std::move(base));
+}
+
+// --- Delta ----------------------------------------------------------------
+
+const std::optional<Point2D>* DynamicRangeReach::Delta::OverrideFor(
+    VertexId v) const {
+  const auto it = std::lower_bound(
+      point_overrides.begin(), point_overrides.end(), v,
+      [](const auto& entry, VertexId vertex) { return entry.first < vertex; });
+  if (it == point_overrides.end() || it->first != v) return nullptr;
+  return &it->second;
+}
+
+size_t DynamicRangeReach::Delta::SizeBytes() const {
+  return added_points.capacity() * sizeof(std::optional<Point2D>) +
+         inserted_edges.capacity() * sizeof(std::pair<VertexId, VertexId>) +
+         stitch_nodes.capacity() * sizeof(VertexId) +
+         point_overrides.capacity() *
+             sizeof(std::pair<VertexId, std::optional<Point2D>>) +
+         deleted_edges.capacity() * sizeof(std::pair<VertexId, VertexId>);
+}
+
+// --- Engine ---------------------------------------------------------------
+
+DynamicRangeReach::DynamicRangeReach(GeoSocialNetwork network,
+                                     exec::ThreadPool* pool)
+    : pool_(pool), base_(Base::Build(std::move(network), 0, pool)) {}
+
+Result<bool> DynamicRangeReach::ApplyToDelta(const Update& update) {
+  const VertexId n = num_vertices();
+  const VertexId nb = base_->num_vertices();
+  switch (update.kind) {
+    case Update::Kind::kAddVertex:
+      delta_.added_points.push_back(update.point);
+      return true;
+
+    case Update::Kind::kSetPoint: {
+      if (update.a >= n) {
+        return Status::InvalidArgument(
+            BadVertexMessage("set_point", update.a, update.a, n));
+      }
+      if (!update.point.has_value()) {
+        return Status::InvalidArgument("set_point carries no point");
+      }
+      const Point2D& p = *update.point;
+      if (update.a >= nb) {
+        std::optional<Point2D>& cur = delta_.added_points[update.a - nb];
+        if (cur.has_value() && cur->x == p.x && cur->y == p.y) return false;
+        cur = p;
+        return true;
+      }
+      const auto it = std::lower_bound(
+          delta_.point_overrides.begin(), delta_.point_overrides.end(),
+          update.a, [](const auto& entry, VertexId v) {
+            return entry.first < v;
+          });
+      if (it != delta_.point_overrides.end() && it->first == update.a) {
+        if (it->second.has_value() && it->second->x == p.x &&
+            it->second->y == p.y) {
+          return false;
+        }
+        it->second = p;
+        return true;
+      }
+      const bool was_spatial = base_->network->IsSpatial(update.a);
+      if (was_spatial) {
+        const Point2D& old = base_->network->PointOf(update.a);
+        if (old.x == p.x && old.y == p.y) return false;  // Same point: no-op.
+      }
+      delta_.point_overrides.insert(
+          it, std::make_pair(update.a, std::optional<Point2D>(p)));
+      if (was_spatial) ++delta_.stale_base_points;
+      return true;
+    }
+
+    case Update::Kind::kClearPoint: {
+      if (update.a >= n) {
+        return Status::InvalidArgument(
+            BadVertexMessage("clear_point", update.a, update.a, n));
+      }
+      if (update.a >= nb) {
+        std::optional<Point2D>& cur = delta_.added_points[update.a - nb];
+        if (!cur.has_value()) return false;
+        cur.reset();
+        return true;
+      }
+      const auto it = std::lower_bound(
+          delta_.point_overrides.begin(), delta_.point_overrides.end(),
+          update.a, [](const auto& entry, VertexId v) {
+            return entry.first < v;
+          });
+      if (it != delta_.point_overrides.end() && it->first == update.a) {
+        if (!it->second.has_value()) return false;
+        it->second.reset();
+        return true;
+      }
+      if (!base_->network->IsSpatial(update.a)) return false;  // Already bare.
+      delta_.point_overrides.insert(
+          it, std::make_pair(update.a, std::optional<Point2D>()));
+      ++delta_.stale_base_points;
+      return true;
+    }
+
+    case Update::Kind::kInsertEdge: {
+      if (update.a >= n || update.b >= n) {
+        return Status::InvalidArgument(
+            BadVertexMessage("insert_edge", update.a, update.b, n));
+      }
+      if (update.a == update.b) return false;  // Self-loops carry nothing.
+      if (ContainsEdge(delta_.inserted_edges, update.a, update.b)) {
+        return false;  // Already live via the delta.
+      }
+      if (update.a < nb && update.b < nb &&
+          base_->network->graph().HasEdge(update.a, update.b)) {
+        if (ContainsEdge(delta_.deleted_edges, update.a, update.b)) {
+          // Reviving a deleted base edge: drop the tombstone.
+          EraseSortedEdge(delta_.deleted_edges, update.a, update.b);
+          return true;
+        }
+        return false;  // Already live via the base.
+      }
+      InsertSortedEdge(delta_.inserted_edges, update.a, update.b);
+      for (const VertexId endpoint : {update.a, update.b}) {
+        const auto it = std::lower_bound(delta_.stitch_nodes.begin(),
+                                         delta_.stitch_nodes.end(), endpoint);
+        if (it == delta_.stitch_nodes.end() || *it != endpoint) {
+          delta_.stitch_nodes.insert(it, endpoint);
+        }
+      }
+      return true;
+    }
+
+    case Update::Kind::kDeleteEdge: {
+      if (update.a >= n || update.b >= n) {
+        return Status::InvalidArgument(
+            BadVertexMessage("delete_edge", update.a, update.b, n));
+      }
+      if (ContainsEdge(delta_.inserted_edges, update.a, update.b)) {
+        EraseSortedEdge(delta_.inserted_edges, update.a, update.b);
+        // Stitch nodes are the distinct inserted-edge endpoints; rebuild
+        // the (tiny) list rather than reference-count it.
+        delta_.stitch_nodes.clear();
+        for (const auto& [from, to] : delta_.inserted_edges) {
+          for (const VertexId endpoint : {from, to}) {
+            const auto it =
+                std::lower_bound(delta_.stitch_nodes.begin(),
+                                 delta_.stitch_nodes.end(), endpoint);
+            if (it == delta_.stitch_nodes.end() || *it != endpoint) {
+              delta_.stitch_nodes.insert(it, endpoint);
+            }
+          }
+        }
+        return true;
+      }
+      if (update.a < nb && update.b < nb &&
+          base_->network->graph().HasEdge(update.a, update.b) &&
+          !ContainsEdge(delta_.deleted_edges, update.a, update.b)) {
+        InsertSortedEdge(delta_.deleted_edges, update.a, update.b);
+        return true;
+      }
+      return false;  // Absent edge: no-op.
+    }
+  }
+  return Status::Internal("unknown update kind");
+}
+
+Result<VertexId> DynamicRangeReach::Apply(const Update& update) {
+  auto changed = ApplyToDelta(update);
+  if (!changed.ok()) return changed.status();
+  if (*changed) log_.Append(update);
+  if (update.kind == Update::Kind::kAddVertex) {
+    return base_->num_vertices() +
+           static_cast<VertexId>(delta_.added_points.size()) - 1;
+  }
+  return kInvalidVertex;
 }
 
 VertexId DynamicRangeReach::AddVertex(std::optional<Point2D> point) {
-  added_vertices_.push_back(AddedVertex{point});
-  return base_vertices_ + static_cast<VertexId>(added_vertices_.size()) - 1;
+  auto id = Apply(Update::AddVertex(point));
+  GSR_CHECK(id.ok());
+  return *id;
 }
 
 Status DynamicRangeReach::AddEdge(VertexId from, VertexId to) {
-  if (from >= num_vertices() || to >= num_vertices()) {
-    return Status::InvalidArgument(
-        "edge (" + std::to_string(from) + ", " + std::to_string(to) +
-        ") references a vertex >= " + std::to_string(num_vertices()));
-  }
-  if (from == to) return Status::Ok();  // Self-loops carry no information.
-  delta_edges_.emplace_back(from, to);
-  // Keep the distinct-endpoint list sorted for the query-time search.
-  for (const VertexId endpoint : {from, to}) {
-    const auto it =
-        std::lower_bound(delta_nodes_.begin(), delta_nodes_.end(), endpoint);
-    if (it == delta_nodes_.end() || *it != endpoint) {
-      delta_nodes_.insert(it, endpoint);
-    }
-  }
-  return Status::Ok();
+  return Apply(Update::InsertEdge(from, to)).status();
 }
 
-bool DynamicRangeReach::Evaluate(VertexId vertex, const Rect& region,
-                                 Scratch& scratch) const {
-  GSR_CHECK(vertex < num_vertices());
+Status DynamicRangeReach::DeleteEdge(VertexId from, VertexId to) {
+  return Apply(Update::DeleteEdge(from, to)).status();
+}
 
-  // Pure-base answer (also covers a spatial query vertex itself).
-  if (IsBaseVertex(vertex)) {
-    if (BaseRangeReach(vertex, region, scratch)) return true;
-  } else {
-    const AddedVertex& added = added_vertices_[vertex - base_vertices_];
-    if (added.point.has_value() && region.Contains(*added.point)) return true;
+Status DynamicRangeReach::SetPoint(VertexId v, const Point2D& point) {
+  return Apply(Update::SetPoint(v, point)).status();
+}
+
+Status DynamicRangeReach::ClearPoint(VertexId v) {
+  return Apply(Update::ClearPoint(v)).status();
+}
+
+// --- Evaluation -----------------------------------------------------------
+
+std::optional<Point2D> DynamicRangeReach::CurrentPoint(const Base& base,
+                                                       const Delta& delta,
+                                                       VertexId v) {
+  const VertexId nb = base.num_vertices();
+  if (v >= nb) return delta.added_points[v - nb];
+  if (const auto* override_point = delta.OverrideFor(v)) {
+    return *override_point;
   }
-  if (delta_edges_.empty()) return false;
+  if (!base.network->IsSpatial(v)) return std::nullopt;
+  return base.network->PointOf(v);
+}
 
-  // Delta search: BFS over the stitch points (distinct delta-edge
-  // endpoints). Edges of this mini-graph are (a) the delta edges
+bool DynamicRangeReach::OptimisticEvaluate(const Base& base, const Delta& delta,
+                                           VertexId vertex, const Rect& region,
+                                           Scratch& scratch) {
+  const VertexId nb = base.num_vertices();
+
+  // Lazily (re)create the base-index scratch; a hot-swapped base has a
+  // fresh method instance, which invalidates scratches of the old one.
+  if (!scratch.base || scratch.base_instance != base.method->instance_id()) {
+    scratch.base = base.method->NewScratch();
+    scratch.base_instance = base.method->instance_id();
+  }
+
+  // Base vertices whose *current* point lies in the region but whose base
+  // point does not witness it (moved-in / newly spatial): the base index
+  // cannot see them, so they are probed as explicit reachability targets.
+  scratch.extra_targets.clear();
+  for (const auto& [v, point] : delta.point_overrides) {
+    if (point.has_value() && region.Contains(*point)) {
+      scratch.extra_targets.push_back(v);
+    }
+  }
+
+  const auto base_reach = [&](VertexId from, VertexId to) {
+    return base.index->labeling().CanReach(base.cn->ComponentOf(from),
+                                           base.cn->ComponentOf(to));
+  };
+  // Does `a` reach the region without using any further inserted edge?
+  const auto answer_at = [&](VertexId a) {
+    const std::optional<Point2D> p = CurrentPoint(base, delta, a);
+    if (p.has_value() && region.Contains(*p)) return true;
+    if (a < nb) {
+      if (base.index->Evaluate(a, region, *scratch.base)) return true;
+      for (const VertexId target : scratch.extra_targets) {
+        if (base_reach(a, target)) return true;
+      }
+    }
+    return false;
+  };
+
+  if (answer_at(vertex)) return true;
+  if (delta.inserted_edges.empty()) return false;
+
+  // Delta search: BFS over the stitch points (distinct inserted-edge
+  // endpoints). Edges of this mini-graph are (a) the inserted edges
   // themselves and (b) base reachability between base stitch points.
-  const size_t k = delta_nodes_.size();
+  const std::vector<VertexId>& nodes = delta.stitch_nodes;
+  const size_t k = nodes.size();
   scratch.node_visited.assign(k, 0);
   std::vector<uint8_t>& node_visited = scratch.node_visited;
   std::vector<uint32_t>& queue = scratch.queue;
   queue.clear();
   queue.reserve(k);
 
-  auto node_index = [this](VertexId v) {
-    const auto it =
-        std::lower_bound(delta_nodes_.begin(), delta_nodes_.end(), v);
-    GSR_DCHECK(it != delta_nodes_.end() && *it == v);
-    return static_cast<size_t>(it - delta_nodes_.begin());
+  const auto node_index = [&nodes](VertexId v) {
+    const auto it = std::lower_bound(nodes.begin(), nodes.end(), v);
+    GSR_DCHECK(it != nodes.end() && *it == v);
+    return static_cast<size_t>(it - nodes.begin());
   };
-  auto try_visit = [&](size_t idx) {
+  const auto try_visit = [&](size_t idx) {
     if (!node_visited[idx]) {
       node_visited[idx] = 1;
       queue.push_back(static_cast<uint32_t>(idx));
@@ -83,38 +365,27 @@ bool DynamicRangeReach::Evaluate(VertexId vertex, const Rect& region,
   };
 
   // Seeds: stitch points reachable from the query vertex without using
-  // any delta edge.
+  // any inserted edge.
   for (size_t i = 0; i < k; ++i) {
-    const VertexId node = delta_nodes_[i];
+    const VertexId node = nodes[i];
     if (node == vertex ||
-        (IsBaseVertex(vertex) && IsBaseVertex(node) &&
-         BaseReach(vertex, node))) {
+        (vertex < nb && node < nb && base_reach(vertex, node))) {
       try_visit(i);
     }
   }
 
   for (size_t head = 0; head < queue.size(); ++head) {
-    const VertexId a = delta_nodes_[queue[head]];
-
-    // Answer check below this stitch point.
-    if (IsBaseVertex(a)) {
-      if (BaseRangeReach(a, region, scratch)) return true;
-    } else {
-      const AddedVertex& added = added_vertices_[a - base_vertices_];
-      if (added.point.has_value() && region.Contains(*added.point)) {
-        return true;
-      }
-    }
-
-    // Expand through delta edges leaving a.
-    for (const auto& [from, to] : delta_edges_) {
-      if (from == a) try_visit(node_index(to));
+    const VertexId a = nodes[queue[head]];
+    if (answer_at(a)) return true;
+    // Expand through inserted edges leaving a.
+    for (const auto& [from, to] : EdgesFrom(delta.inserted_edges, a)) {
+      (void)from;
+      try_visit(node_index(to));
     }
     // Expand through base segments from a to other base stitch points.
-    if (IsBaseVertex(a)) {
+    if (a < nb) {
       for (size_t i = 0; i < k; ++i) {
-        if (!node_visited[i] && IsBaseVertex(delta_nodes_[i]) &&
-            BaseReach(a, delta_nodes_[i])) {
+        if (!node_visited[i] && nodes[i] < nb && base_reach(a, nodes[i])) {
           try_visit(i);
         }
       }
@@ -123,39 +394,109 @@ bool DynamicRangeReach::Evaluate(VertexId vertex, const Rect& region,
   return false;
 }
 
-void DynamicRangeReach::Rebuild() {
-  if (pending_updates() == 0) return;
+bool DynamicRangeReach::ExactOverlayBfs(const Base& base, const Delta& delta,
+                                        VertexId vertex, const Rect& region,
+                                        Scratch& scratch) {
+  const VertexId nb = base.num_vertices();
+  const VertexId n = nb + static_cast<VertexId>(delta.added_points.size());
+  scratch.overlay_visited.assign(n, 0);
+  std::vector<uint8_t>& visited = scratch.overlay_visited;
+  std::vector<VertexId>& queue = scratch.overlay_queue;
+  queue.clear();
 
-  // Materialize the merged network: base edges + delta edges; base points
-  // + added points.
-  GraphBuilder builder;
-  builder.ReserveVertices(num_vertices());
-  const DiGraph& base = network_->graph();
-  for (VertexId v = 0; v < base.num_vertices(); ++v) {
-    for (const VertexId w : base.OutNeighbors(v)) builder.AddEdge(v, w);
-  }
-  for (const auto& [from, to] : delta_edges_) builder.AddEdge(from, to);
+  const auto visit = [&](VertexId v) {
+    if (!visited[v]) {
+      visited[v] = 1;
+      queue.push_back(v);
+    }
+  };
+  visit(vertex);
 
-  std::vector<std::optional<Point2D>> points(num_vertices());
-  for (const VertexId v : network_->spatial_vertices()) {
-    points[v] = network_->PointOf(v);
-  }
-  for (size_t i = 0; i < added_vertices_.size(); ++i) {
-    points[base_vertices_ + i] = added_vertices_[i].point;
-  }
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const VertexId u = queue[head];
+    const std::optional<Point2D> p = CurrentPoint(base, delta, u);
+    if (p.has_value() && region.Contains(*p)) return true;
 
-  auto graph = builder.Build();
-  GSR_CHECK(graph.ok());
-  auto merged = GeoSocialNetwork::Create(std::move(graph).value(), points);
-  GSR_CHECK(merged.ok());
-  RebuildFrom(std::move(merged).value());
+    if (u < nb) {
+      // Live base edges: the sorted out-list minus this source's sorted
+      // deleted span, walked in lockstep.
+      const auto deleted = EdgesFrom(delta.deleted_edges, u);
+      size_t d = 0;
+      for (const VertexId w : base.network->graph().OutNeighbors(u)) {
+        while (d < deleted.size() && deleted[d].second < w) ++d;
+        if (d < deleted.size() && deleted[d].second == w) continue;
+        visit(w);
+      }
+    }
+    for (const auto& [from, to] : EdgesFrom(delta.inserted_edges, u)) {
+      (void)from;
+      visit(to);
+    }
+  }
+  return false;
 }
 
-size_t DynamicRangeReach::IndexSizeBytes() const {
-  return index_->IndexSizeBytes() +
-         added_vertices_.size() * sizeof(AddedVertex) +
-         delta_edges_.size() * sizeof(std::pair<VertexId, VertexId>) +
-         delta_nodes_.size() * sizeof(VertexId);
+bool DynamicRangeReach::EvaluateImpl(const Base& base, const Delta& delta,
+                                     VertexId vertex, const Rect& region,
+                                     Scratch& scratch) {
+  const VertexId n =
+      base.num_vertices() + static_cast<VertexId>(delta.added_points.size());
+  GSR_CHECK(vertex < n);
+  if (!OptimisticEvaluate(base, delta, vertex, region, scratch)) {
+    // The optimistic search over-approximates, so FALSE is always exact.
+    return false;
+  }
+  if (!delta.risky()) return true;  // Insert-only delta: TRUE is exact too.
+  return ExactOverlayBfs(base, delta, vertex, region, scratch);
+}
+
+bool DynamicRangeReach::Evaluate(VertexId vertex, const Rect& region,
+                                 Scratch& scratch) const {
+  return EvaluateImpl(*base_, delta_, vertex, region, scratch);
+}
+
+bool DynamicRangeReach::View::Evaluate(VertexId vertex, const Rect& region,
+                                       Scratch& scratch) const {
+  return DynamicRangeReach::EvaluateImpl(*base, delta, vertex, region,
+                                         scratch);
+}
+
+// --- Snapshot / rebuild ---------------------------------------------------
+
+std::shared_ptr<const DynamicRangeReach::View> DynamicRangeReach::Snapshot()
+    const {
+  auto view = std::make_shared<View>();
+  view->base = base_;
+  view->delta = delta_;
+  view->position = log_.size();
+  return view;
+}
+
+GeoSocialNetwork DynamicRangeReach::MaterializeAt(uint64_t position) const {
+  GSR_CHECK(position >= base_->position && position <= log_.size());
+  auto merged =
+      MaterializeNetwork(*base_->network, log_.Range(base_->position, position));
+  GSR_CHECK(merged.ok());
+  return std::move(merged).value();
+}
+
+void DynamicRangeReach::InstallBase(std::shared_ptr<const Base> base) {
+  GSR_CHECK(base != nullptr && base->position <= log_.size());
+  base_ = std::move(base);
+  delta_ = Delta{};
+  // Re-derive the delta from the log suffix the new base does not fold in.
+  // Replayed entries were validated when first applied, and replay must
+  // not re-log them.
+  for (const Update& update : log_.Range(base_->position, log_.size())) {
+    auto changed = ApplyToDelta(update);
+    GSR_CHECK(changed.ok());
+  }
+}
+
+void DynamicRangeReach::Rebuild() {
+  if (pending_updates() == 0 && log_.size() == base_->position) return;
+  const uint64_t cut = log_.size();
+  InstallBase(Base::Build(MaterializeAt(cut), cut, pool_));
 }
 
 }  // namespace gsr

@@ -3,128 +3,292 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "core/condensed_network.h"
 #include "core/geosocial_network.h"
+#include "core/method_snapshot.h"
 #include "core/three_d_reach.h"
+#include "core/update_log.h"
 
 namespace gsr {
 
+namespace exec {
+class ThreadPool;
+}
+
 /// Incrementally updatable RangeReach evaluation — the paper's Section-8
 /// future-work item ("how our approach can efficiently handle updates in
-/// the network"), realized with the classic base + delta design used by
-/// production index systems:
+/// the network"), grown from a sketch into the streaming engine behind
+/// exec::StreamingRangeReach. The design is the classic base + delta of
+/// production index systems (cf. DAGGER's motivation: maintain, don't
+/// rebuild per update):
 ///
-///  - a *base* snapshot of the network carries a full 3DReach index;
-///  - updates (new vertices with optional points, new edges) accumulate in
-///    a small *delta* overlay that is consulted at query time;
-///  - Rebuild() folds the delta into a fresh base when it grows too large
-///    (callers pick the policy; pending_updates() exposes the size).
+///  - an immutable *Base* snapshot of the network carries a full 3DReach
+///    index and remembers the UpdateLog position it folds in; bases are
+///    shared (shared_ptr) between the live engine, pinned epoch views,
+///    and in-flight background rebuilds;
+///  - the full update set — vertex arrivals, check-ins (SetPoint),
+///    check-outs (ClearPoint), edge insert/delete — accumulates in a
+///    small *Delta* overlay consulted at query time;
+///  - every applied state-changing update is appended to an UpdateLog,
+///    whose positions are the time axis: a (base, delta) pair always
+///    reproduces the network MaterializeNetwork() builds from the initial
+///    snapshot plus the log prefix — *bit-identically*, which the tests
+///    enforce against a rebuilt-from-scratch NaiveBFS oracle;
+///  - Rebuild() (or a background rebuild through InstallBase) folds the
+///    log into a fresh Base; the delta shrinks to the log suffix.
 ///
-/// Queries remain exact at all times: RangeReach(G', v, R) over the
-/// *updated* network G' is answered by combining base-index probes with a
-/// search over the (tiny) delta graph. A path in G' decomposes into base
-/// segments stitched together by delta edges; the delta search enumerates
-/// the reachable stitch points and asks the base index below each.
+/// Query strategy: the delta search runs an *optimistic* evaluation that
+/// treats the base index as exact. With an insert-only delta (no deleted
+/// base edges, no moved/cleared base points) that evaluation IS exact.
+/// Once the delta turns risky() — a base edge was deleted or a base
+/// point went stale — the optimistic result over-approximates: FALSE
+/// stays exact (the optimistic search explores a superset of the live
+/// reachability), and TRUE answers are re-verified with an exact BFS over
+/// the overlay graph (base edges minus deleted, plus inserted, current
+/// points). Risky deltas therefore degrade speed, never correctness.
 ///
-/// Concurrency: Evaluate with an explicit Scratch is safe from many
-/// reader threads at once (one scratch each), as long as no writer
-/// (AddVertex/AddEdge/Rebuild) runs concurrently — the usual
-/// single-writer/multi-reader regime of a base+delta index. The
-/// two-argument Evaluate shares an object-owned scratch and stays
-/// single-threaded.
+/// Concurrency: the engine itself is single-writer — one thread mutates
+/// (Apply/AddEdge/.../Rebuild/InstallBase). Readers take an immutable
+/// View via Snapshot() (cheap: shared base pointer + delta copy) and
+/// evaluate against it from any number of threads, one Scratch each.
+/// exec::StreamingRangeReach wraps this in an epoch manager so readers
+/// keep answering while a background thread rebuilds and hot-swaps the
+/// base.
 class DynamicRangeReach {
  public:
+  /// An immutable base snapshot: the network at log position `position`
+  /// with a fully built 3DReach index. Shared by the engine, epoch views,
+  /// and rebuild tasks; destroyed when the last holder drops it.
+  struct Base {
+    std::shared_ptr<const GeoSocialNetwork> network;
+    std::shared_ptr<const CondensedNetwork> cn;
+    std::unique_ptr<RangeReachMethod> method;
+    /// `method` downcast: the base index is always a ThreeDReach (built
+    /// directly or round-tripped through the snapshot layer).
+    const ThreeDReach* index = nullptr;
+    /// UpdateLog position this base folds in: the network equals the
+    /// initial snapshot plus log entries [0, position).
+    uint64_t position = 0;
+    /// True when `method` was hot-swapped in through the snapshot layer
+    /// (bench/stats surface this; answers are identical either way).
+    bool from_snapshot = false;
+
+    VertexId num_vertices() const { return network->num_vertices(); }
+    size_t IndexSizeBytes() const { return method->IndexSizeBytes(); }
+
+    /// Builds a base over `network` at log position `position`. A non-null
+    /// `pool` parallelizes the 3DReach build (identical index). NOTE: a
+    /// background rebuild task running *on* a pool must pass nullptr here
+    /// (ThreadPool::ParallelFor must not be entered from a pool task).
+    static std::shared_ptr<const Base> Build(GeoSocialNetwork network,
+                                             uint64_t position,
+                                             exec::ThreadPool* pool = nullptr);
+
+    /// Round-trips `built`'s index through the PR-4 snapshot layer: saves
+    /// to `path`, reloads with `mode` (kMmap keeps the index arrays as
+    /// zero-copy views into the file), and returns a new Base sharing
+    /// `built`'s network/condensation. This is the hot-swap path of the
+    /// streaming engine: the rebuilt base the readers switch to is the
+    /// snapshot-loaded one. Answers are bit-identical to `built`.
+    static Result<std::shared_ptr<const Base>> RoundTripThroughSnapshot(
+        const std::shared_ptr<const Base>& built, const std::string& path,
+        snapshot::LoadMode mode);
+  };
+
+  /// The delta overlay: every difference between the current network and
+  /// the base snapshot, in query-ready sorted form. A plain value — a
+  /// View snapshots the live delta by copying it.
+  struct Delta {
+    /// Points of vertices added since the base, id = base vertices + i.
+    std::vector<std::optional<Point2D>> added_points;
+    /// Inserted edges, sorted by (from, to); never duplicates a live base
+    /// edge (inserting a deleted base edge un-deletes it instead).
+    std::vector<std::pair<VertexId, VertexId>> inserted_edges;
+    /// Distinct endpoints of inserted_edges, sorted — the stitch points
+    /// of the optimistic delta search.
+    std::vector<VertexId> stitch_nodes;
+    /// Current point of base vertices whose point changed (moved, gained,
+    /// or cleared), sorted by vertex.
+    std::vector<std::pair<VertexId, std::optional<Point2D>>> point_overrides;
+    /// Deleted *base* edges, sorted by (from, to); deleting an inserted
+    /// edge removes it from inserted_edges instead.
+    std::vector<std::pair<VertexId, VertexId>> deleted_edges;
+    /// Number of base-spatial vertices whose base point is stale (the
+    /// vertex moved or cleared it). While 0 and deleted_edges is empty,
+    /// the base index never produces a false positive.
+    size_t stale_base_points = 0;
+
+    bool empty() const {
+      return added_points.empty() && inserted_edges.empty() &&
+             point_overrides.empty() && deleted_edges.empty();
+    }
+    /// Pending-update count steering rebuild policy.
+    size_t size() const {
+      return added_points.size() + inserted_edges.size() +
+             point_overrides.size() + deleted_edges.size();
+    }
+    /// True when the base index may over-approximate: a base edge was
+    /// deleted or a base point is stale. Optimistic TRUE answers then
+    /// need exact overlay verification; FALSE answers stay exact.
+    bool risky() const {
+      return stale_base_points > 0 || !deleted_edges.empty();
+    }
+    /// The override entry for base vertex `v`, or nullptr.
+    const std::optional<Point2D>* OverrideFor(VertexId v) const;
+    size_t SizeBytes() const;
+  };
+
+  /// Per-thread query state: a scratch for the base index (re-created
+  /// when the view's base changes under it — hot swaps invalidate it),
+  /// the stitch-search marks, and the overlay-BFS buffers. Obtain via
+  /// NewScratch; one per reader thread.
+  struct Scratch {
+    std::unique_ptr<QueryScratch> base;
+    uint64_t base_instance = 0;  // instance_id() of `base`'s owner method.
+    std::vector<uint8_t> node_visited;
+    std::vector<uint32_t> queue;
+    std::vector<VertexId> extra_targets;
+    std::vector<uint8_t> overlay_visited;
+    std::vector<VertexId> overlay_queue;
+  };
+
+  /// An immutable point-in-time view: shared base + delta copy. Safe to
+  /// evaluate from many threads (one Scratch each) while the engine keeps
+  /// mutating and hot-swapping — this is what an epoch pins.
+  struct View {
+    std::shared_ptr<const Base> base;
+    Delta delta;
+    /// The log position this view reflects (base->position plus the delta
+    /// updates).
+    uint64_t position = 0;
+
+    VertexId num_vertices() const {
+      return base->num_vertices() +
+             static_cast<VertexId>(delta.added_points.size());
+    }
+    Scratch NewScratch() const { return Scratch{}; }
+
+    /// Answers RangeReach over the view's network. Exact: bit-identical
+    /// to rebuilding from scratch at `position`.
+    bool Evaluate(VertexId vertex, const Rect& region, Scratch& scratch) const;
+
+    size_t SizeBytes() const {
+      return base->IndexSizeBytes() + delta.SizeBytes();
+    }
+  };
+
   /// Takes ownership of the initial network snapshot and builds the base
-  /// index over it.
-  explicit DynamicRangeReach(GeoSocialNetwork network);
+  /// index over it. A non-null `pool` parallelizes base (re)builds.
+  explicit DynamicRangeReach(GeoSocialNetwork network,
+                             exec::ThreadPool* pool = nullptr);
 
   /// Total vertices (base + added).
   VertexId num_vertices() const {
-    return base_vertices_ +
-           static_cast<VertexId>(added_vertices_.size());
+    return base_->num_vertices() +
+           static_cast<VertexId>(delta_.added_points.size());
   }
 
-  /// Adds a new vertex, optionally spatial; returns its id. Typical use:
-  /// a new venue appearing in the network. Edges to/from it are added
-  /// separately with AddEdge.
+  // --- Writer API (single-writer; see class comment). Every call that
+  // changes network state appends to the update log; no-ops (self-loops,
+  // duplicate inserts, deleting an absent edge, setting an identical
+  // point) return Ok without logging.
+
+  /// Adds a new vertex, optionally spatial; returns its id.
   VertexId AddVertex(std::optional<Point2D> point);
-
-  /// Adds a directed edge; both endpoints must exist (base or added).
+  /// Inserts a directed edge; both endpoints must exist.
   Status AddEdge(VertexId from, VertexId to);
+  /// Deletes a directed edge (base or inserted).
+  Status DeleteEdge(VertexId from, VertexId to);
+  /// Check-in: vertex `v` gains or moves its point.
+  Status SetPoint(VertexId v, const Point2D& point);
+  /// Check-out: vertex `v` loses its point.
+  Status ClearPoint(VertexId v);
+  /// Applies one Update (the streaming form of the calls above). Returns
+  /// the new vertex id for kAddVertex, kInvalidVertex otherwise.
+  Result<VertexId> Apply(const Update& update);
 
-  /// Number of updates applied since the last Rebuild().
-  size_t pending_updates() const {
-    return added_vertices_.size() + delta_edges_.size();
-  }
+  /// Number of pending delta entries (rebuild-policy signal).
+  size_t pending_updates() const { return delta_.size(); }
 
-  /// Per-thread query state: the delta-search visited marks and frontier,
-  /// plus a scratch for the underlying base index. Obtain via NewScratch.
-  struct Scratch {
-    std::unique_ptr<QueryScratch> base;
-    std::vector<uint8_t> node_visited;
-    std::vector<uint32_t> queue;
-  };
+  // --- Reader API.
 
-  /// Creates a scratch for this object. One per reader thread. Scratches
-  /// stay valid across Rebuild (but must not be used while one runs).
-  Scratch NewScratch() const { return Scratch{index_->NewScratch(), {}, {}}; }
+  Scratch NewScratch() const { return Scratch{}; }
 
   /// Answers RangeReach over the updated network using only `scratch` for
-  /// mutable state. Exact.
+  /// mutable state. Exact. Safe from many threads only against a stable
+  /// engine (no concurrent writer) — concurrent readers under writes go
+  /// through Snapshot().
   bool Evaluate(VertexId vertex, const Rect& region, Scratch& scratch) const;
 
   /// Single-threaded convenience overload on an object-owned scratch.
   bool Evaluate(VertexId vertex, const Rect& region) const {
-    if (!scratch_.base) scratch_ = NewScratch();
     return Evaluate(vertex, region, scratch_);
   }
 
-  /// Folds every pending update into a fresh base network + index.
-  /// O(rebuild); afterwards pending_updates() == 0 and queries run at
-  /// pure base-index speed again.
+  /// An immutable snapshot of the current (base, delta) — what epoch
+  /// publication hands to readers.
+  std::shared_ptr<const View> Snapshot() const;
+
+  // --- Rebuild / epoch plumbing.
+
+  /// Folds every pending update into a fresh base (built on the ctor
+  /// pool). O(rebuild); afterwards pending_updates() == 0.
   void Rebuild();
 
-  /// The current base network snapshot (updates since the last Rebuild
-  /// are not reflected here).
-  const GeoSocialNetwork& base_network() const { return *network_; }
+  /// Installs `base` (typically built in the background from
+  /// MaterializeAt/CopyLog) and re-derives the delta by replaying the log
+  /// suffix [base->position, log_size()). The engine's observable network
+  /// state is unchanged — only the base/delta split moves.
+  void InstallBase(std::shared_ptr<const Base> base);
 
-  /// Index footprint: base index + delta overlay.
-  size_t IndexSizeBytes() const;
+  /// The network at log position `position` (must lie in
+  /// [base position, log_size()]), materialized from base + log range.
+  GeoSocialNetwork MaterializeAt(uint64_t position) const;
+
+  const std::shared_ptr<const Base>& base() const { return base_; }
+  uint64_t log_size() const { return log_.size(); }
+  std::vector<Update> CopyLog(uint64_t from, uint64_t to) const {
+    return log_.CopyRange(from, to);
+  }
+  const UpdateLog& log() const { return log_; }
+
+  /// The current base network snapshot (delta not reflected).
+  const GeoSocialNetwork& base_network() const { return *base_->network; }
+
+  /// Index footprint: base index + delta overlay + log.
+  size_t IndexSizeBytes() const {
+    return base_->IndexSizeBytes() + delta_.SizeBytes() + log_.SizeBytes();
+  }
 
  private:
-  struct AddedVertex {
-    std::optional<Point2D> point;
-  };
+  /// Applies `update` to `delta_` (no logging). Returns whether network
+  /// state changed; errors on out-of-range vertices.
+  Result<bool> ApplyToDelta(const Update& update);
 
-  bool IsBaseVertex(VertexId v) const { return v < base_vertices_; }
+  /// The one evaluation routine behind both the engine and View paths.
+  static bool EvaluateImpl(const Base& base, const Delta& delta,
+                           VertexId vertex, const Rect& region,
+                           Scratch& scratch);
+  static bool OptimisticEvaluate(const Base& base, const Delta& delta,
+                                 VertexId vertex, const Rect& region,
+                                 Scratch& scratch);
+  static bool ExactOverlayBfs(const Base& base, const Delta& delta,
+                              VertexId vertex, const Rect& region,
+                              Scratch& scratch);
+  /// The point of `v` in the *current* network (override-aware).
+  static std::optional<Point2D> CurrentPoint(const Base& base,
+                                             const Delta& delta, VertexId v);
+  friend struct View;
 
-  /// Base-index reachability between two *base* vertices (pure label
-  /// lookup, no scratch needed).
-  bool BaseReach(VertexId from, VertexId to) const {
-    return index_->labeling().CanReach(cn_->ComponentOf(from),
-                                       cn_->ComponentOf(to));
-  }
-
-  /// RangeReach over the base network only.
-  bool BaseRangeReach(VertexId from, const Rect& region,
-                      Scratch& scratch) const {
-    return index_->Evaluate(from, region, *scratch.base);
-  }
-
-  void RebuildFrom(GeoSocialNetwork network);
-
-  VertexId base_vertices_ = 0;
-  std::unique_ptr<GeoSocialNetwork> network_;
-  std::unique_ptr<CondensedNetwork> cn_;
-  std::unique_ptr<ThreeDReach> index_;
-
-  std::vector<AddedVertex> added_vertices_;  // Ids base_vertices_ + i.
-  std::vector<std::pair<VertexId, VertexId>> delta_edges_;
-  std::vector<VertexId> delta_nodes_;  // Distinct delta endpoints, sorted.
+  exec::ThreadPool* pool_ = nullptr;
+  std::shared_ptr<const Base> base_;
+  Delta delta_;
+  UpdateLog log_;
 
   // Scratch behind the single-threaded Evaluate overload.
   mutable Scratch scratch_;

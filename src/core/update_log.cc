@@ -1,0 +1,104 @@
+#include "core/update_log.h"
+
+#include <unordered_set>
+#include <utility>
+
+namespace gsr {
+
+const char* UpdateKindName(Update::Kind kind) {
+  switch (kind) {
+    case Update::Kind::kAddVertex:
+      return "add_vertex";
+    case Update::Kind::kSetPoint:
+      return "set_point";
+    case Update::Kind::kClearPoint:
+      return "clear_point";
+    case Update::Kind::kInsertEdge:
+      return "insert_edge";
+    case Update::Kind::kDeleteEdge:
+      return "delete_edge";
+  }
+  return "unknown";
+}
+
+std::span<const Update> UpdateLog::Range(uint64_t from, uint64_t to) const {
+  if (from > to || to > entries_.size()) return {};
+  return std::span<const Update>(entries_.data() + from, to - from);
+}
+
+std::vector<Update> UpdateLog::CopyRange(uint64_t from, uint64_t to) const {
+  auto span = Range(from, to);
+  return std::vector<Update>(span.begin(), span.end());
+}
+
+namespace {
+
+inline uint64_t EdgeKey(VertexId from, VertexId to) {
+  return (static_cast<uint64_t>(from) << 32) | to;
+}
+
+}  // namespace
+
+Result<GeoSocialNetwork> MaterializeNetwork(const GeoSocialNetwork& base,
+                                            std::span<const Update> updates) {
+  std::vector<std::optional<Point2D>> points;
+  points.reserve(base.num_vertices() + updates.size());
+  for (VertexId v = 0; v < base.num_vertices(); ++v) {
+    points.push_back(base.IsSpatial(v) ? std::optional<Point2D>(base.PointOf(v))
+                                       : std::nullopt);
+  }
+
+  std::unordered_set<uint64_t> edges;
+  const DiGraph& g = base.graph();
+  edges.reserve(static_cast<size_t>(g.num_edges()) * 2);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId w : g.OutNeighbors(u)) edges.insert(EdgeKey(u, w));
+  }
+
+  for (size_t i = 0; i < updates.size(); ++i) {
+    const Update& u = updates[i];
+    const VertexId n = static_cast<VertexId>(points.size());
+    switch (u.kind) {
+      case Update::Kind::kAddVertex:
+        points.push_back(u.point);
+        break;
+      case Update::Kind::kSetPoint:
+        if (u.a >= n || !u.point.has_value()) {
+          return Status::InvalidArgument("set_point: bad vertex or no point");
+        }
+        points[u.a] = u.point;
+        break;
+      case Update::Kind::kClearPoint:
+        if (u.a >= n) {
+          return Status::InvalidArgument("clear_point: vertex out of range");
+        }
+        points[u.a].reset();
+        break;
+      case Update::Kind::kInsertEdge:
+        if (u.a >= n || u.b >= n) {
+          return Status::InvalidArgument("insert_edge: vertex out of range");
+        }
+        if (u.a != u.b) edges.insert(EdgeKey(u.a, u.b));
+        break;
+      case Update::Kind::kDeleteEdge:
+        if (u.a >= n || u.b >= n) {
+          return Status::InvalidArgument("delete_edge: vertex out of range");
+        }
+        edges.erase(EdgeKey(u.a, u.b));
+        break;
+    }
+  }
+
+  std::vector<std::pair<VertexId, VertexId>> edge_list;
+  edge_list.reserve(edges.size());
+  for (uint64_t key : edges) {
+    edge_list.emplace_back(static_cast<VertexId>(key >> 32),
+                           static_cast<VertexId>(key & 0xFFFFFFFFu));
+  }
+  auto graph =
+      DiGraph::FromEdges(static_cast<VertexId>(points.size()), edge_list);
+  if (!graph.ok()) return graph.status();
+  return GeoSocialNetwork::Create(std::move(graph).value(), points);
+}
+
+}  // namespace gsr

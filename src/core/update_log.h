@@ -1,0 +1,133 @@
+#ifndef GSR_CORE_UPDATE_LOG_H_
+#define GSR_CORE_UPDATE_LOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/geosocial_network.h"
+#include "geometry/geometry.h"
+#include "graph/digraph.h"
+
+namespace gsr {
+
+/// One streaming update to a geosocial network — the unit of the
+/// production feed the dynamic engine ingests. Five kinds cover the
+/// update space of Section 8: vertex arrival, check-in streams (a vertex
+/// gaining or moving its point), check-out (losing it), and edge
+/// insert/delete (friendship / follows churn).
+struct Update {
+  enum class Kind : uint8_t {
+    /// A new vertex appears; its id is the network's next dense id
+    /// (num_vertices at application time). `point` is its optional
+    /// location (a venue) — social vertices pass nullopt.
+    kAddVertex,
+    /// Vertex `a` checks in at `point`: it gains a location if it had
+    /// none, or moves if it had one.
+    kSetPoint,
+    /// Vertex `a` loses its location (venue closes, user checks out).
+    kClearPoint,
+    /// Directed edge (a, b) appears. Inserting an existing live edge is a
+    /// no-op; inserting a previously deleted edge revives it.
+    kInsertEdge,
+    /// Directed edge (a, b) disappears. Deleting an absent edge is a
+    /// no-op.
+    kDeleteEdge,
+  };
+
+  Kind kind = Kind::kAddVertex;
+  /// The subject vertex (kSetPoint/kClearPoint) or edge source.
+  VertexId a = kInvalidVertex;
+  /// The edge target (kInsertEdge/kDeleteEdge only).
+  VertexId b = kInvalidVertex;
+  /// The location payload (kAddVertex/kSetPoint only).
+  std::optional<Point2D> point;
+
+  static Update AddVertex(std::optional<Point2D> p) {
+    Update u;
+    u.kind = Kind::kAddVertex;
+    u.point = p;
+    return u;
+  }
+  static Update SetPoint(VertexId v, const Point2D& p) {
+    Update u;
+    u.kind = Kind::kSetPoint;
+    u.a = v;
+    u.point = p;
+    return u;
+  }
+  static Update ClearPoint(VertexId v) {
+    Update u;
+    u.kind = Kind::kClearPoint;
+    u.a = v;
+    return u;
+  }
+  static Update InsertEdge(VertexId from, VertexId to) {
+    Update u;
+    u.kind = Kind::kInsertEdge;
+    u.a = from;
+    u.b = to;
+    return u;
+  }
+  static Update DeleteEdge(VertexId from, VertexId to) {
+    Update u;
+    u.kind = Kind::kDeleteEdge;
+    u.a = from;
+    u.b = to;
+    return u;
+  }
+};
+
+/// Lower-case name for logs and bench output ("add_vertex", "set_point",
+/// "clear_point", "insert_edge", "delete_edge").
+const char* UpdateKindName(Update::Kind kind);
+
+/// An append-only, totally ordered sequence of updates. Position p is the
+/// state of the network after applying the first p entries to the initial
+/// snapshot — the coordinate system the whole update engine speaks:
+/// bases record the position they fold in, epochs record the position
+/// they reflect, and the rebuilt-from-scratch oracle of the tests
+/// materializes any position via MaterializeNetwork.
+///
+/// Thread-safety: none (single writer); readers that need a stable range
+/// take a copy via Range() under the writer's lock.
+class UpdateLog {
+ public:
+  /// Appends one update; returns its position + 1 (the log size after).
+  uint64_t Append(const Update& update) {
+    entries_.push_back(update);
+    return entries_.size();
+  }
+
+  uint64_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const Update& operator[](uint64_t i) const { return entries_[i]; }
+
+  /// The entries in [from, to) as a span (valid until the next Append).
+  std::span<const Update> Range(uint64_t from, uint64_t to) const;
+
+  /// Copy of [from, to) — what a background rebuild captures under the
+  /// writer lock before releasing it.
+  std::vector<Update> CopyRange(uint64_t from, uint64_t to) const;
+
+  size_t SizeBytes() const { return entries_.capacity() * sizeof(Update); }
+
+ private:
+  std::vector<Update> entries_;
+};
+
+/// Materializes the network that `base` becomes after applying `updates`
+/// in order — the rebuilt-from-scratch reference every delta-overlay
+/// answer is contractually bit-identical to, and the input of background
+/// base rebuilds. Invalid updates (out-of-range vertex ids) fail with
+/// InvalidArgument; no-op inserts/deletes and self-loops are tolerated
+/// exactly like the live engine tolerates them.
+Result<GeoSocialNetwork> MaterializeNetwork(const GeoSocialNetwork& base,
+                                            std::span<const Update> updates);
+
+}  // namespace gsr
+
+#endif  // GSR_CORE_UPDATE_LOG_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 #include <utility>
 
 #include "common/check.h"
@@ -271,6 +272,123 @@ const std::vector<VertexId>& WorkloadGenerator::BucketVertices(uint32_t lo,
 VertexId WorkloadGenerator::RandomVertexWithDegree(uint32_t lo, uint32_t hi) {
   const std::vector<VertexId>& vertices = BucketVertices(lo, hi);
   return vertices[rng_.NextBounded(vertices.size())];
+}
+
+std::vector<Update> GenerateUpdateStream(const GeoSocialNetwork& network,
+                                         const UpdateStreamSpec& spec,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  Rect space = network.SpaceBounds();
+  if (space.IsEmpty()) space = Rect{0.0, 0.0, 1.0, 1.0};
+
+  const double weights[5] = {
+      spec.add_vertex_weight, spec.set_point_weight, spec.clear_point_weight,
+      spec.insert_edge_weight, spec.delete_edge_weight};
+  double total = 0.0;
+  for (const double w : weights) {
+    GSR_CHECK(w >= 0.0);
+    total += w;
+  }
+  GSR_CHECK(total > 0.0);
+
+  const DiGraph& graph = network.graph();
+  VertexId n = network.num_vertices();
+  GSR_CHECK(n >= 2);
+
+  const auto random_point = [&] {
+    return Point2D{rng.NextDoubleInRange(space.min_x, space.max_x),
+                   rng.NextDoubleInRange(space.min_y, space.max_y)};
+  };
+  const auto edge_key = [](VertexId a, VertexId b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  };
+
+  std::vector<Update> stream;
+  stream.reserve(spec.count);
+  // Live edges the stream itself inserted, and base edges it deleted —
+  // so deletes target live edges instead of degenerating into no-ops.
+  std::vector<std::pair<VertexId, VertexId>> inserted;
+  std::unordered_set<uint64_t> deleted_base;
+
+  const auto emit_insert = [&] {
+    const VertexId a = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId b = static_cast<VertexId>(rng.NextBounded(n - 1));
+    if (b >= a) ++b;  // Distinct endpoints, no self-loops.
+    stream.push_back(Update::InsertEdge(a, b));
+    inserted.emplace_back(a, b);
+  };
+
+  while (stream.size() < spec.count) {
+    double draw = rng.NextDouble() * total;
+    int kind = 0;
+    while (kind < 4 && draw >= weights[kind]) {
+      draw -= weights[kind];
+      ++kind;
+    }
+    switch (kind) {
+      case 0: {  // New vertex, optionally spatial, immediately wired in.
+        std::optional<Point2D> point;
+        if (rng.NextDouble() < spec.spatial_fraction) point = random_point();
+        stream.push_back(Update::AddVertex(point));
+        const VertexId id = n++;
+        for (uint32_t e = 0;
+             e < spec.edges_per_new_vertex && stream.size() < spec.count;
+             ++e) {
+          VertexId other = static_cast<VertexId>(rng.NextBounded(n - 1));
+          if (other >= id) ++other;
+          const bool outgoing = rng.NextBounded(2) == 0;
+          const VertexId a = outgoing ? id : other;
+          const VertexId b = outgoing ? other : id;
+          stream.push_back(Update::InsertEdge(a, b));
+          inserted.emplace_back(a, b);
+        }
+        break;
+      }
+      case 1:  // Check-in.
+        stream.push_back(Update::SetPoint(
+            static_cast<VertexId>(rng.NextBounded(n)), random_point()));
+        break;
+      case 2: {  // Check-out: prefer a vertex that actually has a point.
+        VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+        const auto& spatial = network.spatial_vertices();
+        if (v < network.num_vertices() && !network.IsSpatial(v) &&
+            !spatial.empty()) {
+          v = spatial[rng.NextBounded(spatial.size())];
+        }
+        stream.push_back(Update::ClearPoint(v));
+        break;
+      }
+      case 3:
+        emit_insert();
+        break;
+      case 4: {  // Delete a live edge: stream-inserted or base.
+        if (!inserted.empty() && rng.NextBounded(2) == 0) {
+          const size_t i = rng.NextBounded(inserted.size());
+          const auto [a, b] = inserted[i];
+          inserted[i] = inserted.back();
+          inserted.pop_back();
+          stream.push_back(Update::DeleteEdge(a, b));
+          break;
+        }
+        bool found = false;
+        for (int attempt = 0; attempt < 16 && !found; ++attempt) {
+          const VertexId u =
+              static_cast<VertexId>(rng.NextBounded(graph.num_vertices()));
+          const auto neighbors = graph.OutNeighbors(u);
+          if (neighbors.empty()) continue;
+          const VertexId w = neighbors[rng.NextBounded(neighbors.size())];
+          if (deleted_base.contains(edge_key(u, w))) continue;
+          deleted_base.insert(edge_key(u, w));
+          stream.push_back(Update::DeleteEdge(u, w));
+          found = true;
+        }
+        if (!found) emit_insert();  // Dense delete history: churn instead.
+        break;
+      }
+    }
+  }
+  stream.resize(spec.count);
+  return stream;
 }
 
 }  // namespace gsr

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "core/geosocial_network.h"
 #include "core/range_reach.h"
+#include "core/update_log.h"
 #include "spatial/rtree.h"
 
 namespace gsr {
@@ -95,6 +96,36 @@ struct QuerySpec {
   /// Sources per AnyReach query (the "k friends"); kAnyOfK only.
   uint32_t any_k = 4;
 };
+
+/// Shape of one streaming-update workload: `count` updates drawn from the
+/// kind mix (weights are normalized internally; a zero weight drops that
+/// kind). The defaults model a production geosocial feed — check-ins
+/// dominate, friendship churn is steady, vertex arrivals and check-outs
+/// are rare, deletes are rarer than inserts.
+struct UpdateStreamSpec {
+  uint32_t count = 1000;
+  double add_vertex_weight = 0.10;
+  double set_point_weight = 0.45;   // Check-ins: move or gain a point.
+  double clear_point_weight = 0.05; // Check-outs.
+  double insert_edge_weight = 0.30;
+  double delete_edge_weight = 0.10;
+  /// Fraction of added vertices that arrive with a point (venues).
+  double spatial_fraction = 0.7;
+  /// Each new vertex immediately draws this many edges to/from existing
+  /// vertices (so arrivals join the reachable graph instead of floating).
+  uint32_t edges_per_new_vertex = 2;
+};
+
+/// Generates one reproducible update stream against a fixed network:
+/// points are drawn inside the network's space bounds, edge endpoints
+/// track the growing vertex set (arrivals can immediately gain edges and
+/// later updates can reference them), and deletes target live edges —
+/// base edges or ones the stream itself inserted. The stream is valid by
+/// construction: replaying it through DynamicRangeReach::Apply or
+/// MaterializeNetwork never errors.
+std::vector<Update> GenerateUpdateStream(const GeoSocialNetwork& network,
+                                         const UpdateStreamSpec& spec,
+                                         uint64_t seed);
 
 /// Generates RangeReach query batches against a fixed network. Regions are
 /// square, centered at random locations inside the space (extent mode) or

@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "core/naive_bfs.h"
+#include "datagen/workload.h"
 #include "graph/digraph.h"
 #include "tests/test_util.h"
 
@@ -32,6 +33,14 @@ class ReferenceNetwork {
   }
 
   void AddEdge(VertexId from, VertexId to) { edges_.emplace_back(from, to); }
+
+  void DeleteEdge(VertexId from, VertexId to) {
+    std::erase(edges_, std::make_pair(from, to));
+  }
+
+  void SetPoint(VertexId v, const Point2D& p) { points_[v] = p; }
+
+  void ClearPoint(VertexId v) { points_[v].reset(); }
 
   bool RangeReach(VertexId v, const Rect& region) const {
     auto graph = DiGraph::FromEdges(
@@ -148,6 +157,244 @@ TEST(DynamicRangeReachTest, RejectsOutOfRangeEdges) {
   EXPECT_TRUE(dynamic.AddEdge(1, 0).ok());
 }
 
+TEST(DynamicRangeReachTest, PointMoveLeavesAndEntersRegions) {
+  // bob checks in downtown; later he moves uptown. Queries must track the
+  // *current* point, not the indexed base point.
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  std::vector<std::optional<Point2D>> points(2);
+  points[1] = Point2D{5, 5};
+  auto network = GeoSocialNetwork::Create(std::move(graph).value(), points);
+  ASSERT_TRUE(network.ok());
+
+  DynamicRangeReach dynamic(std::move(network).value());
+  const Rect downtown(0, 0, 10, 10);
+  const Rect uptown(90, 90, 100, 100);
+  EXPECT_TRUE(dynamic.Evaluate(0, downtown));
+  EXPECT_FALSE(dynamic.Evaluate(0, uptown));
+
+  ASSERT_TRUE(dynamic.SetPoint(1, Point2D{95, 95}).ok());
+  EXPECT_FALSE(dynamic.Evaluate(0, downtown));  // Stale base point ignored.
+  EXPECT_TRUE(dynamic.Evaluate(0, uptown));
+
+  ASSERT_TRUE(dynamic.ClearPoint(1).ok());
+  EXPECT_FALSE(dynamic.Evaluate(0, downtown));
+  EXPECT_FALSE(dynamic.Evaluate(0, uptown));
+
+  dynamic.Rebuild();
+  EXPECT_EQ(dynamic.pending_updates(), 0u);
+  EXPECT_FALSE(dynamic.Evaluate(0, downtown));
+  EXPECT_FALSE(dynamic.Evaluate(0, uptown));
+}
+
+TEST(DynamicRangeReachTest, EdgeFlipsDeleteAndRevive) {
+  // 0 -> 1 -> 2(venue): deleting the middle edge cuts the path, and
+  // re-inserting the same base edge (an edge flip) revives it without
+  // growing the delta.
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  std::vector<std::optional<Point2D>> points(3);
+  points[2] = Point2D{5, 5};
+  auto network = GeoSocialNetwork::Create(std::move(graph).value(), points);
+  ASSERT_TRUE(network.ok());
+
+  DynamicRangeReach dynamic(std::move(network).value());
+  const Rect venue(4, 4, 6, 6);
+  EXPECT_TRUE(dynamic.Evaluate(0, venue));
+
+  ASSERT_TRUE(dynamic.DeleteEdge(1, 2).ok());
+  EXPECT_FALSE(dynamic.Evaluate(0, venue));
+  EXPECT_FALSE(dynamic.Evaluate(1, venue));
+  EXPECT_TRUE(dynamic.Evaluate(2, venue));  // The venue still sees itself.
+
+  ASSERT_TRUE(dynamic.AddEdge(1, 2).ok());  // Flip back: un-deletes.
+  EXPECT_TRUE(dynamic.Evaluate(0, venue));
+  EXPECT_EQ(dynamic.pending_updates(), 0u);  // The flip nets out of the delta.
+  EXPECT_EQ(dynamic.log_size(), 2u);         // But both updates are logged.
+
+  dynamic.Rebuild();
+  EXPECT_TRUE(dynamic.Evaluate(0, venue));
+}
+
+TEST(DynamicRangeReachTest, NoOpUpdatesAreNotLogged) {
+  auto graph = DiGraph::FromEdges(3, {{0, 1}});
+  ASSERT_TRUE(graph.ok());
+  std::vector<std::optional<Point2D>> points(3);
+  points[1] = Point2D{5, 5};
+  auto network = GeoSocialNetwork::Create(std::move(graph).value(), points);
+  ASSERT_TRUE(network.ok());
+  DynamicRangeReach dynamic(std::move(network).value());
+
+  ASSERT_TRUE(dynamic.AddEdge(0, 1).ok());       // Already a live base edge.
+  ASSERT_TRUE(dynamic.AddEdge(2, 2).ok());       // Self-loop.
+  ASSERT_TRUE(dynamic.DeleteEdge(1, 2).ok());    // Absent edge.
+  ASSERT_TRUE(dynamic.SetPoint(1, Point2D{5, 5}).ok());  // Identical point.
+  ASSERT_TRUE(dynamic.ClearPoint(0).ok());       // Already bare.
+  EXPECT_EQ(dynamic.log_size(), 0u);
+  EXPECT_EQ(dynamic.pending_updates(), 0u);
+
+  ASSERT_TRUE(dynamic.DeleteEdge(0, 1).ok());    // A real change.
+  EXPECT_EQ(dynamic.log_size(), 1u);
+  ASSERT_TRUE(dynamic.DeleteEdge(0, 1).ok());    // Double delete: no-op.
+  EXPECT_EQ(dynamic.log_size(), 1u);
+}
+
+TEST(DynamicRangeReachTest, EmptyDeltaDegenerates) {
+  const GeoSocialNetwork base =
+      testing::RandomGeoSocialNetwork(40, 1.5, 0.4, 17);
+  const NaiveBfsMethod oracle(&base);
+  DynamicRangeReach dynamic{testing::RandomGeoSocialNetwork(40, 1.5, 0.4, 17)};
+
+  // Rebuild with an empty delta is a no-op (same base object).
+  const auto* before = dynamic.base().get();
+  dynamic.Rebuild();
+  EXPECT_EQ(dynamic.base().get(), before);
+
+  // A snapshot view of the empty delta answers like the base.
+  auto view = dynamic.Snapshot();
+  auto scratch = view->NewScratch();
+  Rng rng(18);
+  for (int q = 0; q < 50; ++q) {
+    const VertexId v =
+        static_cast<VertexId>(rng.NextBounded(base.num_vertices()));
+    const double x = rng.NextDoubleInRange(0, 80);
+    const double y = rng.NextDoubleInRange(0, 80);
+    const Rect region(x, y, x + 20, y + 20);
+    EXPECT_EQ(view->Evaluate(v, region, scratch), oracle.Evaluate(v, region));
+  }
+}
+
+TEST(DynamicRangeReachTest, DeltaOnlyVertexIsQueryable) {
+  // A vertex that exists only in the delta — no edges at all.
+  auto graph = DiGraph::FromEdges(1, {});
+  ASSERT_TRUE(graph.ok());
+  auto network = GeoSocialNetwork::Create(
+      std::move(graph).value(), std::vector<std::optional<Point2D>>(1));
+  ASSERT_TRUE(network.ok());
+  DynamicRangeReach dynamic(std::move(network).value());
+
+  const VertexId lonely = dynamic.AddVertex(std::nullopt);
+  EXPECT_FALSE(dynamic.Evaluate(lonely, Rect(0, 0, 100, 100)));
+
+  const VertexId venue = dynamic.AddVertex(Point2D{5, 5});
+  EXPECT_TRUE(dynamic.Evaluate(venue, Rect(0, 0, 10, 10)));
+  EXPECT_FALSE(dynamic.Evaluate(venue, Rect(20, 20, 30, 30)));
+  EXPECT_FALSE(dynamic.Evaluate(lonely, Rect(0, 0, 10, 10)));
+
+  // Points of delta-only vertices can move and clear too.
+  ASSERT_TRUE(dynamic.SetPoint(venue, Point2D{25, 25}).ok());
+  EXPECT_TRUE(dynamic.Evaluate(venue, Rect(20, 20, 30, 30)));
+  ASSERT_TRUE(dynamic.ClearPoint(venue).ok());
+  EXPECT_FALSE(dynamic.Evaluate(venue, Rect(20, 20, 30, 30)));
+}
+
+TEST(DynamicRangeReachTest, MaterializeAtReproducesEveryPrefix) {
+  const GeoSocialNetwork base =
+      testing::RandomGeoSocialNetwork(30, 1.5, 0.5, 23);
+  DynamicRangeReach dynamic{testing::RandomGeoSocialNetwork(30, 1.5, 0.5, 23)};
+  const UpdateStreamSpec spec{.count = 40};
+  const auto stream = GenerateUpdateStream(base, spec, 99);
+  for (const Update& update : stream) {
+    ASSERT_TRUE(dynamic.Apply(update).ok());
+  }
+  // The log may be shorter than the stream (no-ops are not logged), and
+  // every prefix must materialize cleanly.
+  EXPECT_LE(dynamic.log_size(), stream.size());
+  for (uint64_t pos = 0; pos <= dynamic.log_size(); pos += 7) {
+    const GeoSocialNetwork at = dynamic.MaterializeAt(pos);
+    EXPECT_GE(at.num_vertices(), base.num_vertices());
+  }
+  // Full materialization matches the live view: same answers everywhere.
+  const GeoSocialNetwork full = dynamic.MaterializeAt(dynamic.log_size());
+  const NaiveBfsMethod oracle(&full);
+  Rng rng(24);
+  for (int q = 0; q < 80; ++q) {
+    const VertexId v =
+        static_cast<VertexId>(rng.NextBounded(dynamic.num_vertices()));
+    const double x = rng.NextDoubleInRange(0, 80);
+    const double y = rng.NextDoubleInRange(0, 80);
+    const Rect region(x, y, x + 20, y + 20);
+    ASSERT_EQ(dynamic.Evaluate(v, region), oracle.Evaluate(v, region));
+  }
+}
+
+TEST(DynamicRangeReachTest, SnapshotViewIsImmutableUnderLaterUpdates) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  std::vector<std::optional<Point2D>> points(2);
+  points[1] = Point2D{5, 5};
+  auto network = GeoSocialNetwork::Create(std::move(graph).value(), points);
+  ASSERT_TRUE(network.ok());
+  DynamicRangeReach dynamic(std::move(network).value());
+
+  const Rect venue(4, 4, 6, 6);
+  auto view = dynamic.Snapshot();
+  auto scratch = view->NewScratch();
+  EXPECT_TRUE(view->Evaluate(0, venue, scratch));
+
+  ASSERT_TRUE(dynamic.DeleteEdge(0, 1).ok());
+  EXPECT_FALSE(dynamic.Evaluate(0, venue));
+  // The pinned view still answers at its own position.
+  EXPECT_TRUE(view->Evaluate(0, venue, scratch));
+
+  dynamic.Rebuild();  // Hot-swaps the engine's base; view keeps the old one.
+  EXPECT_FALSE(dynamic.Evaluate(0, venue));
+  EXPECT_TRUE(view->Evaluate(0, venue, scratch));
+}
+
+TEST(DynamicRangeReachTest, SnapshotRoundTripBaseAnswersIdentically) {
+  const GeoSocialNetwork base =
+      testing::RandomGeoSocialNetwork(80, 2.0, 0.4, 41);
+  DynamicRangeReach dynamic{testing::RandomGeoSocialNetwork(80, 2.0, 0.4, 41)};
+  // Some delta on top of the base, so the swap happens mid-stream.
+  ASSERT_TRUE(dynamic.AddEdge(0, 40).ok());
+  ASSERT_TRUE(dynamic.SetPoint(3, Point2D{50, 50}).ok());
+
+  const std::string path = ::testing::TempDir() + "/dyn_base_roundtrip.gsr";
+  for (const auto mode :
+       {snapshot::LoadMode::kOwnedCopy, snapshot::LoadMode::kMmap}) {
+    auto swapped =
+        DynamicRangeReach::Base::RoundTripThroughSnapshot(dynamic.base(), path,
+                                                          mode);
+    ASSERT_TRUE(swapped.ok()) << swapped.status().ToString();
+    EXPECT_TRUE((*swapped)->from_snapshot);
+
+    DynamicRangeReach::View before{dynamic.base(), {}, 0};
+    DynamicRangeReach::View after{*swapped, {}, 0};
+    auto s1 = before.NewScratch();
+    auto s2 = after.NewScratch();
+    Rng rng(42);
+    for (int q = 0; q < 100; ++q) {
+      const VertexId v =
+          static_cast<VertexId>(rng.NextBounded(base.num_vertices()));
+      const double x = rng.NextDoubleInRange(0, 80);
+      const double y = rng.NextDoubleInRange(0, 80);
+      const Rect region(x, y, x + 20, y + 20);
+      ASSERT_EQ(before.Evaluate(v, region, s1), after.Evaluate(v, region, s2));
+    }
+
+    // Installing the swapped base preserves the live delta's answers.
+    const GeoSocialNetwork full = dynamic.MaterializeAt(dynamic.log_size());
+    const NaiveBfsMethod oracle(&full);
+    dynamic.InstallBase(*swapped);
+    for (int q = 0; q < 50; ++q) {
+      const VertexId v =
+          static_cast<VertexId>(rng.NextBounded(dynamic.num_vertices()));
+      const double x = rng.NextDoubleInRange(0, 80);
+      const double y = rng.NextDoubleInRange(0, 80);
+      const Rect region(x, y, x + 20, y + 20);
+      ASSERT_EQ(dynamic.Evaluate(v, region), oracle.Evaluate(v, region));
+    }
+  }
+}
+
 class DynamicRandomTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DynamicRandomTest, RandomUpdateSequencesStayExact) {
@@ -159,10 +406,10 @@ TEST_P(DynamicRandomTest, RandomUpdateSequencesStayExact) {
       testing::RandomGeoSocialNetwork(60, 1.5, 0.4, seed)};
 
   Rng rng(seed * 31 + 7);
-  for (int step = 0; step < 60; ++step) {
-    // Apply a random update.
+  for (int step = 0; step < 80; ++step) {
+    // Apply a random update over the full update set.
     const double dice = rng.NextDouble();
-    if (dice < 0.25) {
+    if (dice < 0.15) {
       std::optional<Point2D> point;
       if (rng.NextBernoulli(0.7)) {
         point = Point2D{rng.NextDoubleInRange(0, 100),
@@ -171,7 +418,7 @@ TEST_P(DynamicRandomTest, RandomUpdateSequencesStayExact) {
       const VertexId a = dynamic.AddVertex(point);
       const VertexId b = reference.AddVertex(point);
       ASSERT_EQ(a, b);
-    } else if (dice < 0.85) {
+    } else if (dice < 0.5) {
       const VertexId from =
           static_cast<VertexId>(rng.NextBounded(dynamic.num_vertices()));
       const VertexId to =
@@ -180,7 +427,30 @@ TEST_P(DynamicRandomTest, RandomUpdateSequencesStayExact) {
         ASSERT_TRUE(dynamic.AddEdge(from, to).ok());
         reference.AddEdge(from, to);
       }
+    } else if (dice < 0.65) {
+      // Check-in: move or gain a point.
+      const VertexId v =
+          static_cast<VertexId>(rng.NextBounded(dynamic.num_vertices()));
+      const Point2D p{rng.NextDoubleInRange(0, 100),
+                      rng.NextDoubleInRange(0, 100)};
+      ASSERT_TRUE(dynamic.SetPoint(v, p).ok());
+      reference.SetPoint(v, p);
+    } else if (dice < 0.72) {
+      // Check-out.
+      const VertexId v =
+          static_cast<VertexId>(rng.NextBounded(dynamic.num_vertices()));
+      ASSERT_TRUE(dynamic.ClearPoint(v).ok());
+      reference.ClearPoint(v);
     } else if (dice < 0.9) {
+      // Delete a random (possibly absent) edge — absent is a no-op for
+      // both sides, so the draw needs no liveness knowledge.
+      const VertexId from =
+          static_cast<VertexId>(rng.NextBounded(dynamic.num_vertices()));
+      const VertexId to =
+          static_cast<VertexId>(rng.NextBounded(dynamic.num_vertices()));
+      ASSERT_TRUE(dynamic.DeleteEdge(from, to).ok());
+      reference.DeleteEdge(from, to);
+    } else if (dice < 0.95) {
       dynamic.Rebuild();
       ASSERT_EQ(dynamic.pending_updates(), 0u);
     }

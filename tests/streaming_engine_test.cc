@@ -1,0 +1,236 @@
+#include "exec/streaming_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/naive_bfs.h"
+#include "datagen/workload.h"
+#include "exec/batch_runner.h"
+#include "tests/test_util.h"
+
+namespace gsr::exec {
+namespace {
+
+Rect RandomRegion(Rng& rng) {
+  const double x = rng.NextDoubleInRange(-5, 85);
+  const double y = rng.NextDoubleInRange(-5, 85);
+  return Rect(x, y, x + rng.NextDoubleInRange(2, 25),
+              y + rng.NextDoubleInRange(2, 25));
+}
+
+TEST(StreamingRangeReachTest, StreamAgreesWithOracleAtEveryStep) {
+  const GeoSocialNetwork initial =
+      testing::RandomGeoSocialNetwork(60, 1.5, 0.4, 7);
+  StreamingOptions options;
+  options.publish_every = 1;
+  options.rebuild_threshold = 24;  // Several inline rebuilds over the run.
+  StreamingRangeReach engine(
+      testing::RandomGeoSocialNetwork(60, 1.5, 0.4, 7), /*pool=*/nullptr,
+      options);
+
+  const auto stream =
+      GenerateUpdateStream(initial, UpdateStreamSpec{.count = 150}, 8);
+  Rng rng(9);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_TRUE(engine.Apply(stream[i]).ok());
+    if (i % 10 != 0) continue;
+
+    const auto view = engine.Pin();
+    auto materialized = engine.MaterializeView(*view);
+    ASSERT_TRUE(materialized.ok());
+    const NaiveBfsMethod oracle(&*materialized);
+    auto scratch = view->NewScratch();
+    for (int q = 0; q < 10; ++q) {
+      const VertexId v =
+          static_cast<VertexId>(rng.NextBounded(view->num_vertices()));
+      const Rect region = RandomRegion(rng);
+      ASSERT_EQ(view->Evaluate(v, region, *scratch),
+                oracle.Evaluate(v, region))
+          << "update " << i << " vertex " << v;
+    }
+  }
+  EXPECT_GE(engine.stats().rebuilds_completed, 1u);
+  EXPECT_EQ(engine.stats().updates, engine.log_size());
+}
+
+TEST(StreamingRangeReachTest, PinnedEpochsAnswerAtTheirOwnPosition) {
+  const GeoSocialNetwork initial =
+      testing::RandomGeoSocialNetwork(50, 1.5, 0.4, 11);
+  StreamingOptions options;
+  options.rebuild_threshold = 0;  // Only the explicit Flush below rebuilds.
+  StreamingRangeReach engine(
+      testing::RandomGeoSocialNetwork(50, 1.5, 0.4, 11), /*pool=*/nullptr,
+      options);
+
+  const auto stream =
+      GenerateUpdateStream(initial, UpdateStreamSpec{.count = 90}, 12);
+  std::vector<std::shared_ptr<const EpochView>> pins;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_TRUE(engine.Apply(stream[i]).ok());
+    if (i % 30 == 0) pins.push_back(engine.Pin());
+  }
+  pins.push_back(engine.Pin());
+  engine.Flush();  // Base hot-swap: pinned views must keep their answers.
+  EXPECT_EQ(engine.pending_updates(), 0u);
+  pins.push_back(engine.Pin());
+
+  Rng rng(13);
+  for (const auto& view : pins) {
+    auto materialized = engine.MaterializeView(*view);
+    ASSERT_TRUE(materialized.ok());
+    const NaiveBfsMethod oracle(&*materialized);
+    auto scratch = view->NewScratch();
+    for (int q = 0; q < 25; ++q) {
+      const VertexId v =
+          static_cast<VertexId>(rng.NextBounded(view->num_vertices()));
+      const Rect region = RandomRegion(rng);
+      ASSERT_EQ(view->Evaluate(v, region, *scratch),
+                oracle.Evaluate(v, region))
+          << view->name() << " at position " << view->position();
+    }
+  }
+  // Distinct epochs, monotone positions.
+  for (size_t i = 1; i < pins.size(); ++i) {
+    EXPECT_LT(pins[i - 1]->epoch(), pins[i]->epoch());
+    EXPECT_LE(pins[i - 1]->position(), pins[i]->position());
+  }
+}
+
+TEST(StreamingRangeReachTest, BatchRunnerDrivesEpochViews) {
+  const GeoSocialNetwork initial =
+      testing::RandomGeoSocialNetwork(80, 2.0, 0.4, 21);
+  ThreadPool pool(4);
+  StreamingRangeReach engine(
+      testing::RandomGeoSocialNetwork(80, 2.0, 0.4, 21), &pool);
+  const auto stream =
+      GenerateUpdateStream(initial, UpdateStreamSpec{.count = 40}, 22);
+  ASSERT_TRUE(engine.ApplyAll(stream).ok());
+  engine.WaitForRebuilds();
+
+  const auto view = engine.Pin();
+  Rng rng(23);
+  std::vector<RangeReachQuery> queries;
+  for (int q = 0; q < 200; ++q) {
+    queries.push_back(RangeReachQuery{
+        static_cast<VertexId>(rng.NextBounded(view->num_vertices())),
+        RandomRegion(rng)});
+  }
+  // The pinned epoch is a RangeReachMethod: the batch layer fans it out
+  // over the same pool that runs background rebuilds.
+  BatchRunner runner(&pool);
+  const BatchResult result = runner.Run(*view, queries);
+
+  auto scratch = view->NewScratch();
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ASSERT_EQ(result.answers[q] != 0,
+              view->Evaluate(queries[q].vertex, queries[q].region, *scratch));
+  }
+}
+
+/// The read-while-update gate: reader threads pin epochs and query while
+/// the writer streams updates and background rebuilds hot-swap bases
+/// through the snapshot layer. Sampled answers are verified afterwards
+/// against a rebuilt-from-scratch oracle at the sampled log position —
+/// zero violations required, across 1, 4, and hardware-many readers.
+/// The TSan CI job runs this test to certify the absence of data races.
+class ReadWhileUpdateTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ReadWhileUpdateTest, ConcurrentReadersSeeExactAnswers) {
+  const unsigned readers = GetParam();
+  const GeoSocialNetwork initial =
+      testing::RandomGeoSocialNetwork(120, 1.8, 0.4, 31);
+
+  ThreadPool pool(readers);
+  StreamingOptions options;
+  options.publish_every = 1;
+  options.rebuild_threshold = 48;
+  options.spill_dir = ::testing::TempDir();  // Swap through snapshots.
+  StreamingRangeReach engine(
+      testing::RandomGeoSocialNetwork(120, 1.8, 0.4, 31), &pool, options);
+
+  const auto stream =
+      GenerateUpdateStream(initial, UpdateStreamSpec{.count = 400}, 32);
+
+  struct Sample {
+    uint64_t position;
+    VertexId vertex;
+    Rect region;
+    bool answer;
+  };
+  std::vector<std::vector<Sample>> samples(readers);
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> reader_threads;
+  for (unsigned r = 0; r < readers; ++r) {
+    reader_threads.emplace_back([&, r] {
+      Rng rng(1000 + r);
+      while (!done.load(std::memory_order_acquire)) {
+        const auto view = engine.Pin();
+        auto scratch = view->NewScratch();
+        for (int q = 0; q < 16; ++q) {
+          const VertexId v =
+              static_cast<VertexId>(rng.NextBounded(view->num_vertices()));
+          const Rect region = RandomRegion(rng);
+          const bool answer = view->Evaluate(v, region, *scratch);
+          // Sample sparsely: the post-run oracle materializes each
+          // distinct sampled position once.
+          if (q == 0 && samples[r].size() < 40) {
+            samples[r].push_back(Sample{view->position(), v, region, answer});
+          }
+        }
+      }
+    });
+  }
+
+  for (const Update& update : stream) {
+    ASSERT_TRUE(engine.Apply(update).ok());
+  }
+  engine.WaitForRebuilds();
+  done.store(true, std::memory_order_release);
+  for (auto& t : reader_threads) t.join();
+
+  // At least one background rebuild hot-swapped a snapshot-loaded base
+  // while the readers were live.
+  const auto stats = engine.stats();
+  EXPECT_GE(stats.rebuilds_completed, 1u);
+  EXPECT_GE(stats.snapshot_swaps, 1u);
+  EXPECT_EQ(stats.rebuild_failures, 0u)
+      << engine.last_rebuild_error().ToString();
+
+  // Verify every sample against the from-scratch oracle at its position.
+  std::map<uint64_t, std::unique_ptr<GeoSocialNetwork>> networks;
+  uint64_t verified = 0;
+  for (unsigned r = 0; r < readers; ++r) {
+    for (const Sample& sample : samples[r]) {
+      auto& network = networks[sample.position];
+      if (!network) {
+        auto log = engine.CopyLog(0, sample.position);
+        auto materialized = MaterializeNetwork(initial, log);
+        ASSERT_TRUE(materialized.ok());
+        network = std::make_unique<GeoSocialNetwork>(
+            std::move(materialized).value());
+      }
+      const NaiveBfsMethod oracle(network.get());
+      ASSERT_EQ(sample.answer, oracle.Evaluate(sample.vertex, sample.region))
+          << "reader " << r << " at position " << sample.position;
+      ++verified;
+    }
+  }
+  EXPECT_GT(verified, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ReadWhileUpdateTest,
+                         ::testing::Values(1u, 4u, ThreadPool::DefaultThreads()),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "readers_" + std::to_string(info.param) +
+                                  "_idx" + std::to_string(info.index);
+                         });
+
+}  // namespace
+}  // namespace gsr::exec
