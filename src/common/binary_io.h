@@ -10,6 +10,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/paged_array.h"
 #include "common/status.h"
 
 namespace gsr {
@@ -38,6 +39,13 @@ class BinaryWriter {
   const std::vector<std::byte>& bytes() const { return buffer_; }
   std::vector<std::byte> TakeBytes() { return std::move(buffer_); }
 
+  /// Alignment (relative to the buffer start) of every WriteArray payload.
+  /// Defaults to 8; the page-aligned snapshot format raises it to the page
+  /// size so array payloads land on page boundaries in the file. Must be a
+  /// power of two >= 8, and the reader must be configured to match.
+  void set_array_alignment(size_t alignment) { array_alignment_ = alignment; }
+  size_t array_alignment() const { return array_alignment_; }
+
   /// Zero-pads until the buffer size is a multiple of `alignment`.
   void AlignTo(size_t alignment) {
     const size_t rem = buffer_.size() % alignment;
@@ -65,13 +73,14 @@ class BinaryWriter {
   void WriteF64(double v) { WritePod(v); }
 
   /// Writes a length-prefixed array of trivially copyable elements. The
-  /// payload is aligned to 8 bytes (relative to the buffer start) so the
-  /// reader can vend an aligned zero-copy span over it.
+  /// payload is aligned to array_alignment() bytes (relative to the buffer
+  /// start) so the reader can vend an aligned zero-copy span over it — or,
+  /// at page alignment, address it straight off the disk pages.
   template <typename T>
   void WriteArray(std::span<const T> values) {
     static_assert(std::is_trivially_copyable_v<T>);
     WriteU64(values.size());
-    AlignTo(8);
+    AlignTo(array_alignment_);
     WriteBytes(values.data(), values.size() * sizeof(T));
   }
 
@@ -82,15 +91,25 @@ class BinaryWriter {
 
  private:
   std::vector<std::byte> buffer_;
+  size_t array_alignment_ = 8;
 };
 
 /// Keeps borrowed (zero-copy) deserialization memory alive. `borrow` set
 /// means "structures may view into the backing buffer instead of copying";
 /// every structure that does so must retain `keepalive`, which owns the
 /// buffer (e.g. a whole mapped snapshot file).
+///
+/// The out-of-core load path sets `paged` instead: pageable structures
+/// then record in-file array addresses (`section_file_offset` plus the
+/// in-section payload offset) and read through the PagedSource at query
+/// time. In that mode the reader's backing buffer is a TEMPORARY section
+/// materialization — views into it are valid during Deserialize (for
+/// validation) but must not be retained.
 struct BorrowContext {
   bool borrow = false;
   std::shared_ptr<const void> keepalive;
+  std::shared_ptr<PagedSource> paged;
+  uint64_t section_file_offset = 0;  // Absolute offset of the section.
 };
 
 /// Bounds-checked deserializer over a read-only byte span. Every read
@@ -102,6 +121,12 @@ class BinaryReader {
 
   size_t offset() const { return offset_; }
   size_t remaining() const { return data_.size() - offset_; }
+
+  /// Must match the alignment the writer used (8 for format v1, the page
+  /// size for page-aligned snapshots). Set by whoever constructs the
+  /// reader — the snapshot layer derives it from the file's version.
+  void set_array_alignment(size_t alignment) { array_alignment_ = alignment; }
+  size_t array_alignment() const { return array_alignment_; }
 
   Status AlignTo(size_t alignment) {
     const size_t rem = offset_ % alignment;
@@ -151,7 +176,7 @@ class BinaryReader {
     static_assert(std::is_trivially_copyable_v<T>);
     uint64_t count = 0;
     GSR_RETURN_IF_ERROR(ReadU64(&count));
-    GSR_RETURN_IF_ERROR(AlignTo(8));
+    GSR_RETURN_IF_ERROR(AlignTo(array_alignment_));
     if (count > remaining() / sizeof(T)) {
       return Status::OutOfRange("array length exceeds section size");
     }
@@ -181,9 +206,32 @@ class BinaryReader {
     return Status::Ok();
   }
 
+  /// ReadArrayInto's sibling for structures that can serve straight from
+  /// disk. Without `ctx.paged` it behaves exactly like ReadArrayInto and
+  /// leaves `*paged` unset. With `ctx.paged`, it additionally records the
+  /// array's absolute file address in `*paged`; `*view` then points into
+  /// the reader's TEMPORARY section buffer — run all validation against it
+  /// inside Deserialize, then drop it and keep only `*paged`.
+  template <typename T>
+  Status ReadArrayPageable(const BorrowContext& ctx, std::vector<T>* owned,
+                           std::span<const T>* view, PagedArray<T>* paged) {
+    *paged = PagedArray<T>{};
+    if (ctx.paged == nullptr) {
+      return ReadArrayInto(ctx, owned, view);
+    }
+    owned->clear();
+    GSR_RETURN_IF_ERROR(ReadArrayView(view));
+    paged->source = ctx.paged;
+    paged->file_offset =
+        ctx.section_file_offset + (offset_ - view->size() * sizeof(T));
+    paged->count = view->size();
+    return Status::Ok();
+  }
+
  private:
   std::span<const std::byte> data_;
   size_t offset_ = 0;
+  size_t array_alignment_ = 8;
 };
 
 }  // namespace gsr

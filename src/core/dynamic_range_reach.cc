@@ -436,6 +436,151 @@ bool DynamicRangeReach::ExactOverlayBfs(const Base& base, const Delta& delta,
   return false;
 }
 
+void DynamicRangeReach::CollectImpl(const Base& base, const Delta& delta,
+                                    VertexId vertex, const Rect& region,
+                                    ResultSink& sink, Scratch& scratch) {
+  const VertexId nb = base.num_vertices();
+  const VertexId n = nb + static_cast<VertexId>(delta.added_points.size());
+  GSR_CHECK(vertex < n);
+  GSR_DCHECK(sink.kind() != QueryKind::kBool);
+
+  if (delta.risky()) {
+    // The base index may over-approximate once base edges were deleted
+    // or base points went stale, so collect with the exact overlay BFS —
+    // its visited marks give exactly-once delivery for free.
+    scratch.overlay_visited.assign(n, 0);
+    std::vector<uint8_t>& visited = scratch.overlay_visited;
+    std::vector<VertexId>& queue = scratch.overlay_queue;
+    queue.clear();
+    const auto visit = [&](VertexId v) {
+      if (!visited[v]) {
+        visited[v] = 1;
+        queue.push_back(v);
+      }
+    };
+    visit(vertex);
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const VertexId u = queue[head];
+      const std::optional<Point2D> p = CurrentPoint(base, delta, u);
+      if (p.has_value() && region.Contains(*p)) sink.Add(u);
+      if (u < nb) {
+        const auto deleted = EdgesFrom(delta.deleted_edges, u);
+        size_t d = 0;
+        for (const VertexId w : base.network->graph().OutNeighbors(u)) {
+          while (d < deleted.size() && deleted[d].second < w) ++d;
+          if (d < deleted.size() && deleted[d].second == w) continue;
+          visit(w);
+        }
+      }
+      for (const auto& [from, to] : EdgesFrom(delta.inserted_edges, u)) {
+        (void)from;
+        visit(to);
+      }
+    }
+    return;
+  }
+
+  // Insert-only delta: base reachability is exact, so the result is the
+  // union of three sources, deduplicated with epoch marks (the anchors'
+  // base collections can overlap):
+  //  1. the base index's collection from the query vertex and from every
+  //     reachable stitch anchor — base vertices whose base point (still
+  //     current; the delta is not risky) lies in the region;
+  //  2. point overrides — base vertices that *gained* a point, invisible
+  //     to the base index — reachable over base paths from the vertex or
+  //     an anchor;
+  //  3. added vertices, which have no base edges and so are reachable
+  //     only as the query vertex itself or as a stitch anchor.
+  if (!scratch.base || scratch.base_instance != base.method->instance_id()) {
+    scratch.base = base.method->NewScratch();
+    scratch.base_instance = base.method->instance_id();
+  }
+  const auto base_reach = [&](VertexId from, VertexId to) {
+    return base.index->labeling().CanReach(base.cn->ComponentOf(from),
+                                           base.cn->ComponentOf(to));
+  };
+
+  // Stitch closure: OptimisticEvaluate's mini-BFS without its early
+  // answers — marks every stitch node reachable from `vertex`.
+  const std::vector<VertexId>& nodes = delta.stitch_nodes;
+  const size_t k = nodes.size();
+  scratch.node_visited.assign(k, 0);
+  std::vector<uint8_t>& node_visited = scratch.node_visited;
+  std::vector<uint32_t>& queue = scratch.queue;
+  queue.clear();
+  queue.reserve(k);
+  const auto node_index = [&nodes](VertexId v) {
+    const auto it = std::lower_bound(nodes.begin(), nodes.end(), v);
+    GSR_DCHECK(it != nodes.end() && *it == v);
+    return static_cast<size_t>(it - nodes.begin());
+  };
+  const auto try_visit = [&](size_t idx) {
+    if (!node_visited[idx]) {
+      node_visited[idx] = 1;
+      queue.push_back(static_cast<uint32_t>(idx));
+    }
+  };
+  for (size_t i = 0; i < k; ++i) {
+    const VertexId node = nodes[i];
+    if (node == vertex ||
+        (vertex < nb && node < nb && base_reach(vertex, node))) {
+      try_visit(i);
+    }
+  }
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const VertexId a = nodes[queue[head]];
+    for (const auto& [from, to] : EdgesFrom(delta.inserted_edges, a)) {
+      (void)from;
+      try_visit(node_index(to));
+    }
+    if (a < nb) {
+      for (size_t i = 0; i < k; ++i) {
+        if (!node_visited[i] && nodes[i] < nb && base_reach(a, nodes[i])) {
+          try_visit(i);
+        }
+      }
+    }
+  }
+
+  scratch.seen.BeginPass(n);
+  const auto emit = [&](VertexId v) {
+    if (scratch.seen.TestAndSet(v)) sink.Add(v);
+  };
+
+  // Source 1: base collections.
+  const auto collect_from_base = [&](VertexId a) {
+    ResultSink base_sink = ResultSink::Enum(&scratch.collect_arena);
+    base.index->CollectInto(a, region, base_sink, *scratch.base);
+    for (const VertexId v : scratch.collect_arena) emit(v);
+  };
+  if (vertex < nb) collect_from_base(vertex);
+  for (size_t i = 0; i < k; ++i) {
+    if (node_visited[i] && nodes[i] < nb) collect_from_base(nodes[i]);
+  }
+
+  // Source 2: overrides. All are gained points here (a changed or
+  // cleared base point would make the delta risky), so they never
+  // collide with source 1.
+  for (const auto& [v, point] : delta.point_overrides) {
+    if (!point.has_value() || !region.Contains(*point)) continue;
+    bool reachable = v == vertex || (vertex < nb && base_reach(vertex, v));
+    for (size_t i = 0; !reachable && i < k; ++i) {
+      reachable = node_visited[i] && nodes[i] < nb && base_reach(nodes[i], v);
+    }
+    if (reachable) emit(v);
+  }
+
+  // Source 3: added vertices.
+  const auto emit_added_if_inside = [&](VertexId v) {
+    const std::optional<Point2D>& p = delta.added_points[v - nb];
+    if (p.has_value() && region.Contains(*p)) emit(v);
+  };
+  if (vertex >= nb) emit_added_if_inside(vertex);
+  for (size_t i = 0; i < k; ++i) {
+    if (node_visited[i] && nodes[i] >= nb) emit_added_if_inside(nodes[i]);
+  }
+}
+
 bool DynamicRangeReach::EvaluateImpl(const Base& base, const Delta& delta,
                                      VertexId vertex, const Rect& region,
                                      Scratch& scratch) {
@@ -459,6 +604,17 @@ bool DynamicRangeReach::View::Evaluate(VertexId vertex, const Rect& region,
                                        Scratch& scratch) const {
   return DynamicRangeReach::EvaluateImpl(*base, delta, vertex, region,
                                          scratch);
+}
+
+void DynamicRangeReach::CollectInto(VertexId vertex, const Rect& region,
+                                    ResultSink& sink, Scratch& scratch) const {
+  CollectImpl(*base_, delta_, vertex, region, sink, scratch);
+}
+
+void DynamicRangeReach::View::CollectInto(VertexId vertex, const Rect& region,
+                                          ResultSink& sink,
+                                          Scratch& scratch) const {
+  DynamicRangeReach::CollectImpl(*base, delta, vertex, region, sink, scratch);
 }
 
 // --- Snapshot / rebuild ---------------------------------------------------

@@ -11,6 +11,7 @@
 #include "core/condensed_network.h"
 #include "core/geosocial_network.h"
 #include "core/method_snapshot.h"
+#include "core/result_sink.h"
 #include "core/three_d_reach.h"
 #include "core/update_log.h"
 
@@ -155,6 +156,10 @@ class DynamicRangeReach {
     std::vector<VertexId> extra_targets;
     std::vector<uint8_t> overlay_visited;
     std::vector<VertexId> overlay_queue;
+    // Collection-path state: exactly-once delivery marks and the arena
+    // the base index's per-anchor collections land in before dedup.
+    SeenMarks seen;
+    std::vector<VertexId> collect_arena;
   };
 
   /// An immutable point-in-time view: shared base + delta copy. Safe to
@@ -176,6 +181,32 @@ class DynamicRangeReach {
     /// Answers RangeReach over the view's network. Exact: bit-identical
     /// to rebuilding from scratch at `position`.
     bool Evaluate(VertexId vertex, const Rect& region, Scratch& scratch) const;
+
+    /// The collection form behind RangeReachCount / RangeReachEnum over
+    /// the view's network (count/enum sinks only — boolean queries route
+    /// through Evaluate, same split as RangeReachMethod::EvaluateInto).
+    /// Contract matches RangeReachMethod::CollectInto: every distinct
+    /// vertex whose current point lies in `region` and that `vertex`
+    /// reaches is Add()ed exactly once, in unspecified order.
+    void CollectInto(VertexId vertex, const Rect& region, ResultSink& sink,
+                     Scratch& scratch) const;
+
+    /// RangeReachCount over the view's network.
+    uint64_t EvaluateCount(VertexId vertex, const Rect& region,
+                           Scratch& scratch) const {
+      ResultSink sink = ResultSink::Count();
+      CollectInto(vertex, region, sink, scratch);
+      return sink.count();
+    }
+
+    /// RangeReachEnum over the view's network: `out` is cleared, filled,
+    /// and sorted ascending.
+    void EvaluateEnumInto(VertexId vertex, const Rect& region,
+                          Scratch& scratch, std::vector<VertexId>& out) const {
+      ResultSink sink = ResultSink::Enum(&out);
+      CollectInto(vertex, region, sink, scratch);
+      sink.Finalize();
+    }
 
     size_t SizeBytes() const {
       return base->IndexSizeBytes() + delta.SizeBytes();
@@ -230,6 +261,11 @@ class DynamicRangeReach {
     return Evaluate(vertex, region, scratch_);
   }
 
+  /// Collection form over the updated network (count/enum sinks only;
+  /// contract in View::CollectInto). Same threading caveats as Evaluate.
+  void CollectInto(VertexId vertex, const Rect& region, ResultSink& sink,
+                   Scratch& scratch) const;
+
   /// An immutable snapshot of the current (base, delta) — what epoch
   /// publication hands to readers.
   std::shared_ptr<const View> Snapshot() const;
@@ -280,6 +316,10 @@ class DynamicRangeReach {
   static bool ExactOverlayBfs(const Base& base, const Delta& delta,
                               VertexId vertex, const Rect& region,
                               Scratch& scratch);
+  /// The one collection routine behind both the engine and View paths.
+  static void CollectImpl(const Base& base, const Delta& delta,
+                          VertexId vertex, const Rect& region,
+                          ResultSink& sink, Scratch& scratch);
   /// The point of `v` in the *current* network (override-aware).
   static std::optional<Point2D> CurrentPoint(const Base& base,
                                              const Delta& delta, VertexId v);

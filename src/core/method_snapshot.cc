@@ -236,28 +236,33 @@ struct MethodSnapshotAccess {
                                    const std::string& path,
                                    const SnapshotLoadOptions& options) {
     auto reader = SnapshotReader::Open(
-        path, snapshot::OpenOptions{options.mode, options.pool});
+        path, snapshot::OpenOptions{options.mode, options.pool,
+                                    options.page_cache_bytes});
     if (!reader.ok()) return reader.status();
     auto meta_reader = reader->Section(SectionId::kMeta);
     if (!meta_reader.ok()) return meta_reader.status();
     auto config = ReadMeta(*meta_reader, *cn);
     if (!config.ok()) return config.status();
-    const BorrowContext ctx = reader->borrow_context();
 
+    // Contexts are fetched per section (after that section's Section()
+    // call): in kPaged mode each carries the section's file offset so
+    // pageable structures can record on-disk addresses, and only one
+    // section is resident at a time while loading.
     LoadedMethod out;
     out.config = *config;
+    out.page_cache = reader->page_cache();
     switch (config->kind) {
       case MethodKind::kNaiveBfs:
         return Status::Internal("unreachable: meta rejects NaiveBFS");
       case MethodKind::kSocReach: {
-        auto labeling = LoadLabeling(*reader, ctx, *cn);
+        auto labeling = LoadLabeling(*reader, *cn);
         if (!labeling.ok()) return labeling.status();
         out.method.reset(
             new SocReach(cn, config->soc_reach, std::move(*labeling)));
         break;
       }
       case MethodKind::kSpaReachBfl: {
-        auto index = LoadSpatialIndex(*reader, ctx, config->scc_mode);
+        auto index = LoadSpatialIndex(*reader, config->scc_mode);
         if (!index.ok()) return index.status();
         auto section = reader->Section(SectionId::kBfl);
         if (!section.ok()) return section.status();
@@ -268,16 +273,16 @@ struct MethodSnapshotAccess {
         break;
       }
       case MethodKind::kSpaReachInt: {
-        auto index = LoadSpatialIndex(*reader, ctx, config->scc_mode);
+        auto index = LoadSpatialIndex(*reader, config->scc_mode);
         if (!index.ok()) return index.status();
-        auto labeling = LoadLabeling(*reader, ctx, *cn);
+        auto labeling = LoadLabeling(*reader, *cn);
         if (!labeling.ok()) return labeling.status();
         out.method.reset(
             new SpaReachInt(cn, std::move(*index), std::move(*labeling)));
         break;
       }
       case MethodKind::kSpaReachPll: {
-        auto index = LoadSpatialIndex(*reader, ctx, config->scc_mode);
+        auto index = LoadSpatialIndex(*reader, config->scc_mode);
         if (!index.ok()) return index.status();
         auto section = reader->Section(SectionId::kPll);
         if (!section.ok()) return section.status();
@@ -292,7 +297,7 @@ struct MethodSnapshotAccess {
         break;
       }
       case MethodKind::kSpaReachFeline: {
-        auto index = LoadSpatialIndex(*reader, ctx, config->scc_mode);
+        auto index = LoadSpatialIndex(*reader, config->scc_mode);
         if (!index.ok()) return index.status();
         auto section = reader->Section(SectionId::kFeline);
         if (!section.ok()) return section.status();
@@ -309,10 +314,11 @@ struct MethodSnapshotAccess {
         break;
       }
       case MethodKind::kThreeDReach: {
-        auto labeling = LoadLabeling(*reader, ctx, *cn);
+        auto labeling = LoadLabeling(*reader, *cn);
         if (!labeling.ok()) return labeling.status();
         auto section = reader->Section(SectionId::kRTree);
         if (!section.ok()) return section.status();
+        const BorrowContext ctx = reader->borrow_context(SectionId::kRTree);
         const ThreeDReach::Options method_options{
             .scc_mode = config->scc_mode,
             .forest_strategy = config->forest_strategy};
@@ -334,10 +340,11 @@ struct MethodSnapshotAccess {
         break;
       }
       case MethodKind::kThreeDReachRev: {
-        auto labeling = LoadLabeling(*reader, ctx, *cn);
+        auto labeling = LoadLabeling(*reader, *cn);
         if (!labeling.ok()) return labeling.status();
         auto section = reader->Section(SectionId::kRTree);
         if (!section.ok()) return section.status();
+        const BorrowContext ctx = reader->borrow_context(SectionId::kRTree);
         auto rtree = FrozenRTree3D::Deserialize(*section, ctx);
         if (!rtree.ok()) return rtree.status();
         out.method.reset(new ThreeDReachRev(
@@ -348,6 +355,8 @@ struct MethodSnapshotAccess {
       case MethodKind::kPlanner: {
         auto section = reader->Section(SectionId::kPlanner);
         if (!section.ok()) return section.status();
+        const BorrowContext ctx =
+            reader->borrow_context(SectionId::kPlanner);
         BinaryReader& s = *section;
         uint32_t member_count = 0;
         GSR_RETURN_IF_ERROR(s.ReadU32(&member_count));
@@ -396,10 +405,10 @@ struct MethodSnapshotAccess {
 
  private:
   static Result<IntervalLabeling> LoadLabeling(const SnapshotReader& reader,
-                                               const BorrowContext& ctx,
                                                const CondensedNetwork& cn) {
     auto section = reader.Section(SectionId::kLabeling);
     if (!section.ok()) return section.status();
+    const BorrowContext ctx = reader.borrow_context(SectionId::kLabeling);
     auto labeling = IntervalLabeling::Deserialize(*section, ctx);
     if (!labeling.ok()) return labeling.status();
     GSR_RETURN_IF_ERROR(CheckLabelingSize(*labeling, cn));
@@ -576,10 +585,11 @@ struct MethodSnapshotAccess {
   }
 
   static Result<CondensedSpatialIndex> LoadSpatialIndex(
-      const SnapshotReader& reader, const BorrowContext& ctx,
-      SccSpatialMode expected_mode) {
+      const SnapshotReader& reader, SccSpatialMode expected_mode) {
     auto section = reader.Section(SectionId::kSpatialIndex);
     if (!section.ok()) return section.status();
+    const BorrowContext ctx =
+        reader.borrow_context(SectionId::kSpatialIndex);
     auto index = CondensedSpatialIndex::Deserialize(*section, ctx);
     if (!index.ok()) return index.status();
     if (index->mode() != expected_mode) {

@@ -24,16 +24,26 @@ Status SaveMethodSnapshot(const RangeReachMethod& method,
 
 struct SnapshotLoadOptions {
   /// kOwnedCopy reads and copies (portable); kMmap maps the file and keeps
-  /// the index arrays as zero-copy views into it (fast cold start).
+  /// the index arrays as zero-copy views into it (fast cold start); kPaged
+  /// leaves the big index arrays on disk behind a fixed-budget page cache
+  /// (bounded memory however large the index — see snapshot::LoadMode).
   snapshot::LoadMode mode = snapshot::LoadMode::kOwnedCopy;
   /// When non-null, per-section checksum verification fans out here.
   exec::ThreadPool* pool = nullptr;
+  /// kPaged only: the page-cache budget shared by all of the method's
+  /// paged structures.
+  size_t page_cache_bytes = 64u << 20;
 };
 
 /// A snapshot-loaded method together with the config it was built as.
 struct LoadedMethod {
   std::unique_ptr<RangeReachMethod> method;
   MethodConfig config;
+  /// kPaged only (null otherwise): the cache the method's index arrays
+  /// read through. Exposed for stats (hit/miss/eviction counters) and for
+  /// Drop() in cold-page benchmarks; must outlive `method`, which the
+  /// struct guarantees by holding it here.
+  std::shared_ptr<snapshot::PageCache> page_cache;
 };
 
 /// Loads a method from a snapshot written by SaveMethodSnapshot. `cn` must

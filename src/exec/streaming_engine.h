@@ -38,8 +38,8 @@ struct StreamingOptions {
 /// A pinned epoch of the streaming engine, wrapped as a RangeReachMethod:
 /// BatchRunner / QueryScheduler / result-sink pipelines run against it
 /// like any other method while the engine keeps ingesting and swapping
-/// bases underneath. Boolean queries only (count/enum sinks throw, like
-/// any method without a CollectInto override).
+/// bases underneath. The full query surface is served — boolean through
+/// Evaluate, count/enum sinks through the view's CollectInto.
 ///
 /// The view inside is immutable, so one EpochView serves any number of
 /// concurrent reader threads — one Scratch each, per the usual contract.
@@ -61,6 +61,12 @@ class EpochView : public RangeReachMethod {
                 QueryScratch& scratch) const override {
     return view_->Evaluate(vertex, region,
                            static_cast<Scratch&>(scratch).inner);
+  }
+
+  void CollectInto(VertexId vertex, const Rect& region, ResultSink& sink,
+                   QueryScratch& scratch) const override {
+    view_->CollectInto(vertex, region, sink,
+                       static_cast<Scratch&>(scratch).inner);
   }
 
   using RangeReachMethod::Evaluate;

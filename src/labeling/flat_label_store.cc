@@ -47,6 +47,8 @@ FlatLabelStore FlatLabelStore::Freeze(std::span<const LabelSet> sets,
 }
 
 void FlatLabelStore::SerializeTo(BinaryWriter& w) const {
+  // A paged store's interval array lives on disk, not in memory.
+  GSR_CHECK(!paged_intervals_.paged());
   w.WriteArray(offsets_);
   w.WriteArray(intervals_);
 }
@@ -54,19 +56,27 @@ void FlatLabelStore::SerializeTo(BinaryWriter& w) const {
 Result<FlatLabelStore> FlatLabelStore::Deserialize(BinaryReader& r,
                                                    const BorrowContext& ctx) {
   FlatLabelStore store;
+  // The offsets table is small (one u32 per vertex) and consulted on
+  // every probe, so it is copied resident even in paged mode; only the
+  // interval array — the bulk of the labeling — stays on disk.
+  BorrowContext offsets_ctx = ctx;
+  offsets_ctx.paged = nullptr;
   GSR_RETURN_IF_ERROR(
-      r.ReadArrayInto(ctx, &store.owned_offsets_, &store.offsets_));
-  GSR_RETURN_IF_ERROR(
-      r.ReadArrayInto(ctx, &store.owned_intervals_, &store.intervals_));
+      r.ReadArrayInto(offsets_ctx, &store.owned_offsets_, &store.offsets_));
+  GSR_RETURN_IF_ERROR(r.ReadArrayPageable(ctx, &store.owned_intervals_,
+                                          &store.intervals_,
+                                          &store.paged_intervals_));
+  const size_t interval_count = store.intervals_.size();
   if (store.offsets_.empty()) {
-    if (!store.intervals_.empty()) {
+    if (interval_count != 0) {
       return Status::InvalidArgument(
           "flat label store: intervals without an offsets table");
     }
+    store.intervals_ = {};
     return store;
   }
   if (store.offsets_.front() != 0 ||
-      store.offsets_.back() != store.intervals_.size()) {
+      store.offsets_.back() != interval_count) {
     return Status::InvalidArgument(
         "flat label store: offsets table does not span the interval array");
   }
@@ -76,8 +86,46 @@ Result<FlatLabelStore> FlatLabelStore::Deserialize(BinaryReader& r,
           "flat label store: offsets table is not monotonic");
     }
   }
+  if (store.paged_intervals_.paged()) {
+    // The span above pointed into the reader's transient section buffer,
+    // only needed for validation; queries go through the PagedArray.
+    store.intervals_ = {};
+  }
   if (ctx.borrow) store.keepalive_ = ctx.keepalive;
   return store;
+}
+
+std::span<const Interval> FlatLabelStore::PagedRun(VertexId v) const {
+  // Four rotating buffers per thread: a caller may hold a couple of
+  // vended spans (e.g. comparing two vertices' labels) while requesting
+  // another; contract in the header caps that at three live spans.
+  struct Ring {
+    std::vector<Interval> buf[4];
+    unsigned next = 0;
+  };
+  thread_local Ring ring;
+  std::vector<Interval>& out = ring.buf[ring.next++ % 4];
+  const uint32_t begin = offsets_[v];
+  const uint32_t count = offsets_[v + 1] - begin;
+  out.resize(count);
+  if (count > 0) {
+    PagedArrayCursor<Interval, 1> cursor(paged_intervals_);
+    cursor.ReadInto(begin, count, out.data());
+  }
+  return {out.data(), out.size()};
+}
+
+bool FlatLabelStore::PagedContains(VertexId v, uint32_t value) const {
+  // Separate scratch from PagedRun's ring so probes interleaved with
+  // label enumeration never invalidate a vended span.
+  thread_local std::vector<Interval> scratch;
+  const uint32_t begin = offsets_[v];
+  const uint32_t count = offsets_[v + 1] - begin;
+  if (count == 0) return false;
+  scratch.resize(count);
+  PagedArrayCursor<Interval, 1> cursor(paged_intervals_);
+  cursor.ReadInto(begin, count, scratch.data());
+  return simd::IntervalContains(scratch.data(), count, value);
 }
 
 }  // namespace gsr

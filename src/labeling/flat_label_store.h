@@ -10,6 +10,7 @@
 
 #include "common/binary_io.h"
 #include "common/check.h"
+#include "common/paged_array.h"
 #include "common/simd.h"
 #include "exec/thread_pool.h"
 #include "graph/digraph.h"
@@ -64,6 +65,15 @@ class LabelView {
 /// `keepalive_` then pins the mapping). Queries are identical either way.
 /// The store is move-only: copying would re-point borrowed views at the
 /// wrong owner.
+///
+/// PAGED mode (Deserialize with BorrowContext::paged): the small offsets
+/// table is always copied resident, but the interval array — the bulk of
+/// any labeling — stays on disk behind the page cache. A vertex's run is
+/// then copied into per-thread scratch on access; answers are identical,
+/// memory use is bounded by the cache budget. Spans from Intervals()/
+/// View() are valid on the calling thread until its next three paged
+/// Intervals() calls (a four-slot scratch ring backs them); Contains()
+/// uses separate scratch and never invalidates them.
 class FlatLabelStore {
  public:
   FlatLabelStore() = default;
@@ -92,10 +102,15 @@ class FlatLabelStore {
   VertexId num_vertices() const {
     return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
   }
-  size_t total_intervals() const { return intervals_.size(); }
+  size_t total_intervals() const {
+    return paged_intervals_.paged() ? paged_intervals_.count
+                                    : intervals_.size();
+  }
+  bool paged() const { return paged_intervals_.paged(); }
 
   std::span<const Interval> Intervals(VertexId v) const {
     GSR_DCHECK(v + 1 < offsets_.size());
+    if (paged_intervals_.paged()) return PagedRun(v);
     return {intervals_.data() + offsets_[v],
             intervals_.data() + offsets_[v + 1]};
   }
@@ -109,18 +124,23 @@ class FlatLabelStore {
   /// disjoint) interval layout is exactly the kernel's precondition.
   bool Contains(VertexId v, uint32_t value) const {
     GSR_DCHECK(v + 1 < offsets_.size());
+    if (paged_intervals_.paged()) return PagedContains(v, value);
     const uint32_t begin = offsets_[v];
     return simd::IntervalContains(intervals_.data() + begin,
                                   offsets_[v + 1] - begin, value);
   }
 
-  /// Bytes referenced by the store (owned heap or borrowed mapping).
+  /// Bytes referenced by the store (owned heap, borrowed mapping, or
+  /// on-disk pages in paged mode).
   size_t SizeBytes() const {
     return offsets_.size() * sizeof(uint32_t) +
-           intervals_.size() * sizeof(Interval);
+           total_intervals() * sizeof(Interval);
   }
 
  private:
+  std::span<const Interval> PagedRun(VertexId v) const;
+  bool PagedContains(VertexId v, uint32_t value) const;
+
   // Query views; alias owned_* when the store owns its memory, or a
   // mapped snapshot buffer pinned by keepalive_ when borrowed. Moves keep
   // the views valid because vector moves transfer the heap buffer.
@@ -129,6 +149,10 @@ class FlatLabelStore {
   std::vector<uint32_t> owned_offsets_;
   std::vector<Interval> owned_intervals_;
   std::shared_ptr<const void> keepalive_;
+
+  // On-disk backing in paged mode (intervals_ stays empty then; the
+  // offsets table is resident in every mode).
+  PagedArray<Interval> paged_intervals_;
 };
 
 }  // namespace gsr

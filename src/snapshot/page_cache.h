@@ -1,0 +1,121 @@
+#ifndef GSR_SNAPSHOT_PAGE_CACHE_H_
+#define GSR_SNAPSHOT_PAGE_CACHE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/paged_array.h"
+#include "common/status.h"
+#include "snapshot/format.h"
+#include "snapshot/paged_file.h"
+
+namespace gsr::snapshot {
+
+/// A fixed-budget page cache over a PagedFile — the PagedSource behind
+/// LoadMode::kPaged. Unlike mmap, residency is explicit: at most
+/// `budget_bytes` of file pages are ever in memory, whatever the index
+/// size, and every hit/miss/eviction is counted.
+///
+/// Replacement is clock (second-chance): frames sit in one arena, a hand
+/// sweeps them circularly, a referenced bit grants one extra sweep of
+/// life, and pinned or mid-load frames are skipped. Pins are held by
+/// PagedArrayCursor for the duration of one chunk access (at most one
+/// page per live cursor), so descents read node chunks zero-copy out of
+/// the arena.
+///
+/// When every frame is pinned or loading, PinPage returns nullptr and
+/// the caller falls back to Read(), which serves the stragglers with a
+/// direct pread (counted as a bypass). That keeps the cache strictly
+/// non-blocking on capacity: no pin ever waits on another pin, so
+/// concurrent descents cannot deadlock however small the budget.
+///
+/// Thread-safe throughout. Frame contents are published to waiters under
+/// the mutex before the frame becomes visible in the page map, and a
+/// frame is never re-used while any pin is outstanding.
+class PageCache final : public PagedSource {
+ public:
+  struct Options {
+    /// Cache budget in bytes; rounded down to whole pages and clamped to
+    /// at least kMinFrames pages so tiny budgets still make progress.
+    size_t budget_bytes = 64u << 20;
+    size_t page_size = kPageAlignment;
+  };
+
+  /// Counter snapshot, drained like query counters.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;       // Frame loads (each implies one page pread).
+    uint64_t evictions = 0;    // Valid frames recycled for another page.
+    uint64_t bypass_reads = 0; // Direct preads when no frame was available.
+  };
+
+  static constexpr size_t kMinFrames = 4;
+
+  PageCache(std::shared_ptr<PagedFile> file, const Options& options);
+  ~PageCache() override;
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  // PagedSource implementation.
+  size_t page_size() const override { return page_size_; }
+  Status Read(uint64_t offset, size_t len, void* out) override;
+  const std::byte* PinPage(uint64_t page_no, void** handle) override;
+  void UnpinPage(void* handle) override;
+  void Prefetch(uint64_t offset, size_t len) override;
+
+  size_t num_frames() const { return frames_.size(); }
+  size_t budget_bytes() const { return frames_.size() * page_size_; }
+  uint64_t file_size() const { return file_->size(); }
+
+  Stats GetStats() const;
+  void ResetStats();
+
+  /// Invalidates every unpinned frame — the cold-start reset for
+  /// benchmarks. (Page-cache state in the KERNEL is separate; cold-page
+  /// benchmarks drop that too, via their own fadvise(DONTNEED) pass.)
+  void Drop();
+
+ private:
+  struct Frame {
+    uint64_t page_no = 0;
+    uint32_t pins = 0;
+    bool valid = false;    // Contents match page_no.
+    bool loading = false;  // A thread is mid-pread into this frame.
+    bool ref = false;      // Second-chance bit.
+  };
+
+  std::byte* FrameData(size_t idx) {
+    return arena_.get() + idx * page_size_;
+  }
+
+  /// Clock sweep for a reusable frame; -1 when all are pinned/loading.
+  /// Caller holds `mu_`.
+  int FindVictim();
+
+  const std::shared_ptr<PagedFile> file_;
+  const size_t page_size_;
+
+  std::unique_ptr<std::byte[]> arena_;
+  std::vector<Frame> frames_;
+
+  mutable std::mutex mu_;
+  std::condition_variable load_done_;
+  std::unordered_map<uint64_t, uint32_t> page_to_frame_;
+  size_t hand_ = 0;
+
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  std::atomic<uint64_t> bypass_reads_{0};
+};
+
+}  // namespace gsr::snapshot
+
+#endif  // GSR_SNAPSHOT_PAGE_CACHE_H_

@@ -40,6 +40,13 @@ Result<std::shared_ptr<std::vector<std::byte>>> ReadWholeFile(
   return buffer;
 }
 
+/// XxHash64 over a possibly-empty range; a zero-size vector's data() may
+/// be null, which the hash must never see.
+uint64_t HashPayload(const std::byte* data, size_t size) {
+  static constexpr std::byte kEmpty{0};
+  return XxHash64(size == 0 ? &kEmpty : data, size);
+}
+
 }  // namespace
 
 Result<SnapshotReader> SnapshotReader::Open(const std::string& path,
@@ -57,57 +64,95 @@ Result<SnapshotReader> SnapshotReader::Open(const std::string& path,
     if (!mapped.ok()) return mapped.status();
     reader.bytes_ = (*mapped)->bytes();
     reader.storage_ = std::shared_ptr<const void>(*mapped, (*mapped).get());
-  } else {
+  } else if (options.mode == LoadMode::kOwnedCopy) {
     auto buffer = ReadWholeFile(path);
     if (!buffer.ok()) return buffer.status();
     reader.bytes_ = std::span<const std::byte>(**buffer);
     reader.storage_ = std::shared_ptr<const void>(*buffer, (*buffer).get());
+  } else {
+    // kPaged: no bulk read at all — just the file handle; header and
+    // table come in through two positional reads below.
+    auto file = PagedFile::Open(path);
+    if (!file.ok()) return file.status();
+    reader.file_ = std::move(*file);
   }
+  const bool paged = options.mode == LoadMode::kPaged;
+  const uint64_t actual_size =
+      paged ? reader.file_->size() : reader.bytes_.size();
 
   // Header checks: magic, version, endianness, declared size.
-  if (reader.bytes_.size() < sizeof(FileHeader)) {
+  if (actual_size < sizeof(FileHeader)) {
     return Status::InvalidArgument("snapshot file is truncated: " + path);
   }
   FileHeader header;
-  std::memcpy(&header, reader.bytes_.data(), sizeof(header));
+  if (paged) {
+    GSR_RETURN_IF_ERROR(reader.file_->ReadAt(0, sizeof(header), &header));
+  } else {
+    std::memcpy(&header, reader.bytes_.data(), sizeof(header));
+  }
   if (!header.MagicMatches()) {
     return Status::InvalidArgument("not a snapshot file (bad magic): " + path);
   }
-  if (header.format_version != kFormatVersion) {
+  if (!KnownFormatVersion(header.format_version)) {
     return Status::InvalidArgument(
         "unsupported snapshot format version " +
-        std::to_string(header.format_version) + " (expected " +
+        std::to_string(header.format_version) + " (newest supported is " +
         std::to_string(kFormatVersion) + "): " + path);
   }
   if (header.endian_tag != kEndianTag) {
     return Status::InvalidArgument(
         "snapshot was written on a host with different endianness: " + path);
   }
-  if (header.file_size != reader.bytes_.size()) {
+  if (header.file_size != actual_size) {
     return Status::InvalidArgument("snapshot file is truncated: " + path);
   }
+  reader.format_version_ = header.format_version;
+  reader.file_size_ = static_cast<size_t>(actual_size);
 
   // Section table: bounds, checksum, per-section placement.
   const uint64_t table_bytes =
       static_cast<uint64_t>(header.section_count) * sizeof(SectionEntry);
-  if (sizeof(FileHeader) + table_bytes > reader.bytes_.size()) {
+  if (sizeof(FileHeader) + table_bytes > actual_size) {
     return Status::InvalidArgument("snapshot section table is truncated: " +
                                    path);
   }
-  const std::byte* table_base = reader.bytes_.data() + sizeof(FileHeader);
-  if (XxHash64(table_base, table_bytes) != header.table_checksum) {
+  std::vector<std::byte> table_copy;
+  const std::byte* table_base;
+  if (paged) {
+    table_copy.resize(static_cast<size_t>(table_bytes));
+    if (table_bytes > 0) {
+      GSR_RETURN_IF_ERROR(reader.file_->ReadAt(
+          sizeof(FileHeader), table_copy.size(), table_copy.data()));
+    }
+    table_base = table_copy.data();
+  } else {
+    table_base = reader.bytes_.data() + sizeof(FileHeader);
+  }
+  if (HashPayload(table_base, table_bytes) != header.table_checksum) {
     return Status::InvalidArgument(
         "snapshot section table failed checksum verification: " + path);
   }
   reader.table_.resize(header.section_count);
   std::memcpy(reader.table_.data(), table_base, table_bytes);
+  const size_t section_alignment =
+      SectionAlignmentForVersion(header.format_version);
   for (const SectionEntry& entry : reader.table_) {
-    if (entry.offset % kSectionAlignment != 0 ||
-        entry.offset > reader.bytes_.size() ||
-        entry.size > reader.bytes_.size() - entry.offset) {
+    if (entry.offset % section_alignment != 0 || entry.offset > actual_size ||
+        entry.size > actual_size - entry.offset) {
       return Status::InvalidArgument(
           "snapshot section placement is out of bounds: " + path);
     }
+  }
+
+  if (paged) {
+    // Payload verification is deferred to Section(id): checksumming here
+    // would read the whole file, which is the one thing this mode exists
+    // to avoid.
+    PageCache::Options cache_options;
+    cache_options.budget_bytes = options.page_cache_bytes;
+    reader.page_cache_ =
+        std::make_shared<PageCache>(reader.file_, cache_options);
+    return reader;
   }
 
   // Payload checksums, fanned out across sections when a pool is given.
@@ -130,20 +175,58 @@ Result<SnapshotReader> SnapshotReader::Open(const std::string& path,
   return reader;
 }
 
-bool SnapshotReader::HasSection(SectionId id) const {
+const SectionEntry* SnapshotReader::FindSection(SectionId id) const {
   for (const SectionEntry& entry : table_) {
-    if (entry.id == static_cast<uint32_t>(id)) return true;
+    if (entry.id == static_cast<uint32_t>(id)) return &entry;
   }
-  return false;
+  return nullptr;
+}
+
+bool SnapshotReader::HasSection(SectionId id) const {
+  return FindSection(id) != nullptr;
 }
 
 Result<BinaryReader> SnapshotReader::Section(SectionId id) const {
-  for (const SectionEntry& entry : table_) {
-    if (entry.id != static_cast<uint32_t>(id)) continue;
-    return BinaryReader(bytes_.subspan(entry.offset, entry.size));
+  const SectionEntry* entry = FindSection(id);
+  if (entry == nullptr) {
+    return Status::NotFound("snapshot has no section with id " +
+                            std::to_string(static_cast<uint32_t>(id)));
   }
-  return Status::NotFound("snapshot has no section with id " +
-                          std::to_string(static_cast<uint32_t>(id)));
+  std::span<const std::byte> payload;
+  if (mode_ == LoadMode::kPaged) {
+    if (section_buf_id_ != entry->id) {
+      section_buf_id_ = 0;
+      section_buf_.resize(static_cast<size_t>(entry->size));
+      if (entry->size > 0) {
+        GSR_RETURN_IF_ERROR(file_->ReadAt(entry->offset, section_buf_.size(),
+                                          section_buf_.data()));
+      }
+      if (HashPayload(section_buf_.data(), section_buf_.size()) !=
+          entry->checksum) {
+        return Status::InvalidArgument(
+            "snapshot section " + std::to_string(entry->id) +
+            " failed checksum verification: " + file_->path());
+      }
+      section_buf_id_ = entry->id;
+    }
+    payload = std::span<const std::byte>(section_buf_);
+  } else {
+    payload = bytes_.subspan(entry->offset, entry->size);
+  }
+  BinaryReader section_reader(payload);
+  section_reader.set_array_alignment(
+      ArrayAlignmentForVersion(format_version_));
+  return section_reader;
+}
+
+BorrowContext SnapshotReader::borrow_context(SectionId id) const {
+  BorrowContext ctx = borrow_context();
+  if (mode_ != LoadMode::kPaged) return ctx;
+  if (const SectionEntry* entry = FindSection(id)) {
+    ctx.paged = page_cache_;
+    ctx.section_file_offset = entry->offset;
+  }
+  return ctx;
 }
 
 }  // namespace gsr::snapshot

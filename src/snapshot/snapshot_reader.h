@@ -1,6 +1,7 @@
 #ifndef GSR_SNAPSHOT_SNAPSHOT_READER_H_
 #define GSR_SNAPSHOT_SNAPSHOT_READER_H_
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -10,6 +11,8 @@
 #include "common/status.h"
 #include "exec/thread_pool.h"
 #include "snapshot/format.h"
+#include "snapshot/page_cache.h"
+#include "snapshot/paged_file.h"
 
 namespace gsr::snapshot {
 
@@ -23,12 +26,22 @@ enum class LoadMode {
   /// into the mapping (pinned by the BorrowContext keepalive). Pages are
   /// faulted in lazily, so cold-start load cost is near-constant.
   kMmap,
+  /// Out-of-core: only header + table are read at Open; pageable
+  /// structures (FrozenRTree, FlatLabelStore) serve queries through a
+  /// fixed-budget PageCache over pread, so memory use is bounded by the
+  /// cache budget however large the index. Everything else is copied
+  /// resident, one section at a time. Works on v1 and v2 files; the v2
+  /// page-aligned layout is what makes it fast.
+  kPaged,
 };
 
 struct OpenOptions {
   LoadMode mode = LoadMode::kOwnedCopy;
   /// When non-null, per-section checksum verification fans out here.
   exec::ThreadPool* pool = nullptr;
+  /// kPaged only: the page-cache budget shared by every structure loaded
+  /// from this reader.
+  size_t page_cache_bytes = 64u << 20;
 };
 
 /// Validated random access to a snapshot file's sections. Open performs
@@ -37,6 +50,14 @@ struct OpenOptions {
 /// payload checksums — so a reader that opens successfully can hand out
 /// sections without further verification. All failures are clean Status
 /// returns; no snapshot input crashes the process.
+///
+/// kPaged is the one deviation from "everything up front": payload
+/// checksums would force reading the whole file, so each section is
+/// verified when Section(id) first materializes it. Only ONE section is
+/// resident at a time in that mode — calling Section invalidates the
+/// BinaryReaders (and spans) vended for previous sections, and Section /
+/// borrow_context are not thread-safe in kPaged (loading is
+/// single-threaded; queries afterwards are fully concurrent).
 class SnapshotReader {
  public:
   static Result<SnapshotReader> Open(const std::string& path,
@@ -51,25 +72,52 @@ class SnapshotReader {
   bool HasSection(SectionId id) const;
 
   /// A bounds-checked reader over one section's payload. Fails with
-  /// NotFound when the snapshot has no such section.
+  /// NotFound when the snapshot has no such section; in kPaged mode also
+  /// with InvalidArgument when the section fails its deferred checksum.
   Result<BinaryReader> Section(SectionId id) const;
 
   /// The context structures deserialize under: borrowing (with the file
-  /// mapping as keepalive) in kMmap mode, copying otherwise.
+  /// mapping as keepalive) in kMmap mode, copying otherwise — including
+  /// kPaged, where this section-less overload is the safe fallback.
   BorrowContext borrow_context() const {
-    return BorrowContext{mode_ == LoadMode::kMmap, storage_};
+    BorrowContext ctx;
+    ctx.borrow = mode_ == LoadMode::kMmap;
+    ctx.keepalive = storage_;
+    return ctx;
   }
 
+  /// Per-section context. Identical to borrow_context() except in kPaged
+  /// mode, where it carries the page cache and the section's absolute
+  /// file offset so pageable structures can record in-file addresses.
+  /// Call AFTER Section(id) and deserialize before the next Section call.
+  BorrowContext borrow_context(SectionId id) const;
+
   LoadMode mode() const { return mode_; }
-  size_t file_size() const { return bytes_.size(); }
+  uint32_t format_version() const { return format_version_; }
+  size_t file_size() const { return file_size_; }
+
+  /// kPaged only (null otherwise): the cache every pageable structure
+  /// from this reader reads through. Callers that outlive the reader
+  /// (LoadedMethod) retain it to drain stats and drop pages.
+  const std::shared_ptr<PageCache>& page_cache() const { return page_cache_; }
 
  private:
   SnapshotReader() = default;
 
+  const SectionEntry* FindSection(SectionId id) const;
+
   LoadMode mode_ = LoadMode::kOwnedCopy;
+  uint32_t format_version_ = kFormatVersion;
+  size_t file_size_ = 0;
   std::shared_ptr<const void> storage_;  // Owns bytes_ (buffer or mapping).
   std::span<const std::byte> bytes_;
   std::vector<SectionEntry> table_;
+
+  // kPaged state. section_buf_ holds the single materialized section.
+  std::shared_ptr<PagedFile> file_;
+  std::shared_ptr<PageCache> page_cache_;
+  mutable std::vector<std::byte> section_buf_;
+  mutable uint32_t section_buf_id_ = 0;  // 0 = no section materialized.
 };
 
 }  // namespace gsr::snapshot

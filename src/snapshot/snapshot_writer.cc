@@ -18,11 +18,21 @@ size_t AlignUp(size_t value, size_t alignment) {
 
 }  // namespace
 
+SnapshotWriter::SnapshotWriter(uint32_t format_version)
+    : format_version_(format_version) {
+  GSR_CHECK(KnownFormatVersion(format_version));
+}
+
 BinaryWriter& SnapshotWriter::BeginSection(SectionId id) {
   for (const auto& [existing, writer] : sections_) {
     GSR_CHECK(existing != id);  // One section per id.
   }
   sections_.emplace_back(id, BinaryWriter());
+  // Array payloads inherit the version's alignment so that, combined
+  // with the section offset alignment below, their absolute file
+  // offsets land on page boundaries in v2 files.
+  sections_.back().second.set_array_alignment(
+      ArrayAlignmentForVersion(format_version_));
   return sections_.back().second;
 }
 
@@ -36,14 +46,15 @@ Status SnapshotWriter::WriteFile(const std::string& path,
 
   // Lay out the file: header, table, then each payload at an aligned
   // offset.
+  const size_t section_alignment = SectionAlignmentForVersion(format_version_);
   const size_t table_bytes = sections_.size() * sizeof(SectionEntry);
   std::vector<SectionEntry> table(sections_.size());
-  size_t cursor = AlignUp(sizeof(FileHeader) + table_bytes, kSectionAlignment);
+  size_t cursor = AlignUp(sizeof(FileHeader) + table_bytes, section_alignment);
   for (size_t i = 0; i < sections_.size(); ++i) {
     table[i].id = static_cast<uint32_t>(sections_[i].first);
     table[i].offset = cursor;
     table[i].size = sections_[i].second.size();
-    cursor = AlignUp(cursor + table[i].size, kSectionAlignment);
+    cursor = AlignUp(cursor + table[i].size, section_alignment);
   }
   const size_t file_size = cursor;
 
@@ -56,7 +67,7 @@ Status SnapshotWriter::WriteFile(const std::string& path,
 
   FileHeader header;
   std::memcpy(header.magic, kMagic, sizeof(kMagic));
-  header.format_version = kFormatVersion;
+  header.format_version = format_version_;
   header.endian_tag = kEndianTag;
   header.section_count = static_cast<uint32_t>(sections_.size());
   header.file_size = file_size;
@@ -69,7 +80,7 @@ Status SnapshotWriter::WriteFile(const std::string& path,
   const auto write_all = [f](const void* data, size_t len) {
     return len == 0 || std::fwrite(data, 1, len, f) == len;
   };
-  static constexpr char kZeros[kSectionAlignment] = {};
+  static constexpr char kZeros[kPageAlignment] = {};
   bool ok = write_all(&header, sizeof(header)) &&
             write_all(table.data(), table_bytes);
   size_t written = sizeof(header) + table_bytes;

@@ -18,11 +18,22 @@ namespace gsr::snapshot {
 ///   index.SerializeTo(w.BeginSection(SectionId::kLabeling));
 ///   GSR_RETURN_IF_ERROR(w.WriteFile(path, pool));
 ///
-/// Sections are buffered in memory; WriteFile lays them out with
-/// kSectionAlignment padding, checksums each payload (in parallel on
-/// `pool` when given), and writes header + table + payloads in one pass.
+/// Sections are buffered in memory; WriteFile lays them out at the
+/// format version's section alignment, checksums each payload (in
+/// parallel on `pool` when given), and writes header + table + payloads
+/// in one pass.
+///
+/// By default files are written at kFormatVersion (v2: page-aligned
+/// sections and array payloads, ready for LoadMode::kPaged). Passing
+/// kFormatVersionV1 reproduces the legacy compact layout — kept for the
+/// backward-compat read tests and for callers that value bytes over
+/// pageability.
 class SnapshotWriter {
  public:
+  explicit SnapshotWriter(uint32_t format_version = kFormatVersion);
+
+  uint32_t format_version() const { return format_version_; }
+
   /// Starts a new section and returns the serializer for its payload.
   /// The reference stays valid until WriteFile; each id may appear once.
   BinaryWriter& BeginSection(SectionId id);
@@ -38,6 +49,7 @@ class SnapshotWriter {
   size_t num_sections() const { return sections_.size(); }
 
  private:
+  uint32_t format_version_;
   std::vector<std::pair<SectionId, BinaryWriter>> sections_;
 };
 

@@ -58,11 +58,13 @@ FrozenRTree<BoxT, LeafT> FrozenRTree<BoxT, LeafT>::Freeze(
   out.child_nodes_ = out.owned_child_nodes_;
   out.leaf_geoms_ = out.owned_leaf_geoms_;
   out.leaf_ids_ = out.owned_leaf_ids_;
+  out.root_mbr_ = out.owned_nodes_[0].mbr;
   return out;
 }
 
 template <typename BoxT, typename LeafT>
 void FrozenRTree<BoxT, LeafT>::SerializeTo(BinaryWriter& w) const {
+  GSR_CHECK(!paged_);  // A paged tree's arrays live on disk, not in memory.
   w.WriteU64(size_);
   w.WriteI32(height_);
   w.WriteArray(nodes_);
@@ -80,15 +82,20 @@ Result<FrozenRTree<BoxT, LeafT>> FrozenRTree<BoxT, LeafT>::Deserialize(
   GSR_RETURN_IF_ERROR(r.ReadU64(&size));
   GSR_RETURN_IF_ERROR(r.ReadI32(&out.height_));
   out.size_ = static_cast<size_t>(size);
-  GSR_RETURN_IF_ERROR(r.ReadArrayInto(ctx, &out.owned_nodes_, &out.nodes_));
-  GSR_RETURN_IF_ERROR(
-      r.ReadArrayInto(ctx, &out.owned_child_boxes_, &out.child_boxes_));
-  GSR_RETURN_IF_ERROR(
-      r.ReadArrayInto(ctx, &out.owned_child_nodes_, &out.child_nodes_));
-  GSR_RETURN_IF_ERROR(
-      r.ReadArrayInto(ctx, &out.owned_leaf_geoms_, &out.leaf_geoms_));
-  GSR_RETURN_IF_ERROR(
-      r.ReadArrayInto(ctx, &out.owned_leaf_ids_, &out.leaf_ids_));
+  GSR_RETURN_IF_ERROR(r.ReadArrayPageable(ctx, &out.owned_nodes_, &out.nodes_,
+                                          &out.paged_nodes_));
+  GSR_RETURN_IF_ERROR(r.ReadArrayPageable(ctx, &out.owned_child_boxes_,
+                                          &out.child_boxes_,
+                                          &out.paged_child_boxes_));
+  GSR_RETURN_IF_ERROR(r.ReadArrayPageable(ctx, &out.owned_child_nodes_,
+                                          &out.child_nodes_,
+                                          &out.paged_child_nodes_));
+  GSR_RETURN_IF_ERROR(r.ReadArrayPageable(ctx, &out.owned_leaf_geoms_,
+                                          &out.leaf_geoms_,
+                                          &out.paged_leaf_geoms_));
+  GSR_RETURN_IF_ERROR(r.ReadArrayPageable(ctx, &out.owned_leaf_ids_,
+                                          &out.leaf_ids_,
+                                          &out.paged_leaf_ids_));
 
   // Structural validation: every index a query descent follows must be in
   // range, and child links must point strictly forward (the BFS layout
@@ -125,6 +132,18 @@ Result<FrozenRTree<BoxT, LeafT>> FrozenRTree<BoxT, LeafT>::Deserialize(
   if (leaf_entries != out.size_) {
     return Status::InvalidArgument(
         "frozen rtree: leaf ranges do not cover the entry count");
+  }
+  if (!out.nodes_.empty()) out.root_mbr_ = out.nodes_[0].mbr;
+  if (ctx.paged != nullptr) {
+    // Validation above ran against the reader's transient section buffer;
+    // from here on only the on-disk PagedArrays are touched. Clear the
+    // spans so nothing dangles once the buffer is reused.
+    out.paged_ = true;
+    out.nodes_ = {};
+    out.child_boxes_ = {};
+    out.child_nodes_ = {};
+    out.leaf_geoms_ = {};
+    out.leaf_ids_ = {};
   }
   if (ctx.borrow) out.keepalive_ = ctx.keepalive;
   return out;

@@ -4,12 +4,14 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <span>
 #include <type_traits>
 #include <vector>
 
 #include "common/binary_io.h"
+#include "common/paged_array.h"
 #include "common/simd.h"
 #include "spatial/rtree.h"
 
@@ -22,10 +24,20 @@ namespace gsr {
 /// the whole tree instead of four vectors per node, so a query descent
 /// touches sequential memory and the tree serializes as raw byte ranges.
 ///
-/// All five arrays are addressed through spans: they are owned after
-/// Freeze (and owned-copy Deserialize), or borrowed zero-copy from a
-/// memory-mapped snapshot section (Deserialize with BorrowContext::borrow,
-/// with `keepalive_` pinning the mapping).
+/// The five arrays have three possible backings:
+///  - owned after Freeze (and owned-copy Deserialize);
+///  - borrowed zero-copy from a memory-mapped snapshot section
+///    (Deserialize with BorrowContext::borrow, `keepalive_` pinning the
+///    mapping);
+///  - PAGED: left on disk entirely (Deserialize with BorrowContext::paged)
+///    and read through a PagedSource at query time. Descents then run on
+///    a stack-constructed PagedView whose cursors pin one cache page per
+///    array; everything else — traversal order, kernels, answers — is
+///    identical, which is how kPaged keeps the bit-identical contract.
+///    In the page-aligned snapshot format the 64-byte Node<Box3D> records
+///    tile 4 KiB pages exactly (a BFS level never straddles a page
+///    mid-node); smaller node types occasionally straddle and take the
+///    cursor's bounce-buffer path.
 ///
 /// Entry and child order are preserved exactly from the source RTree, and
 /// ForEachIntersecting recurses in the same order, so a frozen tree
@@ -61,16 +73,22 @@ class FrozenRTree {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
   int Height() const { return height_; }
+  bool paged() const { return paged_; }
 
-  BoxT Bounds() const { return nodes_.empty() ? BoxT() : nodes_[0].mbr; }
+  BoxT Bounds() const { return NumNodes() == 0 ? BoxT() : root_mbr_; }
 
   /// Calls `fn(geom, id)` for every entry intersecting `query` until `fn`
   /// returns false, in exactly the order the source RTree would. Returns
   /// true when the visit was stopped early.
   template <typename Fn>
   bool ForEachIntersecting(const BoxT& query, Fn&& fn) const {
-    if (nodes_.empty()) return false;
-    return VisitIntersecting(0, query, fn);
+    if (NumNodes() == 0) return false;
+    if (paged_) {
+      PagedView view(*this);
+      return VisitIntersecting(view, 0, query, fn);
+    }
+    ResidentView view(*this);
+    return VisitIntersecting(view, 0, query, fn);
   }
 
   /// True iff at least one entry intersects `query`. Existence probes
@@ -80,8 +98,13 @@ class FrozenRTree {
   /// for the whole node before looking at a single bit (3DReach issues
   /// millions of these per second; see EXPERIMENTS.md).
   bool AnyIntersecting(const BoxT& query) const {
-    if (nodes_.empty()) return false;
-    return VisitAny(0, query);
+    if (NumNodes() == 0) return false;
+    if (paged_) {
+      PagedView view(*this);
+      return VisitAny(view, 0, query);
+    }
+    ResidentView view(*this);
+    return VisitAny(view, 0, query);
   }
 
   /// Multi-query existence probe, the work-sharing form of
@@ -96,9 +119,15 @@ class FrozenRTree {
   /// into the branchy first-hit descent, which is the faster shape there
   /// (see AnyIntersecting).
   uint64_t AnyIntersectingMasked(const BoxT* queries, uint64_t pending) const {
-    if (nodes_.empty() || pending == 0) return 0;
+    if (NumNodes() == 0 || pending == 0) return 0;
     uint64_t found = 0;
-    VisitAnyMasked(0, queries, pending, pending, found);
+    if (paged_) {
+      PagedView view(*this);
+      VisitAnyMasked(view, 0, queries, pending, pending, found);
+    } else {
+      ResidentView view(*this);
+      VisitAnyMasked(view, 0, queries, pending, pending, found);
+    }
     return found;
   }
 
@@ -126,8 +155,14 @@ class FrozenRTree {
   template <typename Fn>
   void ForEachIntersectingMasked(const BoxT* queries, uint64_t mask,
                                  Fn&& fn) const {
-    if (nodes_.empty() || mask == 0) return;
-    VisitIntersectingMasked(0, queries, mask, fn);
+    if (NumNodes() == 0 || mask == 0) return;
+    if (paged_) {
+      PagedView view(*this);
+      VisitIntersectingMasked(view, 0, queries, mask, fn);
+    } else {
+      ResidentView view(*this);
+      VisitIntersectingMasked(view, 0, queries, mask, fn);
+    }
   }
 
   /// Materializing form of ForEachIntersectingMasked for tests and
@@ -143,26 +178,100 @@ class FrozenRTree {
         [&out](size_t k, const LeafT&, uint64_t id) { out[k].push_back(id); });
   }
 
-  /// Bytes referenced by the packed arrays (owned heap or borrowed
-  /// mapping).
+  /// Bytes referenced by the packed arrays — owned heap, borrowed
+  /// mapping, or on-disk pages in paged mode.
   size_t SizeBytes() const {
-    return nodes_.size() * sizeof(Node) + child_boxes_.size() * sizeof(BoxT) +
-           child_nodes_.size() * sizeof(uint32_t) +
-           leaf_geoms_.size() * sizeof(LeafT) +
-           leaf_ids_.size() * sizeof(uint64_t);
+    return NumNodes() * sizeof(Node) +
+           NumChildEntries() * (sizeof(BoxT) + sizeof(uint32_t)) +
+           NumLeafEntries() * (sizeof(LeafT) + sizeof(uint64_t));
   }
 
   /// Writes the header and the five packed arrays (snapshot layer).
+  /// Paged-loaded trees cannot be re-serialized (their arrays live on
+  /// disk); save from a built or resident-loaded instance instead.
   void SerializeTo(BinaryWriter& w) const;
 
   /// Restores a tree from `r`. With `ctx.borrow` all arrays stay
-  /// zero-copy views into the reader's buffer. Node ranges and child
-  /// links are validated so a structurally corrupt file errors out
-  /// instead of reading out of bounds at query time.
+  /// zero-copy views into the reader's buffer; with `ctx.paged` they stay
+  /// on disk behind the page cache. Node ranges and child links are
+  /// validated either way (against the temporarily materialized section)
+  /// so a structurally corrupt file errors out instead of reading out of
+  /// bounds at query time.
   static Result<FrozenRTree> Deserialize(BinaryReader& r,
                                          const BorrowContext& ctx);
 
  private:
+  /// Resident data access: direct span indexing plus software prefetch.
+  /// The chunk accessors return pointers into the spans; `scratch` is
+  /// unused. Compiles down to exactly the pre-paging descent code.
+  struct ResidentView {
+    explicit ResidentView(const FrozenRTree& tree) : t(tree) {}
+    const Node& GetNode(uint32_t i) const { return t.nodes_[i]; }
+    const BoxT& ChildBox(uint32_t i) const { return t.child_boxes_[i]; }
+    const BoxT* ChildBoxes(uint32_t base, uint32_t) const {
+      return &t.child_boxes_[base];
+    }
+    uint32_t ChildNode(uint32_t i) const { return t.child_nodes_[i]; }
+    const uint32_t* ChildNodes(uint32_t base, uint32_t, uint32_t*) const {
+      return &t.child_nodes_[base];
+    }
+    const LeafT& LeafGeom(uint32_t i) const { return t.leaf_geoms_[i]; }
+    const LeafT* LeafGeoms(uint32_t base, uint32_t) const {
+      return &t.leaf_geoms_[base];
+    }
+    uint64_t LeafId(uint32_t i) const { return t.leaf_ids_[i]; }
+    void PrefetchNode(uint32_t i) const { simd::PrefetchRead(&t.nodes_[i]); }
+    const FrozenRTree& t;
+  };
+
+  /// Paged data access: one cursor per on-disk array, each pinning at
+  /// most one cache page. Chunk pointers are valid until the next call on
+  /// the SAME cursor, so descents copy child node ids into caller
+  /// `scratch` before recursing (the recursion reuses the cursors) and
+  /// consume box/geom chunk pointers before any other same-array access.
+  /// Node records and single elements travel by value. Hardware prefetch
+  /// of node records is meaningless here, so PrefetchNode is a no-op;
+  /// sequential readahead happens at the page level instead.
+  struct PagedView {
+    explicit PagedView(const FrozenRTree& tree)
+        : nodes(tree.paged_nodes_),
+          child_boxes(tree.paged_child_boxes_),
+          child_nodes(tree.paged_child_nodes_),
+          leaf_geoms(tree.paged_leaf_geoms_),
+          leaf_ids(tree.paged_leaf_ids_) {}
+    Node GetNode(uint32_t i) { return nodes.At(i); }
+    BoxT ChildBox(uint32_t i) { return child_boxes.At(i); }
+    const BoxT* ChildBoxes(uint32_t base, uint32_t n) {
+      return child_boxes.Chunk(base, n);
+    }
+    uint32_t ChildNode(uint32_t i) { return child_nodes.At(i); }
+    const uint32_t* ChildNodes(uint32_t base, uint32_t n, uint32_t* scratch) {
+      child_nodes.ReadInto(base, n, scratch);
+      return scratch;
+    }
+    LeafT LeafGeom(uint32_t i) { return leaf_geoms.At(i); }
+    const LeafT* LeafGeoms(uint32_t base, uint32_t n) {
+      return leaf_geoms.Chunk(base, n);
+    }
+    uint64_t LeafId(uint32_t i) { return leaf_ids.At(i); }
+    void PrefetchNode(uint32_t) const {}
+    PagedArrayCursor<Node, 1> nodes;
+    PagedArrayCursor<BoxT, simd::kMaskWidth> child_boxes;
+    PagedArrayCursor<uint32_t, simd::kMaskWidth> child_nodes;
+    PagedArrayCursor<LeafT, simd::kMaskWidth> leaf_geoms;
+    PagedArrayCursor<uint64_t, 1> leaf_ids;
+  };
+
+  size_t NumNodes() const {
+    return paged_ ? paged_nodes_.count : nodes_.size();
+  }
+  size_t NumChildEntries() const {
+    return paged_ ? paged_child_nodes_.count : child_nodes_.size();
+  }
+  size_t NumLeafEntries() const {
+    return paged_ ? paged_leaf_ids_.count : leaf_ids_.size();
+  }
+
   /// SIMD descent: tests a whole node's entries in one mask-kernel call
   /// per <= kMaskWidth chunk instead of one predicate per entry. Set bits
   /// are consumed low-to-high, so entries are still visited in exactly
@@ -170,34 +279,39 @@ class FrozenRTree {
   /// contract. Before recursing, the matched children's node records are
   /// software-prefetched so the next level is (mostly) in cache by the
   /// time the recursion reaches it.
-  template <typename Fn>
-  bool VisitIntersecting(uint32_t node_idx, const BoxT& query, Fn& fn) const {
-    const Node& node = nodes_[node_idx];
+  template <typename View, typename Fn>
+  bool VisitIntersecting(View& view, uint32_t node_idx, const BoxT& query,
+                         Fn& fn) const {
+    const Node& node = view.GetNode(node_idx);
     const uint32_t end = node.first + node.count;
     if (node.is_leaf) {
       for (uint32_t base = node.first; base < end; base += simd::kMaskWidth) {
         const uint32_t chunk =
             std::min<uint32_t>(simd::kMaskWidth, end - base);
-        uint64_t mask = simd::IntersectMask(query, &leaf_geoms_[base], chunk);
+        const LeafT* geoms = view.LeafGeoms(base, chunk);
+        uint64_t mask = simd::IntersectMask(query, geoms, chunk);
         while (mask != 0) {
-          const uint32_t i = base + static_cast<uint32_t>(std::countr_zero(mask));
+          const uint32_t i = static_cast<uint32_t>(std::countr_zero(mask));
           mask &= mask - 1;
-          if (!fn(leaf_geoms_[i], leaf_ids_[i])) return true;
+          if (!fn(geoms[i], view.LeafId(base + i))) return true;
         }
       }
       return false;
     }
     for (uint32_t base = node.first; base < end; base += simd::kMaskWidth) {
       const uint32_t chunk = std::min<uint32_t>(simd::kMaskWidth, end - base);
-      uint64_t mask = simd::IntersectMask(query, &child_boxes_[base], chunk);
+      uint64_t mask =
+          simd::IntersectMask(query, view.ChildBoxes(base, chunk), chunk);
+      if (mask == 0) continue;
+      uint32_t scratch[simd::kMaskWidth];
+      const uint32_t* kids = view.ChildNodes(base, chunk, scratch);
       for (uint64_t m = mask; m != 0; m &= m - 1) {
-        simd::PrefetchRead(
-            &nodes_[child_nodes_[base + std::countr_zero(m)]]);
+        view.PrefetchNode(kids[std::countr_zero(m)]);
       }
       while (mask != 0) {
-        const uint32_t i = base + static_cast<uint32_t>(std::countr_zero(mask));
+        const uint32_t c = static_cast<uint32_t>(std::countr_zero(mask));
         mask &= mask - 1;
-        if (VisitIntersecting(child_nodes_[i], query, fn)) return true;
+        if (VisitIntersecting(view, kids[c], query, fn)) return true;
       }
     }
     return false;
@@ -210,23 +324,23 @@ class FrozenRTree {
   /// bit to `fn`; internal nodes transpose per-query child masks exactly
   /// like VisitAnyMasked, then enter children in packed order with the
   /// matched node records prefetched.
-  template <typename Fn>
-  void VisitIntersectingMasked(uint32_t node_idx, const BoxT* queries,
-                               uint64_t mask, Fn& fn) const {
-    const Node& node = nodes_[node_idx];
+  template <typename View, typename Fn>
+  void VisitIntersectingMasked(View& view, uint32_t node_idx,
+                               const BoxT* queries, uint64_t mask,
+                               Fn& fn) const {
+    const Node& node = view.GetNode(node_idx);
     const uint32_t end = node.first + node.count;
     if (node.is_leaf) {
       for (uint32_t base = node.first; base < end; base += simd::kMaskWidth) {
         const uint32_t chunk = std::min<uint32_t>(simd::kMaskWidth, end - base);
+        const LeafT* geoms = view.LeafGeoms(base, chunk);
         for (uint64_t m = mask; m != 0; m &= m - 1) {
           const size_t k = static_cast<size_t>(std::countr_zero(m));
-          uint64_t hits =
-              simd::IntersectMask(queries[k], &leaf_geoms_[base], chunk);
+          uint64_t hits = simd::IntersectMask(queries[k], geoms, chunk);
           while (hits != 0) {
-            const uint32_t i =
-                base + static_cast<uint32_t>(std::countr_zero(hits));
+            const uint32_t i = static_cast<uint32_t>(std::countr_zero(hits));
             hits &= hits - 1;
-            fn(k, leaf_geoms_[i], leaf_ids_[i]);
+            fn(k, geoms[i], view.LeafId(base + i));
           }
         }
       }
@@ -235,40 +349,43 @@ class FrozenRTree {
     for (uint32_t base = node.first; base < end; base += simd::kMaskWidth) {
       const uint32_t chunk = std::min<uint32_t>(simd::kMaskWidth, end - base);
       uint64_t child_masks[simd::kMaskWidth] = {};
+      const BoxT* boxes = view.ChildBoxes(base, chunk);
       for (uint64_t m = mask; m != 0; m &= m - 1) {
         const int k = std::countr_zero(m);
-        uint64_t hits =
-            simd::IntersectMask(queries[k], &child_boxes_[base], chunk);
+        uint64_t hits = simd::IntersectMask(queries[k], boxes, chunk);
         while (hits != 0) {
           child_masks[std::countr_zero(hits)] |= uint64_t{1} << k;
           hits &= hits - 1;
         }
       }
+      uint32_t scratch[simd::kMaskWidth];
+      const uint32_t* kids = view.ChildNodes(base, chunk, scratch);
       for (uint32_t c = 0; c < chunk; ++c) {
         if (child_masks[c] == 0) continue;
-        simd::PrefetchRead(&nodes_[child_nodes_[base + c]]);
+        view.PrefetchNode(kids[c]);
       }
       for (uint32_t c = 0; c < chunk; ++c) {
         if (child_masks[c] == 0) continue;
-        VisitIntersectingMasked(child_nodes_[base + c], queries,
-                                child_masks[c], fn);
+        VisitIntersectingMasked(view, kids[c], queries, child_masks[c], fn);
       }
     }
   }
 
-  /// First-hit existence descent (see AnyIntersecting).
-  bool VisitAny(uint32_t node_idx, const BoxT& query) const {
-    const Node& node = nodes_[node_idx];
+  /// First-hit existence descent (see AnyIntersecting). Per-element view
+  /// access keeps the early exit exact: one box test, then recurse.
+  template <typename View>
+  bool VisitAny(View& view, uint32_t node_idx, const BoxT& query) const {
+    const Node& node = view.GetNode(node_idx);
     const uint32_t end = node.first + node.count;
     if (node.is_leaf) {
       for (uint32_t i = node.first; i < end; ++i) {
-        if (GeomIntersects(query, leaf_geoms_[i])) return true;
+        if (GeomIntersects(query, view.LeafGeom(i))) return true;
       }
       return false;
     }
     for (uint32_t i = node.first; i < end; ++i) {
-      if (!child_boxes_[i].Intersects(query)) continue;
-      if (VisitAny(child_nodes_[i], query)) return true;
+      if (!view.ChildBox(i).Intersects(query)) continue;
+      if (VisitAny(view, view.ChildNode(i), query)) return true;
     }
     return false;
   }
@@ -277,29 +394,32 @@ class FrozenRTree {
   /// queries whose box intersects this node (an overestimate is fine:
   /// the root starts with all of them); `pending`/`found` are the global
   /// not-yet-answered and answered sets, updated as hits come in.
-  void VisitAnyMasked(uint32_t node_idx, const BoxT* queries, uint64_t mask,
-                      uint64_t& pending, uint64_t& found) const {
+  template <typename View>
+  void VisitAnyMasked(View& view, uint32_t node_idx, const BoxT* queries,
+                      uint64_t mask, uint64_t& pending,
+                      uint64_t& found) const {
     mask &= pending;
     if (mask == 0) return;
     if (std::has_single_bit(mask)) {
       // One live query left in this subtree: the branchy first-hit
       // descent beats the batch kernels (positive probes resolve on the
       // first intersecting entry).
-      if (VisitAny(node_idx, queries[std::countr_zero(mask)])) {
+      if (VisitAny(view, node_idx, queries[std::countr_zero(mask)])) {
         found |= mask;
         pending &= ~mask;
       }
       return;
     }
-    const Node& node = nodes_[node_idx];
+    const Node& node = view.GetNode(node_idx);
     const uint32_t end = node.first + node.count;
     if (node.is_leaf) {
       for (uint32_t base = node.first; base < end; base += simd::kMaskWidth) {
         const uint32_t chunk = std::min<uint32_t>(simd::kMaskWidth, end - base);
+        const LeafT* geoms = view.LeafGeoms(base, chunk);
         for (uint64_t m = mask & pending; m != 0; m &= m - 1) {
           const uint64_t bit = m & (~m + 1);
           const int k = std::countr_zero(m);
-          if (simd::IntersectMask(queries[k], &leaf_geoms_[base], chunk) != 0) {
+          if (simd::IntersectMask(queries[k], geoms, chunk) != 0) {
             found |= bit;
             pending &= ~bit;
           }
@@ -316,19 +436,21 @@ class FrozenRTree {
     for (uint32_t base = node.first; base < end; base += simd::kMaskWidth) {
       const uint32_t chunk = std::min<uint32_t>(simd::kMaskWidth, end - base);
       uint64_t child_masks[simd::kMaskWidth] = {};
+      const BoxT* boxes = view.ChildBoxes(base, chunk);
       for (uint64_t m = mask & pending; m != 0; m &= m - 1) {
         const int k = std::countr_zero(m);
-        uint64_t hits =
-            simd::IntersectMask(queries[k], &child_boxes_[base], chunk);
+        uint64_t hits = simd::IntersectMask(queries[k], boxes, chunk);
         while (hits != 0) {
           child_masks[std::countr_zero(hits)] |= uint64_t{1} << k;
           hits &= hits - 1;
         }
       }
+      uint32_t scratch[simd::kMaskWidth];
+      const uint32_t* kids = view.ChildNodes(base, chunk, scratch);
       for (uint32_t c = 0; c < chunk; ++c) {
         if (child_masks[c] == 0) continue;
-        VisitAnyMasked(child_nodes_[base + c], queries, child_masks[c],
-                       pending, found);
+        VisitAnyMasked(view, kids[c], queries, child_masks[c], pending,
+                       found);
         if ((mask & pending) == 0) return;
       }
     }
@@ -341,6 +463,7 @@ class FrozenRTree {
   std::span<const uint64_t> leaf_ids_;
   size_t size_ = 0;
   int height_ = 0;
+  BoxT root_mbr_ = BoxT();
 
   // Backing storage when the tree owns its memory (empty when borrowed).
   std::vector<Node> owned_nodes_;
@@ -349,6 +472,14 @@ class FrozenRTree {
   std::vector<LeafT> owned_leaf_geoms_;
   std::vector<uint64_t> owned_leaf_ids_;
   std::shared_ptr<const void> keepalive_;
+
+  // On-disk backing in paged mode (the spans above stay empty then).
+  bool paged_ = false;
+  PagedArray<Node> paged_nodes_;
+  PagedArray<BoxT> paged_child_boxes_;
+  PagedArray<uint32_t> paged_child_nodes_;
+  PagedArray<LeafT> paged_leaf_geoms_;
+  PagedArray<uint64_t> paged_leaf_ids_;
 };
 
 /// Frozen counterparts of the four RTree instantiations.

@@ -7,7 +7,9 @@
 
 #include "common/rng.h"
 #include "core/naive_bfs.h"
+#include "core/result_sink.h"
 #include "datagen/workload.h"
+#include "exec/streaming_engine.h"
 #include "graph/digraph.h"
 #include "tests/test_util.h"
 
@@ -43,17 +45,28 @@ class ReferenceNetwork {
   void ClearPoint(VertexId v) { points_[v].reset(); }
 
   bool RangeReach(VertexId v, const Rect& region) const {
+    auto network = Materialize();
+    const NaiveBfsMethod oracle(&network);
+    return oracle.Evaluate(v, region);
+  }
+
+  std::vector<VertexId> RangeReachEnum(VertexId v, const Rect& region) const {
+    auto network = Materialize();
+    const NaiveBfsMethod oracle(&network);
+    return oracle.EvaluateEnum(v, region);
+  }
+
+ private:
+  GeoSocialNetwork Materialize() const {
     auto graph = DiGraph::FromEdges(
         static_cast<VertexId>(points_.size()),
         std::vector<std::pair<VertexId, VertexId>>(edges_));
     GSR_CHECK(graph.ok());
     auto network = GeoSocialNetwork::Create(std::move(graph).value(), points_);
     GSR_CHECK(network.ok());
-    const NaiveBfsMethod oracle(&*network);
-    return oracle.Evaluate(v, region);
+    return std::move(network).value();
   }
 
- private:
   std::vector<std::pair<VertexId, VertexId>> edges_;
   std::vector<std::optional<Point2D>> points_;
 };
@@ -359,7 +372,8 @@ TEST(DynamicRangeReachTest, SnapshotRoundTripBaseAnswersIdentically) {
 
   const std::string path = ::testing::TempDir() + "/dyn_base_roundtrip.gsr";
   for (const auto mode :
-       {snapshot::LoadMode::kOwnedCopy, snapshot::LoadMode::kMmap}) {
+       {snapshot::LoadMode::kOwnedCopy, snapshot::LoadMode::kMmap,
+        snapshot::LoadMode::kPaged}) {
     auto swapped =
         DynamicRangeReach::Base::RoundTripThroughSnapshot(dynamic.base(), path,
                                                           mode);
@@ -378,6 +392,9 @@ TEST(DynamicRangeReachTest, SnapshotRoundTripBaseAnswersIdentically) {
       const double y = rng.NextDoubleInRange(0, 80);
       const Rect region(x, y, x + 20, y + 20);
       ASSERT_EQ(before.Evaluate(v, region, s1), after.Evaluate(v, region, s2));
+      // The collection path descends the (possibly paged) base index too.
+      ASSERT_EQ(before.EvaluateCount(v, region, s1),
+                after.EvaluateCount(v, region, s2));
     }
 
     // Installing the swapped base preserves the live delta's answers.
@@ -395,6 +412,99 @@ TEST(DynamicRangeReachTest, SnapshotRoundTripBaseAnswersIdentically) {
   }
 }
 
+TEST(DynamicRangeReachTest, CollectThroughViewAndEpochViewMatchesOracle) {
+  // The count/enum surface of the update path: engine, pinned View, and
+  // the RangeReachMethod-shaped EpochView must all produce the oracle's
+  // exact result sets — in the non-risky regime (inserts and gained
+  // points only) and after the delta turns risky (deleted base edge,
+  // moved base point).
+  const GeoSocialNetwork base =
+      testing::RandomGeoSocialNetwork(70, 2.0, 0.4, 53);
+  ReferenceNetwork reference(base);
+  DynamicRangeReach dynamic{testing::RandomGeoSocialNetwork(70, 2.0, 0.4, 53)};
+
+  const auto check_all = [&](int phase) {
+    auto view = dynamic.Snapshot();
+    auto scratch = view->NewScratch();
+    const exec::EpochView epoch_view(view, /*epoch=*/uint64_t(phase));
+    const auto method_scratch = epoch_view.NewScratch();
+    Rng rng(54 + phase);
+    for (int q = 0; q < 60; ++q) {
+      const VertexId v =
+          static_cast<VertexId>(rng.NextBounded(dynamic.num_vertices()));
+      const double x = rng.NextDoubleInRange(-5, 95);
+      const double y = rng.NextDoubleInRange(-5, 95);
+      const Rect region(x, y, x + rng.NextDoubleInRange(0, 40),
+                        y + rng.NextDoubleInRange(0, 40));
+      const std::vector<VertexId> expected =
+          reference.RangeReachEnum(v, region);
+
+      ASSERT_EQ(view->EvaluateCount(v, region, scratch), expected.size())
+          << "phase " << phase << " vertex " << v;
+      std::vector<VertexId> got;
+      view->EvaluateEnumInto(v, region, scratch, got);
+      ASSERT_EQ(got, expected) << "phase " << phase << " vertex " << v;
+
+      ASSERT_EQ(epoch_view.EvaluateCount(v, region), expected.size())
+          << "phase " << phase << " vertex " << v;
+      ASSERT_EQ(epoch_view.EvaluateEnum(v, region), expected)
+          << "phase " << phase << " vertex " << v;
+      // Enum and bool must tell the same story.
+      ResultSink bool_sink = ResultSink::Bool();
+      epoch_view.EvaluateInto(v, region, bool_sink, *method_scratch);
+      ASSERT_EQ(bool_sink.found(), !expected.empty())
+          << "phase " << phase << " vertex " << v;
+    }
+  };
+
+  // Phase 0: empty delta — pure base collection.
+  check_all(0);
+
+  // Phase 1: non-risky delta — added vertices, inserted edges, gained
+  // points. The stitch-closure collection path.
+  const VertexId venue = dynamic.AddVertex(Point2D{50, 50});
+  ASSERT_EQ(reference.AddVertex(Point2D{50, 50}), venue);
+  const VertexId lurker = dynamic.AddVertex(std::nullopt);
+  ASSERT_EQ(reference.AddVertex(std::nullopt), lurker);
+  ASSERT_TRUE(dynamic.AddEdge(3, venue).ok());
+  reference.AddEdge(3, venue);
+  ASSERT_TRUE(dynamic.AddEdge(venue, 9).ok());
+  reference.AddEdge(venue, 9);
+  ASSERT_TRUE(dynamic.AddEdge(lurker, 3).ok());
+  reference.AddEdge(lurker, 3);
+  ASSERT_TRUE(dynamic.SetPoint(lurker, Point2D{20, 20}).ok());
+  reference.SetPoint(lurker, Point2D{20, 20});
+  check_all(1);
+
+  // Phase 2: risky delta — a deleted base edge and stale base points
+  // force the exact-overlay collection path. Pick a real base edge and
+  // real base-spatial vertices so the delta is guaranteed risky.
+  bool edge_deleted = false;
+  for (VertexId v = 0; v < base.num_vertices() && !edge_deleted; ++v) {
+    for (const VertexId w : base.graph().OutNeighbors(v)) {
+      ASSERT_TRUE(dynamic.DeleteEdge(v, w).ok());
+      reference.DeleteEdge(v, w);
+      edge_deleted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(edge_deleted);
+  int stale = 0;
+  for (VertexId v = 0; v < base.num_vertices() && stale < 2; ++v) {
+    if (!base.IsSpatial(v)) continue;
+    if (stale == 0) {
+      ASSERT_TRUE(dynamic.SetPoint(v, Point2D{80, 80}).ok());
+      reference.SetPoint(v, Point2D{80, 80});
+    } else {
+      ASSERT_TRUE(dynamic.ClearPoint(v).ok());
+      reference.ClearPoint(v);
+    }
+    ++stale;
+  }
+  ASSERT_EQ(stale, 2);
+  check_all(2);
+}
+
 class DynamicRandomTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DynamicRandomTest, RandomUpdateSequencesStayExact) {
@@ -406,6 +516,7 @@ TEST_P(DynamicRandomTest, RandomUpdateSequencesStayExact) {
       testing::RandomGeoSocialNetwork(60, 1.5, 0.4, seed)};
 
   Rng rng(seed * 31 + 7);
+  DynamicRangeReach::Scratch collect_scratch;
   for (int step = 0; step < 80; ++step) {
     // Apply a random update over the full update set.
     const double dice = rng.NextDouble();
@@ -455,7 +566,10 @@ TEST_P(DynamicRandomTest, RandomUpdateSequencesStayExact) {
       ASSERT_EQ(dynamic.pending_updates(), 0u);
     }
 
-    // Verify a few queries after each update.
+    // Verify a few queries after each update; the first one per step also
+    // checks the collection kinds (count + sorted enum) through the
+    // engine's CollectInto, across whatever risky/non-risky state the
+    // random walk is in.
     for (int q = 0; q < 5; ++q) {
       const VertexId v =
           static_cast<VertexId>(rng.NextBounded(dynamic.num_vertices()));
@@ -465,6 +579,19 @@ TEST_P(DynamicRandomTest, RandomUpdateSequencesStayExact) {
                         y + rng.NextDoubleInRange(0, 40));
       ASSERT_EQ(dynamic.Evaluate(v, region), reference.RangeReach(v, region))
           << "step " << step << " vertex " << v;
+      if (q == 0) {
+        const std::vector<VertexId> expected =
+            reference.RangeReachEnum(v, region);
+        std::vector<VertexId> got;
+        ResultSink enum_sink = ResultSink::Enum(&got);
+        dynamic.CollectInto(v, region, enum_sink, collect_scratch);
+        enum_sink.Finalize();
+        ASSERT_EQ(got, expected) << "step " << step << " vertex " << v;
+        ResultSink count_sink = ResultSink::Count();
+        dynamic.CollectInto(v, region, count_sink, collect_scratch);
+        ASSERT_EQ(count_sink.count(), expected.size())
+            << "step " << step << " vertex " << v;
+      }
     }
   }
 }

@@ -188,8 +188,10 @@ TEST(FrozenRTreeTest, SerializeRoundTripBothModes) {
   }
   {
     BinaryReader reader(*buffer);
-    auto restored = FrozenRTreePoints2D::Deserialize(
-        reader, BorrowContext{true, buffer});
+    BorrowContext borrow;
+    borrow.borrow = true;
+    borrow.keepalive = buffer;
+    auto restored = FrozenRTreePoints2D::Deserialize(reader, borrow);
     ASSERT_TRUE(restored.ok()) << restored.status().ToString();
     ExpectAgreesWithDynamic(dynamic, *restored, queries);
   }

@@ -5,12 +5,14 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "core/condensed_network.h"
 #include "core/method_factory.h"
 #include "core/method_snapshot.h"
 #include "core/naive_bfs.h"
 #include "exec/thread_pool.h"
+#include "snapshot/page_cache.h"
 #include "tests/test_util.h"
 
 namespace gsr {
@@ -18,7 +20,8 @@ namespace {
 
 /// Save/load round trips for every snapshot-able method. The loaded
 /// instance must answer every query exactly like the built one — in
-/// owned-copy mode and in zero-copy mmap mode.
+/// owned-copy mode, in zero-copy mmap mode, and in explicitly-cached
+/// paged mode.
 
 std::string TempPath(const std::string& name) {
   std::string dir = ::testing::TempDir();
@@ -64,7 +67,7 @@ void ExpectIdenticalAnswers(const RangeReachMethod& built,
   }
 }
 
-TEST(MethodSnapshotTest, AllMethodsRoundTripBothLoadModes) {
+TEST(MethodSnapshotTest, AllMethodsRoundTripEveryLoadMode) {
   const GeoSocialNetwork network =
       testing::RandomGeoSocialNetwork(250, 2.5, 0.4, 101);
   const CondensedNetwork cn(&network);
@@ -78,7 +81,8 @@ TEST(MethodSnapshotTest, AllMethodsRoundTripBothLoadModes) {
         << built->name();
 
     for (const snapshot::LoadMode mode :
-         {snapshot::LoadMode::kOwnedCopy, snapshot::LoadMode::kMmap}) {
+         {snapshot::LoadMode::kOwnedCopy, snapshot::LoadMode::kMmap,
+          snapshot::LoadMode::kPaged}) {
       auto loaded = LoadMethodSnapshot(&cn, path, {.mode = mode});
       ASSERT_TRUE(loaded.ok())
           << built->name() << ": " << loaded.status().ToString();
@@ -86,6 +90,8 @@ TEST(MethodSnapshotTest, AllMethodsRoundTripBothLoadModes) {
       EXPECT_EQ(loaded->config.kind, config.kind);
       EXPECT_EQ(loaded->config.scc_mode, config.scc_mode);
       EXPECT_GT(loaded->method->IndexSizeBytes(), 0u);
+      EXPECT_EQ(loaded->page_cache != nullptr,
+                mode == snapshot::LoadMode::kPaged);
       ExpectIdenticalAnswers(*built, *loaded->method, network, 202);
     }
   }
@@ -108,7 +114,7 @@ TEST(MethodSnapshotTest, RoundTripWithThreadPool) {
   ExpectIdenticalAnswers(*built, *loaded->method, network, 204);
 }
 
-TEST(MethodSnapshotTest, MmapLoadedMethodOutlivesTheFile) {
+TEST(MethodSnapshotTest, LoadedMethodOutlivesTheFile) {
   const GeoSocialNetwork network =
       testing::RandomGeoSocialNetwork(150, 2.0, 0.5, 105);
   const CondensedNetwork cn(&network);
@@ -116,16 +122,67 @@ TEST(MethodSnapshotTest, MmapLoadedMethodOutlivesTheFile) {
   MethodConfig config;
   config.kind = MethodKind::kSpaReachInt;
   const auto built = CreateMethod(&cn, config);
-  const std::string path = TempPath("method_unlink.snap");
-  ASSERT_TRUE(SaveMethodSnapshot(*built, config, cn, path).ok());
 
-  auto loaded =
-      LoadMethodSnapshot(&cn, path, {.mode = snapshot::LoadMode::kMmap});
-  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-  // POSIX keeps the mapping alive after the unlink; the loaded method's
-  // keepalive pins it, so queries must keep working.
-  ASSERT_EQ(std::remove(path.c_str()), 0);
-  ExpectIdenticalAnswers(*built, *loaded->method, network, 206);
+  for (const snapshot::LoadMode mode :
+       {snapshot::LoadMode::kMmap, snapshot::LoadMode::kPaged}) {
+    const std::string path = TempPath("method_unlink.snap");
+    ASSERT_TRUE(SaveMethodSnapshot(*built, config, cn, path).ok());
+    auto loaded = LoadMethodSnapshot(&cn, path, {.mode = mode});
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    // POSIX keeps the mapping (kMmap) / the open descriptor (kPaged)
+    // alive after the unlink; the loaded method pins it, so queries must
+    // keep working — including cache misses that pread the unlinked file.
+    ASSERT_EQ(std::remove(path.c_str()), 0);
+    if (loaded->page_cache != nullptr) loaded->page_cache->Drop();
+    ExpectIdenticalAnswers(*built, *loaded->method, network, 206);
+  }
+}
+
+TEST(MethodSnapshotTest, PagedConcurrentQueriesShareOneTinyCache) {
+  // Many reader threads descending the same paged index through one
+  // 4-frame cache: constant eviction churn under contention, answers must
+  // stay exact. This is the TSan target for the paged read path (clock
+  // sweep, pin/unpin, load hand-off between threads).
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(250, 2.5, 0.4, 113);
+  const CondensedNetwork cn(&network);
+
+  for (const MethodKind kind :
+       {MethodKind::kThreeDReach, MethodKind::kSpaReachInt}) {
+    MethodConfig config;
+    config.kind = kind;
+    const auto built = CreateMethod(&cn, config);
+    const std::string path = TempPath("method_paged_mt.snap");
+    ASSERT_TRUE(SaveMethodSnapshot(*built, config, cn, path).ok());
+    auto loaded = LoadMethodSnapshot(
+        &cn, path,
+        {.mode = snapshot::LoadMode::kPaged, .page_cache_bytes = 1});
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+    Rng rng(114);
+    std::vector<RangeReachQuery> queries;
+    std::vector<uint8_t> expected;
+    for (int q = 0; q < 400; ++q) {
+      const VertexId v =
+          static_cast<VertexId>(rng.NextBounded(network.num_vertices()));
+      const double x = rng.NextDoubleInRange(-10, 100);
+      const double y = rng.NextDoubleInRange(-10, 100);
+      const Rect region(x, y, x + rng.NextDoubleInRange(0, 60),
+                        y + rng.NextDoubleInRange(0, 60));
+      queries.push_back({v, region});
+      expected.push_back(built->Evaluate(v, region) ? 1 : 0);
+    }
+
+    exec::ThreadPool pool(exec::ThreadPool::DefaultThreads());
+    const RangeReachMethod& method = *loaded->method;
+    pool.ParallelFor(queries.size(), 8, [&](size_t i, unsigned) {
+      GSR_CHECK(method.EvaluateQuery(queries[i]) == (expected[i] != 0));
+    });
+
+    const snapshot::PageCache::Stats stats = loaded->page_cache->GetStats();
+    EXPECT_GT(stats.misses, 0u) << built->name();
+    EXPECT_GT(stats.evictions, 0u) << built->name();
+  }
 }
 
 TEST(MethodSnapshotTest, FingerprintMismatchIsRejected) {

@@ -14,6 +14,7 @@
 #include "datagen/workload.h"
 #include "exec/batch_runner.h"
 #include "exec/thread_pool.h"
+#include "snapshot/page_cache.h"
 #include "tests/test_util.h"
 
 namespace gsr {
@@ -169,9 +170,12 @@ TEST(MethodsAgreementTest, QueryVertexItselfSpatial) {
 }
 
 TEST(MethodsAgreementTest, SnapshotLoadedMethodsMatchNaiveBfs) {
-  // The snapshot guarantee: a method loaded from disk — owned copy or
-  // zero-copy mmap — answers exactly like the ground truth, i.e. exactly
-  // like the instance it was saved from.
+  // The snapshot guarantee: a method loaded from disk — owned copy,
+  // zero-copy mmap, or the explicitly-cached paged path — answers exactly
+  // like the ground truth, i.e. exactly like the instance it was saved
+  // from. The paged instances here also prove the lifetime contract: the
+  // LoadedMethod's page_cache handle is dropped immediately, and the
+  // method keeps answering through the shared_ptr its paged arrays hold.
   const GeoSocialNetwork network =
       testing::RandomGeoSocialNetwork(200, 2.5, 0.4, 77);
   const CondensedNetwork cn(&network);
@@ -189,7 +193,8 @@ TEST(MethodsAgreementTest, SnapshotLoadedMethodsMatchNaiveBfs) {
     ASSERT_TRUE(SaveMethodSnapshot(*built, config, cn, path).ok())
         << built->name();
     for (const snapshot::LoadMode mode :
-         {snapshot::LoadMode::kOwnedCopy, snapshot::LoadMode::kMmap}) {
+         {snapshot::LoadMode::kOwnedCopy, snapshot::LoadMode::kMmap,
+          snapshot::LoadMode::kPaged}) {
       auto loaded = LoadMethodSnapshot(&cn, path, {.mode = mode});
       ASSERT_TRUE(loaded.ok())
           << built->name() << ": " << loaded.status().ToString();
@@ -212,6 +217,72 @@ TEST(MethodsAgreementTest, SnapshotLoadedMethodsMatchNaiveBfs) {
           << v << " region " << region.ToString();
     }
   }
+}
+
+TEST(MethodsAgreementTest, PagedTinyCacheBudgetsStayExactUnderEviction) {
+  // The out-of-core guarantee: kPaged answers bit-identically to the
+  // ground truth even when the cache budget is far below the index size,
+  // so every descent and label probe churns through real evictions. Also
+  // covers the collection kinds — count/enum force full traversals, which
+  // is where a paging bug (stale frame, bad bounce copy) would surface.
+  const GeoSocialNetwork network =
+      testing::RandomGeoSocialNetwork(400, 2.5, 0.4, 177);
+  const CondensedNetwork cn(&network);
+  const NaiveBfsMethod oracle(&network);
+
+  std::string dir = ::testing::TempDir();
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+
+  snapshot::PageCache::Stats total;
+  int config_index = 0;
+  for (const MethodConfig& config : AllConfigs()) {
+    const auto built = CreateMethod(&cn, config);
+    const std::string path =
+        dir + "paged_tiny_" + std::to_string(config_index++) + ".snap";
+    ASSERT_TRUE(SaveMethodSnapshot(*built, config, cn, path).ok())
+        << built->name();
+    // 16 KiB (the clamp floor of 4 frames) and 64 KiB — both far below
+    // any of these indexes, so frames recycle constantly.
+    for (const size_t budget : {size_t{16} << 10, size_t{64} << 10}) {
+      auto loaded = LoadMethodSnapshot(
+          &cn, path,
+          {.mode = snapshot::LoadMode::kPaged, .page_cache_bytes = budget});
+      ASSERT_TRUE(loaded.ok())
+          << built->name() << ": " << loaded.status().ToString();
+      ASSERT_NE(loaded->page_cache, nullptr) << built->name();
+
+      Rng rng(0xBADB00C + config_index);
+      for (int q = 0; q < 40; ++q) {
+        const VertexId v =
+            static_cast<VertexId>(rng.NextBounded(network.num_vertices()));
+        const double x = rng.NextDoubleInRange(-10, 100);
+        const double y = rng.NextDoubleInRange(-10, 100);
+        const Rect region(x, y, x + rng.NextDoubleInRange(0, 60),
+                          y + rng.NextDoubleInRange(0, 60));
+        ASSERT_EQ(loaded->method->Evaluate(v, region),
+                  oracle.Evaluate(v, region))
+            << loaded->method->name() << " budget " << budget << " vertex "
+            << v << " region " << region.ToString();
+        ASSERT_EQ(loaded->method->EvaluateCount(v, region),
+                  oracle.EvaluateCount(v, region))
+            << loaded->method->name() << " budget " << budget;
+        ASSERT_EQ(loaded->method->EvaluateEnum(v, region),
+                  oracle.EvaluateEnum(v, region))
+            << loaded->method->name() << " budget " << budget;
+      }
+
+      const snapshot::PageCache::Stats stats =
+          loaded->page_cache->GetStats();
+      total.hits += stats.hits;
+      total.misses += stats.misses;
+      total.evictions += stats.evictions;
+      total.bypass_reads += stats.bypass_reads;
+    }
+  }
+  // The cache actually served the queries — and had to recycle frames.
+  EXPECT_GT(total.hits, 0u);
+  EXPECT_GT(total.misses, 0u);
+  EXPECT_GT(total.evictions, 0u);
 }
 
 TEST(MethodsAgreementTest, AllKernelLevelsMatchNaiveBfs) {

@@ -9,6 +9,7 @@
 #include "common/binary_io.h"
 #include "exec/thread_pool.h"
 #include "snapshot/format.h"
+#include "snapshot/page_cache.h"
 #include "snapshot/snapshot_reader.h"
 #include "snapshot/snapshot_writer.h"
 
@@ -47,8 +48,9 @@ std::vector<uint64_t> SampleValues() {
 
 /// Writes a two-section sample snapshot and returns its path.
 std::string WriteSample(const std::string& name,
-                        exec::ThreadPool* pool = nullptr) {
-  SnapshotWriter writer;
+                        exec::ThreadPool* pool = nullptr,
+                        uint32_t format_version = kFormatVersion) {
+  SnapshotWriter writer(format_version);
   BinaryWriter& meta = writer.BeginSection(SectionId::kMeta);
   meta.WriteU32(42);
   meta.WriteU64(0xDEADBEEFull);
@@ -58,6 +60,9 @@ std::string WriteSample(const std::string& name,
   EXPECT_TRUE(writer.WriteFile(path, pool).ok());
   return path;
 }
+
+constexpr LoadMode kAllModes[] = {LoadMode::kOwnedCopy, LoadMode::kMmap,
+                                  LoadMode::kPaged};
 
 void ExpectSampleReadsBack(const SnapshotReader& reader) {
   EXPECT_TRUE(reader.HasSection(SectionId::kMeta));
@@ -101,6 +106,94 @@ TEST(SnapshotTest, RoundTripMmap) {
   ExpectSampleReadsBack(*reader);
 }
 
+TEST(SnapshotTest, RoundTripPaged) {
+  const std::string path = WriteSample("roundtrip_paged.snap");
+  auto reader = SnapshotReader::Open(path, {.mode = LoadMode::kPaged});
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->mode(), LoadMode::kPaged);
+  EXPECT_EQ(reader->format_version(), kFormatVersion);
+  ASSERT_NE(reader->page_cache(), nullptr);
+  ExpectSampleReadsBack(*reader);
+  // Section() materialization preads directly (a one-shot sequential load
+  // must not churn the query-time cache), so the counters stay zero here.
+  const PageCache::Stats after_sections = reader->page_cache()->GetStats();
+  EXPECT_EQ(after_sections.hits + after_sections.misses +
+                after_sections.bypass_reads,
+            0u);
+  // The cache itself serves the same file bytes: the magic, page by page.
+  char magic[sizeof(kMagic)];
+  ASSERT_TRUE(reader->page_cache()->Read(0, sizeof(magic), magic).ok());
+  EXPECT_EQ(std::memcmp(magic, kMagic, sizeof(magic)), 0);
+  EXPECT_GT(reader->page_cache()->GetStats().misses, 0u);
+}
+
+TEST(SnapshotTest, V1FilesReadBackInEveryMode) {
+  // Backward compatibility: the v2 reader accepts v1 files (64-byte
+  // section alignment, 8-byte array alignment) in every load mode —
+  // including kPaged, where the tighter packing only costs efficiency.
+  const std::string path =
+      WriteSample("v1_compat.snap", nullptr, kFormatVersionV1);
+
+  FileHeader header;
+  const std::vector<char> bytes = ReadFileBytes(path);
+  ASSERT_GE(bytes.size(), sizeof(header));
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  EXPECT_EQ(header.format_version, kFormatVersionV1);
+
+  for (const LoadMode mode : kAllModes) {
+    auto reader = SnapshotReader::Open(path, {.mode = mode});
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    EXPECT_EQ(reader->format_version(), kFormatVersionV1);
+    ExpectSampleReadsBack(*reader);
+  }
+}
+
+TEST(SnapshotTest, ZeroLengthSectionsReadBackInEveryMode) {
+  SnapshotWriter writer;
+  writer.BeginSection(SectionId::kMeta);  // Deliberately left empty.
+  BinaryWriter& labeling = writer.BeginSection(SectionId::kLabeling);
+  labeling.WriteU32(7);
+  writer.BeginSection(SectionId::kBfl);  // Empty trailing section.
+  const std::string path = TempPath("zero_len.snap");
+  ASSERT_TRUE(writer.WriteFile(path, nullptr).ok());
+
+  for (const LoadMode mode : kAllModes) {
+    auto reader = SnapshotReader::Open(path, {.mode = mode});
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    EXPECT_TRUE(reader->HasSection(SectionId::kMeta));
+    auto meta = reader->Section(SectionId::kMeta);
+    ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+    uint32_t value = 0;
+    EXPECT_FALSE(meta->ReadU32(&value).ok());  // Empty: clean failure.
+    auto labeling_in = reader->Section(SectionId::kLabeling);
+    ASSERT_TRUE(labeling_in.ok());
+    ASSERT_TRUE(labeling_in->ReadU32(&value).ok());
+    EXPECT_EQ(value, 7u);
+    auto bfl = reader->Section(SectionId::kBfl);
+    ASSERT_TRUE(bfl.ok()) << bfl.status().ToString();
+  }
+}
+
+TEST(SnapshotTest, ReopenAfterRewriteSeesNewContents) {
+  // The same path overwritten with different payloads: a fresh open must
+  // serve the new bytes in every mode (no stale descriptor or mapping).
+  const std::string path = TempPath("reopen.snap");
+  for (const uint32_t tag : {111u, 222u}) {
+    SnapshotWriter writer;
+    writer.BeginSection(SectionId::kMeta).WriteU32(tag);
+    ASSERT_TRUE(writer.WriteFile(path, nullptr).ok());
+    for (const LoadMode mode : kAllModes) {
+      auto reader = SnapshotReader::Open(path, {.mode = mode});
+      ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+      auto meta = reader->Section(SectionId::kMeta);
+      ASSERT_TRUE(meta.ok());
+      uint32_t value = 0;
+      ASSERT_TRUE(meta->ReadU32(&value).ok());
+      EXPECT_EQ(value, tag);
+    }
+  }
+}
+
 TEST(SnapshotTest, ParallelChecksumsMatchSerial) {
   exec::ThreadPool pool(2);
   const std::string parallel_path = WriteSample("parallel.snap", &pool);
@@ -129,7 +222,9 @@ TEST(SnapshotTest, SectionPayloadsAreAligned) {
     SectionEntry entry;
     std::memcpy(&entry, bytes.data() + sizeof(header) + i * sizeof(entry),
                 sizeof(entry));
-    EXPECT_EQ(entry.offset % kSectionAlignment, 0u);
+    // v2: sections start on page boundaries so a cache page never spans
+    // two sections (kPageAlignment is a multiple of kSectionAlignment).
+    EXPECT_EQ(entry.offset % kPageAlignment, 0u);
     EXPECT_LE(entry.offset + entry.size, bytes.size());
   }
 }
@@ -142,7 +237,7 @@ TEST(SnapshotTest, MissingFileFails) {
 TEST(SnapshotTest, EmptyFileFails) {
   const std::string path = TempPath("empty.snap");
   WriteFileBytes(path, {});
-  for (const LoadMode mode : {LoadMode::kOwnedCopy, LoadMode::kMmap}) {
+  for (const LoadMode mode : kAllModes) {
     auto reader = SnapshotReader::Open(path, {.mode = mode});
     EXPECT_FALSE(reader.ok());
   }
@@ -153,7 +248,24 @@ TEST(SnapshotTest, TruncatedFileFails) {
   std::vector<char> bytes = ReadFileBytes(path);
   bytes.resize(bytes.size() - 16);
   WriteFileBytes(path, bytes);
-  for (const LoadMode mode : {LoadMode::kOwnedCopy, LoadMode::kMmap}) {
+  for (const LoadMode mode : kAllModes) {
+    auto reader = SnapshotReader::Open(path, {.mode = mode});
+    ASSERT_FALSE(reader.ok());
+    EXPECT_NE(reader.status().message().find("truncated"), std::string::npos)
+        << reader.status().ToString();
+  }
+}
+
+TEST(SnapshotTest, TruncatedFinalPageFails) {
+  // Chop a whole trailing page minus one byte: the header's recorded
+  // file_size no longer matches, and every mode must refuse up front —
+  // kPaged in particular must not defer this to a failing pread later.
+  const std::string path = WriteSample("truncated_page.snap");
+  std::vector<char> bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), kPageAlignment);
+  bytes.resize(bytes.size() - (kPageAlignment - 1));
+  WriteFileBytes(path, bytes);
+  for (const LoadMode mode : kAllModes) {
     auto reader = SnapshotReader::Open(path, {.mode = mode});
     ASSERT_FALSE(reader.ok());
     EXPECT_NE(reader.status().message().find("truncated"), std::string::npos)
@@ -175,10 +287,12 @@ TEST(SnapshotTest, BadMagicFails) {
   std::vector<char> bytes = ReadFileBytes(path);
   bytes[0] ^= 0x01;
   WriteFileBytes(path, bytes);
-  auto reader = SnapshotReader::Open(path);
-  ASSERT_FALSE(reader.ok());
-  EXPECT_NE(reader.status().message().find("magic"), std::string::npos)
-      << reader.status().ToString();
+  for (const LoadMode mode : kAllModes) {
+    auto reader = SnapshotReader::Open(path, {.mode = mode});
+    ASSERT_FALSE(reader.ok());
+    EXPECT_NE(reader.status().message().find("magic"), std::string::npos)
+        << reader.status().ToString();
+  }
 }
 
 TEST(SnapshotTest, WrongFormatVersionFails) {
@@ -188,10 +302,12 @@ TEST(SnapshotTest, WrongFormatVersionFails) {
   std::memcpy(bytes.data() + offsetof(FileHeader, format_version),
               &future_version, sizeof(future_version));
   WriteFileBytes(path, bytes);
-  auto reader = SnapshotReader::Open(path);
-  ASSERT_FALSE(reader.ok());
-  EXPECT_NE(reader.status().message().find("version"), std::string::npos)
-      << reader.status().ToString();
+  for (const LoadMode mode : kAllModes) {
+    auto reader = SnapshotReader::Open(path, {.mode = mode});
+    ASSERT_FALSE(reader.ok());
+    EXPECT_NE(reader.status().message().find("version"), std::string::npos)
+        << reader.status().ToString();
+  }
 }
 
 TEST(SnapshotTest, FlippedPayloadByteFailsChecksum) {
@@ -208,6 +324,30 @@ TEST(SnapshotTest, FlippedPayloadByteFailsChecksum) {
     EXPECT_NE(reader.status().message().find("checksum"), std::string::npos)
         << reader.status().ToString();
   }
+}
+
+TEST(SnapshotTest, PagedDefersPayloadChecksumToSectionAccess) {
+  // kPaged reads only header + table at Open (that is the point of the
+  // mode), so a corrupted payload surfaces at Section() — still before
+  // any deserialized byte is trusted. Intact sections stay readable.
+  const std::string path = WriteSample("bad_payload_paged.snap");
+  std::vector<char> bytes = ReadFileBytes(path);
+  SectionEntry entry;
+  // Corrupt the second section (kLabeling); kMeta stays valid.
+  std::memcpy(&entry, bytes.data() + sizeof(FileHeader) + sizeof(entry),
+              sizeof(entry));
+  ASSERT_GT(entry.size, 0u);
+  bytes[entry.offset] ^= 0x40;
+  WriteFileBytes(path, bytes);
+
+  auto reader = SnapshotReader::Open(path, {.mode = LoadMode::kPaged});
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  auto meta = reader->Section(SectionId::kMeta);
+  ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+  auto labeling = reader->Section(SectionId::kLabeling);
+  ASSERT_FALSE(labeling.ok());
+  EXPECT_NE(labeling.status().message().find("checksum"), std::string::npos)
+      << labeling.status().ToString();
 }
 
 TEST(SnapshotTest, FlippedTableByteFailsChecksum) {
